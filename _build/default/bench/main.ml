@@ -1,0 +1,373 @@
+(* Benchmark harness: one bechamel test (or indexed family) per experiment
+   of EXPERIMENTS.md.  Prints OLS estimates (ns/run) per benchmark.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+module Interval = Rota_interval.Interval
+module Allen = Rota_interval.Allen
+module Ia_network = Rota_interval.Ia_network
+module Location = Rota_resource.Location
+module Located_type = Rota_resource.Located_type
+module Term = Rota_resource.Term
+module Profile = Rota_resource.Profile
+module Resource_set = Rota_resource.Resource_set
+module Requirement = Rota_resource.Requirement
+module Actor_name = Rota_actor.Actor_name
+module State = Rota.State
+module Formula = Rota.Formula
+module Semantics = Rota.Semantics
+module Accommodation = Rota.Accommodation
+module Admission = Rota_scheduler.Admission
+module Engine = Rota_sim.Engine
+module Trace = Rota_sim.Trace
+module Prng = Rota_workload.Prng
+module Scenario = Rota_workload.Scenario
+
+let iv = Interval.of_pair
+let l1 = Location.make "l1"
+let cpu1 = Located_type.cpu l1
+let amount = Requirement.amount
+
+(* --- E1: interval algebra ------------------------------------------------ *)
+
+let bench_allen_compose =
+  Test.make ~name:"e1/allen-compose-13x13"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun r1 ->
+             List.iter (fun r2 -> ignore (Allen.compose r1 r2)) Allen.all)
+           Allen.all))
+
+let bench_allen_set_compose =
+  Test.make ~name:"e1/allen-set-compose"
+    (Staged.stage (fun () ->
+         ignore (Allen.Set.compose Allen.Set.full Allen.Set.full)))
+
+let bench_ia_propagate =
+  Test.make_indexed ~name:"e1/ia-propagate" ~args:[ 4; 8; 12 ] (fun n ->
+      Staged.stage (fun () ->
+          let prng = Prng.create n in
+          let net = Ia_network.create n in
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              if Prng.bool prng then
+                Ia_network.constrain_relation net i j
+                  (Prng.choose prng Allen.all)
+            done
+          done;
+          ignore (Ia_network.propagate net)))
+
+(* --- E2: resource algebra ------------------------------------------------- *)
+
+let random_segments seed n =
+  let prng = Prng.create seed in
+  List.init n (fun _ ->
+      let a = Prng.int prng 200 in
+      let d = Prng.int_range prng 1 10 in
+      (iv a (a + d), Prng.int_range prng 1 9))
+
+let bench_profile_union =
+  Test.make_indexed ~name:"e2/profile-union" ~args:[ 4; 16; 64; 256 ] (fun n ->
+      let p = Profile.of_segments (random_segments 1 n) in
+      let q = Profile.of_segments (random_segments 2 n) in
+      Staged.stage (fun () -> ignore (Profile.add p q)))
+
+let bench_profile_sub =
+  Test.make_indexed ~name:"e2/profile-complement" ~args:[ 4; 16; 64 ] (fun n ->
+      let q = Profile.of_segments (random_segments 3 n) in
+      let p = Profile.add (Profile.of_segments (random_segments 4 n)) q in
+      Staged.stage (fun () -> ignore (Profile.sub p q)))
+
+let bench_rset_union =
+  Test.make ~name:"e2/resource-set-union"
+    (Staged.stage
+       (let a =
+          Resource_set.of_terms
+            (Profile.to_terms ~ltype:cpu1 (Profile.of_segments (random_segments 5 32)))
+        in
+        let b =
+          Resource_set.of_terms
+            (Profile.to_terms ~ltype:cpu1 (Profile.of_segments (random_segments 6 32)))
+        in
+        fun () -> ignore (Resource_set.union a b)))
+
+(* --- E3: semantics --------------------------------------------------------- *)
+
+let bench_semantics_exists =
+  Test.make ~name:"e3/exists-path"
+    (Staged.stage
+       (let theta = Resource_set.singleton (Term.v 2 (iv 0 6) cpu1) in
+        let idle = State.make ~available:theta ~now:0 in
+        let busy =
+          Result.get_ok
+            (State.accommodate_parts idle ~id:"busy" ~window:(iv 0 6)
+               [ (Actor_name.make "a1", [ [ amount cpu1 8 ] ]) ])
+        in
+        let psi =
+          Formula.satisfy_simple
+            (Requirement.make_simple ~amounts:[ amount cpu1 4 ] ~window:(iv 0 6))
+        in
+        fun () -> ignore (Semantics.exists_path busy psi)))
+
+(* --- E4: sequential accommodation ------------------------------------------ *)
+
+let bench_schedule_sequential =
+  Test.make_indexed ~name:"e4/schedule-sequential" ~args:[ 4; 16; 64; 256 ]
+    (fun n ->
+      let window = iv 0 (4 * n) in
+      let theta = Resource_set.singleton (Term.v 2 window cpu1) in
+      let c =
+        Requirement.make_complex
+          ~steps:(List.init n (fun _ -> [ amount cpu1 6 ]))
+          ~window
+      in
+      Staged.stage (fun () -> ignore (Accommodation.schedule_sequential theta c)))
+
+(* --- E5: admission vs commitments ------------------------------------------- *)
+
+let controller_with_commitments n =
+  let params =
+    { Scenario.default_params with seed = 5; arrivals = n; horizon = 40 * (n + 1);
+      slack = 4.0; locations = 2 }
+  in
+  let ctrl = ref (Admission.create Admission.Rota (Scenario.capacity_of params)) in
+  List.iter
+    (fun c ->
+      let next, _ = Admission.request !ctrl ~now:0 c in
+      ctrl := next)
+    (Scenario.computations params);
+  (!ctrl, params)
+
+let bench_admission =
+  Test.make_indexed ~name:"e5/admit-one-more" ~args:[ 0; 8; 32; 64 ] (fun n ->
+      let ctrl, params = controller_with_commitments n in
+      let probe =
+        List.hd
+          (Scenario.computations
+             { params with seed = 99; arrivals = 1 })
+      in
+      Staged.stage (fun () -> ignore (Admission.request ctrl ~now:0 probe)))
+
+(* --- E6: end-to-end engine --------------------------------------------------- *)
+
+let small_trace =
+  Scenario.trace
+    { Scenario.default_params with seed = 9; arrivals = 12; horizon = 100; locations = 2 }
+
+let bench_engine =
+  Test.make_grouped ~name:"e6/engine"
+    [
+      Test.make ~name:"rota"
+        (Staged.stage (fun () ->
+             ignore (Engine.run ~policy:Admission.Rota small_trace)));
+      Test.make ~name:"aggregate"
+        (Staged.stage (fun () ->
+             ignore (Engine.run ~policy:Admission.Aggregate small_trace)));
+      Test.make ~name:"optimistic"
+        (Staged.stage (fun () ->
+             ignore (Engine.run ~policy:Admission.Optimistic small_trace)));
+    ]
+
+(* --- E7: scoping -------------------------------------------------------------- *)
+
+let bench_scoping =
+  let pools = 4 in
+  let horizon = 120 in
+  let global, tagged = Scenario.pooled ~seed:3 ~pools ~per_pool:4 ~horizon in
+  let slice = Scenario.pool_capacity ~seed:3 ~pools ~horizon 0 in
+  let c = snd (List.hd tagged) in
+  Test.make_grouped ~name:"e7/scoping"
+    [
+      Test.make ~name:"admit-on-global"
+        (Staged.stage (fun () ->
+             let ctrl = Admission.create Admission.Rota global in
+             ignore (Admission.request ctrl ~now:0 c)));
+      Test.make ~name:"admit-on-pool-slice"
+        (Staged.stage (fun () ->
+             let ctrl = Admission.create Admission.Rota slice in
+             ignore (Admission.request ctrl ~now:0 c)));
+    ]
+
+(* --- E8: extensions ------------------------------------------------------------- *)
+
+let bench_stn =
+  Test.make_indexed ~name:"ext/stn-consistency" ~args:[ 8; 32; 128 ] (fun n ->
+      Staged.stage (fun () ->
+          let stn = Rota_interval.Stn.create n in
+          for i = 0 to n - 2 do
+            Rota_interval.Stn.before stn ~gap:1 i (i + 1)
+          done;
+          Rota_interval.Stn.window stn (n - 1) ~lo:0 ~hi:(4 * n);
+          ignore (Rota_interval.Stn.schedule stn)))
+
+let bench_precedence =
+  Test.make_indexed ~name:"ext/precedence-chain" ~args:[ 4; 16; 64 ] (fun n ->
+      let w = iv 0 (8 * n) in
+      let theta = Resource_set.singleton (Term.v 1 w cpu1) in
+      let nodes =
+        List.init n (fun i ->
+            {
+              Rota.Precedence.id = string_of_int i;
+              requirement =
+                Requirement.make_complex ~steps:[ [ amount cpu1 3 ] ] ~window:w;
+              deps = (if i = 0 then [] else [ string_of_int (i - 1) ]);
+            })
+      in
+      Staged.stage (fun () -> ignore (Rota.Precedence.schedule theta nodes)))
+
+let bench_session =
+  Test.make ~name:"ext/session-compile+schedule"
+    (Staged.stage
+       (let l2 = Location.make "l2" in
+        let alice = Actor_name.make "alice" and bob = Actor_name.make "bob" in
+        let session =
+          Result.get_ok
+            (Rota.Session.make ~id:"bench" ~start:0 ~deadline:200
+               [
+                 Rota.Session.participant ~name:alice ~home:l1
+                   [
+                     Rota.Session.Act (Rota_actor.Action.evaluate 1);
+                     Rota.Session.Act (Rota_actor.Action.send ~dest:bob ~size:1);
+                     Rota.Session.Await bob;
+                     Rota.Session.Act (Rota_actor.Action.evaluate 1);
+                   ];
+                 Rota.Session.participant ~name:bob ~home:l2
+                   [
+                     Rota.Session.Await alice;
+                     Rota.Session.Act (Rota_actor.Action.evaluate 1);
+                     Rota.Session.Act (Rota_actor.Action.send ~dest:alice ~size:1);
+                   ];
+               ])
+        in
+        let theta =
+          Resource_set.of_terms
+            [
+              Term.v 1 (iv 0 200) cpu1;
+              Term.v 1 (iv 0 200) (Located_type.cpu l2);
+              Term.v 2 (iv 0 200) (Located_type.network ~src:l1 ~dst:l2);
+              Term.v 2 (iv 0 200) (Located_type.network ~src:l2 ~dst:l1);
+            ]
+        in
+        fun () ->
+          ignore
+            (Rota.Session.meets_deadline Rota_actor.Cost_model.default theta
+               session)))
+
+let bench_planner =
+  Test.make ~name:"ext/planner-evaluate"
+    (Staged.stage
+       (let remote = Location.make "remote" in
+        let window = iv 0 60 in
+        let theta =
+          Resource_set.of_terms
+            [
+              Term.v 1 window cpu1;
+              Term.v 2 window (Located_type.cpu remote);
+              Term.v 3 window (Located_type.network ~src:l1 ~dst:remote);
+              Term.v 3 window (Located_type.network ~src:remote ~dst:l1);
+            ]
+        in
+        let work =
+          [ Rota_actor.Action.evaluate 2; Rota_actor.Action.evaluate 2 ]
+        in
+        fun () ->
+          ignore
+            (Rota_scheduler.Planner.evaluate theta ~window
+               ~name:(Actor_name.make "w") ~home:l1 ~sites:[ remote ] ~work)))
+
+let scenario_text =
+  let params =
+    { Scenario.default_params with seed = 11; arrivals = 8; horizon = 80 }
+  in
+  let resources =
+    Resource_set.to_terms (Scenario.capacity_of params)
+    |> List.map (fun term -> { Rota_syntax.Document.term; join_at = 0 })
+  in
+  Rota_syntax.Document.print
+    { Rota_syntax.Document.resources; computations = Scenario.computations params; sessions = [] }
+
+let bench_parse =
+  Test.make ~name:"ext/scenario-parse"
+    (Staged.stage (fun () -> ignore (Rota_syntax.Document.parse scenario_text)))
+
+let bench_session_engine =
+  Test.make ~name:"ext/engine-mixed-sessions"
+    (Staged.stage
+       (let trace =
+          Scenario.trace_with_sessions
+            { Scenario.default_params with seed = 21; arrivals = 8; horizon = 100;
+              locations = 2 }
+            ~sessions:6
+        in
+        fun () -> ignore (Engine.run ~policy:Admission.Rota trace)))
+
+let bench_calibration =
+  Test.make ~name:"ext/calibration-iteration"
+    (Staged.stage
+       (let believed = Rota_actor.Cost_model.default in
+        let true_model =
+          { believed with Rota_actor.Cost_model.evaluate_cost = 16 }
+        in
+        let trace =
+          Scenario.trace
+            { Scenario.default_params with seed = 23; arrivals = 10; horizon = 100;
+              locations = 2 }
+        in
+        fun () ->
+          ignore
+            (Rota_sim.Calibration.calibrate ~iterations:1 ~policy:Admission.Rota
+               ~believed ~true_model trace)))
+
+(* --- runner -------------------------------------------------------------------- *)
+
+let () =
+  let tests =
+    Test.make_grouped ~name:"rota"
+      [
+        bench_allen_compose;
+        bench_allen_set_compose;
+        bench_ia_propagate;
+        bench_profile_union;
+        bench_profile_sub;
+        bench_rset_union;
+        bench_semantics_exists;
+        bench_schedule_sequential;
+        bench_admission;
+        bench_engine;
+        bench_scoping;
+        bench_stn;
+        bench_precedence;
+        bench_session;
+        bench_planner;
+        bench_parse;
+        bench_session_engine;
+        bench_calibration;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ x ] -> x
+          | Some _ | None -> nan
+        in
+        let r2 = Option.value (Analyze.OLS.r_square ols) ~default:nan in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  Printf.printf "%-44s %16s %8s\n" "benchmark" "ns/run" "r^2";
+  Printf.printf "%s\n" (String.make 70 '-');
+  List.iter
+    (fun (name, ns, r2) -> Printf.printf "%-44s %16.1f %8.3f\n" name ns r2)
+    rows

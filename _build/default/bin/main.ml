@@ -1,0 +1,363 @@
+(* The rota command-line tool: run experiments, simulate open-system
+   traces under different admission policies, and check single admission
+   questions with certificates. *)
+
+module Interval = Rota_interval.Interval
+module Term = Rota_resource.Term
+module Located_type = Rota_resource.Located_type
+module Location = Rota_resource.Location
+module Resource_set = Rota_resource.Resource_set
+module Accommodation = Rota.Accommodation
+module Admission = Rota_scheduler.Admission
+module Engine = Rota_sim.Engine
+module Trace = Rota_sim.Trace
+module Scenario = Rota_workload.Scenario
+module Computation = Rota_actor.Computation
+module Cost_model = Rota_actor.Cost_model
+module Document = Rota_syntax.Document
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Random seed for workload generation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let file_arg =
+  let doc =
+    "Read the scenario (resources and computations) from a file in the \
+     scenario language instead of generating one (see examples/*.rota)."
+  in
+  Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_document path =
+  match Document.parse (read_file path) with
+  | Ok doc -> Ok doc
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+(* --- rota experiment --------------------------------------------------- *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc =
+      Printf.sprintf "Experiment to run: %s, or $(b,all)."
+        (String.concat ", " Rota_experiments.Experiments.all_ids)
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let run seed id =
+    match Rota_experiments.Experiments.run ~seed id with
+    | Ok () -> 0
+    | Error msg ->
+        prerr_endline msg;
+        1
+  in
+  let doc = "Run the experiment suite (see EXPERIMENTS.md)." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ seed_arg $ id_arg)
+
+(* --- rota simulate ------------------------------------------------------ *)
+
+let policy_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun p -> String.equal (Admission.policy_name p) s)
+        Admission.all_policies
+    with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown policy %S (expected %s)" s
+               (String.concat ", "
+                  (List.map Admission.policy_name Admission.all_policies))))
+  in
+  let print ppf p = Format.pp_print_string ppf (Admission.policy_name p) in
+  Arg.conv (parse, print)
+
+let simulate_cmd =
+  let policy_arg =
+    let doc = "Admission policy (or $(b,all) via repeated runs)." in
+    Arg.(
+      value
+      & opt (some policy_conv) None
+      & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let arrivals_arg =
+    Arg.(value & opt int 30 & info [ "arrivals" ] ~docv:"N"
+           ~doc:"Number of computations offered.")
+  in
+  let horizon_arg =
+    Arg.(value & opt int 200 & info [ "horizon" ] ~docv:"T"
+           ~doc:"Trace horizon in ticks.")
+  in
+  let locations_arg =
+    Arg.(value & opt int 3 & info [ "locations" ] ~docv:"K"
+           ~doc:"Number of nodes.")
+  in
+  let slack_arg =
+    Arg.(value & opt float 2.0 & info [ "slack" ] ~docv:"S"
+           ~doc:"Deadline slack factor (1.0 = just feasible in isolation).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ]
+           ~doc:"Print one line per computation outcome.")
+  in
+  let run seed policy arrivals horizon locations slack verbose file =
+    let trace_result =
+      match file with
+      | Some path -> Result.map Document.to_trace (load_document path)
+      | None ->
+          let params =
+            {
+              Scenario.default_params with
+              seed;
+              arrivals;
+              horizon;
+              locations;
+              slack;
+            }
+          in
+          Ok (Scenario.trace params)
+    in
+    match trace_result with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok trace ->
+    let policies =
+      match policy with Some p -> [ p ] | None -> Admission.all_policies
+    in
+    List.iter
+      (fun policy ->
+        let report = Engine.run ~policy trace in
+        Format.printf "%a@." Engine.pp_report report;
+        if verbose then
+          List.iter
+            (fun (o : Engine.outcome) ->
+              Format.printf "  %-8s arrived=%-4d deadline=%-4d %s@."
+                o.Engine.computation o.Engine.arrived o.Engine.deadline
+                (if not o.Engine.admitted then
+                   "rejected: "
+                   ^ Option.value o.Engine.reject_reason ~default:"?"
+                 else
+                   match o.Engine.finished with
+                   | Some t when t <= o.Engine.deadline ->
+                       Printf.sprintf "finished at %d (on time)" t
+                   | Some t -> Printf.sprintf "finished at %d (LATE)" t
+                   | None -> "MISSED (never finished)"))
+            report.Engine.outcomes)
+      policies;
+    0
+  in
+  let doc = "Simulate an open-system trace under admission policies." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ seed_arg $ policy_arg $ arrivals_arg $ horizon_arg
+      $ locations_arg $ slack_arg $ verbose_arg $ file_arg)
+
+(* --- rota check ---------------------------------------------------------- *)
+
+let check_cmd =
+  let arrivals_arg =
+    Arg.(value & opt int 8 & info [ "arrivals" ] ~docv:"N"
+           ~doc:"Number of generated computations to check one by one.")
+  in
+  let run seed arrivals file =
+    let inputs =
+      match file with
+      | Some path ->
+          Result.map
+            (fun doc ->
+              ( Document.capacity doc,
+                doc.Document.computations,
+                doc.Document.sessions ))
+            (load_document path)
+      | None ->
+          let params =
+            { Scenario.default_params with seed; arrivals; horizon = 150 }
+          in
+          Ok (Scenario.capacity_of params, Scenario.computations params, [])
+    in
+    match inputs with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok (capacity, computations, sessions) ->
+        let ctrl = ref (Admission.create Admission.Rota capacity) in
+        Format.printf "capacity: %a@.@." Resource_set.pp capacity;
+        let print_schedules outcome =
+          match outcome.Admission.schedules with
+          | Some schedules ->
+              List.iter
+                (fun (actor, schedule) ->
+                  Format.printf "  %a: %a@." Rota_actor.Actor_name.pp actor
+                    Accommodation.pp_schedule schedule)
+                schedules
+          | None -> ()
+        in
+        List.iter
+          (fun (c : Computation.t) ->
+            let next, outcome = Admission.request !ctrl ~now:0 c in
+            ctrl := next;
+            Format.printf "%a -> %a@." Computation.pp c Admission.pp_outcome
+              outcome;
+            print_schedules outcome)
+          computations;
+        List.iter
+          (fun (s : Rota.Session.t) ->
+            let next, outcome = Admission.request_session !ctrl ~now:0 s in
+            ctrl := next;
+            Format.printf "%a -> %a@." Rota.Session.pp s Admission.pp_outcome
+              outcome;
+            print_schedules outcome)
+          sessions;
+        0
+  in
+  let doc =
+    "Ask the Theorem-4 question for a stream of computations, printing \
+     admission decisions and schedule certificates."
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ seed_arg $ arrivals_arg $ file_arg)
+
+(* --- rota plan ------------------------------------------------------------ *)
+
+let plan_cmd =
+  let home_rate_arg =
+    Arg.(value & opt int 1 & info [ "home-rate" ] ~docv:"R"
+           ~doc:"CPU rate at the home node.")
+  in
+  let remote_rate_arg =
+    Arg.(value & opt int 2 & info [ "remote-rate" ] ~docv:"R"
+           ~doc:"CPU rate at the remote node.")
+  in
+  let net_rate_arg =
+    Arg.(value & opt int 3 & info [ "net-rate" ] ~docv:"R"
+           ~doc:"Link rate between the nodes, both ways.")
+  in
+  let work_arg =
+    Arg.(value & opt int 2 & info [ "evaluations" ] ~docv:"N"
+           ~doc:"Number of complexity-2 evaluations in the work body.")
+  in
+  let window_arg =
+    Arg.(value & opt int 60 & info [ "window" ] ~docv:"T"
+           ~doc:"Deadline window in ticks.")
+  in
+  let run home_rate remote_rate net_rate evaluations window_stop =
+    let home = Location.make "home" and remote = Location.make "remote" in
+    let window = Interval.of_pair 0 window_stop in
+    let theta =
+      Resource_set.of_terms
+        (List.filter_map Fun.id
+           [
+             Rota_resource.Term.make ~rate:home_rate ~interval:window
+               ~ltype:(Located_type.cpu home);
+             Rota_resource.Term.make ~rate:remote_rate ~interval:window
+               ~ltype:(Located_type.cpu remote);
+             Rota_resource.Term.make ~rate:net_rate ~interval:window
+               ~ltype:(Located_type.network ~src:home ~dst:remote);
+             Rota_resource.Term.make ~rate:net_rate ~interval:window
+               ~ltype:(Located_type.network ~src:remote ~dst:home);
+           ])
+    in
+    let work =
+      List.init evaluations (fun _ -> Rota_actor.Action.evaluate 2)
+      @ [ Rota_actor.Action.ready ]
+    in
+    Format.printf "resources: %a@.@." Resource_set.pp theta;
+    let verdicts =
+      Rota_scheduler.Planner.evaluate theta ~window
+        ~name:(Rota_actor.Actor_name.make "worker")
+        ~home ~sites:[ remote ] ~work
+    in
+    if verdicts = [] then begin
+      Format.printf "no feasible plan within %a@." Interval.pp window;
+      1
+    end
+    else begin
+      List.iteri
+        (fun i v ->
+          Format.printf "%d. %a%s@." (i + 1) Rota_scheduler.Planner.pp_verdict v
+            (if i = 0 then "   <- best" else ""))
+        verdicts;
+      0
+    end
+  in
+  let doc =
+    "Compare stay-or-migrate strategies for a body of work (the paper's      future-work planning question), ranked by certified completion time."
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc)
+    Term.(
+      const run $ home_rate_arg $ remote_rate_arg $ net_rate_arg $ work_arg
+      $ window_arg)
+
+(* --- rota calibrate --------------------------------------------------------- *)
+
+let calibrate_cmd =
+  let factor_arg =
+    Arg.(value & opt float 2.0 & info [ "error" ] ~docv:"F"
+           ~doc:"How much the world's true CPU cost exceeds the believed one.")
+  in
+  let iterations_arg =
+    Arg.(value & opt int 3 & info [ "iterations" ] ~docv:"N"
+           ~doc:"Calibration iterations.")
+  in
+  let arrivals_arg =
+    Arg.(value & opt int 24 & info [ "arrivals" ] ~docv:"N"
+           ~doc:"Number of computations offered.")
+  in
+  let run seed factor iterations arrivals =
+    let believed = Cost_model.default in
+    let scale v = max 1 (int_of_float (ceil (float_of_int v *. factor))) in
+    let true_model =
+      {
+        believed with
+        Cost_model.evaluate_cost = scale believed.Cost_model.evaluate_cost;
+        create_cost = scale believed.Cost_model.create_cost;
+        ready_cost = scale believed.Cost_model.ready_cost;
+        migrate_pack_cost = scale believed.Cost_model.migrate_pack_cost;
+        migrate_unpack_cost = scale believed.Cost_model.migrate_unpack_cost;
+      }
+    in
+    let params =
+      { Scenario.default_params with seed; horizon = 200; arrivals;
+        locations = 2; slack = 2.5 }
+    in
+    let trace = Scenario.trace params in
+    Format.printf "believed %a@.true     %a@.@." Cost_model.pp believed
+      Cost_model.pp true_model;
+    List.iteri
+      (fun i (model, report) ->
+        Format.printf "iteration %d: believed evaluate=%d -> %a@." (i + 1)
+          model.Cost_model.evaluate_cost Rota_sim.Engine.pp_report report)
+      (Rota_sim.Calibration.calibrate ~iterations ~policy:Admission.Rota
+         ~believed ~true_model trace);
+    0
+  in
+  let doc =
+    "Demonstrate the cost-estimate revision loop: run with a mispriced      cost model, learn the true prices from consumed plus owed work, and      converge back to zero deadline misses."
+  in
+  Cmd.v
+    (Cmd.info "calibrate" ~doc)
+    Term.(const run $ seed_arg $ factor_arg $ iterations_arg $ arrivals_arg)
+
+(* --- rota ----------------------------------------------------------------- *)
+
+let main_cmd =
+  let doc =
+    "ROTA: resource-oriented temporal logic for deadline assurance in \
+     open distributed systems (ICDCS 2010 reproduction)."
+  in
+  Cmd.group
+    (Cmd.info "rota" ~version:"1.0.0" ~doc)
+    [ experiment_cmd; simulate_cmd; check_cmd; plan_cmd; calibrate_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/cloud_admission.ml: Format List Rota_actor Rota_interval Rota_resource Rota_scheduler

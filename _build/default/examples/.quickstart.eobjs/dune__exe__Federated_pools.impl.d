@@ -1,0 +1,1 @@
+examples/federated_pools.ml: Format List Option Result Rota_actor Rota_interval Rota_resource Rota_scheduler String

@@ -1,0 +1,1 @@
+examples/interacting_actors.ml: Format List Result Rota Rota_actor Rota_interval Rota_resource

@@ -1,0 +1,1 @@
+examples/interacting_actors.mli:

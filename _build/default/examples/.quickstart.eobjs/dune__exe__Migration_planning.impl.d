@@ -1,0 +1,1 @@
+examples/migration_planning.ml: Format List Rota Rota_actor Rota_interval Rota_resource

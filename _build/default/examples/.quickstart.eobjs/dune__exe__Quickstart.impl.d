@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Rota Rota_actor Rota_interval Rota_resource

@@ -1,0 +1,1 @@
+examples/volunteer_churn.ml: Format List Rota_scheduler Rota_sim Rota_workload

@@ -1,0 +1,82 @@
+(* Migration planning with ROTA.
+
+   The paper's conclusion sketches the choice it wants computations to be
+   able to make: "an actor could continue to execute at its current
+   location or migrate elsewhere, carry out part of its computation, and
+   then return".  ROTA makes the comparison concrete: express each course
+   of action as a program, derive its resource requirements, and ask
+   Theorem 2 which plans the available resources can actually carry —
+   avoiding "attempting infeasible pursuits".
+
+   Here the actor's home node is busy (little CPU left), while a remote
+   node has idle CPU but costs a round trip over the network.
+
+   Run with: dune exec examples/migration_planning.exe *)
+
+module Interval = Rota_interval.Interval
+module Location = Rota_resource.Location
+module Located_type = Rota_resource.Located_type
+module Term = Rota_resource.Term
+module Resource_set = Rota_resource.Resource_set
+module Requirement = Rota_resource.Requirement
+module Actor_name = Rota_actor.Actor_name
+module Action = Rota_actor.Action
+module Cost_model = Rota_actor.Cost_model
+module Program = Rota_actor.Program
+module Accommodation = Rota.Accommodation
+
+let () =
+  let home = Location.make "home" and remote = Location.make "remote" in
+  let window = Interval.of_pair 0 30 in
+  (* The home node is nearly saturated — a 1 cpu/tick trickle — while the
+     remote node has 2 cpu/tick idle.  Links run at 3/tick both ways. *)
+  let theta =
+    Resource_set.of_terms
+      [
+        Term.v 1 window (Located_type.cpu home);
+        Term.v 2 window (Located_type.cpu remote);
+        Term.v 3 window (Located_type.network ~src:home ~dst:remote);
+        Term.v 3 window (Located_type.network ~src:remote ~dst:home);
+      ]
+  in
+  Format.printf "Resources:@.  %a@.@." Resource_set.pp theta;
+
+  let worker = Actor_name.make "worker" in
+  (* Plan 1: stay home and grind through the work (two big evaluations:
+     32 cpu, plus 1 to become ready — 33 ticks at the trickle rate). *)
+  let stay_home =
+    Program.make ~name:worker ~home
+      [ Action.evaluate 2; Action.evaluate 2; Action.ready ]
+  in
+  (* Plan 2: migrate to the idle node, compute there at double rate, and
+     come back. *)
+  let migrate_out =
+    Program.make ~name:worker ~home
+      [
+        Action.migrate remote;
+        Action.evaluate 2;
+        Action.evaluate 2;
+        Action.migrate home;
+        Action.ready;
+      ]
+  in
+  let locate _ = None in
+  let judge name program =
+    let c =
+      Program.to_complex Cost_model.default ~locate ~window program
+    in
+    Format.printf "%s:@.  requirement %a@." name Requirement.pp_complex c;
+    match Accommodation.schedule_sequential theta c with
+    | Some schedule ->
+        let finish =
+          List.fold_left
+            (fun acc (s : Accommodation.step_allocation) ->
+              max acc (Interval.stop s.Accommodation.subwindow))
+            0 schedule.Accommodation.steps
+        in
+        Format.printf "  FEASIBLE — finishes by t=%d@.  %a@.@." finish
+          Accommodation.pp_schedule schedule
+    | None -> Format.printf "  INFEASIBLE within %a@.@." Interval.pp window
+  in
+  judge "Plan 1: stay at the busy home node" stay_home;
+  judge "Plan 2: migrate to the idle node and return" migrate_out

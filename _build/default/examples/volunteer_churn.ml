@@ -1,0 +1,53 @@
+(* Volunteer computing under churn.
+
+   An open system in the paper's sense: peers donate CPU for bounded
+   stretches of time (declaring on arrival when they will leave), while
+   deadline-constrained work keeps arriving.  We replay one randomly
+   generated trace under three admission policies and compare what the
+   paper predicts:
+
+   - rota       admits only what the expiring resources can carry: zero
+                deadline misses, by construction;
+   - aggregate  checks only total quantities, so it sometimes admits work
+                whose resources arrive in the wrong order — misses;
+   - optimistic admits everything and lets processor sharing sort it out —
+                the most admissions and the most misses.
+
+   Run with: dune exec examples/volunteer_churn.exe *)
+
+module Scenario = Rota_workload.Scenario
+module Trace = Rota_sim.Trace
+module Engine = Rota_sim.Engine
+module Admission = Rota_scheduler.Admission
+
+let () =
+  let params =
+    {
+      Scenario.default_params with
+      seed = 7;
+      locations = 4;
+      horizon = 240;
+      arrivals = 60;
+      slack = 1.8;
+      cpu_rate = 2;
+      net_rate = 2;
+      churn_joins = 25;
+      churn_rate = (1, 2);
+      churn_duration = (15, 50);
+    }
+  in
+  let trace = Scenario.trace params in
+  Format.printf
+    "Trace: %d events (%d volunteer joins, %d job arrivals), horizon %d@.@."
+    (Trace.length trace)
+    (List.length (Trace.joins trace))
+    (List.length (Trace.arrivals trace))
+    (Trace.horizon trace);
+  List.iter
+    (fun policy ->
+      let report = Engine.run ~policy trace in
+      Format.printf "%a@." Engine.pp_report report)
+    [ Admission.Rota; Admission.Aggregate; Admission.Optimistic ];
+  Format.printf
+    "@.Note how rota trades admissions for certainty: it admits less than@.\
+     optimistic but everything it admits finishes on time.@."

@@ -1,0 +1,1 @@
+lib/actor/action.ml: Actor_name Format Import Int Location

@@ -1,0 +1,1 @@
+lib/actor/action.mli: Actor_name Format Import Location

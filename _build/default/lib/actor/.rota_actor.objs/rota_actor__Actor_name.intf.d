@@ -1,0 +1,1 @@
+lib/actor/actor_name.mli: Format

@@ -1,0 +1,1 @@
+lib/actor/computation.ml: Actor_name Format Import Interval List Printf Program Requirement String Time

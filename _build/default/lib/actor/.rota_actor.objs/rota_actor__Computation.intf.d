@@ -1,0 +1,1 @@
+lib/actor/computation.mli: Actor_name Cost_model Format Import Interval Location Program Requirement Time

@@ -1,0 +1,1 @@
+lib/actor/cost_model.ml: Action Format Import List Located_type Option Requirement

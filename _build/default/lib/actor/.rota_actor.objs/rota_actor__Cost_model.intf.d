@@ -1,0 +1,1 @@
+lib/actor/cost_model.mli: Action Actor_name Format Import Location Requirement

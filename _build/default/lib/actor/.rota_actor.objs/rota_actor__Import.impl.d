@@ -1,0 +1,1 @@
+lib/actor/import.ml: Rota_interval Rota_resource

@@ -1,0 +1,1 @@
+lib/actor/program.ml: Action Actor_name Cost_model Format Import List Located_type Location Requirement

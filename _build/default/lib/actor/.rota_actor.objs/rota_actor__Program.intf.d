@@ -1,0 +1,1 @@
+lib/actor/program.mli: Action Actor_name Cost_model Format Import Interval Location Requirement

@@ -1,0 +1,57 @@
+open Import
+
+type t =
+  | Evaluate of { complexity : int }
+  | Send of { dest : Actor_name.t; size : int }
+  | Create of { child : Actor_name.t }
+  | Ready
+  | Migrate of { dest : Location.t }
+
+let evaluate complexity =
+  if complexity < 1 then invalid_arg "Action.evaluate: complexity < 1"
+  else Evaluate { complexity }
+
+let send ~dest ~size =
+  if size < 1 then invalid_arg "Action.send: size < 1" else Send { dest; size }
+
+let create child = Create { child }
+let ready = Ready
+let migrate dest = Migrate { dest }
+
+let kind = function
+  | Evaluate _ -> "evaluate"
+  | Send _ -> "send"
+  | Create _ -> "create"
+  | Ready -> "ready"
+  | Migrate _ -> "migrate"
+
+let compare a b =
+  match (a, b) with
+  | Evaluate x, Evaluate y -> Int.compare x.complexity y.complexity
+  | Send x, Send y -> (
+      match Actor_name.compare x.dest y.dest with
+      | 0 -> Int.compare x.size y.size
+      | c -> c)
+  | Create x, Create y -> Actor_name.compare x.child y.child
+  | Ready, Ready -> 0
+  | Migrate x, Migrate y -> Location.compare x.dest y.dest
+  | Evaluate _, (Send _ | Create _ | Ready | Migrate _) -> -1
+  | Send _, (Create _ | Ready | Migrate _) -> -1
+  | Create _, (Ready | Migrate _) -> -1
+  | Ready, Migrate _ -> -1
+  | (Send _ | Create _ | Ready | Migrate _), Evaluate _ -> 1
+  | (Create _ | Ready | Migrate _), Send _ -> 1
+  | (Ready | Migrate _), Create _ -> 1
+  | Migrate _, Ready -> 1
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Evaluate { complexity } -> Format.fprintf ppf "evaluate(%d)" complexity
+  | Send { dest; size } ->
+      Format.fprintf ppf "send(%a,%d)" Actor_name.pp dest size
+  | Create { child } -> Format.fprintf ppf "create(%a)" Actor_name.pp child
+  | Ready -> Format.pp_print_string ppf "ready"
+  | Migrate { dest } -> Format.fprintf ppf "migrate(%a)" Location.pp dest
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,51 @@
+open Import
+
+(** Actor actions.
+
+    An actor's behaviour is a sequence of the five primitive actions of the
+    paper's actor model: evaluate an expression, send a message, create a
+    new actor, become ready for the next message, or migrate to another
+    location.  Each action consumes processor and/or network resources,
+    quantified by {!Cost_model}. *)
+
+type t =
+  | Evaluate of { complexity : int }
+      (** Evaluate an expression; [complexity >= 1] scales the processor
+          cost. *)
+  | Send of { dest : Actor_name.t; size : int }
+      (** Send a message to [dest]; [size >= 1] scales the network cost.
+          The network's located type runs from the sender's current
+          location to the destination actor's location. *)
+  | Create of { child : Actor_name.t }
+      (** Create a new actor with a predefined behaviour, at the creator's
+          current location. *)
+  | Ready
+      (** Change state and become ready to process the next message. *)
+  | Migrate of { dest : Location.t }
+      (** Serialize, transfer to [dest] over the network, deserialize and
+          resume there. *)
+
+val evaluate : int -> t
+(** [evaluate complexity].  Raises [Invalid_argument] when
+    [complexity < 1]. *)
+
+val send : dest:Actor_name.t -> size:int -> t
+(** Raises [Invalid_argument] when [size < 1]. *)
+
+val create : Actor_name.t -> t
+
+val ready : t
+
+val migrate : Location.t -> t
+
+val kind : t -> string
+(** ["evaluate"], ["send"], ["create"], ["ready"] or ["migrate"]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [send(a2,1)], [evaluate(3)], [migrate(l2)]. *)
+
+val to_string : t -> string

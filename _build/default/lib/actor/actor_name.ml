@@ -1,0 +1,12 @@
+type t = string
+
+let make name =
+  if String.length name = 0 then invalid_arg "Actor_name.make: empty name"
+  else name
+
+let name a = a
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp = Format.pp_print_string
+let to_string a = a

@@ -1,0 +1,21 @@
+(** Globally unique actor names.
+
+    Actors "have globally unique names"; the logic only ever compares them
+    and uses them to look up locations, so names are opaque atoms. *)
+
+type t
+
+val make : string -> t
+(** Raises [Invalid_argument] on the empty string. *)
+
+val name : t -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

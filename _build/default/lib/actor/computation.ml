@@ -1,0 +1,53 @@
+open Import
+
+type t = {
+  id : string;
+  programs : Program.t list;
+  start : Time.t;
+  deadline : Time.t;
+}
+
+let make ~id ~start ~deadline programs =
+  if deadline <= start then
+    invalid_arg
+      (Printf.sprintf "Computation.make %s: deadline %d <= start %d" id
+         deadline start);
+  let names = List.map (fun (p : Program.t) -> p.name) programs in
+  let distinct = List.sort_uniq Actor_name.compare names in
+  if List.length distinct <> List.length names then
+    invalid_arg (Printf.sprintf "Computation.make %s: duplicate actor names" id);
+  { id; programs; start; deadline }
+
+let window c = Interval.of_pair c.start c.deadline
+let actor_count c = List.length c.programs
+
+let locate c name =
+  List.find_map
+    (fun (p : Program.t) ->
+      if Actor_name.equal p.name name then Some p.home else None)
+    c.programs
+
+let to_concurrent ?merge model c =
+  let window = window c in
+  let locate = locate c in
+  let parts =
+    List.map (fun p -> Program.to_complex ?merge model ~locate ~window p)
+      c.programs
+  in
+  Requirement.make_concurrent ~parts ~window
+
+let total_work model c =
+  let conc = to_concurrent model c in
+  List.fold_left
+    (fun acc part -> acc + Requirement.total_quantity_complex part)
+    0 conc.Requirement.parts
+
+let equal a b =
+  String.equal a.id b.id
+  && Time.equal a.start b.start
+  && Time.equal a.deadline b.deadline
+  && List.equal Program.equal a.programs b.programs
+
+let pp ppf c =
+  Format.fprintf ppf "(%s: |Lambda|=%d, s=%a, d=%a)" c.id
+    (List.length c.programs) Time.pp c.start Time.pp c.deadline

@@ -1,0 +1,45 @@
+open Import
+
+(** Distributed computations — the paper's triple [(Lambda, s, d)].
+
+    A computation is a bag of independent actor programs [Lambda], an
+    earliest start time [s], and a deadline [d]: it "does not seek to begin
+    before [s] and seeks to be completed before [d]".  Following the
+    paper's concurrency model, all actors are created en masse at the start
+    and never wait for each other. *)
+
+type t = private {
+  id : string;  (** A label for ledgers, logs and experiment tables. *)
+  programs : Program.t list;
+  start : Time.t;  (** [s] — earliest start. *)
+  deadline : Time.t;  (** [d] — completion deadline (exclusive). *)
+}
+
+val make :
+  id:string -> start:Time.t -> deadline:Time.t -> Program.t list -> t
+(** Raises [Invalid_argument] when [deadline <= start] or two programs
+    share an actor name. *)
+
+val window : t -> Interval.t
+(** The interval [(s, d)] as [\[s, d)]. *)
+
+val actor_count : t -> int
+
+val locate : t -> Actor_name.t -> Location.t option
+(** Resolves an actor of [Lambda] to its {e home} location.  (The paper
+    assumes actors "do not migrate for acquiring resources" and interacting
+    destinations are looked up by their home; unknown actors resolve to
+    [None], which {!Cost_model.phi} treats as local delivery.) *)
+
+val to_concurrent :
+  ?merge:bool -> Cost_model.t -> t -> Requirement.concurrent
+(** The concurrent resource requirement [rho(Lambda, s, d)]: one complex
+    requirement per program over the common window.  [merge] as in
+    {!Program.to_complex}. *)
+
+val total_work : Cost_model.t -> t -> int
+(** Total quantity over all programs and steps, a size measure. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

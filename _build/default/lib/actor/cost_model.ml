@@ -1,0 +1,64 @@
+open Import
+
+type t = {
+  evaluate_cost : int;
+  send_cost : int;
+  create_cost : int;
+  ready_cost : int;
+  migrate_pack_cost : int;
+  migrate_transfer_cost : int;
+  migrate_unpack_cost : int;
+}
+
+let default =
+  {
+    evaluate_cost = 8;
+    send_cost = 4;
+    create_cost = 5;
+    ready_cost = 1;
+    migrate_pack_cost = 3;
+    migrate_transfer_cost = 9;
+    migrate_unpack_cost = 3;
+  }
+
+let uniform c =
+  {
+    evaluate_cost = c;
+    send_cost = c;
+    create_cost = c;
+    ready_cost = c;
+    migrate_pack_cost = c;
+    migrate_transfer_cost = c;
+    migrate_unpack_cost = c;
+  }
+
+let phi model ~locate ~self_location action =
+  let cpu_here q = Requirement.amount (Located_type.cpu self_location) q in
+  let amounts =
+    match (action : Action.t) with
+    | Evaluate { complexity } -> [ cpu_here (model.evaluate_cost * complexity) ]
+    | Send { dest; size } ->
+        let dst = Option.value (locate dest) ~default:self_location in
+        [
+          Requirement.amount
+            (Located_type.network ~src:self_location ~dst)
+            (model.send_cost * size);
+        ]
+    | Create _ -> [ cpu_here model.create_cost ]
+    | Ready -> [ cpu_here model.ready_cost ]
+    | Migrate { dest } ->
+        [
+          cpu_here model.migrate_pack_cost;
+          Requirement.amount
+            (Located_type.network ~src:self_location ~dst:dest)
+            model.migrate_transfer_cost;
+          Requirement.amount (Located_type.cpu dest) model.migrate_unpack_cost;
+        ]
+  in
+  List.filter (fun (a : Requirement.amount) -> a.quantity > 0) amounts
+
+let pp ppf m =
+  Format.fprintf ppf
+    "{evaluate=%d; send=%d; create=%d; ready=%d; migrate=%d/%d/%d}"
+    m.evaluate_cost m.send_cost m.create_cost m.ready_cost m.migrate_pack_cost
+    m.migrate_transfer_cost m.migrate_unpack_cost

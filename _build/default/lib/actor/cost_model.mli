@@ -1,0 +1,57 @@
+open Import
+
+(** The cost function [Phi].
+
+    [Phi] maps an actor's action to the set of resource amounts required to
+    complete it.  The paper treats [Phi] as a modelling device ("estimates
+    could be used and revised as necessary"); here it is a configurable
+    table whose defaults are the paper's illustrative constants from
+    Section IV:
+
+    - [Phi(a1, send(a2, m))      = {4}_<network, l(a1)->l(a2)>]
+    - [Phi(a1, evaluate(e))      = {8}_<cpu, l(a1)>]
+    - [Phi(a1, create(b))        = {5}_<cpu, l(a1)>]
+    - [Phi(a1, ready(b))         = {1}_<cpu, l(a1)>]
+    - [Phi(a1, migrate(l2))      = {3}_<cpu, l(a1)>, {9}_<network, l(a1)->l2>,
+                                   {3}_<cpu, l2>]
+
+    (The paper's text prints the migrate transfer cost as [{0}]; we default
+    it to [9] — a zero transfer cost is expressible by configuration, and
+    zero amounts vanish from requirements either way.)
+
+    [Evaluate] and [Send] costs scale linearly with the action's
+    [complexity] / [size] parameter, with the table value as the per-unit
+    cost. *)
+
+type t = {
+  evaluate_cost : int;  (** CPU per unit of complexity (default 8). *)
+  send_cost : int;  (** Network per unit of message size (default 4). *)
+  create_cost : int;  (** CPU to create an actor (default 5). *)
+  ready_cost : int;  (** CPU to become ready (default 1). *)
+  migrate_pack_cost : int;  (** CPU at the source to serialize (default 3). *)
+  migrate_transfer_cost : int;  (** Network for the transfer (default 9). *)
+  migrate_unpack_cost : int;
+      (** CPU at the destination to deserialize (default 3). *)
+}
+
+val default : t
+(** The paper's constants, as listed above. *)
+
+val uniform : int -> t
+(** [uniform c] charges [c] for every table entry — useful for isolating
+    structural effects in experiments. *)
+
+val phi :
+  t ->
+  locate:(Actor_name.t -> Location.t option) ->
+  self_location:Location.t ->
+  Action.t ->
+  Requirement.amount list
+(** [phi model ~locate ~self_location action] is [Phi(a, action)] for an
+    actor currently at [self_location].  [locate] resolves the current
+    location of other actors (message destinations); an unresolvable
+    destination defaults to the sender's location, modelling local
+    delivery.  Amounts of quantity zero are dropped (they require
+    nothing). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+(* Short aliases for the substrate libraries used throughout this library. *)
+module Time = Rota_interval.Time
+module Interval = Rota_interval.Interval
+module Location = Rota_resource.Location
+module Located_type = Rota_resource.Located_type
+module Term = Rota_resource.Term
+module Profile = Rota_resource.Profile
+module Resource_set = Rota_resource.Resource_set
+module Requirement = Rota_resource.Requirement

@@ -1,0 +1,68 @@
+open Import
+
+type t = { name : Actor_name.t; home : Location.t; actions : Action.t list }
+
+let make ~name ~home actions = { name; home; actions }
+let length p = List.length p.actions
+
+let is_possible p ~completed i = i = completed && i < length p
+
+let location_trace p =
+  let step (loc, acc) action =
+    let next =
+      match (action : Action.t) with Migrate { dest } -> dest | _ -> loc
+    in
+    (next, (action, loc) :: acc)
+  in
+  let _, acc = List.fold_left step (p.home, []) p.actions in
+  List.rev acc
+
+let final_location p =
+  List.fold_left
+    (fun loc action ->
+      match (action : Action.t) with Migrate { dest } -> dest | _ -> loc)
+    p.home p.actions
+
+let locations_visited p =
+  p.home
+  :: List.filter_map
+       (fun action ->
+         match (action : Action.t) with
+         | Migrate { dest } -> Some dest
+         | _ -> None)
+       p.actions
+
+let steps model ~locate p =
+  List.map
+    (fun (action, loc) -> Cost_model.phi model ~locate ~self_location:loc action)
+    (location_trace p)
+
+(* Coalesce runs of consecutive single-amount steps of identical located
+   type: the paper's merge optimization. *)
+let merge_steps steps =
+  let step acc s =
+    match (acc, s) with
+    | ( [ (prev : Requirement.amount) ] :: rest,
+        [ (cur : Requirement.amount) ] )
+      when Located_type.equal prev.ltype cur.ltype ->
+        [ Requirement.amount prev.ltype (prev.quantity + cur.quantity) ] :: rest
+    | _ -> s :: acc
+  in
+  List.rev (List.fold_left step [] steps)
+
+let to_complex ?(merge = true) model ~locate ~window p =
+  let steps = steps model ~locate p in
+  let steps = if merge then merge_steps steps else steps in
+  Requirement.make_complex ~steps ~window
+
+let equal a b =
+  Actor_name.equal a.name b.name
+  && Location.equal a.home b.home
+  && List.equal Action.equal a.actions b.actions
+
+let pp ppf p =
+  Format.fprintf ppf "%a@%a: [%a]" Actor_name.pp p.name Location.pp p.home
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Action.pp)
+    p.actions

@@ -1,0 +1,70 @@
+open Import
+
+(** Actor programs — the paper's [Gamma].
+
+    A program is one actor's behaviour: its name, its home (initial)
+    location, and the sequence of actions it will take.  "An individual
+    actor's computation is sequential": actions happen in order, and an
+    action is {i possible} only when all earlier actions have completed
+    (Definition 1).
+
+    The program's location changes as it executes [migrate] actions; costs
+    are charged where the actor is when it takes each action (the migrate
+    itself is charged at the pre-move location plus the unpack cost at the
+    destination, per {!Cost_model.phi}). *)
+
+type t = private {
+  name : Actor_name.t;
+  home : Location.t;
+  actions : Action.t list;
+}
+
+val make : name:Actor_name.t -> home:Location.t -> Action.t list -> t
+
+val length : t -> int
+(** Number of actions. *)
+
+val is_possible : t -> completed:int -> int -> bool
+(** [is_possible p ~completed i] implements Definition 1: action [i] is
+    possible iff it is the next action after the [completed] prefix
+    ([i = completed]) and lies within the program. *)
+
+val location_trace : t -> (Action.t * Location.t) list
+(** Each action paired with the actor's location when it takes it. *)
+
+val final_location : t -> Location.t
+(** Where the actor ends up after all actions. *)
+
+val locations_visited : t -> Location.t list
+(** Home plus every migration target, in order, without duplicates removed. *)
+
+val steps :
+  Cost_model.t ->
+  locate:(Actor_name.t -> Location.t option) ->
+  t ->
+  Requirement.step list
+(** One requirement step per action: [Phi(a, gamma_i)] evaluated at the
+    actor's location at that point.  Steps of actions with no cost (all
+    amounts zero) are kept as empty lists here so indices align with
+    actions; {!to_complex} drops them. *)
+
+val to_complex :
+  ?merge:bool ->
+  Cost_model.t ->
+  locate:(Actor_name.t -> Location.t option) ->
+  window:Interval.t ->
+  t ->
+  Requirement.complex
+(** The complex resource requirement [rho(Gamma, s, d)] of this program
+    over the window.
+
+    When [merge] is [true] (the default), consecutive steps that demand a
+    single amount of the {e same} located type are coalesced into one step
+    with the summed quantity — the paper's observation that a run of
+    actions needing one identical resource type "need not be broken down
+    into multiple subcomputations".  Pass [~merge:false] to keep one step
+    per action (the ablation benchmarks compare both). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

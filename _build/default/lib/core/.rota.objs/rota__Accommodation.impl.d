@@ -1,0 +1,1 @@
+lib/core/accommodation.ml: Computation Format Import Int Interval List Option Profile Program Requirement Resource_set Time

@@ -1,0 +1,1 @@
+lib/core/accommodation.mli: Actor_name Computation Cost_model Format Import Interval Requirement Resource_set Time

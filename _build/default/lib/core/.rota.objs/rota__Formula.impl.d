@@ -1,0 +1,1 @@
+lib/core/formula.ml: Format Import Interval Requirement

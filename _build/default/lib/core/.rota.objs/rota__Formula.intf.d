@@ -1,0 +1,1 @@
+lib/core/formula.mli: Format Import Requirement Time

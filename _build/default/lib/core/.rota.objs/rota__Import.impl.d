@@ -1,0 +1,1 @@
+lib/core/import.ml: Rota_actor Rota_interval Rota_resource

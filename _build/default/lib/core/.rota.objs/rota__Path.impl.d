@@ -1,0 +1,1 @@
+lib/core/path.ml: Format Import List Resource_set State Time Transition

@@ -1,0 +1,1 @@
+lib/core/path.mli: Format Import Interval Resource_set State Time Transition

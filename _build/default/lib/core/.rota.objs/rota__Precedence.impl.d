@@ -1,0 +1,1 @@
+lib/core/precedence.ml: Accommodation Format Hashtbl Import Int Interval List Requirement Resource_set Result String Time

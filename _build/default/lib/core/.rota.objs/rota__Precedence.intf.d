@@ -1,0 +1,1 @@
+lib/core/precedence.mli: Accommodation Format Import Requirement Resource_set Time

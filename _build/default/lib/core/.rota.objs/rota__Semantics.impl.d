@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Accommodation Format Formula Fun Import Interval List Path Printf Requirement Resource_set Set State Time Transition

@@ -1,0 +1,1 @@
+lib/core/session.ml: Action Actor_name Cost_model Format Hashtbl Import Interval List Location Precedence Requirement Time

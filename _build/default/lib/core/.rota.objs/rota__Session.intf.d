@@ -1,0 +1,1 @@
+lib/core/session.mli: Action Actor_name Cost_model Format Import Location Precedence Resource_set Time

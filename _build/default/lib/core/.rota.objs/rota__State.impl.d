@@ -1,0 +1,1 @@
+lib/core/state.ml: Actor_name Computation Format Import Int Interval List Located_type Printf Program Requirement Resource_set String Time

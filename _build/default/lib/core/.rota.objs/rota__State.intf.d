@@ -1,0 +1,1 @@
+lib/core/state.mli: Actor_name Computation Cost_model Format Import Interval Located_type Requirement Resource_set Time

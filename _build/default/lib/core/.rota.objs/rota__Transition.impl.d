@@ -1,0 +1,1 @@
+lib/core/transition.ml: Actor_name Format Import Int Interval List Located_type Profile Requirement Resource_set State String Term Time

@@ -1,0 +1,1 @@
+lib/core/transition.mli: Actor_name Format Import Located_type Resource_set State Time

@@ -1,0 +1,121 @@
+open Import
+
+(** Decision procedures for the paper's four theorems.
+
+    - {b Theorem 1} (single action): an action's simple requirement is
+      accommodated iff [f(Theta, rho)] holds — {!single_action}.
+    - {b Theorem 2} (sequential computation): a complex requirement is
+      accommodated iff breakpoints [t_1 < ... < t_{m-1}] exist splitting
+      the window so each step's simple requirement holds on its
+      subinterval — {!schedule_sequential} decides this and returns the
+      breakpoints together with a concrete resource reservation
+      (a {e certificate}, checkable with {!check_schedule}).
+    - {b Theorem 3} (meet deadline): a computation on otherwise-idle
+      resources completes by its deadline iff a computation path drains
+      its requirements in time — decided constructively by
+      {!schedule_concurrent} / {!meets_deadline}.
+    - {b Theorem 4} (accommodate an additional computation): a new
+      computation fits without disturbing existing commitments iff the
+      resources that would otherwise expire — the availability {e minus}
+      the committed reservations — satisfy its requirement; the caller
+      supplies that residual (see [Rota_scheduler.Calendar]) and
+      {!schedule_sequential}/{!schedule_concurrent} decide it.
+
+    The sequential procedure is a greedy earliest-finish scan.  For
+    cumulative per-type availability greedy is exact (finishing a step
+    earlier never hurts later steps because availability integrals over
+    suffix windows only grow); the test suite cross-validates it against
+    {!sequential_feasible_exhaustive}.  The concurrent procedure reserves
+    parts one at a time against the shrinking residual — exactly the
+    paper's "accommodate one more actor computation at a time" strategy —
+    and is complete at tick granularity for unit rates, while in general a
+    failing order may hide a feasible interleaving; {!Order} heuristics
+    mitigate this. *)
+
+type step_allocation = {
+  step_index : int;  (** Position of the step in the complex requirement. *)
+  subwindow : Interval.t;
+      (** [\[t_i-1, t_i)] — where this step executes. *)
+  allocation : Resource_set.t;  (** Exactly what it consumes, and when. *)
+}
+
+type schedule = {
+  window : Interval.t;
+  breakpoints : Time.t list;
+      (** The interior breakpoints [t_1 < ... < t_{m-1}]. *)
+  steps : step_allocation list;
+  reservation : Resource_set.t;
+      (** Union of all allocations; dominated by the input [Theta]. *)
+}
+
+val single_action : Resource_set.t -> Requirement.simple -> bool
+(** Theorem 1's criterion: the function [f].  (Equals
+    {!Requirement.satisfied_simple}; restated here so the theorem has a
+    named decision procedure.) *)
+
+val schedule_sequential :
+  Resource_set.t -> Requirement.complex -> schedule option
+(** Theorem 2, constructively: earliest-finish breakpoints and a concrete
+    earliest-fit reservation, or [None] when no breakpoints exist. *)
+
+val sequential_feasible : Resource_set.t -> Requirement.complex -> bool
+(** [Option.is_some (schedule_sequential ...)]. *)
+
+val sequential_feasible_exhaustive :
+  Resource_set.t -> Requirement.complex -> bool
+(** Reference implementation of Theorem 2: searches {e all} breakpoint
+    tuples within the window.  Exponential; used to validate the greedy
+    procedure on small instances. *)
+
+val check_schedule :
+  Resource_set.t -> Requirement.complex -> schedule -> (unit, string) result
+(** Validates a certificate: breakpoints strictly increase inside the
+    window, subwindows tile it in order, each step's allocation lies
+    inside its subwindow and covers its amounts there, and the total
+    reservation is dominated by availability. *)
+
+(** Part orderings for incremental concurrent reservation. *)
+module Order : sig
+  type t =
+    | Given  (** The order the parts were listed in. *)
+    | Most_work_first
+        (** Largest total quantity first (most constrained first). *)
+    | Least_work_first
+
+  val all : t list
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val schedule_concurrent :
+  ?order:Order.t ->
+  Resource_set.t ->
+  Requirement.concurrent ->
+  schedule list option
+(** Theorems 3/4, constructively: reserve each part in turn against the
+    residual availability.  Returns per-part schedules in the {e original}
+    part order, or [None] if some part cannot be placed.  With
+    [?order] (default [Most_work_first]) parts are {e placed} in heuristic
+    order. *)
+
+val concurrent_feasible :
+  ?try_orders:Order.t list ->
+  Resource_set.t ->
+  Requirement.concurrent ->
+  bool
+(** Tries each heuristic order (default: all) until one fits. *)
+
+val meets_deadline :
+  ?merge:bool ->
+  Cost_model.t ->
+  Resource_set.t ->
+  Computation.t ->
+  (Actor_name.t * schedule) list option
+(** Theorem 3 for a whole computation [(Lambda, s, d)] on resources
+    [Theta]: per-actor schedules proving every actor drains before [d],
+    or [None]. *)
+
+val reservation_of_schedules : schedule list -> Resource_set.t
+(** Union of the schedules' reservations — what a ledger should commit. *)
+
+val pp_schedule : Format.formatter -> schedule -> unit

@@ -1,0 +1,73 @@
+open Import
+
+type t =
+  | True
+  | False
+  | Satisfy_simple of Requirement.simple
+  | Satisfy_complex of Requirement.complex
+  | Satisfy_concurrent of Requirement.concurrent
+  | Not of t
+  | Eventually of t
+  | Always of t
+
+let tt = True
+let ff = False
+let satisfy_simple r = Satisfy_simple r
+let satisfy_complex r = Satisfy_complex r
+let satisfy_concurrent r = Satisfy_concurrent r
+
+let neg = function
+  | True -> False
+  | False -> True
+  | Not psi -> psi
+  | psi -> Not psi
+
+let eventually psi = Eventually psi
+let always psi = Always psi
+
+let rec horizon = function
+  | True | False -> None
+  | Satisfy_simple r -> Some (Interval.stop r.Requirement.window)
+  | Satisfy_complex r -> Some (Interval.stop r.Requirement.window)
+  | Satisfy_concurrent r -> Some (Interval.stop r.Requirement.window)
+  | Not psi | Eventually psi | Always psi -> horizon psi
+
+let rec size = function
+  | True | False | Satisfy_simple _ | Satisfy_complex _ | Satisfy_concurrent _
+    ->
+      1
+  | Not psi | Eventually psi | Always psi -> 1 + size psi
+
+let rec equal a b =
+  match (a, b) with
+  | True, True | False, False -> true
+  | Satisfy_simple x, Satisfy_simple y -> Requirement.equal_simple x y
+  | Satisfy_complex x, Satisfy_complex y -> Requirement.equal_complex x y
+  | Satisfy_concurrent x, Satisfy_concurrent y ->
+      Requirement.equal_concurrent x y
+  | Not x, Not y | Eventually x, Eventually y | Always x, Always y ->
+      equal x y
+  | ( ( True | False | Satisfy_simple _ | Satisfy_complex _
+      | Satisfy_concurrent _ | Not _ | Eventually _ | Always _ ),
+      _ ) ->
+      false
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Satisfy_simple r ->
+      Format.fprintf ppf "satisfy(%a)" Requirement.pp_simple r
+  | Satisfy_complex r ->
+      Format.fprintf ppf "satisfy(%a)" Requirement.pp_complex r
+  | Satisfy_concurrent r ->
+      Format.fprintf ppf "satisfy(%a)" Requirement.pp_concurrent r
+  | Not psi -> Format.fprintf ppf "!%a" pp_atomish psi
+  | Eventually psi -> Format.fprintf ppf "<>%a" pp_atomish psi
+  | Always psi -> Format.fprintf ppf "[]%a" pp_atomish psi
+
+and pp_atomish ppf psi =
+  match psi with
+  | True | False | Satisfy_simple _ | Satisfy_complex _ | Satisfy_concurrent _
+    ->
+      pp ppf psi
+  | Not _ | Eventually _ | Always _ -> Format.fprintf ppf "(%a)" pp psi

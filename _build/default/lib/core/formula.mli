@@ -1,0 +1,58 @@
+open Import
+
+(** Well-formed formulas of ROTA.
+
+    The paper's grammar (Section V-B):
+
+    {v psi ::= true | false | satisfy(rho(gamma,s,d))
+             | satisfy(rho(Gamma,s,d)) | satisfy(rho(Lambda,s,d))
+             | not psi | eventually psi | always psi v}
+
+    Atomic propositions are the constants and the three [satisfy] forms —
+    on a simple, complex or concurrent resource requirement; the only
+    connective is negation, plus the two temporal operators.  We keep the
+    AST exactly that grammar; conjunction/disjunction are not part of
+    ROTA. *)
+
+type t =
+  | True
+  | False
+  | Satisfy_simple of Requirement.simple
+      (** Can the expiring resources accommodate this single action? *)
+  | Satisfy_complex of Requirement.complex
+      (** ... this sequential actor computation? *)
+  | Satisfy_concurrent of Requirement.concurrent
+      (** ... this multi-actor computation? *)
+  | Not of t
+  | Eventually of t  (** The paper's diamond. *)
+  | Always of t  (** The paper's box. *)
+
+val tt : t
+
+val ff : t
+
+val satisfy_simple : Requirement.simple -> t
+
+val satisfy_complex : Requirement.complex -> t
+
+val satisfy_concurrent : Requirement.concurrent -> t
+
+val neg : t -> t
+(** Negation, collapsing double negations and constants. *)
+
+val eventually : t -> t
+
+val always : t -> t
+
+val horizon : t -> Time.t option
+(** The largest deadline mentioned by any [satisfy] atom — the natural
+    exploration bound for the model checker ([None] for formulas with no
+    atoms, which are time-bounded by construction). *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints with [!], [<>], [\[\]] for not/eventually/always. *)

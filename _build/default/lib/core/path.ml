@@ -1,0 +1,40 @@
+(* Stored tip-first so extension is O(1); accessors reverse. *)
+open Import
+
+type t = {
+  root : State.t;
+  steps : (Transition.label * State.t) list;  (** Most recent first. *)
+  expired : Resource_set.t;  (** Accumulated unused expirations. *)
+}
+
+let init state = { root = state; steps = []; expired = Resource_set.empty }
+
+let tip p = match p.steps with [] -> p.root | (_, s) :: _ -> s
+
+let extend p label =
+  let before = tip p in
+  let after = Transition.apply before label in
+  {
+    p with
+    steps = (label, after) :: p.steps;
+    expired =
+      Resource_set.union p.expired (Transition.expired_slice before label);
+  }
+
+let extend_greedy p = extend p (Transition.greedy_label (tip p))
+
+let root p = p.root
+let length p = List.length p.steps
+let states p = p.root :: List.rev_map snd p.steps
+let labels p = List.rev_map fst p.steps
+
+let state_at p t =
+  List.find_opt (fun (s : State.t) -> Time.equal s.State.now t) (states p)
+
+let expired p = p.expired
+let expired_within p w = Resource_set.restrict (expired p) w
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>path (%d steps)@ %a@]" (length p)
+    (Format.pp_print_list (fun ppf (s : State.t) -> State.pp ppf s))
+    (states p)

@@ -1,0 +1,55 @@
+open Import
+
+(** Computation paths (Definition 2).
+
+    A computation path is one branch of the tree that the transition
+    relation produces: a start state and a sequence of labelled steps.  The
+    tree of all paths "represents all the possible evolutions of the
+    system"; the Figure-1 semantics evaluates formulas on one path at a
+    time, and the theorems quantify existentially over paths
+    ([Semantics.exists_path]).
+
+    Besides the visited states, a path determines which resources {b
+    expire unused} along it — the [Theta_expire] that the satisfy clauses
+    consult: expired-but-unwanted resources are exactly the capacity
+    available for accommodating {e new} computations. *)
+
+type t
+(** A non-empty finite path. *)
+
+val init : State.t -> t
+(** The single-state path. *)
+
+val extend : t -> Transition.label -> t
+(** Appends one transition step ([Transition.apply] of the tip). *)
+
+val extend_greedy : t -> t
+(** Appends the maximal-progress step. *)
+
+val root : t -> State.t
+
+val tip : t -> State.t
+(** The latest state. *)
+
+val length : t -> int
+(** Number of steps (states minus one). *)
+
+val states : t -> State.t list
+(** Root first. *)
+
+val labels : t -> Transition.label list
+(** Step labels, root-side first; [length t] elements. *)
+
+val state_at : t -> Time.t -> State.t option
+(** The path's state whose clock equals the given tick, if the path covers
+    it. *)
+
+val expired : t -> Resource_set.t
+(** All resources that expired unused along the path — the union of each
+    step's {!Transition.expired_slice}.  Its availability at tick [u] is
+    exactly what the path's computations left unconsumed at [u]. *)
+
+val expired_within : t -> Interval.t -> Resource_set.t
+(** {!expired} restricted to a window. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,166 @@
+open Import
+
+type node = {
+  id : string;
+  requirement : Requirement.complex;
+  deps : string list;
+}
+
+type placement = {
+  node : string;
+  started : Time.t;
+  finished : Time.t;
+  schedule : Accommodation.schedule;
+}
+
+type error =
+  | Duplicate_node of string
+  | Unknown_dependency of { node : string; dependency : string }
+  | Cycle of string list
+  | Infeasible of string
+
+let validate nodes =
+  let tbl = Hashtbl.create 16 in
+  let rec check = function
+    | [] -> Ok ()
+    | n :: rest ->
+        if Hashtbl.mem tbl n.id then Error (Duplicate_node n.id)
+        else begin
+          Hashtbl.add tbl n.id n;
+          check rest
+        end
+  in
+  match check nodes with
+  | Error _ as e -> e
+  | Ok () ->
+      let missing =
+        List.find_map
+          (fun n ->
+            List.find_map
+              (fun d ->
+                if Hashtbl.mem tbl d then None
+                else Some (Unknown_dependency { node = n.id; dependency = d }))
+              n.deps)
+          nodes
+      in
+      (match missing with Some e -> Error e | None -> Ok ())
+
+(* Kahn's algorithm; on a cycle, the nodes that never became ready. *)
+let topological nodes =
+  let remaining = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace remaining n.id n) nodes;
+  let finished_deps n =
+    List.for_all (fun d -> not (Hashtbl.mem remaining d)) n.deps
+  in
+  let rec loop acc =
+    if Hashtbl.length remaining = 0 then Ok (List.rev acc)
+    else
+      let ready =
+        List.filter (fun n -> Hashtbl.mem remaining n.id && finished_deps n) nodes
+      in
+      match ready with
+      | [] ->
+          let stuck =
+            List.filter_map
+              (fun n -> if Hashtbl.mem remaining n.id then Some n.id else None)
+              nodes
+          in
+          Error (Cycle stuck)
+      | _ ->
+          (* Most work first among simultaneously ready nodes, mirroring
+             the concurrent accommodation heuristic. *)
+          let ready =
+            List.stable_sort
+              (fun a b ->
+                Int.compare
+                  (Requirement.total_quantity_complex b.requirement)
+                  (Requirement.total_quantity_complex a.requirement))
+              ready
+          in
+          List.iter (fun n -> Hashtbl.remove remaining n.id) ready;
+          loop (List.rev_append ready acc)
+  in
+  loop []
+
+let finish_of_schedule ~default (s : Accommodation.schedule) =
+  List.fold_left
+    (fun acc (a : Accommodation.step_allocation) ->
+      Time.max acc (Interval.stop a.Accommodation.subwindow))
+    default s.Accommodation.steps
+
+let schedule theta nodes =
+  match validate nodes with
+  | Error e -> Error e
+  | Ok () -> (
+      match topological nodes with
+      | Error e -> Error e
+      | Ok ordered -> (
+          let finishes : (string, Time.t) Hashtbl.t = Hashtbl.create 16 in
+          let place (residual, acc) n =
+            let window = n.requirement.Requirement.window in
+            let earliest_start =
+              List.fold_left
+                (fun acc d -> Time.max acc (Hashtbl.find finishes d))
+                (Interval.start window) n.deps
+            in
+            match
+              Interval.make ~start:earliest_start ~stop:(Interval.stop window)
+            with
+            | None -> Error (Infeasible n.id)
+            | Some effective -> (
+                let clipped =
+                  Requirement.make_complex ~steps:n.requirement.Requirement.steps
+                    ~window:effective
+                in
+                match Accommodation.schedule_sequential residual clipped with
+                | None -> Error (Infeasible n.id)
+                | Some schedule -> (
+                    let finished =
+                      finish_of_schedule ~default:earliest_start schedule
+                    in
+                    Hashtbl.replace finishes n.id finished;
+                    match
+                      Resource_set.diff residual schedule.Accommodation.reservation
+                    with
+                    | Error _ ->
+                        (* The reservation was carved from the residual. *)
+                        assert false
+                    | Ok residual ->
+                        Ok
+                          ( residual,
+                            {
+                              node = n.id;
+                              started = earliest_start;
+                              finished;
+                              schedule;
+                            }
+                            :: acc )))
+          in
+          let rec run state = function
+            | [] -> Ok state
+            | n :: rest -> (
+                match place state n with
+                | Error e -> Error e
+                | Ok state -> run state rest)
+          in
+          match run (theta, []) ordered with
+          | Error e -> Error e
+          | Ok (_, placements) ->
+              (* Restore the caller's node order. *)
+              let by_id = Hashtbl.create 16 in
+              List.iter (fun p -> Hashtbl.replace by_id p.node p) placements;
+              Ok (List.map (fun n -> Hashtbl.find by_id n.id) nodes)))
+
+let feasible theta nodes = Result.is_ok (schedule theta nodes)
+
+let finish_time placements =
+  List.fold_left (fun acc p -> Time.max acc p.finished) min_int placements
+
+let pp_error ppf = function
+  | Duplicate_node id -> Format.fprintf ppf "duplicate node %s" id
+  | Unknown_dependency { node; dependency } ->
+      Format.fprintf ppf "node %s depends on unknown node %s" node dependency
+  | Cycle ids ->
+      Format.fprintf ppf "dependency cycle (deadlock) among: %s"
+        (String.concat ", " ids)
+  | Infeasible id -> Format.fprintf ppf "node %s cannot be placed" id

@@ -1,0 +1,51 @@
+open Import
+
+(** Accommodation with precedence constraints.
+
+    The paper's concurrent model assumes independent actors; its stated
+    future work is "the wider range of actor computations where actors can
+    interact", by breaking an actor's computation "into sequences of
+    independent computations separated by states in which it is waiting to
+    hear back".  This module provides the scheduling half of that
+    extension: a set of requirement {b nodes} with {e finish-before-start}
+    dependencies, placed incrementally on shared resources.
+
+    Each node carries its own complex requirement; a node may not start
+    consuming before all of its dependencies have finished, so its
+    effective window is its own window clipped at its dependencies'
+    completion times.  Scheduling processes nodes in topological order
+    (most work first among ready nodes) against the shrinking residual,
+    exactly like [Accommodation.schedule_concurrent] but
+    dependency-aware. *)
+
+type node = {
+  id : string;
+  requirement : Requirement.complex;
+  deps : string list;  (** Ids of nodes that must finish first. *)
+}
+
+type placement = {
+  node : string;
+  started : Time.t;  (** Start of its effective window. *)
+  finished : Time.t;  (** When its last step completes. *)
+  schedule : Accommodation.schedule;
+}
+
+type error =
+  | Duplicate_node of string
+  | Unknown_dependency of { node : string; dependency : string }
+  | Cycle of string list
+      (** Nodes involved in a dependency cycle — e.g. two actors each
+          awaiting the other: a deadlock, detected statically. *)
+  | Infeasible of string  (** First node that could not be placed. *)
+
+val schedule : Resource_set.t -> node list -> (placement list, error) result
+(** Placements in the order nodes were given.  The union of the placements'
+    reservations is dominated by the input resources. *)
+
+val feasible : Resource_set.t -> node list -> bool
+
+val finish_time : placement list -> Time.t
+(** Latest completion over the placements ([min_int] for the empty list). *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,180 @@
+open Import
+
+type event = Act of Action.t | Await of Actor_name.t
+
+type participant = {
+  name : Actor_name.t;
+  home : Location.t;
+  events : event list;
+}
+
+type t = {
+  id : string;
+  start : Time.t;
+  deadline : Time.t;
+  participants : participant list;
+}
+
+let participant ~name ~home events = { name; home; events }
+
+let sends_to ~sender ~receiver =
+  List.filter
+    (fun e ->
+      match e with
+      | Act (Action.Send { dest; _ }) -> Actor_name.equal dest receiver
+      | Act (Action.Evaluate _ | Action.Create _ | Action.Ready | Action.Migrate _)
+      | Await _ ->
+          false)
+    sender.events
+
+let awaits_on ~receiver ~sender =
+  List.filter
+    (fun e ->
+      match e with
+      | Await s -> Actor_name.equal s sender
+      | Act _ -> false)
+    receiver.events
+
+let make ~id ~start ~deadline participants =
+  let fail fmt = Format.kasprintf (fun m -> Error m) fmt in
+  if deadline <= start then
+    fail "session %s: deadline %d <= start %d" id deadline start
+  else
+    let names = List.map (fun p -> p.name) participants in
+    let distinct = List.sort_uniq Actor_name.compare names in
+    if List.length distinct <> List.length names then
+      fail "session %s: duplicate participant names" id
+    else
+      let find name =
+        List.find_opt (fun p -> Actor_name.equal p.name name) participants
+      in
+      let problem =
+        List.find_map
+          (fun p ->
+            List.find_map
+              (fun e ->
+                match e with
+                | Act _ -> None
+                | Await sender ->
+                    if Actor_name.equal sender p.name then
+                      Some
+                        (Format.asprintf "%a awaits itself" Actor_name.pp p.name)
+                    else (
+                      match find sender with
+                      | None ->
+                          Some
+                            (Format.asprintf "%a awaits unknown participant %a"
+                               Actor_name.pp p.name Actor_name.pp sender)
+                      | Some s ->
+                          let awaits = List.length (awaits_on ~receiver:p ~sender:s.name) in
+                          let sends = List.length (sends_to ~sender:s ~receiver:p.name) in
+                          if awaits > sends then
+                            Some
+                              (Format.asprintf
+                                 "%a awaits %d message(s) from %a, which sends only %d"
+                                 Actor_name.pp p.name awaits Actor_name.pp sender
+                                 sends)
+                          else None))
+              p.events)
+          participants
+      in
+      match problem with
+      | Some msg -> fail "session %s: %s" id msg
+      | None -> Ok { id; start; deadline; participants }
+
+(* Split a participant's events into segments at awaits, threading the
+   actor's location.  Returns, per segment: the step list (one step per
+   action) and the await that opened it (None for the first). *)
+let segments_of cost_model ~locate p =
+  let rec loop here pending_await current acc = function
+    | [] -> List.rev ((pending_await, List.rev current) :: acc)
+    | Await sender :: rest ->
+        loop here (Some sender)
+          []
+          ((pending_await, List.rev current) :: acc)
+          rest
+    | Act action :: rest ->
+        let step = Cost_model.phi cost_model ~locate ~self_location:here action in
+        let here =
+          match (action : Action.t) with
+          | Action.Migrate { dest } -> dest
+          | Action.Evaluate _ | Action.Send _ | Action.Create _ | Action.Ready ->
+              here
+        in
+        loop here pending_await (step :: current) acc rest
+  in
+  loop p.home None [] [] p.events
+
+(* Which segment of [sender] contains its [k]-th send to [receiver]
+   (0-based)?  Returns the segment index. *)
+let segment_of_send sender ~receiver ~k =
+  let segment = ref 0 and seen = ref 0 and found = ref None in
+  List.iter
+    (fun e ->
+      match e with
+      | Await _ -> incr segment
+      | Act (Action.Send { dest; _ }) when Actor_name.equal dest receiver ->
+          if !seen = k && !found = None then found := Some !segment;
+          incr seen
+      | Act
+          ( Action.Send _ | Action.Evaluate _ | Action.Create _ | Action.Ready
+          | Action.Migrate _ ) ->
+          ())
+    sender.events;
+  !found
+
+let node_id name k = Format.asprintf "%a#%d" Actor_name.pp name k
+
+let to_nodes cost_model session =
+  let window = Interval.of_pair session.start session.deadline in
+  let locate name =
+    List.find_map
+      (fun p -> if Actor_name.equal p.name name then Some p.home else None)
+      session.participants
+  in
+  List.concat_map
+    (fun p ->
+      let segments = segments_of cost_model ~locate p in
+      (* Count, per sender, how many awaits we've consumed so far, to pair
+         FIFO. *)
+      let await_counts : (string, int) Hashtbl.t = Hashtbl.create 4 in
+      List.mapi
+        (fun k (opened_by, steps) ->
+          let sequencing = if k = 0 then [] else [ node_id p.name (k - 1) ] in
+          let await_dep =
+            match opened_by with
+            | None -> []
+            | Some sender -> (
+                let key = Actor_name.to_string sender in
+                let idx =
+                  match Hashtbl.find_opt await_counts key with
+                  | Some n -> n
+                  | None -> 0
+                in
+                Hashtbl.replace await_counts key (idx + 1);
+                let sender_p =
+                  List.find
+                    (fun q -> Actor_name.equal q.name sender)
+                    session.participants
+                in
+                match segment_of_send sender_p ~receiver:p.name ~k:idx with
+                | Some seg -> [ node_id sender seg ]
+                | None ->
+                    (* [make] guarantees a matching send exists. *)
+                    assert false)
+          in
+          {
+            Precedence.id = node_id p.name k;
+            requirement = Requirement.make_complex ~steps ~window;
+            deps = sequencing @ await_dep;
+          })
+        segments)
+    session.participants
+
+let meets_deadline cost_model theta session =
+  Precedence.schedule theta (to_nodes cost_model session)
+
+let pp ppf session =
+  Format.fprintf ppf "(session %s: %d participants, s=%a, d=%a)" session.id
+    (List.length session.participants)
+    Time.pp session.start Time.pp session.deadline

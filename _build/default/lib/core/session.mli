@@ -1,0 +1,70 @@
+open Import
+
+(** Interacting actor computations.
+
+    The paper's concurrency model keeps actors independent; its stated
+    future work is to handle actors that {e wait} for messages, by
+    breaking each actor's computation "into sequences of independent
+    computations separated by states in which it is waiting to hear back".
+    This module implements exactly that decomposition.
+
+    A {b session} is a computation whose participants may, between
+    actions, {b await} a message from a named peer.  Awaits pair with
+    sends in FIFO order: participant [b]'s [k]-th await on [a] matches
+    [a]'s [k]-th send to [b].  Compilation splits every participant's
+    event sequence into {b segments} at its awaits and emits one
+    {!Precedence.node} per segment, where a segment that follows an await
+    depends on the {e sender's segment containing the matching send}
+    (a safe over-approximation of "after the send completes": the segment
+    finishes no earlier than the send does).
+
+    Cyclic waiting — each of two actors awaiting the other first — becomes
+    a dependency cycle, which {!Precedence.schedule} reports as a
+    deadlock. *)
+
+type event =
+  | Act of Action.t  (** A plain action. *)
+  | Await of Actor_name.t
+      (** Block until the next unmatched message from this peer arrives. *)
+
+type participant = private {
+  name : Actor_name.t;
+  home : Location.t;
+  events : event list;
+}
+
+type t = private {
+  id : string;
+  start : Time.t;
+  deadline : Time.t;
+  participants : participant list;
+}
+
+val participant :
+  name:Actor_name.t -> home:Location.t -> event list -> participant
+
+val make :
+  id:string ->
+  start:Time.t ->
+  deadline:Time.t ->
+  participant list ->
+  (t, string) result
+(** Validates: [deadline > start]; distinct participant names; every await
+    names a participant of the session; every await has a matching send
+    (an unmatched await could never be satisfied). *)
+
+val to_nodes : Cost_model.t -> t -> Precedence.node list
+(** One node per segment, each with its requirement over the session
+    window (Phi-priced, locations threaded through migrations) and its
+    await-induced dependencies.  Node ids are ["<actor>#<segment>"]. *)
+
+val meets_deadline :
+  Cost_model.t ->
+  Resource_set.t ->
+  t ->
+  (Precedence.placement list, Precedence.error) result
+(** Theorem 3 lifted to interacting actors: placements proving every
+    segment — in dependency order — completes before the deadline, or why
+    not (including [Cycle] for deadlocks). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/import.ml: Rota Rota_actor Rota_interval Rota_resource Rota_scheduler Rota_sim Rota_workload

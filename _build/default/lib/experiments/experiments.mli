@@ -1,0 +1,30 @@
+(** The experiment suite (see DESIGN.md section 4 and EXPERIMENTS.md).
+
+    The paper has no evaluation section; these experiments make every
+    formal element of it executable and measurable:
+
+    - {b E1} regenerates Table I (the interval-algebra relations) from the
+      implementation and validates the composition table exhaustively.
+    - {b E2} replays the Section III worked examples of the resource
+      algebra and checks its laws on random instances.
+    - {b E3} demonstrates every satisfaction clause of Figure 1 on
+      concrete models.
+    - {b E4} measures the Theorem-2 sequential-accommodation procedure:
+      greedy-vs-exhaustive agreement and scaling in steps and horizon.
+    - {b E5} measures Theorem-4 incremental admission as commitments grow.
+    - {b E6} is the end-to-end deadline-assurance comparison: ROTA vs the
+      aggregate-quantity and optimistic baselines across load levels.
+    - {b E7} quantifies the paper's CyberOrgs scoping remark: reasoning
+      cost with one global resource pool vs per-encapsulation pools.
+
+    Each experiment prints its tables to stdout and is deterministic for a
+    given seed. *)
+
+val run : ?seed:int -> string -> (unit, string) result
+(** [run id] executes one experiment ([e1] .. [e7]) or all of them
+    ([all]).  Unknown ids report an error. *)
+
+val all_ids : string list
+
+val description : string -> string option
+(** One-line description of an experiment id. *)

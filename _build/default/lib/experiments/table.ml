@@ -1,0 +1,40 @@
+type t = { header : string list; rows : string list list }
+
+let make ~header rows = { header; rows }
+
+let render t =
+  let all = t.header :: t.rows in
+  let columns = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let pad row = row @ List.init (columns - List.length row) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths =
+    List.init columns (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+  in
+  let trim_right s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> cell ^ String.make (List.nth widths i - String.length cell) ' ')
+         row)
+    |> trim_right
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    (render_row (pad t.header) :: rule :: List.map render_row t.rows)
+
+let print t =
+  print_string (render t);
+  print_newline ();
+  print_newline ()
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f

@@ -1,0 +1,16 @@
+(** Plain-text table rendering for experiment reports. *)
+
+type t
+
+val make : header:string list -> string list list -> t
+(** Rows of cells; ragged rows are padded with empty cells. *)
+
+val render : t -> string
+(** Column-aligned ASCII rendering with a header rule. *)
+
+val print : t -> unit
+(** [render] to stdout, followed by a blank line. *)
+
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string

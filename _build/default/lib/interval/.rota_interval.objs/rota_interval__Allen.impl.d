@@ -1,0 +1,1 @@
+lib/interval/allen.ml: Array Format Int Interval Lazy List String Time

@@ -1,0 +1,1 @@
+lib/interval/ia_network.ml: Allen Array Format Fun Hashtbl Interval List Printf Queue

@@ -1,0 +1,1 @@
+lib/interval/ia_network.mli: Allen Format Interval

@@ -1,0 +1,1 @@
+lib/interval/stn.ml: Allen Array Format Hashtbl List Option Printf

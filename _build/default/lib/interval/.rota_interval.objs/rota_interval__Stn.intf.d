@@ -1,0 +1,1 @@
+lib/interval/stn.mli: Allen Format

@@ -1,0 +1,1 @@
+lib/interval/time.ml: Format Int Stdlib

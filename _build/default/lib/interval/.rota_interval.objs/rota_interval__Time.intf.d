@@ -1,0 +1,1 @@
+lib/interval/time.mli: Format

@@ -1,0 +1,349 @@
+type relation =
+  | Before
+  | After
+  | Meets
+  | Met_by
+  | Overlaps
+  | Overlapped_by
+  | Starts
+  | Started_by
+  | During
+  | Contains
+  | Finishes
+  | Finished_by
+  | Equals
+
+let all =
+  [
+    Before;
+    After;
+    Meets;
+    Met_by;
+    Overlaps;
+    Overlapped_by;
+    Starts;
+    Started_by;
+    During;
+    Contains;
+    Finishes;
+    Finished_by;
+    Equals;
+  ]
+
+let relate (i : Interval.t) (j : Interval.t) =
+  if Interval.stop i < Interval.start j then Before
+  else if Interval.stop i = Interval.start j then Meets
+  else if Interval.stop j < Interval.start i then After
+  else if Interval.stop j = Interval.start i then Met_by
+  else
+    (* The intervals share at least one tick: classify by endpoints. *)
+    let cs = Time.compare (Interval.start i) (Interval.start j)
+    and ce = Time.compare (Interval.stop i) (Interval.stop j) in
+    if cs < 0 then if ce < 0 then Overlaps else if ce = 0 then Finished_by else Contains
+    else if cs = 0 then if ce < 0 then Starts else if ce = 0 then Equals else Started_by
+    else if ce < 0 then During
+    else if ce = 0 then Finishes
+    else Overlapped_by
+
+let holds r i j = relate i j = r
+
+let inverse = function
+  | Before -> After
+  | After -> Before
+  | Meets -> Met_by
+  | Met_by -> Meets
+  | Overlaps -> Overlapped_by
+  | Overlapped_by -> Overlaps
+  | Starts -> Started_by
+  | Started_by -> Starts
+  | During -> Contains
+  | Contains -> During
+  | Finishes -> Finished_by
+  | Finished_by -> Finishes
+  | Equals -> Equals
+
+let is_base_index = function
+  | Before -> 0
+  | After -> 1
+  | Meets -> 2
+  | Met_by -> 3
+  | Overlaps -> 4
+  | Overlapped_by -> 5
+  | Starts -> 6
+  | Started_by -> 7
+  | During -> 8
+  | Contains -> 9
+  | Finishes -> 10
+  | Finished_by -> 11
+  | Equals -> 12
+
+let to_symbol = function
+  | Before -> "b"
+  | After -> "bi"
+  | Meets -> "m"
+  | Met_by -> "mi"
+  | Overlaps -> "o"
+  | Overlapped_by -> "oi"
+  | Starts -> "s"
+  | Started_by -> "si"
+  | During -> "d"
+  | Contains -> "di"
+  | Finishes -> "f"
+  | Finished_by -> "fi"
+  | Equals -> "eq"
+
+let of_symbol = function
+  | "b" -> Some Before
+  | "bi" -> Some After
+  | "m" -> Some Meets
+  | "mi" -> Some Met_by
+  | "o" -> Some Overlaps
+  | "oi" -> Some Overlapped_by
+  | "s" -> Some Starts
+  | "si" -> Some Started_by
+  | "d" -> Some During
+  | "di" -> Some Contains
+  | "f" -> Some Finishes
+  | "fi" -> Some Finished_by
+  | "eq" -> Some Equals
+  | _ -> None
+
+let interpretation = function
+  | Before -> "tau1 before tau2"
+  | After -> "tau1 after tau2"
+  | Meets -> "tau1 meets tau2"
+  | Met_by -> "tau1 met by tau2"
+  | Overlaps -> "tau1 overlaps tau2"
+  | Overlapped_by -> "tau1 overlapped by tau2"
+  | Starts -> "tau1 starts tau2"
+  | Started_by -> "tau1 started by tau2"
+  | During -> "tau1 during tau2"
+  | Contains -> "tau1 contains tau2"
+  | Finishes -> "tau1 finishes tau2"
+  | Finished_by -> "tau1 finished by tau2"
+  | Equals -> "tau1 equals tau2"
+
+let equal (a : relation) (b : relation) = a = b
+let compare a b = Int.compare (is_base_index a) (is_base_index b)
+let pp ppf r = Format.pp_print_string ppf (to_symbol r)
+
+(* The Allen composition table (Allen 1983, table 1), transcribed by hand
+   and verified exhaustively against the concrete semantics of [relate] by
+   the test suite.  [compose r1 r2] lists the relations possibly holding
+   between [a] and [c] when [r1] holds between [a] and [b] and [r2] between
+   [b] and [c]. *)
+let compose r1 r2 =
+  let b = Before
+  and bi = After
+  and m = Meets
+  and mi = Met_by
+  and o = Overlaps
+  and oi = Overlapped_by
+  and s = Starts
+  and si = Started_by
+  and d = During
+  and di = Contains
+  and f = Finishes
+  and fi = Finished_by
+  and eq = Equals in
+  let full = all in
+  let concur = [ o; oi; s; si; d; di; f; fi; eq ] in
+  match (r1, r2) with
+  | Equals, r | r, Equals -> [ r ]
+  | Before, Before -> [ b ]
+  | Before, After -> full
+  | Before, Meets -> [ b ]
+  | Before, Met_by -> [ b; m; o; d; s ]
+  | Before, Overlaps -> [ b ]
+  | Before, Overlapped_by -> [ b; m; o; d; s ]
+  | Before, Starts -> [ b ]
+  | Before, Started_by -> [ b ]
+  | Before, During -> [ b; m; o; d; s ]
+  | Before, Contains -> [ b ]
+  | Before, Finishes -> [ b; m; o; d; s ]
+  | Before, Finished_by -> [ b ]
+  | After, Before -> full
+  | After, After -> [ bi ]
+  | After, Meets -> [ bi; mi; oi; d; f ]
+  | After, Met_by -> [ bi ]
+  | After, Overlaps -> [ bi; mi; oi; d; f ]
+  | After, Overlapped_by -> [ bi ]
+  | After, Starts -> [ bi; mi; oi; d; f ]
+  | After, Started_by -> [ bi ]
+  | After, During -> [ bi; mi; oi; d; f ]
+  | After, Contains -> [ bi ]
+  | After, Finishes -> [ bi ]
+  | After, Finished_by -> [ bi ]
+  | Meets, Before -> [ b ]
+  | Meets, After -> [ bi; mi; oi; si; di ]
+  | Meets, Meets -> [ b ]
+  | Meets, Met_by -> [ f; fi; eq ]
+  | Meets, Overlaps -> [ b ]
+  | Meets, Overlapped_by -> [ o; s; d ]
+  | Meets, Starts -> [ m ]
+  | Meets, Started_by -> [ m ]
+  | Meets, During -> [ o; s; d ]
+  | Meets, Contains -> [ b ]
+  | Meets, Finishes -> [ o; s; d ]
+  | Meets, Finished_by -> [ b ]
+  | Met_by, Before -> [ b; m; o; di; fi ]
+  | Met_by, After -> [ bi ]
+  | Met_by, Meets -> [ s; si; eq ]
+  | Met_by, Met_by -> [ bi ]
+  | Met_by, Overlaps -> [ oi; d; f ]
+  | Met_by, Overlapped_by -> [ bi ]
+  | Met_by, Starts -> [ oi; d; f ]
+  | Met_by, Started_by -> [ bi ]
+  | Met_by, During -> [ oi; d; f ]
+  | Met_by, Contains -> [ bi ]
+  | Met_by, Finishes -> [ mi ]
+  | Met_by, Finished_by -> [ mi ]
+  | Overlaps, Before -> [ b ]
+  | Overlaps, After -> [ bi; mi; oi; si; di ]
+  | Overlaps, Meets -> [ b ]
+  | Overlaps, Met_by -> [ oi; si; di ]
+  | Overlaps, Overlaps -> [ b; m; o ]
+  | Overlaps, Overlapped_by -> concur
+  | Overlaps, Starts -> [ o ]
+  | Overlaps, Started_by -> [ o; di; fi ]
+  | Overlaps, During -> [ o; s; d ]
+  | Overlaps, Contains -> [ b; m; o; di; fi ]
+  | Overlaps, Finishes -> [ o; s; d ]
+  | Overlaps, Finished_by -> [ b; m; o ]
+  | Overlapped_by, Before -> [ b; m; o; di; fi ]
+  | Overlapped_by, After -> [ bi ]
+  | Overlapped_by, Meets -> [ o; di; fi ]
+  | Overlapped_by, Met_by -> [ bi ]
+  | Overlapped_by, Overlaps -> concur
+  | Overlapped_by, Overlapped_by -> [ bi; mi; oi ]
+  | Overlapped_by, Starts -> [ oi; d; f ]
+  | Overlapped_by, Started_by -> [ bi; mi; oi ]
+  | Overlapped_by, During -> [ oi; d; f ]
+  | Overlapped_by, Contains -> [ bi; mi; oi; si; di ]
+  | Overlapped_by, Finishes -> [ oi ]
+  | Overlapped_by, Finished_by -> [ oi; si; di ]
+  | Starts, Before -> [ b ]
+  | Starts, After -> [ bi ]
+  | Starts, Meets -> [ b ]
+  | Starts, Met_by -> [ mi ]
+  | Starts, Overlaps -> [ b; m; o ]
+  | Starts, Overlapped_by -> [ oi; d; f ]
+  | Starts, Starts -> [ s ]
+  | Starts, Started_by -> [ s; si; eq ]
+  | Starts, During -> [ d ]
+  | Starts, Contains -> [ b; m; o; di; fi ]
+  | Starts, Finishes -> [ d ]
+  | Starts, Finished_by -> [ b; m; o ]
+  | Started_by, Before -> [ b; m; o; di; fi ]
+  | Started_by, After -> [ bi ]
+  | Started_by, Meets -> [ o; di; fi ]
+  | Started_by, Met_by -> [ mi ]
+  | Started_by, Overlaps -> [ o; di; fi ]
+  | Started_by, Overlapped_by -> [ oi ]
+  | Started_by, Starts -> [ s; si; eq ]
+  | Started_by, Started_by -> [ si ]
+  | Started_by, During -> [ oi; d; f ]
+  | Started_by, Contains -> [ di ]
+  | Started_by, Finishes -> [ oi ]
+  | Started_by, Finished_by -> [ di ]
+  | During, Before -> [ b ]
+  | During, After -> [ bi ]
+  | During, Meets -> [ b ]
+  | During, Met_by -> [ bi ]
+  | During, Overlaps -> [ b; m; o; s; d ]
+  | During, Overlapped_by -> [ bi; mi; oi; d; f ]
+  | During, Starts -> [ d ]
+  | During, Started_by -> [ bi; mi; oi; d; f ]
+  | During, During -> [ d ]
+  | During, Contains -> full
+  | During, Finishes -> [ d ]
+  | During, Finished_by -> [ b; m; o; s; d ]
+  | Contains, Before -> [ b; m; o; di; fi ]
+  | Contains, After -> [ bi; mi; oi; si; di ]
+  | Contains, Meets -> [ o; di; fi ]
+  | Contains, Met_by -> [ oi; si; di ]
+  | Contains, Overlaps -> [ o; di; fi ]
+  | Contains, Overlapped_by -> [ oi; si; di ]
+  | Contains, Starts -> [ o; di; fi ]
+  | Contains, Started_by -> [ di ]
+  | Contains, During -> concur
+  | Contains, Contains -> [ di ]
+  | Contains, Finishes -> [ oi; si; di ]
+  | Contains, Finished_by -> [ di ]
+  | Finishes, Before -> [ b ]
+  | Finishes, After -> [ bi ]
+  | Finishes, Meets -> [ m ]
+  | Finishes, Met_by -> [ bi ]
+  | Finishes, Overlaps -> [ o; s; d ]
+  | Finishes, Overlapped_by -> [ bi; mi; oi ]
+  | Finishes, Starts -> [ d ]
+  | Finishes, Started_by -> [ bi; mi; oi ]
+  | Finishes, During -> [ d ]
+  | Finishes, Contains -> [ bi; mi; oi; si; di ]
+  | Finishes, Finishes -> [ f ]
+  | Finishes, Finished_by -> [ f; fi; eq ]
+  | Finished_by, Before -> [ b ]
+  | Finished_by, After -> [ bi; mi; oi; si; di ]
+  | Finished_by, Meets -> [ m ]
+  | Finished_by, Met_by -> [ oi; si; di ]
+  | Finished_by, Overlaps -> [ o ]
+  | Finished_by, Overlapped_by -> [ oi; si; di ]
+  | Finished_by, Starts -> [ o ]
+  | Finished_by, Started_by -> [ di ]
+  | Finished_by, During -> [ o; s; d ]
+  | Finished_by, Contains -> [ di ]
+  | Finished_by, Finishes -> [ f; fi; eq ]
+  | Finished_by, Finished_by -> [ fi ]
+
+module Set = struct
+  type t = int
+
+  let empty = 0
+  let full = (1 lsl 13) - 1
+  let singleton r = 1 lsl is_base_index r
+  let mem r s = s land singleton r <> 0
+  let add r s = s lor singleton r
+  let of_list rs = List.fold_left (fun s r -> add r s) empty rs
+  let to_list s = List.filter (fun r -> mem r s) all
+  let inter a b = a land b
+  let union a b = a lor b
+  let equal (a : t) (b : t) = a = b
+  let is_empty s = s = 0
+
+  let cardinal s =
+    let rec loop s n = if s = 0 then n else loop (s lsr 1) (n + (s land 1)) in
+    loop s 0
+
+  let inverse s =
+    List.fold_left (fun acc r -> add (inverse r) acc) empty (to_list s)
+
+  (* Compositions of all 169 base-relation pairs, precomputed as masks. *)
+  let compose_table =
+    lazy
+      (let table = Array.make (13 * 13) 0 in
+       let fill r1 =
+         let i = is_base_index r1 in
+         let fill_one r2 =
+           table.((i * 13) + is_base_index r2) <- of_list (compose r1 r2)
+         in
+         List.iter fill_one all
+       in
+       List.iter fill all;
+       table)
+
+  let compose a b =
+    let table = Lazy.force compose_table in
+    let combine acc r1 =
+      let row = is_base_index r1 * 13 in
+      List.fold_left
+        (fun acc r2 -> union acc table.(row + is_base_index r2))
+        acc (to_list b)
+    in
+    List.fold_left combine empty (to_list a)
+
+  let subset a b = a land lnot b = 0
+
+  let pp ppf s =
+    let syms = List.map to_symbol (to_list s) in
+    Format.fprintf ppf "{%s}" (String.concat "," syms)
+end

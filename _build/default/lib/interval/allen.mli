@@ -1,0 +1,118 @@
+(** Allen's Interval Algebra.
+
+    ROTA formalizes relations between time intervals using Interval Algebra
+    (Allen 1983) — the paper's Table I lists the seven base relations and
+    notes that counting inverses there are thirteen.  This module implements
+    the full algebra: classification of a pair of concrete intervals,
+    inverses, and the 13x13 composition table, plus compact relation {i sets}
+    used by the {!Ia_network} qualitative constraint solver.
+
+    All relations are interpreted over the half-open intervals of
+    {!Interval}; e.g. [i] {i meets} [j] iff [stop i = start j]. *)
+
+type relation =
+  | Before  (** [i] ends strictly before [j] starts (paper: [tau1 < tau2]). *)
+  | After  (** Inverse of [Before] (paper: [tau1 > tau2]). *)
+  | Meets  (** [j] starts immediately after [i] ends. *)
+  | Met_by  (** Inverse of [Meets]. *)
+  | Overlaps  (** [i] starts first, they overlap, [j] ends last. *)
+  | Overlapped_by  (** Inverse of [Overlaps]. *)
+  | Starts  (** [i] and [j] start together and [i] ends first. *)
+  | Started_by  (** Inverse of [Starts]. *)
+  | During  (** [i] lies strictly inside [j] (paper: [tau1 in tau2]). *)
+  | Contains  (** Inverse of [During]. *)
+  | Finishes  (** [i] and [j] end together and [j] starts first. *)
+  | Finished_by  (** Inverse of [Finishes]. *)
+  | Equals  (** Identical intervals. *)
+
+val all : relation list
+(** The thirteen relations, in the declaration order above. *)
+
+val relate : Interval.t -> Interval.t -> relation
+(** [relate i j] is the unique base relation holding between [i] and [j].
+    Exactly one relation always holds — the algebra is jointly exhaustive
+    and pairwise disjoint. *)
+
+val holds : relation -> Interval.t -> Interval.t -> bool
+(** [holds r i j] is [true] iff [relate i j = r]. *)
+
+val inverse : relation -> relation
+(** [inverse r] is the relation holding between [j] and [i] whenever [r]
+    holds between [i] and [j].  An involution. *)
+
+val compose : relation -> relation -> relation list
+(** [compose r1 r2] is the set of relations possibly holding between [a] and
+    [c] given [relate a b = r1] and [relate b c = r2] — the standard Allen
+    composition table.  Results are in {!all} order. *)
+
+val is_base_index : relation -> int
+(** Stable index of a relation in [0..12], following {!all}. *)
+
+val to_symbol : relation -> string
+(** Short standard abbreviation: ["b"], ["bi"], ["m"], ["mi"], ["o"],
+    ["oi"], ["s"], ["si"], ["d"], ["di"], ["f"], ["fi"], ["eq"]. *)
+
+val of_symbol : string -> relation option
+(** Inverse of {!to_symbol}. *)
+
+val interpretation : relation -> string
+(** The plain-English reading used in the paper's Table I, e.g.
+    [interpretation During = "tau1 during tau2"]. *)
+
+val equal : relation -> relation -> bool
+
+val compare : relation -> relation -> int
+
+val pp : Format.formatter -> relation -> unit
+(** Prints the abbreviation of {!to_symbol}. *)
+
+(** Sets of Allen relations, represented as 13-bit masks.
+
+    A relation set expresses qualitative uncertainty ("[i] is before or
+    meets [j]"); these are the constraint labels of an interval-algebra
+    network.  The representation is a plain [int] bitmask, so all set
+    operations are O(1). *)
+module Set : sig
+  type t = private int
+  (** A subset of the thirteen relations. *)
+
+  val empty : t
+  (** The inconsistent constraint (no relation possible). *)
+
+  val full : t
+  (** The vacuous constraint (all thirteen relations possible). *)
+
+  val singleton : relation -> t
+
+  val of_list : relation list -> t
+
+  val to_list : t -> relation list
+  (** Members in {!all} order. *)
+
+  val mem : relation -> t -> bool
+
+  val add : relation -> t -> t
+
+  val inter : t -> t -> t
+
+  val union : t -> t -> t
+
+  val equal : t -> t -> bool
+
+  val is_empty : t -> bool
+
+  val cardinal : t -> int
+
+  val inverse : t -> t
+  (** Element-wise {!val:Allen.inverse}. *)
+
+  val compose : t -> t -> t
+  (** [compose s1 s2] is the union of the pairwise compositions — the lift
+    of the composition table to relation sets, as used by path
+    consistency. *)
+
+  val subset : t -> t -> bool
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints as [{b,m,o}]. *)
+end

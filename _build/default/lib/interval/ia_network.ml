@@ -1,0 +1,237 @@
+type t = { n : int; edges : Allen.Set.t array }
+(* [edges] is an [n * n] matrix in row-major order; the invariant
+   [edges.(j*n+i) = Allen.Set.inverse edges.(i*n+j)] is maintained by every
+   update, and the diagonal is pinned to [Equals]. *)
+
+let idx net i j = (i * net.n) + j
+
+let check_var net i =
+  if i < 0 || i >= net.n then
+    invalid_arg (Printf.sprintf "Ia_network: variable %d out of range" i)
+
+let create n =
+  if n < 0 then invalid_arg "Ia_network.create: negative size";
+  let edges = Array.make (n * n) Allen.Set.full in
+  for i = 0 to n - 1 do
+    edges.((i * n) + i) <- Allen.Set.singleton Allen.Equals
+  done;
+  { n; edges }
+
+let size net = net.n
+
+let get net i j =
+  check_var net i;
+  check_var net j;
+  net.edges.(idx net i j)
+
+let set net i j s =
+  net.edges.(idx net i j) <- s;
+  net.edges.(idx net j i) <- Allen.Set.inverse s
+
+let constrain net i j s =
+  check_var net i;
+  check_var net j;
+  set net i j (Allen.Set.inter (get net i j) s)
+
+let constrain_relation net i j r = constrain net i j (Allen.Set.singleton r)
+
+let propagate net =
+  let n = net.n in
+  let queue = Queue.create () in
+  let in_queue = Array.make (n * n) false in
+  let enqueue i j =
+    if i <> j && not in_queue.(idx net i j) then begin
+      in_queue.(idx net i j) <- true;
+      Queue.add (i, j) queue
+    end
+  in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      enqueue i j
+    done
+  done;
+  let inconsistent = ref false in
+  (* Tighten [a -> b] with the composition through the path [a -> via -> b];
+     enqueue the edge when it actually changed. *)
+  let revise a via b =
+    let before = net.edges.(idx net a b) in
+    let through =
+      Allen.Set.compose net.edges.(idx net a via) net.edges.(idx net via b)
+    in
+    let after = Allen.Set.inter before through in
+    if not (Allen.Set.equal before after) then begin
+      set net a b after;
+      if Allen.Set.is_empty after then inconsistent := true;
+      enqueue a b
+    end
+  in
+  while (not !inconsistent) && not (Queue.is_empty queue) do
+    let i, j = Queue.pop queue in
+    in_queue.(idx net i j) <- false;
+    for k = 0 to n - 1 do
+      if k <> i && k <> j then begin
+        revise i j k;
+        if not !inconsistent then revise k i j
+      end
+    done
+  done;
+  not !inconsistent
+
+let copy net = { n = net.n; edges = Array.copy net.edges }
+
+let consistent_scenario net =
+  let n = net.n in
+  (* Backtracking refinement: pick the first non-atomic edge, try each of
+     its base relations with propagation, recurse. *)
+  let rec refine net =
+    let non_atomic = ref None in
+    (try
+       for i = 0 to n - 1 do
+         for j = i + 1 to n - 1 do
+           if Allen.Set.cardinal (get net i j) > 1 then begin
+             non_atomic := Some (i, j);
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    match !non_atomic with
+    | None ->
+        let scenario =
+          Array.init n (fun i ->
+              Array.init n (fun j ->
+                  match Allen.Set.to_list (get net i j) with
+                  | [ r ] -> r
+                  | _ -> assert false))
+        in
+        Some scenario
+    | Some (i, j) ->
+        let try_relation r =
+          let candidate = copy net in
+          constrain_relation candidate i j r;
+          if propagate candidate then refine candidate else None
+        in
+        List.find_map try_relation (Allen.Set.to_list (get net i j))
+  in
+  let net = copy net in
+  if propagate net then refine net else None
+
+(* Realization: translate an atomic scenario into order constraints over the
+   2n interval endpoints, merge equalities with union-find, then assign each
+   point its longest-path layer in the strict-order DAG. *)
+let realize scenario =
+  let n = Array.length scenario in
+  let points = 2 * n in
+  let start_of i = 2 * i and stop_of i = (2 * i) + 1 in
+  let parent = Array.init points Fun.id in
+  let rec find x = if parent.(x) = x then x else find parent.(x) in
+  let union x y =
+    let rx = find x and ry = find y in
+    if rx <> ry then parent.(rx) <- ry
+  in
+  let lt_edges = ref [] in
+  let lt x y = lt_edges := (x, y) :: !lt_edges in
+  let add_constraints i j r =
+    let si = start_of i
+    and ei = stop_of i
+    and sj = start_of j
+    and ej = stop_of j in
+    match (r : Allen.relation) with
+    | Before -> lt ei sj
+    | After -> lt ej si
+    | Meets -> union ei sj
+    | Met_by -> union ej si
+    | Overlaps ->
+        lt si sj;
+        lt sj ei;
+        lt ei ej
+    | Overlapped_by ->
+        lt sj si;
+        lt si ej;
+        lt ej ei
+    | Starts ->
+        union si sj;
+        lt ei ej
+    | Started_by ->
+        union si sj;
+        lt ej ei
+    | During ->
+        lt sj si;
+        lt ei ej
+    | Contains ->
+        lt si sj;
+        lt ej ei
+    | Finishes ->
+        union ei ej;
+        lt sj si
+    | Finished_by ->
+        union ei ej;
+        lt si sj
+    | Equals ->
+        union si sj;
+        union ei ej
+  in
+  for i = 0 to n - 1 do
+    lt (start_of i) (stop_of i);
+    for j = i + 1 to n - 1 do
+      add_constraints i j scenario.(i).(j)
+    done
+  done;
+  (* Longest-path layering over representatives; a cycle means the scenario
+     was unsatisfiable. *)
+  let succs = Hashtbl.create 16 in
+  let indegree = Hashtbl.create 16 in
+  let reps = Array.init points (fun p -> find p) in
+  Array.iter
+    (fun r ->
+      if not (Hashtbl.mem succs r) then begin
+        Hashtbl.add succs r [];
+        Hashtbl.add indegree r 0
+      end)
+    reps;
+  let add_edge (x, y) =
+    let rx = find x and ry = find y in
+    if rx = ry then raise Exit;
+    Hashtbl.replace succs rx (ry :: Hashtbl.find succs rx);
+    Hashtbl.replace indegree ry (Hashtbl.find indegree ry + 1)
+  in
+  match List.iter add_edge !lt_edges with
+  | exception Exit -> None
+  | () ->
+      let layer = Hashtbl.create 16 in
+      let ready = Queue.create () in
+      Hashtbl.iter
+        (fun r d ->
+          if d = 0 then begin
+            Queue.add r ready;
+            Hashtbl.replace layer r 0
+          end)
+        indegree;
+      let visited = ref 0 in
+      while not (Queue.is_empty ready) do
+        let r = Queue.pop ready in
+        incr visited;
+        let lr = Hashtbl.find layer r in
+        let relax s =
+          let cur = try Hashtbl.find layer s with Not_found -> 0 in
+          if lr + 1 > cur then Hashtbl.replace layer s (lr + 1);
+          let d = Hashtbl.find indegree s - 1 in
+          Hashtbl.replace indegree s d;
+          if d = 0 then Queue.add s ready
+        in
+        List.iter relax (Hashtbl.find succs r)
+      done;
+      if !visited <> Hashtbl.length succs then None
+      else
+        let value p = Hashtbl.find layer (find p) in
+        let build i =
+          Interval.of_pair (value (start_of i)) (value (stop_of i))
+        in
+        Some (Array.init n build)
+
+let pp ppf net =
+  for i = 0 to net.n - 1 do
+    for j = i + 1 to net.n - 1 do
+      Format.fprintf ppf "%d->%d: %a@." i j Allen.Set.pp (get net i j)
+    done
+  done

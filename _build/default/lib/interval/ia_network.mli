@@ -1,0 +1,58 @@
+(** Qualitative interval-algebra constraint networks.
+
+    ROTA grounds its temporal reasoning in Allen's Interval Algebra; this
+    module provides the standard reasoning machinery over that algebra: a
+    network of interval variables with relation-set constraints, closed
+    under composition by {b path consistency} (Allen's original propagation
+    algorithm).  The scheduler uses it to reason about qualitative orderings
+    of requirement windows before committing to concrete breakpoints, and it
+    serves as the executable counterpart of the paper's Table I.
+
+    Path consistency is sound (it never removes a feasible base relation)
+    and, while incomplete for full IA in general, it is exact for the
+    pointizable fragment that ROTA's window constraints fall into. *)
+
+type t
+(** A constraint network over interval variables [0 .. size-1].  Mutable:
+    constraint tightening updates the network in place. *)
+
+val create : int -> t
+(** [create n] is the fully unconstrained network on [n] variables (every
+    edge labelled with the full relation set).  The self-relation of every
+    variable is [Equals]. *)
+
+val size : t -> int
+
+val get : t -> int -> int -> Allen.Set.t
+(** [get net i j] is the current constraint between variables [i] and
+    [j]. *)
+
+val constrain : t -> int -> int -> Allen.Set.t -> unit
+(** [constrain net i j s] intersects the edge [i -> j] with [s] (and
+    [j -> i] with the inverse of [s]).  Raises [Invalid_argument] on
+    out-of-range variables. *)
+
+val constrain_relation : t -> int -> int -> Allen.relation -> unit
+(** Convenience: constrain an edge to a single base relation. *)
+
+val propagate : t -> bool
+(** [propagate net] runs path consistency to a fixpoint: for every triple
+    [(i,k,j)], the label of [i -> j] is intersected with the composition of
+    [i -> k] and [k -> j].  Returns [false] when an edge becomes empty —
+    the network is inconsistent — and [true] otherwise. *)
+
+val consistent_scenario : t -> Allen.relation array array option
+(** [consistent_scenario net] searches for an atomic refinement (a single
+    base relation per edge) that is path-consistent, by backtracking over
+    the current labels.  Returns [None] when none exists.  Exponential in
+    the worst case; intended for the small networks ROTA manipulates. *)
+
+val realize : Allen.relation array array -> Interval.t array option
+(** [realize scenario] constructs concrete intervals witnessing an atomic
+    scenario ([scenario.(i).(j)] holding between intervals [i] and [j]), or
+    [None] if the scenario is unsatisfiable.  Endpoints are produced on a
+    compact integer range. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+type t = { start : Time.t; stop : Time.t }
+
+let make ~start ~stop = if start < stop then Some { start; stop } else None
+
+let of_pair start stop =
+  match make ~start ~stop with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Interval.of_pair: empty interval [%d,%d)" start stop)
+
+let start i = i.start
+let stop i = i.stop
+let duration i = i.stop - i.start
+let equal i j = i.start = j.start && i.stop = j.stop
+
+let compare i j =
+  match Time.compare i.start j.start with
+  | 0 -> Time.compare i.stop j.stop
+  | c -> c
+
+let mem t i = i.start <= t && t < i.stop
+let subset i j = j.start <= i.start && i.stop <= j.stop
+let overlaps i j = i.start < j.stop && j.start < i.stop
+let adjacent i j = i.stop = j.start || j.stop = i.start
+
+let inter i j =
+  let start = Time.max i.start j.start and stop = Time.min i.stop j.stop in
+  make ~start ~stop
+
+let hull i j =
+  { start = Time.min i.start j.start; stop = Time.max i.stop j.stop }
+
+let union i j = if overlaps i j || adjacent i j then Some (hull i j) else None
+
+let diff i j =
+  let left = make ~start:i.start ~stop:(Time.min i.stop j.start)
+  and right = make ~start:(Time.max i.start j.stop) ~stop:i.stop in
+  List.filter_map Fun.id [ left; right ]
+
+let split i t =
+  match (make ~start:i.start ~stop:t, make ~start:t ~stop:i.stop) with
+  | Some a, Some b -> Some (a, b)
+  | _ -> None
+
+let shift i d = { start = i.start + d; stop = i.stop + d }
+let clamp ~within i = inter within i
+
+let ticks i =
+  let rec loop t acc = if t < i.start then acc else loop (t - 1) (t :: acc) in
+  loop (i.stop - 1) []
+
+let pp ppf i = Format.fprintf ppf "[%d,%d)" i.start i.stop
+let to_string i = Format.asprintf "%a" pp i

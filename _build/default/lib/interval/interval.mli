@@ -1,0 +1,88 @@
+(** Time intervals.
+
+    A ROTA resource term is defined over a time interval.  The paper writes
+    intervals as pairs [(t_start, t_end)]; we represent them as {b half-open}
+    ranges [\[start, stop)] of discrete ticks, which makes Allen's {i meets}
+    relation ([stop1 = start2]), interval partitioning, and step-function
+    arithmetic exact.
+
+    Intervals are always {b non-empty} ([start < stop]): the paper notes that
+    "resources are only defined during non-empty time intervals", so the
+    empty interval is ruled out at construction time.  Operations that can
+    produce emptiness (intersection, difference) return options or lists. *)
+
+type t = private { start : Time.t; stop : Time.t }
+(** An interval [\[start, stop)] with [start < stop].  The constructor is
+    private: use {!make} or {!of_pair}. *)
+
+val make : start:Time.t -> stop:Time.t -> t option
+(** [make ~start ~stop] is the interval [\[start, stop)], or [None] when
+    [start >= stop]. *)
+
+val of_pair : Time.t -> Time.t -> t
+(** [of_pair start stop] is like {!make} but raises [Invalid_argument] on an
+    empty range.  Intended for literals; prefer {!make} on untrusted data. *)
+
+val start : t -> Time.t
+
+val stop : t -> Time.t
+
+val duration : t -> int
+(** [duration i] is the number of ticks in [i]; always positive. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic on [(start, stop)]; a total order convenient for sorting
+    segment lists. *)
+
+val mem : Time.t -> t -> bool
+(** [mem t i] is [true] when tick [t] lies inside [i] (i.e.
+    [start <= t < stop]). *)
+
+val subset : t -> t -> bool
+(** [subset i j] is [true] when every tick of [i] lies in [j].  This is the
+    paper's "tau1 during-or-equal tau2" side condition used by the resource
+    term order. *)
+
+val overlaps : t -> t -> bool
+(** [overlaps i j] is [true] when [i] and [j] share at least one tick. *)
+
+val adjacent : t -> t -> bool
+(** [adjacent i j] is [true] when one interval ends exactly where the other
+    starts (Allen's {i meets} in either direction). *)
+
+val inter : t -> t -> t option
+(** Intersection, [None] when disjoint. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both arguments. *)
+
+val union : t -> t -> t option
+(** [union i j] is the single interval covering both when they overlap or
+    are adjacent, and [None] otherwise (the union is not an interval). *)
+
+val diff : t -> t -> t list
+(** [diff i j] is [i] minus [j] as 0, 1 or 2 disjoint intervals, in
+    ascending order. *)
+
+val split : t -> Time.t -> (t * t) option
+(** [split i t] cuts [i] at tick [t] into [(\[start,t), \[t,stop))] when [t]
+    lies strictly inside [i]. *)
+
+val shift : t -> int -> t
+(** [shift i d] translates [i] by [d] ticks. *)
+
+val clamp : within:t -> t -> t option
+(** [clamp ~within i] is the part of [i] inside [within], if any — an alias
+    for [inter within i] with self-documenting argument order. *)
+
+val ticks : t -> Time.t list
+(** [ticks i] enumerates the ticks of [i] in increasing order.  Linear in
+    the duration; meant for small intervals in tests and exhaustive
+    checks. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [\[a,b)]. *)
+
+val to_string : t -> string

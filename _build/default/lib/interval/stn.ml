@@ -1,0 +1,184 @@
+(* Distance-graph representation: a constraint [p_j - p_i <= w] is an edge
+   [i -> j] with weight [w]; shortest paths give the tightest implied
+   bounds, and a negative cycle means inconsistency. *)
+
+type t = {
+  n : int;
+  edges : (int * int, int) Hashtbl.t;  (** (i, j) -> min weight. *)
+  mutable dirty : bool;
+  mutable consistent_cache : bool;
+}
+
+let infinity_w = max_int / 4
+
+let create n =
+  if n < 1 then invalid_arg "Stn.create: need at least the origin variable";
+  { n; edges = Hashtbl.create 16; dirty = true; consistent_cache = true }
+
+let size stn = stn.n
+
+let check_var stn i =
+  if i < 0 || i >= stn.n then
+    invalid_arg (Printf.sprintf "Stn: variable %d out of range" i)
+
+let add_edge stn i j w =
+  let key = (i, j) in
+  let current =
+    match Hashtbl.find_opt stn.edges key with Some w -> w | None -> infinity_w
+  in
+  if w < current then begin
+    Hashtbl.replace stn.edges key w;
+    stn.dirty <- true
+  end
+
+let add_constraint stn ?lo ?hi i j =
+  check_var stn i;
+  check_var stn j;
+  (match hi with Some hi -> add_edge stn i j hi | None -> ());
+  match lo with Some lo -> add_edge stn j i (-lo) | None -> ()
+
+let before stn ?(gap = 0) i j = add_constraint stn ~lo:gap i j
+let at stn i v = add_constraint stn ~lo:v ~hi:v 0 i
+let window stn i ~lo ~hi = add_constraint stn ~lo ~hi 0 i
+
+(* Bellman–Ford from [source]; [None] when a negative cycle is reachable.
+   With [virtual_source] every variable is reachable at distance 0, which
+   turns reachable-negative-cycle detection into global consistency. *)
+let bellman_ford stn ~source ~reversed ~virtual_source =
+  let dist = Array.make stn.n infinity_w in
+  (if virtual_source then Array.fill dist 0 stn.n 0
+   else dist.(source) <- 0);
+  let edges =
+    Hashtbl.fold
+      (fun (i, j) w acc -> if reversed then (j, i, w) :: acc else (i, j, w) :: acc)
+      stn.edges []
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= stn.n do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (i, j, w) ->
+        if dist.(i) < infinity_w && dist.(i) + w < dist.(j) then begin
+          dist.(j) <- dist.(i) + w;
+          changed := true
+        end)
+      edges
+  done;
+  if !changed then None else Some dist
+
+let consistent stn =
+  if stn.dirty then begin
+    stn.consistent_cache <-
+      Option.is_some (bellman_ford stn ~source:0 ~reversed:false ~virtual_source:true);
+    stn.dirty <- false
+  end;
+  stn.consistent_cache
+
+let distance stn i j =
+  check_var stn i;
+  check_var stn j;
+  if not (consistent stn) then None
+  else
+    match bellman_ford stn ~source:i ~reversed:false ~virtual_source:false with
+    | None -> None
+    | Some dist -> Some (if dist.(j) >= infinity_w then max_int else dist.(j))
+
+(* A feasible assignment: shortest-path potentials from a virtual source
+   satisfy every difference constraint; normalizing puts the origin at 0. *)
+let potentials stn =
+  if not (consistent stn) then None
+  else
+    match bellman_ford stn ~source:0 ~reversed:false ~virtual_source:true with
+    | None -> None
+    | Some dist -> Some (Array.map (fun d -> d - dist.(0)) dist)
+
+let earliest stn i =
+  check_var stn i;
+  if not (consistent stn) then None
+  else
+    (* The true infimum of [p_i - p_0] is [-d(i, 0)]; variables with no
+       path to the origin are unbounded below, for which we report the
+       value of the canonical feasible assignment. *)
+    match bellman_ford stn ~source:0 ~reversed:true ~virtual_source:false with
+    | None -> None
+    | Some dist ->
+        if dist.(i) < infinity_w then Some (-dist.(i))
+        else Option.map (fun p -> p.(i)) (potentials stn)
+
+let latest stn i =
+  check_var stn i;
+  if not (consistent stn) then None
+  else
+    match bellman_ford stn ~source:0 ~reversed:false ~virtual_source:false with
+    | None -> None
+    | Some dist -> Some (if dist.(i) >= infinity_w then max_int else dist.(i))
+
+let schedule stn = potentials stn
+
+let of_ia_scenario scenario =
+  let n = Array.length scenario in
+  let stn = create ((2 * n) + 1) in
+  let start_of i = (2 * i) + 1 and stop_of i = (2 * i) + 2 in
+  for i = 0 to n - 1 do
+    (* Non-empty intervals in the non-negative half-line. *)
+    add_constraint stn ~lo:1 (start_of i) (stop_of i);
+    add_constraint stn ~lo:0 0 (start_of i)
+  done;
+  let lt a b = add_constraint stn ~lo:1 a b in
+  let eq a b = add_constraint stn ~lo:0 ~hi:0 a b in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let si = start_of i and ei = stop_of i in
+      let sj = start_of j and ej = stop_of j in
+      match scenario.(i).(j) with
+      | Allen.Before -> lt ei sj
+      | Allen.After -> lt ej si
+      | Allen.Meets -> eq ei sj
+      | Allen.Met_by -> eq ej si
+      | Allen.Overlaps ->
+          lt si sj;
+          lt sj ei;
+          lt ei ej
+      | Allen.Overlapped_by ->
+          lt sj si;
+          lt si ej;
+          lt ej ei
+      | Allen.Starts ->
+          eq si sj;
+          lt ei ej
+      | Allen.Started_by ->
+          eq si sj;
+          lt ej ei
+      | Allen.During ->
+          lt sj si;
+          lt ei ej
+      | Allen.Contains ->
+          lt si sj;
+          lt ej ei
+      | Allen.Finishes ->
+          eq ei ej;
+          lt sj si
+      | Allen.Finished_by ->
+          eq ei ej;
+          lt si sj
+      | Allen.Equals ->
+          eq si sj;
+          eq ei ej
+    done
+  done;
+  stn
+
+let copy stn =
+  {
+    n = stn.n;
+    edges = Hashtbl.copy stn.edges;
+    dirty = stn.dirty;
+    consistent_cache = stn.consistent_cache;
+  }
+
+let pp ppf stn =
+  Format.fprintf ppf "stn(%d vars, %d constraints, %s)" stn.n
+    (Hashtbl.length stn.edges)
+    (if consistent stn then "consistent" else "inconsistent")

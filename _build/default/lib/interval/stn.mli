@@ -1,0 +1,75 @@
+(** Simple Temporal Networks.
+
+    The quantitative companion to the qualitative {!Ia_network}: variables
+    are time {e points} and constraints are bounds on differences,
+    [lo <= p_j - p_i <= hi].  ROTA's breakpoint reasoning is naturally
+    metric — "step 2 must start at least 4 ticks after step 1 and finish
+    by the deadline" — and an STN decides such constraint systems exactly
+    in polynomial time (shortest paths on the distance graph, Bellman–Ford
+    with negative-cycle detection).
+
+    Variables are dense integers [0 .. size-1], with variable [0]
+    conventionally the temporal origin (anchor constraints to it to pin
+    absolute times). *)
+
+type t
+(** A mutable constraint store over time-point variables. *)
+
+val create : int -> t
+(** [create n] is the unconstrained STN on [n] variables.  Raises
+    [Invalid_argument] when [n < 1]. *)
+
+val size : t -> int
+
+val add_constraint : t -> ?lo:int -> ?hi:int -> int -> int -> unit
+(** [add_constraint stn ~lo ~hi i j] requires [lo <= p_j - p_i <= hi]
+    (either bound may be omitted).  Bounds accumulate: adding tightens.
+    Raises [Invalid_argument] on out-of-range variables. *)
+
+val before : t -> ?gap:int -> int -> int -> unit
+(** [before stn ~gap i j] requires [p_j - p_i >= gap] (default [gap = 0],
+    i.e. [i] not after [j]). *)
+
+val at : t -> int -> int -> unit
+(** [at stn i v] pins [p_i - p_0 = v]: variable [i] happens exactly [v]
+    ticks after the origin. *)
+
+val window : t -> int -> lo:int -> hi:int -> unit
+(** [window stn i ~lo ~hi] requires [lo <= p_i - p_0 <= hi]. *)
+
+val consistent : t -> bool
+(** Whether some assignment satisfies all constraints (no negative cycle
+    in the distance graph).  Runs Bellman–Ford; the result is cached until
+    the next constraint is added. *)
+
+val earliest : t -> int -> int option
+(** [earliest stn i] is the minimal feasible value of [p_i - p_0], or
+    [None] when the network is inconsistent.  A variable with no
+    constraint path to the origin is unbounded below; for those the value
+    in {!schedule}'s canonical assignment is reported. *)
+
+val latest : t -> int -> int option
+(** Maximal feasible value of [p_i - p_0]; [None] when inconsistent,
+    [Some max_int] when unbounded above. *)
+
+val schedule : t -> int array option
+(** A consistent assignment for all variables, with the origin at 0
+    (shortest-path potentials), or [None] when inconsistent. *)
+
+val distance : t -> int -> int -> int option
+(** [distance stn i j] is the tightest implied upper bound on
+    [p_j - p_i], [Some max_int] when unconstrained, [None] when the
+    network is inconsistent. *)
+
+val of_ia_scenario : Allen.relation array array -> t
+(** Encodes an atomic interval-algebra scenario over [n] intervals as an
+    STN over [2n + 1] points: variable [0] is the origin, [2i + 1] and
+    [2i + 2] are interval [i]'s start and stop.  Every start precedes its
+    stop by at least one tick and nothing precedes the origin, so
+    {!schedule} of a consistent encoding realizes the scenario with
+    concrete intervals — the metric counterpart of
+    [Ia_network.realize]. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+type t = int
+
+let origin = 0
+let dt = 1
+let compare = Int.compare
+let equal = Int.equal
+let min = Stdlib.min
+let max = Stdlib.max
+let add t d = t + d
+let diff t u = t - u
+let succ t = t + dt
+let pred t = t - dt
+let pp ppf t = Format.fprintf ppf "t%d" t
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,46 @@
+(** Discrete time for ROTA.
+
+    ROTA's transition rules advance the system in steps of the smallest
+    accountable time slice [dt] (the paper's delta-t).  We fix [dt = 1] and
+    represent time points as plain integers ("ticks").  All temporal
+    quantities in the library — interval endpoints, durations, deadlines —
+    are expressed in ticks, which keeps every computation exact (no
+    floating point anywhere in the logic). *)
+
+type t = int
+(** A time point, in ticks.  Time points may be negative (useful for
+    expressing windows relative to an origin), but all ROTA system
+    evolutions start at a concrete tick and move forward. *)
+
+val origin : t
+(** [origin] is tick [0], the conventional start of system time. *)
+
+val dt : t
+(** [dt] is the smallest time slice the system can account for; every
+    transition rule advances the clock by exactly [dt].  Fixed to [1]. *)
+
+val compare : t -> t -> int
+(** Total order on time points. *)
+
+val equal : t -> t -> bool
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val add : t -> t -> t
+(** [add t d] is the time point [d] ticks after [t]. *)
+
+val diff : t -> t -> t
+(** [diff t u] is the signed number of ticks from [u] to [t], i.e.
+    [t - u]. *)
+
+val succ : t -> t
+(** [succ t] is [add t dt]. *)
+
+val pred : t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints a time point as [t<n>], e.g. [t42]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/resource/import.ml: Rota_interval

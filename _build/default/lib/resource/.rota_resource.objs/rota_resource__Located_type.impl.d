@@ -1,0 +1,1 @@
+lib/resource/located_type.ml: Format Hashtbl Int Location String

@@ -1,0 +1,1 @@
+lib/resource/located_type.mli: Format Location

@@ -1,0 +1,1 @@
+lib/resource/location.ml: Format Hashtbl String

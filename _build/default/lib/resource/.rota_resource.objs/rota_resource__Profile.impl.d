@@ -1,0 +1,1 @@
+lib/resource/profile.ml: Format Import Int Interval Interval_set List Result Term Time

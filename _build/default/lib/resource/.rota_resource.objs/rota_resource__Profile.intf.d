@@ -1,0 +1,1 @@
+lib/resource/profile.mli: Format Import Interval Interval_set Located_type Term Time

@@ -1,0 +1,1 @@
+lib/resource/requirement.ml: Format Import Int Interval List Located_type Map Option Resource_set

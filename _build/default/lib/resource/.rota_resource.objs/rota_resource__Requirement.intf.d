@@ -1,0 +1,1 @@
+lib/resource/requirement.mli: Format Import Interval Located_type Resource_set

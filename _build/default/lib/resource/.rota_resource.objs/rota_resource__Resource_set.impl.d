@@ -1,0 +1,1 @@
+lib/resource/resource_set.ml: Format Import List Located_type Map Profile Result Term Time

@@ -1,0 +1,1 @@
+lib/resource/resource_set.mli: Format Import Interval Located_type Profile Term Time

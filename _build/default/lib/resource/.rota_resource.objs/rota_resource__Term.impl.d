@@ -1,0 +1,1 @@
+lib/resource/term.ml: Format Import Int Interval Located_type Printf

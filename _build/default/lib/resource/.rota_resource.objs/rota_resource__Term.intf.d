@@ -1,0 +1,1 @@
+lib/resource/term.mli: Format Import Interval Located_type

@@ -1,0 +1,5 @@
+(* Short aliases for the temporal substrate used throughout this library. *)
+module Time = Rota_interval.Time
+module Interval = Rota_interval.Interval
+module Interval_set = Rota_interval.Interval_set
+module Allen = Rota_interval.Allen

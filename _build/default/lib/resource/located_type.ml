@@ -1,0 +1,50 @@
+type t =
+  | Cpu of Location.t
+  | Memory of Location.t
+  | Network of Location.t * Location.t
+  | Custom of string * Location.t
+
+let cpu l = Cpu l
+let memory l = Memory l
+let network ~src ~dst = Network (src, dst)
+let custom kind l = Custom (kind, l)
+
+let rank = function
+  | Cpu _ -> 0
+  | Memory _ -> 1
+  | Network _ -> 2
+  | Custom _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Cpu la, Cpu lb | Memory la, Memory lb -> Location.compare la lb
+  | Network (sa, da), Network (sb, db) -> (
+      match Location.compare sa sb with
+      | 0 -> Location.compare da db
+      | c -> c)
+  | Custom (ka, la), Custom (kb, lb) -> (
+      match String.compare ka kb with 0 -> Location.compare la lb | c -> c)
+  | (Cpu _ | Memory _ | Network _ | Custom _), _ ->
+      Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let kind = function
+  | Cpu _ -> "cpu"
+  | Memory _ -> "memory"
+  | Network _ -> "network"
+  | Custom (k, _) -> k
+
+let locations = function
+  | Cpu l | Memory l | Custom (_, l) -> [ l ]
+  | Network (src, dst) -> [ src; dst ]
+
+let pp ppf = function
+  | Cpu l -> Format.fprintf ppf "<cpu,%a>" Location.pp l
+  | Memory l -> Format.fprintf ppf "<memory,%a>" Location.pp l
+  | Network (src, dst) ->
+      Format.fprintf ppf "<network,%a->%a>" Location.pp src Location.pp dst
+  | Custom (k, l) -> Format.fprintf ppf "<%s,%a>" k Location.pp l
+
+let to_string xi = Format.asprintf "%a" pp xi

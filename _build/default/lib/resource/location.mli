@@ -1,0 +1,23 @@
+(** Locations of resources and actors.
+
+    A location names a node of the open distributed system ([l1], [l2], ...
+    in the paper).  Locations are opaque atoms with a total order; the
+    resource layer only ever compares them. *)
+
+type t
+
+val make : string -> t
+(** [make name] is the location called [name].  Raises [Invalid_argument] on
+    the empty string. *)
+
+val name : t -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

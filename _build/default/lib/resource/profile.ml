@@ -1,0 +1,249 @@
+open Import
+
+type segment = { interval : Interval.t; rate : int }
+
+(* Invariant: segments sorted by start, pairwise disjoint, rates >= 1, and
+   no segment meets the next with the same rate (canonical form). *)
+type t = segment list
+
+type deficit = { at : Time.t; available : int; required : int }
+
+let empty = []
+let is_empty p = p = []
+let segments p = p
+
+(* Rebuild canonical form from a list of (boundary-disjoint) rate
+   rectangles: merge consecutive segments that meet with equal rates and
+   drop zero rates. *)
+let coalesce pieces =
+  let step acc piece =
+    match acc with
+    | prev :: rest
+      when prev.rate = piece.rate
+           && Interval.stop prev.interval = Interval.start piece.interval ->
+        { prev with interval = Interval.hull prev.interval piece.interval }
+        :: rest
+    | _ -> piece :: acc
+  in
+  List.rev (List.fold_left step [] pieces)
+
+(* Evaluate the pointwise sum of arbitrary rectangles by slicing time at
+   every rectangle boundary and summing rates on each elementary slice. *)
+let of_rectangles rects =
+  List.iter
+    (fun (_, r) ->
+      if r < 0 then invalid_arg "Profile: negative rate rectangle")
+    rects;
+  let rects = List.filter (fun (_, r) -> r > 0) rects in
+  let boundaries =
+    List.concat_map (fun (i, _) -> [ Interval.start i; Interval.stop i ]) rects
+    |> List.sort_uniq Time.compare
+  in
+  let rec slices = function
+    | a :: (b :: _ as rest) -> Interval.of_pair a b :: slices rest
+    | [ _ ] | [] -> []
+  in
+  let rate_on slice =
+    List.fold_left
+      (fun acc (i, r) -> if Interval.subset slice i then acc + r else acc)
+      0 rects
+  in
+  slices boundaries
+  |> List.filter_map (fun slice ->
+         let rate = rate_on slice in
+         if rate > 0 then Some { interval = slice; rate } else None)
+  |> coalesce
+
+let constant i r =
+  if r < 0 then invalid_arg "Profile.constant: negative rate"
+  else if r = 0 then empty
+  else [ { interval = i; rate = r } ]
+
+let of_segments l = of_rectangles l
+
+let rate_at p t =
+  let covering s = Interval.mem t s.interval in
+  match List.find_opt covering p with Some s -> s.rate | None -> 0
+
+let to_rectangles p = List.map (fun s -> (s.interval, s.rate)) p
+let add p q = of_rectangles (to_rectangles p @ to_rectangles q)
+
+(* Pointwise difference via boundary slicing; fails on the earliest tick
+   where q exceeds p. *)
+let sub p q =
+  let boundaries =
+    List.concat_map
+      (fun s -> [ Interval.start s.interval; Interval.stop s.interval ])
+      (p @ q)
+    |> List.sort_uniq Time.compare
+  in
+  let rec slices = function
+    | a :: (b :: _ as rest) -> Interval.of_pair a b :: slices rest
+    | [ _ ] | [] -> []
+  in
+  let exception Deficit of deficit in
+  let piece slice =
+    let t = Interval.start slice in
+    let have = rate_at p t and need = rate_at q t in
+    if have < need then
+      raise (Deficit { at = t; available = have; required = need })
+    else if have > need then
+      Some { interval = slice; rate = have - need }
+    else None
+  in
+  match List.filter_map piece (slices boundaries) with
+  | pieces -> Ok (coalesce pieces)
+  | exception Deficit d -> Error d
+
+let dominates p q = Result.is_ok (sub p q)
+
+let integrate p w =
+  let contribution s =
+    match Interval.inter s.interval w with
+    | Some overlap -> s.rate * Interval.duration overlap
+    | None -> 0
+  in
+  List.fold_left (fun acc s -> acc + contribution s) 0 p
+
+let total p =
+  List.fold_left (fun acc s -> acc + (s.rate * Interval.duration s.interval)) 0 p
+
+let min_rate p w =
+  (* The window must be fully covered, otherwise some tick has rate 0. *)
+  let covered =
+    Interval_set.subset
+      (Interval_set.of_interval w)
+      (Interval_set.of_list (List.map (fun s -> s.interval) p))
+  in
+  if not covered then 0
+  else
+    List.fold_left
+      (fun acc s ->
+        if Interval.overlaps s.interval w then min acc s.rate else acc)
+      max_int p
+
+let max_rate p = List.fold_left (fun acc s -> max acc s.rate) 0 p
+let support p = Interval_set.of_list (List.map (fun s -> s.interval) p)
+
+let restrict p w =
+  List.filter_map
+    (fun s ->
+      match Interval.inter s.interval w with
+      | Some i -> Some { s with interval = i }
+      | None -> None)
+    p
+
+let truncate_before p t =
+  List.filter_map
+    (fun s ->
+      match Interval.make ~start:(Time.max t (Interval.start s.interval))
+              ~stop:(Interval.stop s.interval)
+      with
+      | Some i -> Some { s with interval = i }
+      | None -> None)
+    p
+
+let shift p d = List.map (fun s -> { s with interval = Interval.shift s.interval d }) p
+
+let first = function [] -> None | s :: _ -> Some (Interval.start s.interval)
+
+let last p =
+  match List.rev p with
+  | [] -> None
+  | s :: _ -> Some (Time.pred (Interval.stop s.interval))
+
+let horizon p =
+  match List.rev p with [] -> None | s :: _ -> Some (Interval.stop s.interval)
+
+let completion_time p ~window ~quantity =
+  if quantity <= 0 then Some (Interval.start window)
+  else
+    let rec scan todo = function
+      | [] -> None
+      | s :: rest -> (
+          match Interval.inter s.interval window with
+          | None -> scan todo rest
+          | Some overlap ->
+              let supply = s.rate * Interval.duration overlap in
+              if supply >= todo then
+                (* Finishes inside [overlap]: ceil(todo / rate) ticks in. *)
+                let ticks = (todo + s.rate - 1) / s.rate in
+                Some (Time.add (Interval.start overlap) ticks)
+              else scan (todo - supply) rest)
+    in
+    scan quantity p
+
+let consume p ~window ~quantity =
+  if quantity < 0 then invalid_arg "Profile.consume: negative quantity"
+  else if quantity = 0 then Some (p, empty)
+  else
+    (* Walk available capacity inside the window earliest-first, taking the
+       full rate of each tick until the last tick takes the remainder. *)
+    let rec take todo acc = function
+      | [] -> None
+      | s :: rest -> (
+          match Interval.inter s.interval window with
+          | None -> take todo acc rest
+          | Some overlap ->
+              let supply = s.rate * Interval.duration overlap in
+              if supply <= todo then
+                let acc = (overlap, s.rate) :: acc in
+                if supply = todo then Some acc else take (todo - supply) acc rest
+              else
+                let full_ticks = todo / s.rate and remainder = todo mod s.rate in
+                let start = Interval.start overlap in
+                let acc =
+                  if full_ticks > 0 then
+                    (Interval.of_pair start (Time.add start full_ticks), s.rate)
+                    :: acc
+                  else acc
+                in
+                let acc =
+                  if remainder > 0 then
+                    let t = Time.add start full_ticks in
+                    (Interval.of_pair t (Time.succ t), remainder) :: acc
+                  else acc
+                in
+                Some acc)
+    in
+    match take quantity [] p with
+    | None -> None
+    | Some rects ->
+        let allocation = of_rectangles rects in
+        let remaining =
+          match sub p allocation with
+          | Ok r -> r
+          | Error _ ->
+              (* The allocation was carved out of [p], so subtraction cannot
+                 fail. *)
+              assert false
+        in
+        Some (remaining, allocation)
+
+let of_terms terms =
+  of_rectangles (List.map (fun t -> (Term.interval t, Term.rate t)) terms)
+
+let to_terms ~ltype p =
+  List.map (fun s -> Term.v s.rate s.interval ltype) p
+
+let compare_segment a b =
+  match Interval.compare a.interval b.interval with
+  | 0 -> Int.compare a.rate b.rate
+  | c -> c
+
+let compare p q = List.compare compare_segment p q
+let equal p q = compare p q = 0
+
+let pp ppf = function
+  | [] -> Format.pp_print_string ppf "0"
+  | p ->
+      let pp_segment ppf s =
+        Format.fprintf ppf "%d@%a" s.rate Interval.pp s.interval
+      in
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+        pp_segment ppf p
+
+let pp_deficit ppf d =
+  Format.fprintf ppf "deficit at %a: available %d, required %d" Time.pp d.at
+    d.available d.required

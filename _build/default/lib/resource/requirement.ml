@@ -1,0 +1,126 @@
+open Import
+
+type amount = { ltype : Located_type.t; quantity : int }
+
+let amount ltype quantity =
+  if quantity < 0 then invalid_arg "Requirement.amount: negative quantity"
+  else { ltype; quantity }
+
+type simple = { amounts : amount list; window : Interval.t }
+type step = amount list
+type complex = { steps : step list; window : Interval.t }
+type concurrent = { parts : complex list; window : Interval.t }
+
+(* Sum duplicate types, drop zeros, sort by type. *)
+let normalize_amounts amounts =
+  let module M = Map.Make (Located_type) in
+  let totals =
+    List.fold_left
+      (fun m a ->
+        if a.quantity < 0 then
+          invalid_arg "Requirement: negative quantity"
+        else
+          M.update a.ltype
+            (fun prev -> Some (Option.value prev ~default:0 + a.quantity))
+            m)
+      M.empty amounts
+  in
+  M.fold
+    (fun ltype quantity acc ->
+      if quantity > 0 then { ltype; quantity } :: acc else acc)
+    totals []
+  |> List.rev
+
+let make_simple ~amounts ~window = { amounts = normalize_amounts amounts; window }
+
+let make_complex ~steps ~window =
+  let steps =
+    List.filter_map
+      (fun step ->
+        match normalize_amounts step with [] -> None | s -> Some s)
+      steps
+  in
+  { steps; window }
+
+let make_concurrent ~parts ~window =
+  let parts = List.map (fun (p : complex) -> { p with window }) parts in
+  { parts; window }
+
+let simple_of_complex (c : complex) =
+  make_simple ~amounts:(List.concat c.steps) ~window:c.window
+
+let complex_of_simple (s : simple) = make_complex ~steps:[ s.amounts ] ~window:s.window
+
+let satisfied_simple theta (s : simple) =
+  List.for_all
+    (fun a -> Resource_set.integrate theta a.ltype s.window >= a.quantity)
+    s.amounts
+
+let unsatisfied_amounts theta (s : simple) =
+  List.filter_map
+    (fun a ->
+      let have = Resource_set.integrate theta a.ltype s.window in
+      if have >= a.quantity then None
+      else Some { a with quantity = a.quantity - have })
+    s.amounts
+
+let demand_simple (s : simple) = List.map (fun a -> (a.ltype, a.quantity)) s.amounts
+
+let demand_complex c =
+  (simple_of_complex c).amounts |> List.map (fun a -> (a.ltype, a.quantity))
+
+let total_quantity_complex (c : complex) =
+  List.fold_left
+    (fun acc step ->
+      List.fold_left (fun acc a -> acc + a.quantity) acc step)
+    0 c.steps
+
+let step_count (c : complex) = List.length c.steps
+
+let compare_amount a b =
+  match Located_type.compare a.ltype b.ltype with
+  | 0 -> Int.compare a.quantity b.quantity
+  | c -> c
+
+let equal_amount a b = compare_amount a b = 0
+
+let compare_complex (a : complex) (b : complex) =
+  match Interval.compare a.window b.window with
+  | 0 -> List.compare (List.compare compare_amount) a.steps b.steps
+  | c -> c
+
+let equal_simple (a : simple) (b : simple) =
+  Interval.equal a.window b.window
+  && List.equal equal_amount a.amounts b.amounts
+
+let equal_complex a b = compare_complex a b = 0
+
+let equal_concurrent (a : concurrent) (b : concurrent) =
+  Interval.equal a.window b.window
+  && List.equal equal_complex a.parts b.parts
+
+let pp_amount ppf a =
+  Format.fprintf ppf "{%d}_%a" a.quantity Located_type.pp a.ltype
+
+let pp_amounts ppf amounts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_amount ppf amounts
+
+let pp_simple ppf (s : simple) =
+  Format.fprintf ppf "rho(%a; %a)" pp_amounts s.amounts Interval.pp s.window
+
+let pp_complex ppf (c : complex) =
+  let pp_step ppf step = Format.fprintf ppf "[%a]" pp_amounts step in
+  Format.fprintf ppf "rho(%a; %a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ; ")
+       pp_step)
+    c.steps Interval.pp c.window
+
+let pp_concurrent ppf (c : concurrent) =
+  Format.fprintf ppf "rho({@[%a@]}; %a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ||@ ")
+       pp_complex)
+    c.parts Interval.pp c.window

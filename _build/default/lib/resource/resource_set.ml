@@ -1,0 +1,93 @@
+open Import
+
+module Ltmap = Map.Make (Located_type)
+
+type t = Profile.t Ltmap.t
+
+type deficit = { ltype : Located_type.t; deficit : Profile.deficit }
+
+let empty = Ltmap.empty
+let is_empty = Ltmap.is_empty
+
+let put xi profile set =
+  if Profile.is_empty profile then Ltmap.remove xi set
+  else Ltmap.add xi profile set
+
+let find xi set =
+  match Ltmap.find_opt xi set with Some p -> p | None -> Profile.empty
+
+let mem xi set = Ltmap.mem xi set
+
+let add_term term set =
+  let xi = Term.ltype term in
+  put xi (Profile.add (find xi set) (Profile.of_terms [ term ])) set
+
+let of_terms terms = List.fold_left (fun set t -> add_term t set) empty terms
+let singleton term = add_term term empty
+
+let to_terms set =
+  Ltmap.bindings set
+  |> List.concat_map (fun (xi, profile) -> Profile.to_terms ~ltype:xi profile)
+
+let union a b =
+  Ltmap.union (fun _ p q -> Some (Profile.add p q)) a b
+
+let diff a b =
+  let exception Failed of deficit in
+  let subtract xi q acc =
+    match Profile.sub (find xi a) q with
+    | Ok remaining -> put xi remaining acc
+    | Error d -> raise (Failed { ltype = xi; deficit = d })
+  in
+  match Ltmap.fold subtract b a with
+  | result -> Ok result
+  | exception Failed d -> Error d
+
+let dominates a b = Result.is_ok (diff a b)
+let domain set = List.map fst (Ltmap.bindings set)
+let integrate set xi w = Profile.integrate (find xi set) w
+let restrict set w =
+  Ltmap.filter_map (fun _ p ->
+      let p = Profile.restrict p w in
+      if Profile.is_empty p then None else Some p)
+    set
+
+let truncate_before set t =
+  Ltmap.filter_map (fun _ p ->
+      let p = Profile.truncate_before p t in
+      if Profile.is_empty p then None else Some p)
+    set
+
+let total set = Ltmap.fold (fun _ p acc -> acc + Profile.total p) set 0
+
+let horizon set =
+  Ltmap.fold
+    (fun _ p acc ->
+      match (Profile.horizon p, acc) with
+      | Some h, Some a -> Some (Time.max h a)
+      | Some h, None -> Some h
+      | None, a -> a)
+    set None
+
+let map_profiles f set =
+  Ltmap.fold (fun xi p acc -> put xi (f xi p) acc) set empty
+
+let fold f set init = Ltmap.fold f set init
+let update xi f set = put xi (f (find xi set)) set
+let equal a b = Ltmap.equal Profile.equal a b
+let compare a b = Ltmap.compare Profile.compare a b
+
+let pp ppf set =
+  let terms = to_terms set in
+  match terms with
+  | [] -> Format.pp_print_string ppf "{}"
+  | _ ->
+      Format.fprintf ppf "{@[%a@]}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           Term.pp)
+        terms
+
+let pp_deficit ppf d =
+  Format.fprintf ppf "%a: %a" Located_type.pp d.ltype Profile.pp_deficit
+    d.deficit

@@ -1,0 +1,90 @@
+open Import
+
+(** Resource sets — the paper's [Theta].
+
+    The resources of a distributed system are "a set of resource terms,
+    each with its own located type".  We keep the set in simplified
+    (canonical) form at all times: a finite map from located type to the
+    {!Profile} aggregating all terms of that type.  Union and relative
+    complement are then the pointwise profile operations, matching the
+    paper's union-with-simplification and its partial relative
+    complement. *)
+
+type t
+(** A simplified resource set.  Types mapped to the empty profile are not
+    represented, so structural equality is set equality. *)
+
+val empty : t
+
+val is_empty : t -> bool
+
+val of_terms : Term.t list -> t
+(** Union of arbitrary terms, simplified. *)
+
+val to_terms : t -> Term.t list
+(** The canonical terms, grouped by type in type order, each type's terms
+    in time order. *)
+
+val add_term : Term.t -> t -> t
+
+val singleton : Term.t -> t
+
+val union : t -> t -> t
+(** The paper's [Theta1 ∪ Theta2]: pointwise sum of availability.  Models
+    resources joining the system. *)
+
+type deficit = { ltype : Located_type.t; deficit : Profile.deficit }
+(** Witness that a relative complement was undefined: the type and tick at
+    which the subtrahend exceeded availability. *)
+
+val diff : t -> t -> (t, deficit) result
+(** The paper's relative complement [Theta1 \ Theta2], defined only when
+    every term of the subtrahend is dominated by availability in the
+    minuend.  Models committing resources (and the impossibility of
+    negative resource). *)
+
+val dominates : t -> t -> bool
+(** [dominates a b] iff [diff a b] is defined. *)
+
+val find : Located_type.t -> t -> Profile.t
+(** The availability profile of a type ({!Profile.empty} when absent). *)
+
+val mem : Located_type.t -> t -> bool
+
+val domain : t -> Located_type.t list
+(** Located types with any availability, in type order. *)
+
+val integrate : t -> Located_type.t -> Interval.t -> int
+(** Total quantity of a type available within a window — the paper's
+    [U_s^d Theta] aggregation for one type. *)
+
+val restrict : t -> Interval.t -> t
+(** Drops availability outside the window. *)
+
+val truncate_before : t -> Time.t -> t
+(** Expires all availability strictly before the given tick: how [Theta]
+    decays as the system clock advances. *)
+
+val total : t -> int
+(** Sum of all quantities over all types (a size measure). *)
+
+val horizon : t -> Time.t option
+(** One past the last tick with any availability. *)
+
+val map_profiles : (Located_type.t -> Profile.t -> Profile.t) -> t -> t
+(** Rebuilds the set by transforming each type's profile (empty results are
+    dropped). *)
+
+val fold : (Located_type.t -> Profile.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val update : Located_type.t -> (Profile.t -> Profile.t) -> t -> t
+(** Replaces one type's profile with a function of its current value. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as a set of terms in the paper's notation. *)
+
+val pp_deficit : Format.formatter -> deficit -> unit

@@ -1,0 +1,39 @@
+open Import
+
+type t = { rate : int; interval : Interval.t; ltype : Located_type.t }
+
+let make ~rate ~interval ~ltype =
+  if rate < 1 then None else Some { rate; interval; ltype }
+
+let v rate interval ltype =
+  match make ~rate ~interval ~ltype with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Term.v: non-positive rate %d" rate)
+
+let rate t = t.rate
+let interval t = t.interval
+let ltype t = t.ltype
+let quantity t = t.rate * Interval.duration t.interval
+
+let compare a b =
+  match Located_type.compare a.ltype b.ltype with
+  | 0 -> (
+      match Interval.compare a.interval b.interval with
+      | 0 -> Int.compare a.rate b.rate
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let ge a b =
+  Located_type.equal a.ltype b.ltype
+  && a.rate >= b.rate
+  && Interval.subset b.interval a.interval
+
+let gt a b = ge a b && a.rate > b.rate
+
+let pp ppf t =
+  Format.fprintf ppf "{%d}^%a_%a" t.rate Interval.pp t.interval Located_type.pp
+    t.ltype
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,57 @@
+open Import
+
+(** Resource terms.
+
+    The paper's central representation: a resource term [{r}^tau_xi] says
+    that resource of located type [xi] is available at rate [r] throughout
+    the time interval [tau].  The product [r * duration tau] is the total
+    quantity available over the course of the interval.
+
+    Rates are strictly positive integers: the paper rules out negative
+    resource terms, and a zero-rate term is the null resource, which "is
+    only defined during non-empty time intervals" — i.e. not a term at
+    all. *)
+
+type t = private {
+  rate : int;  (** Availability rate [r]; always [>= 1]. *)
+  interval : Interval.t;  (** The interval [tau] of existence. *)
+  ltype : Located_type.t;  (** The located type [xi]. *)
+}
+
+val make : rate:int -> interval:Interval.t -> ltype:Located_type.t -> t option
+(** [make ~rate ~interval ~ltype] is the resource term, or [None] when
+    [rate < 1]. *)
+
+val v : int -> Interval.t -> Located_type.t -> t
+(** [v rate interval ltype] is like {!make} but raises [Invalid_argument] on
+    a non-positive rate.  Intended for literals. *)
+
+val rate : t -> int
+
+val interval : t -> Interval.t
+
+val ltype : t -> Located_type.t
+
+val quantity : t -> int
+(** [quantity term] is the total amount available over the term's interval:
+    [rate * duration] (the paper's footnote 1). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val gt : t -> t -> bool
+(** The paper's resource-term inequality: [gt t1 t2] iff both have the same
+    located type, [rate t1 > rate t2], and the interval of [t2] is contained
+    in that of [t1].  A computation needing [t2] can then use [t1] instead,
+    with some to spare.  Note this is deliberately {e not} a comparison of
+    total quantities: quantity outside the needed window does not help. *)
+
+val ge : t -> t -> bool
+(** Like {!gt} but admits equal rates: sufficient (not surplus)
+    availability. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's notation, e.g. [{5}^[0,3)_<cpu,l1>]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/scheduler/admission.ml: Accommodation Actor_name Calendar Computation Cost_model Format Import Interval List Located_type Map Option Precedence Printf Program Requirement Result Session String

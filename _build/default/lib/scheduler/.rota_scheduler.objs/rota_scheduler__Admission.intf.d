@@ -1,0 +1,1 @@
+lib/scheduler/admission.mli: Accommodation Actor_name Calendar Computation Cost_model Format Import Interval Located_type Resource_set Session Time

@@ -1,0 +1,1 @@
+lib/scheduler/calendar.ml: Accommodation Actor_name Format Import Interval List Printf Resource_set String

@@ -1,0 +1,1 @@
+lib/scheduler/calendar.mli: Accommodation Actor_name Format Import Interval Located_type Resource_set Time

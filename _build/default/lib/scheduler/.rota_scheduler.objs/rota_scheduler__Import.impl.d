@@ -1,0 +1,1 @@
+lib/scheduler/import.ml: Rota Rota_actor Rota_interval Rota_resource

@@ -1,0 +1,1 @@
+lib/scheduler/planner.ml: Accommodation Action Cost_model Format Import Int Interval List Location Program Time

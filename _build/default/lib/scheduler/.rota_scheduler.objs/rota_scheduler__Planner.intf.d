@@ -1,0 +1,1 @@
+lib/scheduler/planner.mli: Accommodation Action Actor_name Cost_model Format Import Interval Location Program Resource_set Time

@@ -1,0 +1,1 @@
+lib/scheduler/pool.ml: Admission Calendar Format Import List Option Printf Resource_set String

@@ -1,0 +1,1 @@
+lib/scheduler/pool.mli: Admission Computation Cost_model Format Import Resource_set Time

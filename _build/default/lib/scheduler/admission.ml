@@ -1,0 +1,302 @@
+open Import
+
+type policy =
+  | Rota
+  | Rota_unmerged
+  | Rota_given_order
+  | Aggregate
+  | Optimistic
+
+let policy_name = function
+  | Rota -> "rota"
+  | Rota_unmerged -> "rota-unmerged"
+  | Rota_given_order -> "rota-given-order"
+  | Aggregate -> "aggregate"
+  | Optimistic -> "optimistic"
+
+let all_policies = [ Rota; Rota_unmerged; Rota_given_order; Aggregate; Optimistic ]
+
+type outcome = {
+  admitted : bool;
+  reason : string;
+  schedules : (Actor_name.t * Accommodation.schedule) list option;
+}
+
+type demand = {
+  computation : string;
+  window : Interval.t;
+  totals : (Located_type.t * int) list;
+}
+
+type t = {
+  policy : policy;
+  cost_model : Cost_model.t;
+  calendar : Calendar.t;
+  demands : demand list;  (** Aggregate baseline's ledger. *)
+}
+
+let create ?(cost_model = Cost_model.default) policy capacity =
+  { policy; cost_model; calendar = Calendar.create capacity; demands = [] }
+
+let policy c = c.policy
+let calendar c = c.calendar
+let residual c = Calendar.residual c.calendar
+
+let admitted_demands c =
+  List.map (fun d -> (d.computation, d.window, d.totals)) c.demands
+
+let total_demand cost_model computation =
+  let conc = Computation.to_concurrent cost_model computation in
+  let module M = Map.Make (Located_type) in
+  let totals =
+    List.fold_left
+      (fun m part ->
+        List.fold_left
+          (fun m (xi, q) ->
+            M.update xi (fun prev -> Some (Option.value prev ~default:0 + q)) m)
+          m
+          (Requirement.demand_complex part))
+      M.empty conc.Requirement.parts
+  in
+  M.bindings totals
+
+let reject reason = { admitted = false; reason; schedules = None }
+
+let admit ?schedules reason = { admitted = true; reason; schedules }
+
+(* Theorem 4: schedule the newcomer on the residual and commit. *)
+let request_rota ?(merge = true) ?order c ~now:_ computation =
+  let conc = Computation.to_concurrent ~merge c.cost_model computation in
+  let theta = residual c in
+  let result =
+    match order with
+    | Some order -> Accommodation.schedule_concurrent ~order theta conc
+    | None -> Accommodation.schedule_concurrent theta conc
+  in
+  match result with
+  | None ->
+      (c, reject "residual expiring resources cannot satisfy the requirement")
+  | Some schedules ->
+      let named =
+        List.map2
+          (fun (p : Program.t) s -> (p.Program.name, s))
+          computation.Computation.programs schedules
+      in
+      let entry =
+        {
+          Calendar.computation = computation.Computation.id;
+          window = Computation.window computation;
+          reservation = Accommodation.reservation_of_schedules schedules;
+          schedules = named;
+        }
+      in
+      (match Calendar.commit c.calendar entry with
+      | Ok calendar ->
+          ( { c with calendar },
+            admit ~schedules:named "reservation committed (Theorem 4)" )
+      | Error e ->
+          (* Cannot happen: the reservation was carved from the residual. *)
+          (c, reject ("internal: " ^ e)))
+
+let request_aggregate c ~now:_ computation =
+  let window = Computation.window computation in
+  let totals = total_demand c.cost_model computation in
+  let overlapping_committed xi =
+    List.fold_left
+      (fun acc d ->
+        if Interval.overlaps d.window window then
+          acc
+          + List.fold_left
+              (fun acc (xj, q) -> if Located_type.equal xi xj then acc + q else acc)
+              0 d.totals
+        else acc)
+      0 c.demands
+  in
+  let fits =
+    List.for_all
+      (fun (xi, q) ->
+        Calendar.capacity_quantity c.calendar xi window
+        - overlapping_committed xi
+        >= q)
+      totals
+  in
+  if not fits then (c, reject "aggregate quantities do not fit")
+  else
+    let d = { computation = computation.Computation.id; window; totals } in
+    ( { c with demands = d :: c.demands },
+      admit "aggregate quantities fit (no ordering check)" )
+
+let session_totals cost_model session =
+  let nodes = Session.to_nodes cost_model session in
+  let module M = Map.Make (Located_type) in
+  let totals =
+    List.fold_left
+      (fun m (n : Precedence.node) ->
+        List.fold_left
+          (fun m (xi, q) ->
+            M.update xi (fun prev -> Some (Option.value prev ~default:0 + q)) m)
+          m
+          (Requirement.demand_complex n.Precedence.requirement))
+      M.empty nodes
+  in
+  M.bindings totals
+
+let session_window (s : Session.t) =
+  Interval.of_pair s.Session.start s.Session.deadline
+
+(* Theorem 4 lifted to sessions: dependency-aware scheduling on the
+   residual, then commit. *)
+let request_session_rota c ~now:_ session =
+  let nodes = Session.to_nodes c.cost_model session in
+  match Precedence.schedule (residual c) nodes with
+  | Error e ->
+      ( c,
+        reject
+          (Format.asprintf "residual cannot carry the session: %a"
+             Precedence.pp_error e) )
+  | Ok placements ->
+      let named =
+        List.map
+          (fun (p : Precedence.placement) ->
+            (Actor_name.make p.Precedence.node, p.Precedence.schedule))
+          placements
+      in
+      let reservation =
+        Accommodation.reservation_of_schedules (List.map snd named)
+      in
+      let entry =
+        {
+          Calendar.computation = session.Session.id;
+          window = session_window session;
+          reservation;
+          schedules = named;
+        }
+      in
+      (match Calendar.commit c.calendar entry with
+      | Ok calendar ->
+          ( { c with calendar },
+            admit ~schedules:named "session reservation committed (Theorem 4)" )
+      | Error e -> (c, reject ("internal: " ^ e)))
+
+let ledger_fits c ~window totals =
+  let overlapping_committed xi =
+    List.fold_left
+      (fun acc d ->
+        if Interval.overlaps d.window window then
+          acc
+          + List.fold_left
+              (fun acc (xj, q) -> if Located_type.equal xi xj then acc + q else acc)
+              0 d.totals
+        else acc)
+      0 c.demands
+  in
+  List.for_all
+    (fun (xi, q) ->
+      Calendar.capacity_quantity c.calendar xi window - overlapping_committed xi
+      >= q)
+    totals
+
+let request_session c ~now session =
+  if now >= session.Session.deadline then (c, reject "deadline already passed")
+  else if
+    List.exists
+      (fun d -> String.equal d.computation session.Session.id)
+      c.demands
+    || Option.is_some (Calendar.find c.calendar ~computation:session.Session.id)
+  then (c, reject (Printf.sprintf "%s is already admitted" session.Session.id))
+  else
+    match c.policy with
+    | Rota | Rota_unmerged | Rota_given_order ->
+        request_session_rota c ~now session
+    | Aggregate ->
+        let window = session_window session in
+        let totals = session_totals c.cost_model session in
+        if not (ledger_fits c ~window totals) then
+          (c, reject "aggregate quantities do not fit")
+        else
+          let d = { computation = session.Session.id; window; totals } in
+          ( { c with demands = d :: c.demands },
+            admit "aggregate quantities fit (no ordering check)" )
+    | Optimistic ->
+        let d =
+          {
+            computation = session.Session.id;
+            window = session_window session;
+            totals = session_totals c.cost_model session;
+          }
+        in
+        ({ c with demands = d :: c.demands }, admit "optimistic admission")
+
+let request c ~now computation =
+  if now >= computation.Computation.deadline then
+    (c, reject "deadline already passed")
+  else
+    match c.policy with
+    | Rota -> request_rota c ~now computation
+    | Rota_unmerged -> request_rota ~merge:false c ~now computation
+    | Rota_given_order ->
+        request_rota ~order:Accommodation.Order.Given c ~now computation
+    | Aggregate -> request_aggregate c ~now computation
+    | Optimistic ->
+        let d =
+          {
+            computation = computation.Computation.id;
+            window = Computation.window computation;
+            totals = total_demand c.cost_model computation;
+          }
+        in
+        ({ c with demands = d :: c.demands }, admit "optimistic admission")
+
+let withdraw c ~now ~computation =
+  let in_calendar = Calendar.find c.calendar ~computation in
+  let in_demands =
+    List.find_opt (fun d -> String.equal d.computation computation) c.demands
+  in
+  let window =
+    match (in_calendar, in_demands) with
+    | Some entry, _ -> Some entry.Calendar.window
+    | None, Some d -> Some d.window
+    | None, None -> None
+  in
+  match window with
+  | None -> Error (Printf.sprintf "computation %s is not admitted" computation)
+  | Some window ->
+      if now >= Interval.start window then
+        Error
+          (Printf.sprintf
+             "computation %s has already started (s=%d, now=%d): cannot leave"
+             computation (Interval.start window) now)
+      else
+        Ok
+          {
+            c with
+            calendar = Calendar.release c.calendar ~computation;
+            demands =
+              List.filter
+                (fun d -> not (String.equal d.computation computation))
+                c.demands;
+          }
+
+let complete c ~computation =
+  {
+    c with
+    calendar = Calendar.release c.calendar ~computation;
+    demands =
+      List.filter (fun d -> not (String.equal d.computation computation)) c.demands;
+  }
+
+let add_capacity c theta =
+  { c with calendar = Calendar.add_capacity c.calendar theta }
+
+let remove_capacity c slice =
+  Result.map (fun calendar -> { c with calendar })
+    (Calendar.remove_capacity c.calendar slice)
+
+let adopt c entry =
+  Result.map (fun calendar -> { c with calendar })
+    (Calendar.commit c.calendar entry)
+
+let advance c now = { c with calendar = Calendar.advance c.calendar now }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%s (%s)" (if o.admitted then "admit" else "reject") o.reason

@@ -1,0 +1,76 @@
+open Import
+
+type entry = {
+  computation : string;
+  window : Interval.t;
+  reservation : Resource_set.t;
+  schedules : (Actor_name.t * Accommodation.schedule) list;
+}
+
+type t = { capacity : Resource_set.t; entries : entry list }
+
+let create capacity = { capacity; entries = [] }
+let capacity c = c.capacity
+let entries c = c.entries
+
+let committed c =
+  List.fold_left
+    (fun acc e -> Resource_set.union acc e.reservation)
+    Resource_set.empty c.entries
+
+let residual c =
+  match Resource_set.diff c.capacity (committed c) with
+  | Ok r -> r
+  | Error _ ->
+      (* [commit] never lets commitments exceed capacity. *)
+      assert false
+
+let commit c entry =
+  if List.exists (fun e -> String.equal e.computation entry.computation) c.entries
+  then Error (Printf.sprintf "calendar: %s already committed" entry.computation)
+  else if not (Resource_set.dominates (residual c) entry.reservation) then
+    Error
+      (Printf.sprintf
+         "calendar: reservation for %s exceeds the residual capacity"
+         entry.computation)
+  else Ok { c with entries = entry :: c.entries }
+
+let release c ~computation =
+  {
+    c with
+    entries =
+      List.filter (fun e -> not (String.equal e.computation computation)) c.entries;
+  }
+
+let find c ~computation =
+  List.find_opt (fun e -> String.equal e.computation computation) c.entries
+
+let add_capacity c theta = { c with capacity = Resource_set.union c.capacity theta }
+
+let remove_capacity c slice =
+  if not (Resource_set.dominates (residual c) slice) then
+    Error "calendar: cannot withdraw committed or absent capacity"
+  else
+    match Resource_set.diff c.capacity slice with
+    | Ok capacity -> Ok { c with capacity }
+    | Error _ ->
+        (* [slice] is dominated by the residual, a subset of capacity. *)
+        assert false
+
+let advance c now =
+  {
+    capacity = Resource_set.truncate_before c.capacity now;
+    entries =
+      List.map
+        (fun e ->
+          { e with reservation = Resource_set.truncate_before e.reservation now })
+        c.entries;
+  }
+
+let committed_quantity c xi w = Resource_set.integrate (committed c) xi w
+let capacity_quantity c xi w = Resource_set.integrate c.capacity xi w
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>calendar: capacity %a@ %d entries, residual %a@]"
+    Resource_set.pp c.capacity (List.length c.entries) Resource_set.pp
+    (residual c)

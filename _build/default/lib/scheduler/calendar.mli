@@ -1,0 +1,66 @@
+open Import
+
+(** The commitment ledger.
+
+    A calendar tracks the system's capacity (all acquired resources, as a
+    resource set over time) and the reservations committed to admitted
+    computations.  Its {!residual} — capacity minus commitments — is
+    exactly the paper's "resources which will expire unless new
+    computations requiring them enter the system": the availability that
+    Theorem 4 lets a new computation claim without disturbing anyone. *)
+
+type entry = {
+  computation : string;
+  window : Interval.t;
+  reservation : Resource_set.t;
+      (** Exactly which resources, and when, this computation will use. *)
+  schedules : (Actor_name.t * Accommodation.schedule) list;
+      (** The per-actor certificates behind the reservation. *)
+}
+
+type t = private {
+  capacity : Resource_set.t;
+  entries : entry list;  (** Most recently committed first. *)
+}
+
+val create : Resource_set.t -> t
+
+val capacity : t -> Resource_set.t
+
+val entries : t -> entry list
+
+val committed : t -> Resource_set.t
+(** Union of all reservations. *)
+
+val residual : t -> Resource_set.t
+(** Capacity minus commitments — the expiring resources offered to new
+    computations.  An invariant of {!commit} is that this is always
+    well-defined (commitments never exceed capacity). *)
+
+val commit : t -> entry -> (t, string) result
+(** Adds an entry; fails when its reservation is not covered by the current
+    residual (which would disturb existing commitments). *)
+
+val release : t -> computation:string -> t
+(** Drops a computation's entry (on completion, cancellation or deadline
+    kill); its unused reservation returns to the residual.  Unknown ids are
+    ignored. *)
+
+val find : t -> computation:string -> entry option
+
+val add_capacity : t -> Resource_set.t -> t
+(** Resources joining the system. *)
+
+val remove_capacity : t -> Resource_set.t -> (t, string) result
+(** Withdraws capacity — used when delegating a slice to a child
+    encapsulation (see [Pool]).  Fails when the slice is not covered by
+    the {e residual} (committed resources cannot be withdrawn). *)
+
+val advance : t -> Time.t -> t
+(** Expires capacity and reservations strictly before the given tick. *)
+
+val committed_quantity : t -> Located_type.t -> Interval.t -> int
+
+val capacity_quantity : t -> Located_type.t -> Interval.t -> int
+
+val pp : Format.formatter -> t -> unit

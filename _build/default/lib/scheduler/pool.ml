@@ -1,0 +1,133 @@
+open Import
+
+type t = { name : string; controller : Admission.t; children : t list }
+
+let root ?cost_model ~name capacity =
+  { name; controller = Admission.create ?cost_model Admission.Rota capacity; children = [] }
+
+let rec find pool name =
+  if String.equal pool.name name then Some pool
+  else List.find_map (fun child -> find child name) pool.children
+
+let rec fold f pool acc =
+  List.fold_left (fun acc child -> fold f child acc) (f pool acc) pool.children
+
+let names pool = List.rev (fold (fun p acc -> p.name :: acc) pool [])
+
+let capacity pool = Calendar.capacity (Admission.calendar pool.controller)
+let residual pool = Admission.residual pool.controller
+
+let total_capacity pool =
+  fold (fun p acc -> Resource_set.union acc (capacity p)) pool Resource_set.empty
+
+(* Rebuild the tree with the pool called [name] replaced by [f pool];
+   [None] when the name is absent. *)
+let rec update pool name f =
+  if String.equal pool.name name then Some (f pool)
+  else
+    let rec try_children acc = function
+      | [] -> None
+      | child :: rest -> (
+          match update child name f with
+          | Some child' -> Some (List.rev_append acc (child' :: rest))
+          | None -> try_children (child :: acc) rest)
+    in
+    Option.map (fun children -> { pool with children })
+      (try_children [] pool.children)
+
+let subdivide pool ~parent ~name ~slice =
+  if Option.is_some (find pool name) then
+    Error (Printf.sprintf "pool %s already exists" name)
+  else
+    match find pool parent with
+    | None -> Error (Printf.sprintf "unknown pool %s" parent)
+    | Some parent_pool -> (
+        match Admission.remove_capacity parent_pool.controller slice with
+        | Error e -> Error e
+        | Ok controller ->
+            let child =
+              {
+                name;
+                controller = Admission.create Admission.Rota slice;
+                children = [];
+              }
+            in
+            let replace p =
+              { p with controller; children = child :: p.children }
+            in
+            (match update pool parent replace with
+            | Some pool -> Ok pool
+            | None -> assert false (* [find] succeeded above *)))
+
+let admit pool ~pool:pool_name ~now computation =
+  match find pool pool_name with
+  | None -> Error (Printf.sprintf "unknown pool %s" pool_name)
+  | Some target ->
+      let controller, outcome =
+        Admission.request target.controller ~now computation
+      in
+      let replace p = { p with controller } in
+      (match update pool pool_name replace with
+      | Some pool -> Ok (pool, outcome)
+      | None -> assert false)
+
+let complete pool ~pool:pool_name ~computation =
+  match find pool pool_name with
+  | None -> Error (Printf.sprintf "unknown pool %s" pool_name)
+  | Some target ->
+      let controller = Admission.complete target.controller ~computation in
+      let replace p = { p with controller } in
+      (match update pool pool_name replace with
+      | Some pool -> Ok pool
+      | None -> assert false)
+
+(* Find the parent of the pool called [name]. *)
+let rec parent_of pool name =
+  if List.exists (fun c -> String.equal c.name name) pool.children then
+    Some pool
+  else List.find_map (fun c -> parent_of c name) pool.children
+
+let assimilate pool ~child =
+  if String.equal pool.name child then Error "cannot assimilate the root"
+  else
+    match (find pool child, parent_of pool child) with
+    | None, _ | _, None -> Error (Printf.sprintf "unknown pool %s" child)
+    | Some child_pool, Some parent_pool ->
+        if child_pool.children <> [] then
+          Error (Printf.sprintf "pool %s still has children" child)
+        else
+          let child_calendar = Admission.calendar child_pool.controller in
+          let replace p =
+            (* Return the child's capacity, then re-commit its live
+               reservations: they were carved from exactly that capacity,
+               so every adoption succeeds. *)
+            let controller =
+              Admission.add_capacity p.controller (Calendar.capacity child_calendar)
+            in
+            let controller =
+              List.fold_left
+                (fun controller (entry : Calendar.entry) ->
+                  match Admission.adopt controller entry with
+                  | Ok controller -> controller
+                  | Error _ -> assert false)
+                controller
+                (Calendar.entries child_calendar)
+            in
+            {
+              p with
+              controller;
+              children =
+                List.filter
+                  (fun c -> not (String.equal c.name child))
+                  p.children;
+            }
+          in
+          (match update pool parent_pool.name replace with
+          | Some pool -> Ok pool
+          | None -> assert false)
+
+let rec pp ppf pool =
+  Format.fprintf ppf "@[<v2>%s: capacity %a@ %a@]" pool.name Resource_set.pp
+    (capacity pool)
+    (Format.pp_print_list pp)
+    pool.children

@@ -1,0 +1,69 @@
+open Import
+
+(** Hierarchical resource encapsulations (CyberOrgs-inspired).
+
+    The paper inherits from CyberOrgs the idea that resources and the
+    computations using them live inside {b encapsulations}, and proposes
+    (Section VI) to tame the cost of ROTA reasoning by scoping it to one
+    encapsulation at a time.  This module provides that structure: a tree
+    of pools, each with its own capacity slice and its own ROTA admission
+    controller.
+
+    - {!subdivide} carves a slice out of a pool's {e residual} (never out
+      of committed reservations) and hands it to a new child;
+    - {!admit} runs the Theorem-4 admission inside one named pool,
+      touching only that pool's resources — experiment E7 measures what
+      this scoping saves;
+    - {!assimilate} dissolves a leaf child back into its parent, returning
+      its capacity and re-committing its reservations (both cannot fail:
+      the child's commitments were carved from capacity the parent
+      regains).
+
+    Pool names are unique across the whole tree. *)
+
+type t = private {
+  name : string;
+  controller : Admission.t;
+  children : t list;
+}
+
+val root : ?cost_model:Cost_model.t -> name:string -> Resource_set.t -> t
+(** A single encapsulation holding all capacity, with a ROTA controller. *)
+
+val find : t -> string -> t option
+(** Lookup by name anywhere in the tree. *)
+
+val names : t -> string list
+(** All pool names, preorder. *)
+
+val capacity : t -> Resource_set.t
+(** The pool's own capacity (excluding its children's). *)
+
+val residual : t -> Resource_set.t
+(** The pool's own uncommitted capacity. *)
+
+val total_capacity : t -> Resource_set.t
+(** Capacity of the pool and all descendants. *)
+
+val subdivide :
+  t -> parent:string -> name:string -> slice:Resource_set.t -> (t, string) result
+(** Creates a child of [parent] owning [slice], withdrawn from the
+    parent's residual.  Fails when the parent is unknown, the name is
+    taken, or the slice is not covered by the residual. *)
+
+val admit :
+  t -> pool:string -> now:Time.t -> Computation.t -> (t * Admission.outcome, string) result
+(** Theorem-4 admission scoped to one pool. *)
+
+val complete : t -> pool:string -> computation:string -> (t, string) result
+(** Releases a computation's reservation inside its pool. *)
+
+val assimilate : t -> child:string -> (t, string) result
+(** Dissolves a {e leaf} child into its parent: capacity returns, active
+    reservations transfer.  Fails on unknown names, the root, or a child
+    that still has children of its own. *)
+
+val fold : (t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Preorder fold over every pool. *)
+
+val pp : Format.formatter -> t -> unit

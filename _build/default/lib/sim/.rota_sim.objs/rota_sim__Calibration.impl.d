@@ -1,0 +1,1 @@
+lib/sim/calibration.ml: Computation Cost_model Engine Format Import List Located_type Precedence Requirement Session String Trace

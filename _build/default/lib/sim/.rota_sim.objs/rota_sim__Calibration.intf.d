@@ -1,0 +1,1 @@
+lib/sim/calibration.mli: Admission Cost_model Engine Format Import Trace

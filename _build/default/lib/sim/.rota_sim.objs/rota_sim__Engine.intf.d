@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Admission Cost_model Format Import Located_type Time Trace

@@ -1,0 +1,1 @@
+lib/sim/import.ml: Rota Rota_actor Rota_interval Rota_resource Rota_scheduler

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Computation Format Import List Option Resource_set Rota Time

@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Computation Format Import Resource_set Rota Time

@@ -1,0 +1,515 @@
+open Import
+
+type dispatch = Auto | Reservation | Shared
+
+type outcome = {
+  computation : string;
+  arrived : Time.t;
+  deadline : Time.t;
+  admitted : bool;
+  reject_reason : string option;
+  finished : Time.t option;
+  unfinished : (Located_type.t * int) list;
+}
+
+let on_time o =
+  o.admitted
+  && match o.finished with Some t -> t <= o.deadline | None -> false
+
+let missed o = o.admitted && not (on_time o)
+
+type type_stat = { ltype : Located_type.t; capacity : int; consumed : int }
+
+type report = {
+  policy : Admission.policy;
+  dispatch_used : dispatch;
+  horizon : Time.t;
+  offered : int;
+  admitted : int;
+  rejected : int;
+  completed_on_time : int;
+  missed_deadlines : int;
+  capacity_total : int;
+  consumed_total : int;
+  type_stats : type_stat list;
+  outcomes : outcome list;
+}
+
+let utilization r =
+  if r.capacity_total <= 0 then 0.
+  else float_of_int r.consumed_total /. float_of_int r.capacity_total
+
+let goodput r =
+  if r.offered <= 0 then 0.
+  else float_of_int r.completed_on_time /. float_of_int r.offered
+
+let is_rota_family = function
+  | Admission.Rota | Admission.Rota_unmerged | Admission.Rota_given_order ->
+      true
+  | Admission.Aggregate | Admission.Optimistic -> false
+
+(* Processor sharing of one type's rate among wanting actors: an even
+   split, with the remainder going to the earliest deadlines. *)
+let shared_allocations rate wanters =
+  let n = List.length wanters in
+  if n = 0 then []
+  else
+    let base = rate / n and extra = rate mod n in
+    List.mapi (fun i w -> (w, if i < extra then base + 1 else base)) wanters
+
+let head_wants (p : State.pending) xi =
+  match p.State.steps with
+  | [] -> false
+  | head :: _ ->
+      List.exists
+        (fun (a : Requirement.amount) -> Located_type.equal a.Requirement.ltype xi)
+        head
+
+type event =
+  | Capacity_joined of { at : Time.t; quantity : int }
+  | Admitted of { id : string; at : Time.t }
+  | Rejected of { id : string; at : Time.t; reason : string }
+  | Completed of { id : string; at : Time.t }
+  | Killed of { id : string; at : Time.t; owed : int }
+
+let pp_event ppf = function
+  | Capacity_joined { at; quantity } ->
+      Format.fprintf ppf "t%d capacity +%d" at quantity
+  | Admitted { id; at } -> Format.fprintf ppf "t%d admitted %s" at id
+  | Rejected { id; at; reason } ->
+      Format.fprintf ppf "t%d rejected %s (%s)" at id reason
+  | Completed { id; at } -> Format.fprintf ppf "t%d completed %s" at id
+  | Killed { id; at; owed } ->
+      Format.fprintf ppf "t%d killed %s (owed %d)" at id owed
+
+let run ?(cost_model = Cost_model.default) ?true_cost_model
+    ?(dispatch = Auto) ?(observer = fun (_ : event) -> ()) ~policy trace =
+  let true_cost_model = Option.value true_cost_model ~default:cost_model in
+  let horizon = Trace.horizon trace in
+  let dispatch_used =
+    match dispatch with
+    | Auto -> if is_rota_family policy then Reservation else Shared
+    | (Reservation | Shared) as d -> d
+  in
+  let events = Event_queue.of_list (Trace.events trace) in
+  let state = ref (State.make ~available:Resource_set.empty ~now:0) in
+  let admission = ref (Admission.create ~cost_model policy Resource_set.empty) in
+  let outcomes : (string, outcome) Hashtbl.t = Hashtbl.create 64 in
+  let arrival_order = ref [] in
+  let running : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let capacity_total = ref 0 and consumed_total = ref 0 in
+  let offered = ref 0 in
+  let per_type_capacity : (Located_type.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let per_type_consumed : (Located_type.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump tbl xi q =
+    Hashtbl.replace tbl xi (q + Option.value (Hashtbl.find_opt tbl xi) ~default:0)
+  in
+  (* Interacting-actor sessions: each segment runs as its own pending batch
+     under a derived id, released only once its dependencies complete. *)
+  let module Srt = struct
+    type t = {
+      session : Session.t;
+      nodes : Precedence.node list;
+      mutable released : string list;  (* node ids accommodated so far *)
+      mutable completed : string list;  (* node ids fully drained *)
+    }
+  end in
+  let active_sessions : (string, Srt.t) Hashtbl.t = Hashtbl.create 8 in
+  let segment_cid session_id node_id = session_id ^ "/" ^ node_id in
+
+  let record_finish id at =
+    match Hashtbl.find_opt outcomes id with
+    | Some o when o.finished = None ->
+        Hashtbl.replace outcomes id { o with finished = Some at };
+        Hashtbl.remove running id;
+        admission := Admission.complete !admission ~computation:id;
+        observer (Completed { id; at })
+    | Some _ | None -> ()
+  in
+
+  let consume ~computation ~actor amounts =
+    let amounts = List.filter (fun (_, q) -> q > 0) amounts in
+    if amounts <> [] then begin
+      (* Clamp to what the pending actually still needs, so accounting is
+         exact even when a share overshoots the remaining requirement. *)
+      let needed =
+        match
+          List.find_opt
+            (fun (p : State.pending) ->
+              String.equal p.State.computation computation
+              && Actor_name.equal p.State.actor actor)
+            !state.State.pending
+        with
+        | None -> []
+        | Some p -> (
+            match p.State.steps with
+            | [] -> []
+            | head :: _ ->
+                List.map
+                  (fun (xi, q) ->
+                    let need =
+                      List.fold_left
+                        (fun acc (a : Requirement.amount) ->
+                          if Located_type.equal a.Requirement.ltype xi then
+                            acc + a.Requirement.quantity
+                          else acc)
+                        0 head
+                    in
+                    (xi, min q need))
+                  amounts)
+      in
+      let total = List.fold_left (fun acc (_, q) -> acc + q) 0 needed in
+      if total > 0 then begin
+        consumed_total := !consumed_total + total;
+        List.iter (fun (xi, q) -> bump per_type_consumed xi q) needed;
+        state := State.consume_in_head !state ~computation ~actor needed
+      end
+    end
+  in
+
+  (* Accommodate every segment whose dependencies have all completed and
+     whose work is non-empty; empty segments complete instantly, possibly
+     cascading further releases. *)
+  let rec release_ready (rt : Srt.t) now =
+    let id = rt.Srt.session.Session.id in
+    let progressed = ref false in
+    List.iter
+      (fun (n : Precedence.node) ->
+        let nid = n.Precedence.id in
+        if
+          (not (List.mem nid rt.Srt.released))
+          && List.for_all (fun d -> List.mem d rt.Srt.completed) n.Precedence.deps
+        then begin
+          rt.Srt.released <- nid :: rt.Srt.released;
+          progressed := true;
+          let steps = n.Precedence.requirement.Requirement.steps in
+          if steps = [] then rt.Srt.completed <- nid :: rt.Srt.completed
+          else
+            (* A segment released at (or past) the deadline has no window
+               left; it stays pending-less and the deadline pass kills the
+               session. *)
+            match
+              Interval.make
+                ~start:(Time.max now rt.Srt.session.Session.start)
+                ~stop:rt.Srt.session.Session.deadline
+            with
+            | None -> ()
+            | Some window -> (
+                match
+                  State.accommodate_parts !state ~id:(segment_cid id nid)
+                    ~window
+                    [ (Actor_name.make nid, steps) ]
+                with
+                | Ok s -> state := s
+                | Error e -> failwith ("engine: session segment: " ^ e))
+        end)
+      rt.Srt.nodes;
+    if !progressed then release_ready rt now
+  in
+
+  let process_session_arrival t session =
+    incr offered;
+    let id = session.Session.id in
+    arrival_order := id :: !arrival_order;
+    let adm, decision = Admission.request_session !admission ~now:t session in
+    admission := adm;
+    Hashtbl.replace outcomes id
+      {
+        computation = id;
+        arrived = t;
+        deadline = session.Session.deadline;
+        admitted = decision.Admission.admitted;
+        reject_reason =
+          (if decision.Admission.admitted then None
+           else Some decision.Admission.reason);
+        finished = None;
+        unfinished = [];
+      };
+    (if decision.Admission.admitted then observer (Admitted { id; at = t })
+     else observer (Rejected { id; at = t; reason = decision.Admission.reason }));
+    if decision.Admission.admitted then begin
+      let rt =
+        {
+          Srt.session;
+          nodes = Session.to_nodes true_cost_model session;
+          released = [];
+          completed = [];
+        }
+      in
+      Hashtbl.replace active_sessions id rt;
+      Hashtbl.replace running id ();
+      release_ready rt t;
+      if List.length rt.Srt.completed = List.length rt.Srt.nodes then begin
+        Hashtbl.remove active_sessions id;
+        record_finish id t
+      end
+    end
+  in
+
+  let process_event t = function
+    | Trace.Join theta ->
+        let clipped = Resource_set.truncate_before theta t in
+        let counted =
+          match Interval.make ~start:t ~stop:horizon with
+          | Some w ->
+              let within = Resource_set.restrict clipped w in
+              Resource_set.fold
+                (fun xi profile () -> bump per_type_capacity xi (Profile.total profile))
+                within ();
+              Resource_set.total within
+          | None -> 0
+        in
+        capacity_total := !capacity_total + counted;
+        state := State.acquire !state clipped;
+        admission := Admission.add_capacity !admission clipped;
+        observer (Capacity_joined { at = t; quantity = counted })
+    | Trace.Arrive_session session -> process_session_arrival t session
+    | Trace.Arrive computation ->
+        incr offered;
+        let id = computation.Computation.id in
+        arrival_order := id :: !arrival_order;
+        let adm, decision = Admission.request !admission ~now:t computation in
+        admission := adm;
+        let outcome =
+          {
+            computation = id;
+            arrived = t;
+            deadline = computation.Computation.deadline;
+            admitted = decision.Admission.admitted;
+            reject_reason =
+              (if decision.Admission.admitted then None
+               else Some decision.Admission.reason);
+            finished = None;
+            unfinished = [];
+          }
+        in
+        Hashtbl.replace outcomes id outcome;
+        (if decision.Admission.admitted then observer (Admitted { id; at = t })
+         else
+           observer
+             (Rejected { id; at = t; reason = decision.Admission.reason }));
+        if decision.Admission.admitted then begin
+          let conc = Computation.to_concurrent true_cost_model computation in
+          let parts =
+            List.map2
+              (fun (p : Program.t) (part : Requirement.complex) ->
+                (p.Program.name, part.Requirement.steps))
+              computation.Computation.programs conc.Requirement.parts
+          in
+          match
+            State.accommodate_parts !state ~id
+              ~window:(Computation.window computation)
+              parts
+          with
+          | Ok s ->
+              state := s;
+              Hashtbl.replace running id ();
+              (* A workless computation finishes instantly. *)
+              if State.pending_of s ~computation:id = [] then record_finish id t
+          | Error e ->
+              (* Ids are unique per trace and deadlines were checked by the
+                 admission layer. *)
+              failwith ("engine: accommodate failed: " ^ e)
+        end
+  in
+
+  let dispatch_reservation t =
+    let calendar = Admission.calendar !admission in
+    List.iter
+      (fun (entry : Calendar.entry) ->
+        let is_session = Hashtbl.mem active_sessions entry.Calendar.computation in
+        List.iter
+          (fun (actor, (schedule : Accommodation.schedule)) ->
+            let amounts =
+              Resource_set.fold
+                (fun xi profile acc ->
+                  let rate = Profile.rate_at profile t in
+                  if rate > 0 then (xi, rate) :: acc else acc)
+                schedule.Accommodation.reservation []
+            in
+            let computation =
+              if is_session then
+                segment_cid entry.Calendar.computation (Actor_name.name actor)
+              else entry.Calendar.computation
+            in
+            consume ~computation ~actor amounts)
+          entry.Calendar.schedules)
+      (Calendar.entries calendar)
+  in
+
+  let dispatch_shared t =
+    let snapshot = !state in
+    Resource_set.fold
+      (fun xi profile () ->
+        let rate = Profile.rate_at profile t in
+        if rate > 0 then begin
+          let wanters =
+            List.filter
+              (fun (p : State.pending) ->
+                Interval.mem t p.State.window && head_wants p xi)
+              snapshot.State.pending
+            |> List.sort
+                 (fun (p1 : State.pending) (p2 : State.pending) ->
+                   match
+                     Time.compare
+                       (Interval.stop p1.State.window)
+                       (Interval.stop p2.State.window)
+                   with
+                   | 0 -> String.compare p1.State.computation p2.State.computation
+                   | c -> c)
+          in
+          List.iter
+            (fun ((p : State.pending), share) ->
+              consume ~computation:p.State.computation ~actor:p.State.actor
+                [ (xi, share) ])
+            (shared_allocations rate wanters)
+        end)
+      snapshot.State.available ()
+  in
+
+  for t = 0 to horizon - 1 do
+    List.iter (fun (_, e) -> process_event t e) (Event_queue.pop_until events t);
+    (match dispatch_used with
+    | Reservation -> dispatch_reservation t
+    | Shared -> dispatch_shared t
+    | Auto -> assert false);
+    (* Completions: session segments first (they may release successors)... *)
+    Hashtbl.iter
+      (fun id (rt : Srt.t) ->
+        let newly_done =
+          List.filter
+            (fun nid ->
+              (not (List.mem nid rt.Srt.completed))
+              && State.pending_of !state ~computation:(segment_cid id nid) = [])
+            rt.Srt.released
+        in
+        if newly_done <> [] then begin
+          rt.Srt.completed <- newly_done @ rt.Srt.completed;
+          release_ready rt (Time.succ t)
+        end;
+        if List.length rt.Srt.completed = List.length rt.Srt.nodes then begin
+          Hashtbl.remove active_sessions id;
+          record_finish id (Time.succ t)
+        end)
+      (Hashtbl.copy active_sessions);
+    (* ... then plain computations. *)
+    Hashtbl.iter
+      (fun id () ->
+        if
+          (not (Hashtbl.mem active_sessions id))
+          && State.pending_of !state ~computation:id = []
+        then record_finish id (Time.succ t))
+      (Hashtbl.copy running);
+    (* ... and deadline kills, recording the work still owed. *)
+    let pending_remainder cid =
+      List.concat_map
+        (fun (p : State.pending) ->
+          List.concat_map
+            (fun step ->
+              List.map
+                (fun (a : Requirement.amount) ->
+                  (a.Requirement.ltype, a.Requirement.quantity))
+                step)
+            p.State.steps)
+        (State.pending_of !state ~computation:cid)
+    in
+    Hashtbl.iter
+      (fun id () ->
+        match Hashtbl.find_opt outcomes id with
+        | Some o when o.deadline <= Time.succ t ->
+            let unfinished =
+              match Hashtbl.find_opt active_sessions id with
+              | Some rt ->
+                  (* Released segments owe their pending remainder; segments
+                     never released owe their whole requirement. *)
+                  let from_released =
+                    List.concat_map
+                      (fun nid -> pending_remainder (segment_cid id nid))
+                      rt.Srt.released
+                  in
+                  let from_unreleased =
+                    List.concat_map
+                      (fun (n : Precedence.node) ->
+                        if List.mem n.Precedence.id rt.Srt.released then []
+                        else Requirement.demand_complex n.Precedence.requirement)
+                      rt.Srt.nodes
+                  in
+                  from_released @ from_unreleased
+              | None -> pending_remainder id
+            in
+            Hashtbl.replace outcomes id { o with unfinished };
+            observer
+              (Killed
+                 {
+                   id;
+                   at = Time.succ t;
+                   owed = List.fold_left (fun acc (_, q) -> acc + q) 0 unfinished;
+                 });
+            (match Hashtbl.find_opt active_sessions id with
+            | Some rt ->
+                List.iter
+                  (fun nid ->
+                    state := State.drop !state ~computation:(segment_cid id nid))
+                  rt.Srt.released;
+                Hashtbl.remove active_sessions id
+            | None -> state := State.drop !state ~computation:id);
+            Hashtbl.remove running id;
+            admission := Admission.complete !admission ~computation:id
+        | Some _ | None -> ())
+      (Hashtbl.copy running);
+    state := State.tick !state;
+    admission := Admission.advance !admission (Time.succ t)
+  done;
+
+  let outcomes_list =
+    List.rev_map (fun id -> Hashtbl.find outcomes id) !arrival_order
+  in
+  let count f = List.length (List.filter f outcomes_list) in
+  let type_stats =
+    Hashtbl.fold (fun xi capacity acc -> (xi, capacity) :: acc) per_type_capacity []
+    |> List.sort (fun (a, _) (b, _) -> Located_type.compare a b)
+    |> List.map (fun (ltype, capacity) ->
+           {
+             ltype;
+             capacity;
+             consumed =
+               Option.value (Hashtbl.find_opt per_type_consumed ltype) ~default:0;
+           })
+  in
+  {
+    policy;
+    dispatch_used;
+    horizon;
+    offered = !offered;
+    admitted = count (fun o -> o.admitted);
+    rejected = count (fun o -> not o.admitted);
+    completed_on_time = count on_time;
+    missed_deadlines = count missed;
+    capacity_total = !capacity_total;
+    consumed_total = !consumed_total;
+    type_stats;
+    outcomes = outcomes_list;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%-16s %-11s offered=%3d admitted=%3d rejected=%3d on-time=%3d missed=%3d util=%.2f goodput=%.2f"
+    (Admission.policy_name r.policy)
+    (match r.dispatch_used with
+    | Reservation -> "reservation"
+    | Shared -> "shared"
+    | Auto -> "auto")
+    r.offered r.admitted r.rejected r.completed_on_time r.missed_deadlines
+    (utilization r) (goodput r)
+
+let pp_type_stats ppf r =
+  List.iter
+    (fun s ->
+      let util =
+        if s.capacity <= 0 then 0.
+        else float_of_int s.consumed /. float_of_int s.capacity
+      in
+      Format.fprintf ppf "%-24s capacity=%6d consumed=%6d util=%.2f@."
+        (Format.asprintf "%a" Located_type.pp s.ltype)
+        s.capacity s.consumed util)
+    r.type_stats

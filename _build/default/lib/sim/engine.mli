@@ -1,0 +1,109 @@
+open Import
+
+(** Discrete-event execution of an open distributed system.
+
+    The engine replays a {!Trace} — resources joining, computations
+    arriving — under an admission policy, actually {e executes} the
+    admitted computations tick by tick, and reports who finished by their
+    deadline.  It is the ground truth the reasoning layer is judged
+    against: ROTA's claim is that everything it admits finishes on time.
+
+    Two dispatch modes:
+
+    - {b Reservation}: each admitted computation consumes exactly what its
+      committed schedule reserved, tick by tick.  Only meaningful for the
+      Rota policies (the others book no reservations).
+    - {b Shared}: processor-sharing — each tick, each resource type's rate
+      is split evenly among the actors whose current step wants it (the
+      remainder going to the earliest deadlines).  This is how a system
+      without reservations behaves, and is what the baseline policies are
+      executed under. *)
+
+type dispatch = Auto | Reservation | Shared
+(** [Auto] picks [Reservation] for Rota-family policies and [Shared]
+    otherwise. *)
+
+(** Run-time notifications, for observability: the engine reports each
+    admission decision, completion, deadline kill and capacity join as it
+    happens (in simulated-time order). *)
+type event =
+  | Capacity_joined of { at : Time.t; quantity : int }
+  | Admitted of { id : string; at : Time.t }
+  | Rejected of { id : string; at : Time.t; reason : string }
+  | Completed of { id : string; at : Time.t }
+  | Killed of { id : string; at : Time.t; owed : int }
+      (** Deadline kill; [owed] is the total quantity still unfinished. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type outcome = {
+  computation : string;
+  arrived : Time.t;
+  deadline : Time.t;
+  admitted : bool;
+  reject_reason : string option;  (** When not admitted. *)
+  finished : Time.t option;
+      (** Tick by which the computation had drained, when it did. *)
+  unfinished : (Located_type.t * int) list;
+      (** Work still owed when the deadline killed it (empty when it
+          finished or was rejected).  Consumed + unfinished is the {e
+          true} demand — the signal {!Calibration} uses. *)
+}
+
+val on_time : outcome -> bool
+(** Admitted, finished, and finished by the deadline. *)
+
+val missed : outcome -> bool
+(** Admitted but not finished by the deadline. *)
+
+type type_stat = {
+  ltype : Located_type.t;
+  capacity : int;  (** Quantity offered within the run. *)
+  consumed : int;  (** Quantity actually consumed. *)
+}
+
+type report = {
+  policy : Admission.policy;
+  dispatch_used : dispatch;  (** [Reservation] or [Shared], never [Auto]. *)
+  horizon : Time.t;
+  offered : int;
+  admitted : int;
+  rejected : int;
+  completed_on_time : int;
+  missed_deadlines : int;
+  capacity_total : int;
+      (** Total resource quantity offered within the run. *)
+  consumed_total : int;  (** Total quantity actually consumed. *)
+  type_stats : type_stat list;
+      (** Per-type capacity/consumption breakdown, in type order. *)
+  outcomes : outcome list;  (** In arrival order. *)
+}
+
+val utilization : report -> float
+(** [consumed_total / capacity_total] (0 when no capacity). *)
+
+val goodput : report -> float
+(** Fraction of offered computations that completed on time. *)
+
+val run :
+  ?cost_model:Cost_model.t ->
+  ?true_cost_model:Cost_model.t ->
+  ?dispatch:dispatch ->
+  ?observer:(event -> unit) ->
+  policy:Admission.policy ->
+  Trace.t ->
+  report
+(** Replays the trace to its horizon.
+
+    [cost_model] is what the {e reasoning} believes (admission prices
+    requirements with it); [true_cost_model] (default: the same) is what
+    execution {e actually} costs.  When they differ — the paper's
+    "estimates could be used and revised as necessary" — even ROTA
+    reservations can fall short and deadlines can be missed; see
+    {!Calibration} for closing the gap. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** A one-line summary row. *)
+
+val pp_type_stats : Format.formatter -> report -> unit
+(** One line per resource type: capacity, consumed, utilization. *)

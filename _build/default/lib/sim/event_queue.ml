@@ -1,0 +1,96 @@
+open Import
+
+type 'a entry = { time : Time.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap] is a binary min-heap on [(time, seq)] in [heap.(0..size-1)];
+     [seq] breaks ties FIFO. *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let length q = q.size
+let is_empty q = q.size = 0
+
+let entry_before a b =
+  match Time.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < q.size && entry_before q.heap.(left) q.heap.(!smallest) then
+    smallest := left;
+  if right < q.size && entry_before q.heap.(right) q.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let grow q =
+  let capacity = max 8 (2 * Array.length q.heap) in
+  let heap = Array.make capacity q.heap.(0) in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+let add q ~time payload =
+  let entry = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = 0 && Array.length q.heap = 0 then q.heap <- Array.make 8 entry;
+  if q.size = Array.length q.heap then grow q;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let pop_until q t =
+  let rec loop acc =
+    match peek_time q with
+    | Some time when time <= t -> (
+        match pop q with Some e -> loop (e :: acc) | None -> acc)
+    | Some _ | None -> acc
+  in
+  List.rev (loop [])
+
+let of_list events =
+  let q = create () in
+  List.iter (fun (time, payload) -> add q ~time payload) events;
+  q
+
+let to_sorted_list q =
+  let copy = { heap = Array.copy q.heap; size = q.size; next_seq = q.next_seq } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some e -> drain (e :: acc)
+  in
+  drain []

@@ -1,0 +1,31 @@
+open Import
+
+(** A time-ordered event queue (binary min-heap).
+
+    Events popped in non-decreasing time order; events with equal times
+    come out in insertion (FIFO) order, which keeps simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:Time.t -> 'a -> unit
+
+val peek_time : 'a t -> Time.t option
+(** Time of the next event without removing it. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Earliest event (FIFO among equals). *)
+
+val pop_until : 'a t -> Time.t -> (Time.t * 'a) list
+(** All events with [time <= t], earliest first. *)
+
+val of_list : (Time.t * 'a) list -> 'a t
+
+val to_sorted_list : 'a t -> (Time.t * 'a) list
+(** Drains a copy of the queue; the queue itself is unchanged. *)

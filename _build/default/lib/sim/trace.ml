@@ -1,0 +1,60 @@
+open Import
+
+type event =
+  | Join of Resource_set.t
+  | Arrive of Computation.t
+  | Arrive_session of Rota.Session.t
+
+type t = (Time.t * event) list
+
+let of_events events =
+  List.stable_sort (fun (t1, _) (t2, _) -> Time.compare t1 t2) events
+
+let events t = t
+let merge a b = of_events (a @ b)
+let length = List.length
+
+let arrivals t =
+  List.filter_map
+    (function
+      | time, Arrive c -> Some (time, c)
+      | _, (Join _ | Arrive_session _) -> None)
+    t
+
+let joins t =
+  List.filter_map
+    (function
+      | time, Join r -> Some (time, r)
+      | _, (Arrive _ | Arrive_session _) -> None)
+    t
+
+let sessions t =
+  List.filter_map
+    (function
+      | time, Arrive_session s -> Some (time, s)
+      | _, (Join _ | Arrive _) -> None)
+    t
+
+let horizon t =
+  List.fold_left
+    (fun acc (time, event) ->
+      let event_horizon =
+        match event with
+        | Join r -> Option.value (Resource_set.horizon r) ~default:time
+        | Arrive c -> c.Computation.deadline
+        | Arrive_session s -> s.Rota.Session.deadline
+      in
+      Time.max acc (Time.max (Time.succ time) event_horizon))
+    0 t
+
+let initial_capacity theta = [ (0, Join theta) ]
+
+let pp ppf t =
+  let pp_event ppf (time, event) =
+    match event with
+    | Join r -> Format.fprintf ppf "%a join %a" Time.pp time Resource_set.pp r
+    | Arrive c -> Format.fprintf ppf "%a arrive %a" Time.pp time Computation.pp c
+    | Arrive_session s ->
+        Format.fprintf ppf "%a arrive %a" Time.pp time Rota.Session.pp s
+  in
+  Format.pp_print_list pp_event ppf t

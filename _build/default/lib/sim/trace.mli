@@ -1,0 +1,43 @@
+open Import
+
+(** Open-system traces.
+
+    A trace is the environment of an open distributed system: resources
+    joining (each bringing terms that say when they leave again — the
+    paper's "if a resource is going to leave ... the time of leaving must
+    be explicitly specified at the time of joining"), and computations
+    arriving and requesting admission. *)
+
+type event =
+  | Join of Resource_set.t  (** Resources joining at this instant. *)
+  | Arrive of Computation.t  (** A computation requesting admission. *)
+  | Arrive_session of Rota.Session.t
+      (** An interacting-actor session requesting admission. *)
+
+type t
+(** A time-sorted sequence of events (stable for equal times). *)
+
+val of_events : (Time.t * event) list -> t
+(** Sorts by time, keeping the given order among simultaneous events. *)
+
+val events : t -> (Time.t * event) list
+
+val merge : t -> t -> t
+
+val length : t -> int
+
+val arrivals : t -> (Time.t * Computation.t) list
+
+val joins : t -> (Time.t * Resource_set.t) list
+
+val sessions : t -> (Time.t * Rota.Session.t) list
+
+val horizon : t -> Time.t
+(** One past the last instant anything happens: the max of event times,
+    joined availability horizons and computation deadlines.  [0] for the
+    empty trace. *)
+
+val initial_capacity : Resource_set.t -> t
+(** A single [Join] at time 0 — the closed-system special case. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/syntax/document.ml: Action Actor_name Array Buffer Computation Format Import Interval Lexer List Located_type Location Printf Program Resource_set Session String Term Time Trace

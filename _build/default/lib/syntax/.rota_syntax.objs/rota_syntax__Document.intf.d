@@ -1,0 +1,1 @@
+lib/syntax/document.mli: Computation Format Import Resource_set Session Term Time Trace

@@ -1,0 +1,1 @@
+lib/syntax/import.ml: Rota Rota_actor Rota_interval Rota_resource Rota_sim

@@ -1,0 +1,1 @@
+lib/syntax/lexer.ml: Format List Printf String

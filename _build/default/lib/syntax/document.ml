@@ -1,0 +1,337 @@
+open Import
+
+type resource = { term : Term.t; join_at : Time.t }
+
+type t = {
+  resources : resource list;
+  computations : Computation.t list;
+  sessions : Session.t list;
+}
+
+(* --- parsing ------------------------------------------------------------- *)
+
+exception Parse_error of string * int
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error (message, line))) fmt
+
+type stream = { tokens : Lexer.located array; mutable pos : int }
+
+let peek s =
+  if s.pos < Array.length s.tokens then Some s.tokens.(s.pos) else None
+
+let line_of s =
+  match peek s with
+  | Some t -> t.Lexer.line
+  | None -> (
+      match Array.length s.tokens with
+      | 0 -> 1
+      | n -> s.tokens.(n - 1).Lexer.line)
+
+let next s =
+  match peek s with
+  | Some t ->
+      s.pos <- s.pos + 1;
+      t
+  | None -> fail (line_of s) "unexpected end of input"
+
+let expect_newline s =
+  match next s with
+  | { Lexer.token = Lexer.Newline; _ } -> ()
+  | t -> fail t.Lexer.line "expected end of line, got %a" Lexer.pp_token t.Lexer.token
+
+let expect_int s what =
+  match next s with
+  | { Lexer.token = Lexer.Int n; _ } -> n
+  | t -> fail t.Lexer.line "expected %s (an integer), got %a" what Lexer.pp_token t.Lexer.token
+
+let expect_ident s what =
+  match next s with
+  | { Lexer.token = Lexer.Ident id; _ } -> id
+  | t -> fail t.Lexer.line "expected %s, got %a" what Lexer.pp_token t.Lexer.token
+
+let expect_keyword s kw =
+  let t = next s in
+  match t.Lexer.token with
+  | Lexer.Ident id when String.equal id kw -> ()
+  | other -> fail t.Lexer.line "expected %S, got %a" kw Lexer.pp_token other
+
+let accept_keyword s kw =
+  match peek s with
+  | Some { Lexer.token = Lexer.Ident id; _ } when String.equal id kw ->
+      s.pos <- s.pos + 1;
+      true
+  | _ -> false
+
+let accept s token =
+  match peek s with
+  | Some t when t.Lexer.token = token ->
+      s.pos <- s.pos + 1;
+      true
+  | _ -> false
+
+let parse_interval s =
+  expect_keyword s "from";
+  let start = expect_int s "the start tick" in
+  expect_keyword s "to";
+  let stop = expect_int s "the end tick" in
+  if start >= stop then fail (line_of s) "empty interval [%d,%d)" start stop;
+  Interval.of_pair start stop
+
+let parse_resource s =
+  (* After the [resource] keyword. *)
+  let line = line_of s in
+  let kind = expect_ident s "a resource kind" in
+  let ltype =
+    if String.equal kind "network" then begin
+      let src = expect_ident s "the source location" in
+      if not (accept s Lexer.Arrow) then fail (line_of s) "expected \"->\"";
+      let dst = expect_ident s "the destination location" in
+      Located_type.network ~src:(Location.make src) ~dst:(Location.make dst)
+    end
+    else begin
+      if not (accept s Lexer.At_sign) then
+        fail (line_of s) "expected \"@\" after resource kind %s" kind;
+      let where = Location.make (expect_ident s "a location") in
+      match kind with
+      | "cpu" -> Located_type.cpu where
+      | "memory" -> Located_type.memory where
+      | custom -> Located_type.custom custom where
+    end
+  in
+  expect_keyword s "rate";
+  let rate = expect_int s "the rate" in
+  if rate < 1 then fail line "rate must be positive, got %d" rate;
+  let interval = parse_interval s in
+  let join_at = if accept_keyword s "join" then expect_int s "the join tick" else 0 in
+  expect_newline s;
+  { term = Term.v rate interval ltype; join_at }
+
+let parse_action s =
+  (* The keyword has been peeked, not consumed. *)
+  let kw = expect_ident s "an action" in
+  let action =
+    match kw with
+    | "evaluate" -> Action.evaluate (expect_int s "the complexity")
+    | "send" ->
+        let dest = Actor_name.make (expect_ident s "the destination actor") in
+        let size =
+          if accept_keyword s "size" then expect_int s "the message size" else 1
+        in
+        Action.send ~dest ~size
+    | "create" -> Action.create (Actor_name.make (expect_ident s "the child actor"))
+    | "ready" -> Action.ready
+    | "migrate" -> Action.migrate (Location.make (expect_ident s "the target location"))
+    | other -> fail (line_of s) "unknown action %S" other
+  in
+  expect_newline s;
+  action
+
+let rec parse_actions s acc =
+  match peek s with
+  | Some { Lexer.token = Lexer.Ident kw; _ }
+    when List.mem kw [ "evaluate"; "send"; "create"; "ready"; "migrate" ] ->
+      parse_actions s (parse_action s :: acc)
+  | _ -> List.rev acc
+
+let parse_event s =
+  match peek s with
+  | Some { Lexer.token = Lexer.Ident "await"; _ } ->
+      s.pos <- s.pos + 1;
+      let sender = Actor_name.make (expect_ident s "the awaited actor") in
+      expect_newline s;
+      Session.Await sender
+  | _ -> Session.Act (parse_action s)
+
+let rec parse_events s acc =
+  match peek s with
+  | Some { Lexer.token = Lexer.Ident kw; _ }
+    when List.mem kw
+           [ "evaluate"; "send"; "create"; "ready"; "migrate"; "await" ] ->
+      parse_events s (parse_event s :: acc)
+  | _ -> List.rev acc
+
+let parse_actor s =
+  expect_keyword s "actor";
+  let name = Actor_name.make (expect_ident s "the actor name") in
+  expect_keyword s "at";
+  let home = Location.make (expect_ident s "the home location") in
+  expect_newline s;
+  let actions = parse_actions s [] in
+  Program.make ~name ~home actions
+
+let rec parse_actors s acc =
+  match peek s with
+  | Some { Lexer.token = Lexer.Ident "actor"; _ } ->
+      parse_actors s (parse_actor s :: acc)
+  | _ -> List.rev acc
+
+let parse_participant s =
+  expect_keyword s "actor";
+  let name = Actor_name.make (expect_ident s "the actor name") in
+  expect_keyword s "at";
+  let home = Location.make (expect_ident s "the home location") in
+  expect_newline s;
+  Session.participant ~name ~home (parse_events s [])
+
+let rec parse_participants s acc =
+  match peek s with
+  | Some { Lexer.token = Lexer.Ident "actor"; _ } ->
+      parse_participants s (parse_participant s :: acc)
+  | _ -> List.rev acc
+
+let parse_session s =
+  (* After the [session] keyword. *)
+  let line = line_of s in
+  let id = expect_ident s "the session id" in
+  expect_keyword s "start";
+  let start = expect_int s "the start tick" in
+  expect_keyword s "deadline";
+  let deadline = expect_int s "the deadline tick" in
+  expect_newline s;
+  let participants = parse_participants s [] in
+  match Session.make ~id ~start ~deadline participants with
+  | Ok session -> session
+  | Error msg -> fail line "%s" msg
+
+let parse_computation s =
+  (* After the [computation] keyword. *)
+  let line = line_of s in
+  let id = expect_ident s "the computation id" in
+  expect_keyword s "start";
+  let start = expect_int s "the start tick" in
+  expect_keyword s "deadline";
+  let deadline = expect_int s "the deadline tick" in
+  expect_newline s;
+  let programs = parse_actors s [] in
+  match Computation.make ~id ~start ~deadline programs with
+  | c -> c
+  | exception Invalid_argument msg -> fail line "%s" msg
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error e -> Error (Format.asprintf "%a" Lexer.pp_error e)
+  | Ok tokens -> (
+      let s = { tokens = Array.of_list tokens; pos = 0 } in
+      let resources = ref [] and computations = ref [] and sessions = ref [] in
+      let rec loop () =
+        match peek s with
+        | None -> ()
+        | Some { Lexer.token = Lexer.Newline; _ } ->
+            s.pos <- s.pos + 1;
+            loop ()
+        | Some { Lexer.token = Lexer.Ident "resource"; _ } ->
+            s.pos <- s.pos + 1;
+            resources := parse_resource s :: !resources;
+            loop ()
+        | Some { Lexer.token = Lexer.Ident "computation"; _ } ->
+            s.pos <- s.pos + 1;
+            computations := parse_computation s :: !computations;
+            loop ()
+        | Some { Lexer.token = Lexer.Ident "session"; _ } ->
+            s.pos <- s.pos + 1;
+            sessions := parse_session s :: !sessions;
+            loop ()
+        | Some t ->
+            fail t.Lexer.line
+              "expected \"resource\", \"computation\" or \"session\", got %a"
+              Lexer.pp_token t.Lexer.token
+      in
+      match loop () with
+      | () ->
+          Ok
+            {
+              resources = List.rev !resources;
+              computations = List.rev !computations;
+              sessions = List.rev !sessions;
+            }
+      | exception Parse_error (message, line) ->
+          Error (Printf.sprintf "line %d: %s" line message))
+
+(* --- semantics ------------------------------------------------------------ *)
+
+let capacity doc = Resource_set.of_terms (List.map (fun r -> r.term) doc.resources)
+
+let to_trace doc =
+  let joins =
+    List.map
+      (fun r -> (r.join_at, Trace.Join (Resource_set.singleton r.term)))
+      doc.resources
+  in
+  let arrivals =
+    List.map
+      (fun (c : Computation.t) -> (c.Computation.start, Trace.Arrive c))
+      doc.computations
+  in
+  let session_arrivals =
+    List.map
+      (fun (s : Session.t) -> (s.Session.start, Trace.Arrive_session s))
+      doc.sessions
+  in
+  Trace.of_events (joins @ arrivals @ session_arrivals)
+
+(* --- printing ------------------------------------------------------------- *)
+
+let print_ltype buf xi =
+  match (xi : Located_type.t) with
+  | Located_type.Cpu l -> Printf.bprintf buf "cpu@%s" (Location.name l)
+  | Located_type.Memory l -> Printf.bprintf buf "memory@%s" (Location.name l)
+  | Located_type.Network (src, dst) ->
+      Printf.bprintf buf "network %s -> %s" (Location.name src) (Location.name dst)
+  | Located_type.Custom (kind, l) ->
+      Printf.bprintf buf "%s@%s" kind (Location.name l)
+
+let print_action buf (a : Action.t) =
+  match a with
+  | Action.Evaluate { complexity } -> Printf.bprintf buf "    evaluate %d\n" complexity
+  | Action.Send { dest; size } ->
+      Printf.bprintf buf "    send %s size %d\n" (Actor_name.name dest) size
+  | Action.Create { child } -> Printf.bprintf buf "    create %s\n" (Actor_name.name child)
+  | Action.Ready -> Buffer.add_string buf "    ready\n"
+  | Action.Migrate { dest } -> Printf.bprintf buf "    migrate %s\n" (Location.name dest)
+
+let print_event buf (e : Session.event) =
+  match e with
+  | Session.Act a -> print_action buf a
+  | Session.Await sender ->
+      Printf.bprintf buf "    await %s\n" (Actor_name.name sender)
+
+let print doc =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf "resource ";
+      print_ltype buf (Term.ltype r.term);
+      Printf.bprintf buf " rate %d from %d to %d" (Term.rate r.term)
+        (Interval.start (Term.interval r.term))
+        (Interval.stop (Term.interval r.term));
+      if r.join_at <> 0 then Printf.bprintf buf " join %d" r.join_at;
+      Buffer.add_char buf '\n')
+    doc.resources;
+  List.iter
+    (fun (c : Computation.t) ->
+      Printf.bprintf buf "\ncomputation %s start %d deadline %d\n"
+        c.Computation.id c.Computation.start c.Computation.deadline;
+      List.iter
+        (fun (p : Program.t) ->
+          Printf.bprintf buf "  actor %s at %s\n"
+            (Actor_name.name p.Program.name)
+            (Location.name p.Program.home);
+          List.iter (print_action buf) p.Program.actions)
+        c.Computation.programs)
+    doc.computations;
+  List.iter
+    (fun (s : Session.t) ->
+      Printf.bprintf buf "\nsession %s start %d deadline %d\n" s.Session.id
+        s.Session.start s.Session.deadline;
+      List.iter
+        (fun (p : Session.participant) ->
+          Printf.bprintf buf "  actor %s at %s\n"
+            (Actor_name.name p.Session.name)
+            (Location.name p.Session.home);
+          List.iter (print_event buf) p.Session.events)
+        s.Session.participants)
+    doc.sessions;
+  Buffer.contents buf
+
+let pp ppf doc = Format.pp_print_string ppf (print doc)

@@ -1,0 +1,78 @@
+open Import
+
+(** The scenario language.
+
+    A small line-oriented text format for describing an open distributed
+    system — its resources (with explicit join instants and departure
+    times, per the paper's joining rule) and its deadline-constrained
+    computations — so scenarios can live in files, be diffed, and be fed
+    to the [rota] CLI.
+
+    {v
+# three nodes and a link
+resource cpu@l1 rate 2 from 0 to 30
+resource cpu@l2 rate 1 from 0 to 30
+resource network l1 -> l2 rate 1 from 0 to 30
+# a volunteer joins at t=5 and leaves at t=25
+resource cpu@l3 rate 2 from 5 to 25 join 5
+
+computation job1 start 0 deadline 30
+  actor a1 at l1
+    evaluate 2
+    send a2 size 1
+    ready
+  actor a2 at l2
+    evaluate 1
+    v}
+
+    Keywords lead every line, so indentation is cosmetic.  [#] comments
+    run to end of line.  Resource kinds other than [cpu], [memory] and
+    [network] parse as custom kinds ([resource gpu@l2 rate 1 ...]).
+
+    Interacting-actor workflows use [session] blocks, identical to
+    [computation] blocks except that actor bodies may also contain
+    [await <actor>] lines:
+
+    {v
+session rpc start 0 deadline 40
+  actor client at l1
+    evaluate 1
+    send server size 1
+    await server
+    ready
+  actor server at l2
+    await client
+    evaluate 1
+    send client size 1
+    v} *)
+
+type resource = {
+  term : Term.t;
+  join_at : Time.t;
+      (** When the resource joins the system (default [0]); its departure
+          is the end of the term's interval. *)
+}
+
+type t = {
+  resources : resource list;
+  computations : Computation.t list;
+  sessions : Session.t list;
+      (** Interacting-actor sessions: [session] blocks whose actor bodies
+          may contain [await <actor>] lines. *)
+}
+
+val parse : string -> (t, string) result
+(** Parses a scenario; errors carry the source line. *)
+
+val capacity : t -> Resource_set.t
+(** All resources as one set (what an omniscient observer would see). *)
+
+val to_trace : t -> Trace.t
+(** The open-system trace: each resource joins at its [join_at], each
+    computation arrives at its start time. *)
+
+val print : t -> string
+(** Canonical text; [parse (print d)] succeeds and round-trips the
+    document. *)
+
+val pp : Format.formatter -> t -> unit

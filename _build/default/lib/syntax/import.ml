@@ -1,0 +1,13 @@
+(* Short aliases for the substrate libraries used throughout this library. *)
+module Time = Rota_interval.Time
+module Interval = Rota_interval.Interval
+module Location = Rota_resource.Location
+module Located_type = Rota_resource.Located_type
+module Term = Rota_resource.Term
+module Resource_set = Rota_resource.Resource_set
+module Actor_name = Rota_actor.Actor_name
+module Action = Rota_actor.Action
+module Program = Rota_actor.Program
+module Computation = Rota_actor.Computation
+module Trace = Rota_sim.Trace
+module Session = Rota.Session

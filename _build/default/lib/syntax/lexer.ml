@@ -1,0 +1,81 @@
+type token = Ident of string | Int of int | At_sign | Arrow | Newline
+
+type located = { token : token; line : int }
+
+type error = { message : string; line : int }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '#'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let line_had_tokens = ref false in
+  let emit token =
+    tokens := { token; line = !line } :: !tokens;
+    line_had_tokens := true
+  in
+  let error message = Error { message; line = !line } in
+  let rec loop i =
+    if i >= n then begin
+      if !line_had_tokens then emit Newline;
+      Ok (List.rev !tokens)
+    end
+    else
+      let c = input.[i] in
+      if c = '\n' then begin
+        if !line_had_tokens then begin
+          tokens := { token = Newline; line = !line } :: !tokens;
+          line_had_tokens := false
+        end;
+        incr line;
+        loop (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then loop (i + 1)
+      else if c = '#' then
+        (* Comment to end of line. *)
+        let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+        loop (skip i)
+      else if c = '@' then begin
+        emit At_sign;
+        loop (i + 1)
+      end
+      else if c = '-' && i + 1 < n && input.[i + 1] = '>' then begin
+        emit Arrow;
+        loop (i + 2)
+      end
+      else if is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1])
+      then begin
+        let start = i in
+        let i = if c = '-' then i + 1 else i in
+        let rec scan j = if j < n && is_digit input.[j] then scan (j + 1) else j in
+        let stop = scan i in
+        emit (Int (int_of_string (String.sub input start (stop - start))));
+        loop stop
+      end
+      else if is_ident_char c then begin
+        let rec scan j =
+          if j < n && is_ident_char input.[j] then scan (j + 1) else j
+        in
+        let stop = scan i in
+        emit (Ident (String.sub input i (stop - i)));
+        loop stop
+      end
+      else error (Printf.sprintf "unexpected character %C" c)
+  in
+  loop 0
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "%s" s
+  | Int n -> Format.fprintf ppf "%d" n
+  | At_sign -> Format.pp_print_string ppf "@"
+  | Arrow -> Format.pp_print_string ppf "->"
+  | Newline -> Format.pp_print_string ppf "<newline>"
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message

@@ -1,0 +1,23 @@
+(** Tokenizer for the scenario language. *)
+
+type token =
+  | Ident of string  (** Keywords and names; the parser disambiguates. *)
+  | Int of int
+  | At_sign  (** [@] *)
+  | Arrow  (** [->] *)
+  | Newline  (** Significant: the grammar is line-oriented. *)
+
+type located = { token : token; line : int }
+(** A token with its 1-based source line. *)
+
+type error = { message : string; line : int }
+
+val tokenize : string -> (located list, error) result
+(** Splits the input into tokens.  [#] starts a comment running to the end
+    of the line; blank lines produce no tokens; every non-blank line is
+    terminated by a [Newline] token.  Negative integer literals are
+    supported ([-3]). *)
+
+val pp_token : Format.formatter -> token -> unit
+
+val pp_error : Format.formatter -> error -> unit

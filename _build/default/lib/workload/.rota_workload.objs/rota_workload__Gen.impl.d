@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Action Actor_name Array Computation Cost_model Import Interval List Located_type Location Printf Prng Program Requirement Resource_set Rota Session Term

@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Actor_name Computation Cost_model Import Location Prng Program Resource_set Session Time

@@ -1,0 +1,1 @@
+lib/workload/import.ml: Rota Rota_actor Rota_interval Rota_resource Rota_sim

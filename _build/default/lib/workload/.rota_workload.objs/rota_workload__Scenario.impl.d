@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Action Computation Fun Gen Import List Located_type Location Printf Prng Profile Program Resource_set Session Time Trace

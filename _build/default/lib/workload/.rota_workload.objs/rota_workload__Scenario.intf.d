@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Computation Gen Import Resource_set Time Trace

@@ -1,0 +1,169 @@
+open Import
+
+type world = { locations : Location.t list; cost_model : Cost_model.t }
+
+let world ?(cost_model = Cost_model.default) ~locations () =
+  if locations < 1 then invalid_arg "Gen.world: need at least one location";
+  {
+    locations =
+      List.init locations (fun i -> Location.make (Printf.sprintf "l%d" (i + 1)));
+    cost_model;
+  }
+
+let random_action prng world ~peers ~here =
+  (* Weighted action mix: mostly evaluations and sends, with the odd
+     create, ready or migrate.  Migrations never target the current
+     location. *)
+  let elsewhere =
+    List.filter (fun l -> not (Location.equal l here)) world.locations
+  in
+  let die = Prng.int prng 10 in
+  if die < 4 then Action.evaluate (Prng.int_range prng 1 3)
+  else if die < 7 && peers <> [] then
+    Action.send ~dest:(Prng.choose prng peers) ~size:(Prng.int_range prng 1 2)
+  else if die < 8 then Action.ready
+  else if die < 9 || elsewhere = [] then
+    Action.create (Actor_name.make (Printf.sprintf "child%d" (Prng.int prng 1000)))
+  else Action.migrate (Prng.choose prng elsewhere)
+
+let random_program prng world ~name ~peers ~actions =
+  let home = Prng.choose prng world.locations in
+  let rec build here n acc =
+    if n = 0 then List.rev acc
+    else
+      let action = random_action prng world ~peers ~here in
+      let here =
+        match (action : Action.t) with
+        | Migrate { dest } -> dest
+        | Evaluate _ | Send _ | Create _ | Ready -> here
+      in
+      build here (n - 1) (action :: acc)
+  in
+  Program.make ~name ~home (build home actions [])
+
+let random_computation prng world ~id ~start ~actors ~actions ~slack ~rate_hint =
+  let actor_count = Prng.int_range prng (fst actors) (snd actors) in
+  let names =
+    List.init actor_count (fun i -> Actor_name.make (Printf.sprintf "%s.a%d" id i))
+  in
+  let programs =
+    List.map
+      (fun name ->
+        let peers = List.filter (fun p -> not (Actor_name.equal p name)) names in
+        random_program prng world ~name ~peers
+          ~actions:(Prng.int_range prng (fst actions) (snd actions)))
+      names
+  in
+  (* Work estimate: a probe computation with a provisional deadline lets us
+     compute per-actor demand via the cost model. *)
+  let probe =
+    Computation.make ~id ~start ~deadline:(start + 1_000_000) programs
+  in
+  let conc = Computation.to_concurrent world.cost_model probe in
+  let per_actor_work =
+    List.map Requirement.total_quantity_complex conc.Requirement.parts
+  in
+  let critical = List.fold_left max 1 per_actor_work in
+  let rate_hint = max 1 rate_hint in
+  let estimate = (critical + rate_hint - 1) / rate_hint in
+  let deadline =
+    start + max 2 (int_of_float (ceil (float_of_int estimate *. slack)))
+  in
+  Computation.make ~id ~start ~deadline programs
+
+let random_session prng world ~id ~start ~participants ~exchanges ~slack
+    ~rate_hint =
+  let n = Prng.int_range prng (max 2 (fst participants)) (max 2 (snd participants)) in
+  let names =
+    Array.init n (fun i -> Actor_name.make (Printf.sprintf "%s.p%d" id i))
+  in
+  let homes = Array.init n (fun _ -> Prng.choose prng world.locations) in
+  let events = Array.make n [] in
+  let push i e = events.(i) <- e :: events.(i) in
+  (* Random evaluations to warm up. *)
+  Array.iteri
+    (fun i _ ->
+      for _ = 1 to Prng.int_range prng 0 2 do
+        push i (Session.Act (Action.evaluate (Prng.int_range prng 1 2)))
+      done)
+    names;
+  (* A conversation: each exchange appends a send to the sender's script
+     and a matching await (plus some processing) to the receiver's.
+     Appending in conversation order keeps the wait graph acyclic. *)
+  let exchange_count = Prng.int_range prng (fst exchanges) (snd exchanges) in
+  for _ = 1 to exchange_count do
+    let sender = Prng.int prng n in
+    let receiver = (sender + 1 + Prng.int prng (n - 1)) mod n in
+    push sender (Session.Act (Action.send ~dest:names.(receiver) ~size:1));
+    push receiver (Session.Await names.(sender));
+    if Prng.bool prng then
+      push receiver (Session.Act (Action.evaluate (Prng.int_range prng 1 2)))
+  done;
+  let participants_list =
+    List.init n (fun i ->
+        Session.participant ~name:names.(i) ~home:homes.(i)
+          (List.rev events.(i)))
+  in
+  (* Estimate the critical work from the priced nodes via a probe. *)
+  let probe =
+    match
+      Session.make ~id ~start ~deadline:(start + 1_000_000) participants_list
+    with
+    | Ok s -> s
+    | Error e -> invalid_arg ("Gen.random_session: " ^ e)
+  in
+  let nodes = Session.to_nodes world.cost_model probe in
+  let total_work =
+    List.fold_left
+      (fun acc (n : Rota.Precedence.node) ->
+        acc + Requirement.total_quantity_complex n.Rota.Precedence.requirement)
+      0 nodes
+  in
+  let rate_hint = max 1 rate_hint in
+  let estimate = (total_work + rate_hint - 1) / rate_hint in
+  (* The dependency chain serializes in the worst case: budget the whole
+     estimate on the critical path, stretched by slack. *)
+  let deadline =
+    start + max 4 (int_of_float (ceil (float_of_int estimate *. slack)))
+  in
+  match Session.make ~id ~start ~deadline participants_list with
+  | Ok s -> s
+  | Error e -> invalid_arg ("Gen.random_session: " ^ e)
+
+let steady_capacity world ~horizon ~cpu_rate ~net_rate =
+  match Interval.make ~start:0 ~stop:horizon with
+  | None -> Resource_set.empty
+  | Some span ->
+      let cpus =
+        if cpu_rate <= 0 then []
+        else
+          List.map
+            (fun l -> Term.v cpu_rate span (Located_type.cpu l))
+            world.locations
+      in
+      let nets =
+        if net_rate <= 0 then []
+        else
+          (* Every ordered pair, loopback included: local sends consume
+             loopback bandwidth rather than being free. *)
+          List.concat_map
+            (fun src ->
+              List.map
+                (fun dst -> Term.v net_rate span (Located_type.network ~src ~dst))
+                world.locations)
+            world.locations
+      in
+      Resource_set.of_terms (cpus @ nets)
+
+let churn_joins prng world ~horizon ~joins ~rate ~duration =
+  List.init joins (fun _ ->
+      let at = Prng.int prng (max 1 (horizon - 1)) in
+      let lifetime = Prng.int_range prng (fst duration) (snd duration) in
+      let stop = min horizon (at + max 1 lifetime) in
+      let r = Prng.int_range prng (fst rate) (snd rate) in
+      let node = Prng.choose prng world.locations in
+      match Interval.make ~start:at ~stop with
+      | Some span ->
+          (at, Resource_set.singleton (Term.v r span (Located_type.cpu node)))
+      | None -> (at, Resource_set.empty))
+  |> List.filter (fun (_, r) -> not (Resource_set.is_empty r))

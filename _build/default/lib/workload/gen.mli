@@ -1,0 +1,83 @@
+open Import
+
+(** Synthetic workload generators.
+
+    The paper has no evaluation workload; these generators produce the
+    synthetic open-system environments the experiment suite runs on —
+    random actor programs (with sends and migrations among the
+    computation's actors), deadline-constrained computations, steady
+    capacity, and churning resource joins — all deterministically from a
+    {!Prng} seed. *)
+
+type world = private {
+  locations : Location.t list;
+  cost_model : Cost_model.t;
+}
+
+val world : ?cost_model:Cost_model.t -> locations:int -> unit -> world
+(** [locations] nodes named [l1 .. ln]; cost model defaults to the paper's
+    constants. *)
+
+val random_program :
+  Prng.t ->
+  world ->
+  name:Actor_name.t ->
+  peers:Actor_name.t list ->
+  actions:int ->
+  Program.t
+(** A random behaviour of the given length: evaluations (complexity 1–3),
+    sends to random [peers] (size 1–2), occasional creates, readies, and
+    migrations to random locations.  The home location is random. *)
+
+val random_computation :
+  Prng.t ->
+  world ->
+  id:string ->
+  start:Time.t ->
+  actors:int * int ->
+  actions:int * int ->
+  slack:float ->
+  rate_hint:int ->
+  Computation.t
+(** A computation of a random number of actors (within [actors]), each with
+    a random number of actions (within [actions]).  The deadline is set
+    from a work estimate: the computation's largest per-actor demand
+    divided by [rate_hint] (the capacity rate the workload expects per
+    resource), stretched by [slack] ([1.0] = just feasible in isolation;
+    bigger is looser). *)
+
+val steady_capacity :
+  world -> horizon:Time.t -> cpu_rate:int -> net_rate:int -> Resource_set.t
+(** Permanent capacity over [\[0, horizon)]: [cpu_rate] CPU at every node
+    and [net_rate] on every ordered pair of nodes, loopback included (local
+    sends consume loopback bandwidth).  Zero rates contribute nothing. *)
+
+val random_session :
+  Prng.t ->
+  world ->
+  id:string ->
+  start:Time.t ->
+  participants:int * int ->
+  exchanges:int * int ->
+  slack:float ->
+  rate_hint:int ->
+  Session.t
+(** A random interacting-actor session: a conversation of random message
+    exchanges among the participants, each send matched by an await on the
+    receiving side (so the session always validates), with evaluations
+    sprinkled between.  The deadline is set from the total priced work
+    divided by [rate_hint], stretched by [slack] plus headroom for the
+    dependency chain. *)
+
+val churn_joins :
+  Prng.t ->
+  world ->
+  horizon:Time.t ->
+  joins:int ->
+  rate:int * int ->
+  duration:int * int ->
+  (Time.t * Resource_set.t) list
+(** [joins] resource-join events at random times: each brings CPU at one
+    random node (rate and lifetime uniform in the given ranges, clipped to
+    the horizon).  The join instant is the interval start, honouring the
+    rule that departure time is declared on joining. *)

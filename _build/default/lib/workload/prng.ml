@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed =
+  { state = Int64.mul (Int64.of_int (seed + 1)) 0x2545F4914F6CDD1DL }
+
+let copy g = { state = g.state }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g = { state = next_int64 g }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0"
+  else
+    (* Drop to 62 bits so the value stays non-negative in OCaml's 63-bit
+       native int. *)
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+    r mod bound
+
+let int_range g lo hi =
+  if hi < lo then invalid_arg "Prng.int_range: hi < lo"
+  else lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  bound *. r /. 9007199254740992. (* 2^53 *)
+
+let choose g = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | l -> List.nth l (int g (List.length l))
+
+let shuffle g l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

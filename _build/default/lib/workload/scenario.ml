@@ -1,0 +1,175 @@
+open Import
+
+type params = {
+  seed : int;
+  locations : int;
+  horizon : Time.t;
+  arrivals : int;
+  actors : int * int;
+  actions : int * int;
+  slack : float;
+  cpu_rate : int;
+  net_rate : int;
+  churn_joins : int;
+  churn_rate : int * int;
+  churn_duration : int * int;
+}
+
+let default_params =
+  {
+    seed = 42;
+    locations = 3;
+    horizon = 200;
+    arrivals = 30;
+    actors = (1, 3);
+    actions = (2, 5);
+    slack = 2.0;
+    cpu_rate = 4;
+    net_rate = 4;
+    churn_joins = 10;
+    churn_rate = (1, 3);
+    churn_duration = (10, 40);
+  }
+
+let with_load p load =
+  { p with arrivals = max 1 (int_of_float (float_of_int p.arrivals *. load)) }
+
+let world_of p = Gen.world ~locations:p.locations ()
+
+let capacity_of p =
+  Gen.steady_capacity (world_of p) ~horizon:p.horizon ~cpu_rate:p.cpu_rate
+    ~net_rate:p.net_rate
+
+let computations_with_times p =
+  let prng = Prng.create p.seed in
+  let world = world_of p in
+  List.init p.arrivals (fun i ->
+      (* Arrivals spread over the first two thirds of the horizon, so late
+         computations still have room before the world ends. *)
+      let start = Prng.int prng (max 1 (2 * p.horizon / 3)) in
+      let c =
+        Gen.random_computation prng world
+          ~id:(Printf.sprintf "c%03d" i)
+          ~start ~actors:p.actors ~actions:p.actions ~slack:p.slack
+          ~rate_hint:p.cpu_rate
+      in
+      (* Clamp the deadline into the horizon. *)
+      let c =
+        if c.Computation.deadline <= p.horizon then c
+        else
+          Computation.make ~id:c.Computation.id ~start:c.Computation.start
+            ~deadline:p.horizon c.Computation.programs
+      in
+      (start, c))
+  |> List.filter (fun ((_, c) : _ * Computation.t) ->
+         c.Computation.deadline > c.Computation.start)
+
+let trace p =
+  let prng = Prng.create (p.seed + 1) in
+  let world = world_of p in
+  let joins =
+    (0, Trace.Join (capacity_of p))
+    :: List.map
+         (fun (t, r) -> (t, Trace.Join r))
+         (Gen.churn_joins prng world ~horizon:p.horizon ~joins:p.churn_joins
+            ~rate:p.churn_rate ~duration:p.churn_duration)
+  in
+  let arrivals =
+    List.map (fun (t, c) -> (t, Trace.Arrive c)) (computations_with_times p)
+  in
+  Trace.of_events (joins @ arrivals)
+
+let computations p = List.map snd (computations_with_times p)
+
+let trace_with_sessions p ~sessions =
+  let prng = Prng.create (p.seed + 2) in
+  let world = world_of p in
+  let session_events =
+    List.init sessions (fun i ->
+        let start = Prng.int prng (max 1 (2 * p.horizon / 3)) in
+        let s =
+          Gen.random_session prng world
+            ~id:(Printf.sprintf "s%03d" i)
+            ~start ~participants:(2, 3) ~exchanges:(1, 3) ~slack:p.slack
+            ~rate_hint:p.cpu_rate
+        in
+        (* Clamp the deadline into the horizon; drop degenerate ones. *)
+        if s.Session.deadline <= p.horizon then Some (start, Trace.Arrive_session s)
+        else
+          match
+            Session.make ~id:s.Session.id ~start:s.Session.start
+              ~deadline:p.horizon s.Session.participants
+          with
+          | Ok s when s.Session.deadline > s.Session.start ->
+              Some (start, Trace.Arrive_session s)
+          | Ok _ | Error _ -> None)
+    |> List.filter_map Fun.id
+  in
+  Trace.merge (trace p) (Trace.of_events session_events)
+
+let pool_params ~seed ~horizon index =
+  {
+    default_params with
+    seed = seed + (7919 * index);
+    locations = 1;
+    horizon;
+    actors = (1, 2);
+    actions = (2, 4);
+    slack = 3.0;
+    cpu_rate = 4;
+    net_rate = 4;
+    churn_joins = 0;
+  }
+
+(* Rename a single-node world's location so pools get distinct nodes. *)
+let relocate_location index l =
+  Location.make (Printf.sprintf "p%d_%s" index (Location.name l))
+
+let relocate_type index xi =
+  match (xi : Located_type.t) with
+  | Located_type.Cpu l -> Located_type.cpu (relocate_location index l)
+  | Located_type.Memory l -> Located_type.memory (relocate_location index l)
+  | Located_type.Network (src, dst) ->
+      Located_type.network
+        ~src:(relocate_location index src)
+        ~dst:(relocate_location index dst)
+  | Located_type.Custom (k, l) ->
+      Located_type.custom k (relocate_location index l)
+
+let relocate_resources index theta =
+  Resource_set.fold
+    (fun xi profile acc ->
+      Resource_set.union acc
+        (Resource_set.of_terms
+           (Profile.to_terms ~ltype:(relocate_type index xi) profile)))
+    theta Resource_set.empty
+
+let relocate_program index (p : Program.t) =
+  let relocate_action (a : Action.t) =
+    match a with
+    | Action.Migrate { dest } -> Action.migrate (relocate_location index dest)
+    | Action.Evaluate _ | Action.Send _ | Action.Create _ | Action.Ready -> a
+  in
+  Program.make ~name:p.Program.name
+    ~home:(relocate_location index p.Program.home)
+    (List.map relocate_action p.Program.actions)
+
+let relocate_computation index (c : Computation.t) =
+  Computation.make ~id:(Printf.sprintf "p%d_%s" index c.Computation.id)
+    ~start:c.Computation.start ~deadline:c.Computation.deadline
+    (List.map (relocate_program index) c.Computation.programs)
+
+let pool_capacity ~seed ~pools:_ ~horizon index =
+  relocate_resources index (capacity_of (pool_params ~seed ~horizon index))
+
+let pooled ~seed ~pools ~per_pool ~horizon =
+  let capacity = ref Resource_set.empty in
+  let tagged = ref [] in
+  for index = 0 to pools - 1 do
+    let p = { (pool_params ~seed ~horizon index) with arrivals = per_pool } in
+    capacity := Resource_set.union !capacity (relocate_resources index (capacity_of p));
+    List.iter
+      (fun c -> tagged := (index, relocate_computation index c) :: !tagged)
+      (computations p)
+  done;
+  (!capacity, List.rev !tagged)

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Allen Array Format Gen Hashtbl Ia_network Int Interval Interval_set List Option Printf QCheck QCheck_alcotest Rota_interval String Test Time

@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest Format Fun Interval List Located_type Location Option Profile QCheck QCheck_alcotest Requirement Resource_set Rota_interval Rota_resource String Term Time

@@ -1,0 +1,268 @@
+(* Tests for the actor layer: actions, the cost function Phi (paper
+   Section IV's constants), programs with location threading and the
+   consecutive-same-type merge, and computations (Lambda, s, d). *)
+
+open Rota_interval
+open Rota_resource
+open Rota_actor
+
+let iv a b = Interval.of_pair a b
+let l1 = Location.make "l1"
+let l2 = Location.make "l2"
+let l3 = Location.make "l3"
+let cpu l = Located_type.cpu l
+let net src dst = Located_type.network ~src ~dst
+let a1 = Actor_name.make "a1"
+let a2 = Actor_name.make "a2"
+let ltype_testable = Alcotest.testable Located_type.pp Located_type.equal
+
+let amounts_testable =
+  Alcotest.(list (pair ltype_testable int))
+
+let amounts l =
+  List.map (fun (a : Requirement.amount) -> (a.Requirement.ltype, a.Requirement.quantity)) l
+
+(* --- Actor_name / Action ----------------------------------------------- *)
+
+let test_actor_name () =
+  Alcotest.(check string) "name" "a1" (Actor_name.name a1);
+  Alcotest.(check bool) "equal" true (Actor_name.equal a1 (Actor_name.make "a1"));
+  Alcotest.(check bool) "distinct" false (Actor_name.equal a1 a2);
+  Alcotest.check_raises "empty" (Invalid_argument "Actor_name.make: empty name")
+    (fun () -> ignore (Actor_name.make ""))
+
+let test_action_constructors () =
+  Alcotest.(check string) "evaluate pp" "evaluate(2)"
+    (Action.to_string (Action.evaluate 2));
+  Alcotest.(check string) "send pp" "send(a2,3)"
+    (Action.to_string (Action.send ~dest:a2 ~size:3));
+  Alcotest.(check string) "create pp" "create(a2)"
+    (Action.to_string (Action.create a2));
+  Alcotest.(check string) "ready pp" "ready" (Action.to_string Action.ready);
+  Alcotest.(check string) "migrate pp" "migrate(l2)"
+    (Action.to_string (Action.migrate l2));
+  Alcotest.check_raises "zero complexity"
+    (Invalid_argument "Action.evaluate: complexity < 1") (fun () ->
+      ignore (Action.evaluate 0));
+  Alcotest.check_raises "zero size" (Invalid_argument "Action.send: size < 1")
+    (fun () -> ignore (Action.send ~dest:a2 ~size:0));
+  Alcotest.(check string) "kind" "migrate" (Action.kind (Action.migrate l2));
+  (* compare is a total order with equal = 0. *)
+  let actions =
+    [ Action.evaluate 1; Action.send ~dest:a2 ~size:1; Action.create a2;
+      Action.ready; Action.migrate l2 ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c1 = Action.compare a b and c2 = Action.compare b a in
+          Alcotest.(check bool) "antisymmetric" true (compare c1 0 = compare 0 c2);
+          Alcotest.(check bool) "equal iff zero" (Action.equal a b) (c1 = 0))
+        actions)
+    actions
+
+(* --- Cost_model: the paper's Section IV constants ------------------------ *)
+
+let locate_a2_at_l2 name = if Actor_name.equal name a2 then Some l2 else None
+
+let phi action =
+  amounts (Cost_model.phi Cost_model.default ~locate:locate_a2_at_l2 ~self_location:l1 action)
+
+let test_phi_paper_constants () =
+  (* Phi(a1, send(a2, m)) = {4}_<network, l(a1)->l(a2)> *)
+  Alcotest.check amounts_testable "send" [ (net l1 l2, 4) ]
+    (phi (Action.send ~dest:a2 ~size:1));
+  (* Phi(a1, evaluate(e)) = {8}_<cpu, l(a1)> *)
+  Alcotest.check amounts_testable "evaluate" [ (cpu l1, 8) ]
+    (phi (Action.evaluate 1));
+  (* Phi(a1, create(b)) = {5}_<cpu, l(a1)> *)
+  Alcotest.check amounts_testable "create" [ (cpu l1, 5) ]
+    (phi (Action.create a2));
+  (* Phi(a1, ready(b)) = {1}_<cpu, l(a1)> *)
+  Alcotest.check amounts_testable "ready" [ (cpu l1, 1) ] (phi Action.ready);
+  (* Phi(a1, migrate(l2)) = {3}_cpu@l1, {9}_net l1->l2, {3}_cpu@l2 *)
+  Alcotest.check amounts_testable "migrate"
+    [ (cpu l1, 3); (net l1 l2, 9); (cpu l2, 3) ]
+    (phi (Action.migrate l2))
+
+let test_phi_scaling_and_defaults () =
+  Alcotest.check amounts_testable "evaluate scales" [ (cpu l1, 24) ]
+    (phi (Action.evaluate 3));
+  Alcotest.check amounts_testable "send scales" [ (net l1 l2, 8) ]
+    (phi (Action.send ~dest:a2 ~size:2));
+  (* Unknown destination defaults to local delivery. *)
+  let unknown = Actor_name.make "ghost" in
+  Alcotest.check amounts_testable "unknown dest is local"
+    [ (net l1 l1, 4) ]
+    (phi (Action.send ~dest:unknown ~size:1));
+  (* Zero-cost entries vanish. *)
+  let free = { (Cost_model.uniform 1) with Cost_model.migrate_transfer_cost = 0 } in
+  let a = Cost_model.phi free ~locate:locate_a2_at_l2 ~self_location:l1 (Action.migrate l2) in
+  Alcotest.(check int) "zero amounts dropped" 2 (List.length a);
+  (* uniform sets every field. *)
+  let u = Cost_model.uniform 7 in
+  Alcotest.(check int) "uniform" 7 u.Cost_model.evaluate_cost;
+  Alcotest.(check int) "uniform send" 7 u.Cost_model.send_cost;
+  Alcotest.(check bool) "pp prints" true
+    (String.length (Format.asprintf "%a" Cost_model.pp u) > 0)
+
+(* --- Program ------------------------------------------------------------- *)
+
+let roaming =
+  Program.make ~name:a1 ~home:l1
+    [
+      Action.evaluate 1;
+      Action.migrate l2;
+      Action.evaluate 1;
+      Action.migrate l3;
+      Action.ready;
+    ]
+
+let test_program_location_threading () =
+  Alcotest.(check int) "length" 5 (Program.length roaming);
+  let trace = Program.location_trace roaming in
+  let locs = List.map (fun (_, l) -> Location.name l) trace in
+  (* Each action is charged where the actor is when it takes it: the
+     migrate itself is charged at the pre-move location. *)
+  Alcotest.(check (list string)) "locations" [ "l1"; "l1"; "l2"; "l2"; "l3" ] locs;
+  Alcotest.(check string) "final" "l3" (Location.name (Program.final_location roaming));
+  Alcotest.(check (list string)) "visited" [ "l1"; "l2"; "l3" ]
+    (List.map Location.name (Program.locations_visited roaming))
+
+let test_program_possible_action () =
+  (* Definition 1: an action is possible iff all its predecessors are
+     complete — i.e. it is exactly the next one. *)
+  Alcotest.(check bool) "first is possible" true
+    (Program.is_possible roaming ~completed:0 0);
+  Alcotest.(check bool) "later is not" false
+    (Program.is_possible roaming ~completed:0 2);
+  Alcotest.(check bool) "next after two" true
+    (Program.is_possible roaming ~completed:2 2);
+  Alcotest.(check bool) "already done is not" false
+    (Program.is_possible roaming ~completed:3 2);
+  Alcotest.(check bool) "past the end is not" false
+    (Program.is_possible roaming ~completed:5 5)
+
+let test_program_steps_and_merge () =
+  let p =
+    Program.make ~name:a1 ~home:l1
+      [ Action.evaluate 1; Action.ready; Action.send ~dest:a2 ~size:1;
+        Action.evaluate 1 ]
+  in
+  let locate = locate_a2_at_l2 in
+  let unmerged =
+    Program.to_complex ~merge:false Cost_model.default ~locate ~window:(iv 0 50) p
+  in
+  Alcotest.(check int) "one step per action" 4 (Requirement.step_count unmerged);
+  let merged =
+    Program.to_complex Cost_model.default ~locate ~window:(iv 0 50) p
+  in
+  (* evaluate+ready (both cpu@l1) merge; send and the last evaluate stay. *)
+  Alcotest.(check int) "merged steps" 3 (Requirement.step_count merged);
+  (match merged.Requirement.steps with
+  | first :: _ ->
+      Alcotest.check amounts_testable "merged quantities" [ (cpu l1, 9) ]
+        (amounts first)
+  | [] -> Alcotest.fail "steps expected");
+  (* Merging never changes the aggregate demand. *)
+  Alcotest.(check amounts_testable) "same totals"
+    (Requirement.demand_complex unmerged)
+    (Requirement.demand_complex merged);
+  (* A migrate step (multiple types) never merges with its neighbours. *)
+  let m =
+    Program.to_complex Cost_model.default ~locate ~window:(iv 0 50) roaming
+  in
+  Alcotest.(check int) "migrates kept separate" 5 (Requirement.step_count m)
+
+(* --- Computation ----------------------------------------------------------- *)
+
+let test_computation_validation () =
+  Alcotest.check_raises "empty window"
+    (Invalid_argument "Computation.make c: deadline 5 <= start 5") (fun () ->
+      ignore (Computation.make ~id:"c" ~start:5 ~deadline:5 []));
+  Alcotest.check_raises "duplicate actors"
+    (Invalid_argument "Computation.make c: duplicate actor names") (fun () ->
+      ignore
+        (Computation.make ~id:"c" ~start:0 ~deadline:5
+           [ Program.make ~name:a1 ~home:l1 []; Program.make ~name:a1 ~home:l2 [] ]))
+
+let test_computation_locate_and_requirements () =
+  let c =
+    Computation.make ~id:"c" ~start:2 ~deadline:20
+      [
+        Program.make ~name:a1 ~home:l1 [ Action.send ~dest:a2 ~size:1 ];
+        Program.make ~name:a2 ~home:l2 [ Action.evaluate 1 ];
+      ]
+  in
+  Alcotest.(check int) "actors" 2 (Computation.actor_count c);
+  Alcotest.(check (option string)) "locate a2" (Some "l2")
+    (Option.map Location.name (Computation.locate c a2));
+  Alcotest.(check (option string)) "locate unknown" None
+    (Option.map Location.name (Computation.locate c (Actor_name.make "zz")));
+  let conc = Computation.to_concurrent Cost_model.default c in
+  Alcotest.(check int) "two parts" 2 (List.length conc.Requirement.parts);
+  (* The send is priced across the actual homes. *)
+  (match conc.Requirement.parts with
+  | [ p1; _ ] ->
+      Alcotest.check amounts_testable "a1's send" [ (net l1 l2, 4) ]
+        (List.map (fun (xi, q) -> (xi, q)) (Requirement.demand_complex p1))
+  | _ -> Alcotest.fail "two parts");
+  Alcotest.(check int) "total work" 12 (Computation.total_work Cost_model.default c);
+  Alcotest.(check bool) "window" true
+    (Interval.equal (Computation.window c) (iv 2 20));
+  Alcotest.(check bool) "equal reflexive" true (Computation.equal c c)
+
+(* Phi is deterministic and positive on every action/location pair. *)
+let prop_phi_positive =
+  QCheck.Test.make ~name:"phi yields positive amounts" ~count:300
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let prng = Rota_workload.Prng.create seed in
+      let world = Rota_workload.Gen.world ~locations:3 () in
+      let p =
+        Rota_workload.Gen.random_program prng world ~name:a1 ~peers:[ a2 ]
+          ~actions:5
+      in
+      List.for_all
+        (fun (action, here) ->
+          List.for_all
+            (fun (a : Requirement.amount) -> a.Requirement.quantity > 0)
+            (Cost_model.phi Cost_model.default
+               ~locate:(fun _ -> None)
+               ~self_location:here action))
+        (Program.location_trace p))
+
+let properties = List.map QCheck_alcotest.to_alcotest [ prop_phi_positive ]
+
+let () =
+  Alcotest.run "rota_actor"
+    [
+      ( "names_actions",
+        [
+          Alcotest.test_case "actor names" `Quick test_actor_name;
+          Alcotest.test_case "actions" `Quick test_action_constructors;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "paper constants (Section IV)" `Quick
+            test_phi_paper_constants;
+          Alcotest.test_case "scaling and defaults" `Quick
+            test_phi_scaling_and_defaults;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "location threading" `Quick
+            test_program_location_threading;
+          Alcotest.test_case "possible action (Definition 1)" `Quick
+            test_program_possible_action;
+          Alcotest.test_case "steps and merge" `Quick test_program_steps_and_merge;
+        ] );
+      ( "computation",
+        [
+          Alcotest.test_case "validation" `Quick test_computation_validation;
+          Alcotest.test_case "locate and requirements" `Quick
+            test_computation_locate_and_requirements;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,151 @@
+(* Tests for cost-model calibration: mispriced admission misses deadlines,
+   the consumed+owed signal recovers the exact ratio, and the closed loop
+   converges. *)
+
+open Rota_interval
+open Rota_resource
+open Rota_actor
+open Rota_scheduler
+open Rota_sim
+
+let iv a b = Interval.of_pair a b
+let l1 = Location.make "l1"
+let cpu1 = Located_type.cpu l1
+let rset = Resource_set.of_terms
+let a1 = Actor_name.make "a1"
+
+let job ~id ~deadline =
+  Computation.make ~id ~start:0 ~deadline
+    [ Program.make ~name:a1 ~home:l1 [ Action.evaluate 1; Action.ready ] ]
+
+let trace ~stop jobs =
+  Trace.of_events
+    ((0, Trace.Join (rset [ Term.v 1 (iv 0 stop) cpu1 ]))
+    :: List.map (fun j -> (0, Trace.Arrive j)) jobs)
+
+(* Uniformly double every CPU-priced field: the per-kind model class the
+   estimator fits exactly.  (A non-uniform error — say only [evaluate]
+   doubled — calibrates approximately, not exactly: the learned ratio is a
+   blend over the action mix.) *)
+let double_cpu (m : Cost_model.t) =
+  {
+    m with
+    Cost_model.evaluate_cost = 2 * m.Cost_model.evaluate_cost;
+    create_cost = 2 * m.Cost_model.create_cost;
+    ready_cost = 2 * m.Cost_model.ready_cost;
+    migrate_pack_cost = 2 * m.Cost_model.migrate_pack_cost;
+    migrate_unpack_cost = 2 * m.Cost_model.migrate_unpack_cost;
+  }
+
+let test_mispricing_misses () =
+  (* Believed: 9 cpu; true: 18 cpu.  The 9-unit reservation drains and the
+     job is killed owing 9. *)
+  let t = trace ~stop:30 [ job ~id:"j" ~deadline:20 ] in
+  let r =
+    Engine.run ~cost_model:Cost_model.default
+      ~true_cost_model:(double_cpu Cost_model.default)
+      ~policy:Admission.Rota t
+  in
+  Alcotest.(check int) "admitted" 1 r.Engine.admitted;
+  Alcotest.(check int) "missed" 1 r.Engine.missed_deadlines;
+  Alcotest.(check int) "consumed only the reservation" 9 r.Engine.consumed_total;
+  match r.Engine.outcomes with
+  | [ o ] ->
+      let owed =
+        List.fold_left (fun acc (_, q) -> acc + q) 0 o.Engine.unfinished
+      in
+      Alcotest.(check int) "owes the unpriced half" 9 owed
+  | _ -> Alcotest.fail "one outcome"
+
+let test_accurate_pricing_no_unfinished () =
+  let t = trace ~stop:30 [ job ~id:"j" ~deadline:20 ] in
+  let r = Engine.run ~policy:Admission.Rota t in
+  (match r.Engine.outcomes with
+  | [ o ] ->
+      Alcotest.(check bool) "nothing owed" true (o.Engine.unfinished = [])
+  | _ -> Alcotest.fail "one outcome");
+  Alcotest.(check int) "no misses" 0 r.Engine.missed_deadlines
+
+let test_ratios_exact () =
+  let t = trace ~stop:40 [ job ~id:"j" ~deadline:20 ] in
+  let believed = Cost_model.default in
+  let r =
+    Engine.run ~cost_model:believed ~true_cost_model:(double_cpu believed)
+      ~policy:Admission.Rota t
+  in
+  let ratios = Calibration.ratios_of_run ~believed t r in
+  (* Believed cpu demand 9; true demand 18: ratio = 2. *)
+  Alcotest.(check (float 0.0001)) "cpu ratio" 2.0 ratios.Calibration.cpu;
+  Alcotest.(check (float 0.0001)) "network untouched" 1.0
+    ratios.Calibration.network
+
+let test_scale_fields () =
+  let scaled =
+    Calibration.scale Cost_model.default
+      { Calibration.cpu = 2.0; network = 3.0 }
+  in
+  Alcotest.(check int) "evaluate x2" 16 scaled.Cost_model.evaluate_cost;
+  Alcotest.(check int) "ready x2" 2 scaled.Cost_model.ready_cost;
+  Alcotest.(check int) "send x3" 12 scaled.Cost_model.send_cost;
+  Alcotest.(check int) "transfer x3" 27 scaled.Cost_model.migrate_transfer_cost;
+  (* Fields never collapse to zero. *)
+  let shrunk =
+    Calibration.scale (Cost_model.uniform 1)
+      { Calibration.cpu = 0.01; network = 0.01 }
+  in
+  Alcotest.(check int) "floored at 1" 1 shrunk.Cost_model.evaluate_cost
+
+let test_calibrate_converges () =
+  let believed = Cost_model.default in
+  let true_model = double_cpu believed in
+  let params =
+    { Rota_workload.Scenario.default_params with seed = 7; horizon = 160;
+      arrivals = 16; locations = 2; slack = 2.5 }
+  in
+  let t = Rota_workload.Scenario.trace params in
+  let iterations =
+    Calibration.calibrate ~iterations:3 ~policy:Admission.Rota ~believed
+      ~true_model t
+  in
+  Alcotest.(check int) "three iterations" 3 (List.length iterations);
+  let _, first = List.hd iterations in
+  let last_model, last = List.nth iterations 2 in
+  Alcotest.(check bool) "mispriced run misses" true
+    (first.Engine.missed_deadlines > 0);
+  Alcotest.(check int) "calibrated run does not" 0 last.Engine.missed_deadlines;
+  Alcotest.(check int) "learned the true evaluate cost"
+    true_model.Cost_model.evaluate_cost last_model.Cost_model.evaluate_cost
+
+(* With an accurate model the loop is a fixpoint: ratios 1.0, no drift. *)
+let prop_accurate_model_fixpoint =
+  QCheck.Test.make ~name:"calibration is a fixpoint for accurate models"
+    ~count:15
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let params =
+        { Rota_workload.Scenario.default_params with seed; horizon = 100;
+          arrivals = 10; locations = 2 }
+      in
+      let t = Rota_workload.Scenario.trace params in
+      let believed = Cost_model.default in
+      let r = Engine.run ~cost_model:believed ~policy:Admission.Rota t in
+      let ratios = Calibration.ratios_of_run ~believed t r in
+      abs_float (ratios.Calibration.cpu -. 1.0) < 0.0001
+      && abs_float (ratios.Calibration.network -. 1.0) < 0.0001)
+
+let properties = List.map QCheck_alcotest.to_alcotest [ prop_accurate_model_fixpoint ]
+
+let () =
+  Alcotest.run "rota_calibration"
+    [
+      ( "calibration",
+        [
+          Alcotest.test_case "mispricing misses" `Quick test_mispricing_misses;
+          Alcotest.test_case "accurate pricing owes nothing" `Quick
+            test_accurate_pricing_no_unfinished;
+          Alcotest.test_case "ratios exact" `Quick test_ratios_exact;
+          Alcotest.test_case "scale fields" `Quick test_scale_fields;
+          Alcotest.test_case "loop converges" `Quick test_calibrate_converges;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,131 @@
+(* Integration smoke tests: every experiment of the suite runs to
+   completion (their tables go to the captured test log), and the engine's
+   event observer reports a consistent story. *)
+
+open Rota_interval
+open Rota_resource
+open Rota_actor
+open Rota_scheduler
+open Rota_sim
+
+let test_experiment id () =
+  match Rota_experiments.Experiments.run ~seed:123 id with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "experiment %s failed: %s" id e
+
+let test_unknown_experiment () =
+  match Rota_experiments.Experiments.run "e99" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown id accepted"
+
+let test_descriptions () =
+  List.iter
+    (fun id ->
+      match Rota_experiments.Experiments.description id with
+      | Some d -> Alcotest.(check bool) (id ^ " described") true (String.length d > 0)
+      | None -> Alcotest.failf "no description for %s" id)
+    Rota_experiments.Experiments.all_ids;
+  Alcotest.(check int) "ten experiments" 10
+    (List.length Rota_experiments.Experiments.all_ids)
+
+(* --- Engine observer -------------------------------------------------------- *)
+
+let test_engine_observer () =
+  let l1 = Location.make "l1" in
+  let cpu1 = Located_type.cpu l1 in
+  let job ~id ~deadline =
+    Computation.make ~id ~start:0 ~deadline
+      [ Program.make ~name:(Actor_name.make (id ^ ".a")) ~home:l1
+          [ Action.evaluate 1; Action.ready ] ]
+  in
+  let trace =
+    Trace.of_events
+      [
+        (0, Trace.Join (Resource_set.of_terms [ Term.v 1 (Interval.of_pair 0 20) cpu1 ]));
+        (0, Trace.Arrive (job ~id:"fits" ~deadline:12));
+        (0, Trace.Arrive (job ~id:"nope" ~deadline:12));
+      ]
+  in
+  let events = ref [] in
+  let r =
+    Engine.run ~observer:(fun e -> events := e :: !events)
+      ~policy:Admission.Rota trace
+  in
+  let events = List.rev !events in
+  Alcotest.(check int) "report matches story" 1 r.Engine.completed_on_time;
+  let count pred = List.length (List.filter pred events) in
+  Alcotest.(check int) "one join" 1
+    (count (function Engine.Capacity_joined _ -> true | _ -> false));
+  Alcotest.(check int) "one admit" 1
+    (count (function Engine.Admitted _ -> true | _ -> false));
+  Alcotest.(check int) "one reject" 1
+    (count (function Engine.Rejected _ -> true | _ -> false));
+  Alcotest.(check int) "one completion" 1
+    (count (function Engine.Completed _ -> true | _ -> false));
+  Alcotest.(check int) "no kills" 0
+    (count (function Engine.Killed _ -> true | _ -> false));
+  (* Events are in simulated-time order and printable. *)
+  let times =
+    List.map
+      (function
+        | Engine.Capacity_joined { at; _ }
+        | Engine.Admitted { at; _ }
+        | Engine.Rejected { at; _ }
+        | Engine.Completed { at; _ }
+        | Engine.Killed { at; _ } ->
+            at)
+      events
+  in
+  Alcotest.(check (list int)) "time ordered" (List.sort compare times) times;
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "printable" true
+        (String.length (Format.asprintf "%a" Engine.pp_event e) > 0))
+    events
+
+let test_engine_observer_kill () =
+  let l1 = Location.make "l1" in
+  let cpu1 = Located_type.cpu l1 in
+  let job =
+    Computation.make ~id:"doomed" ~start:0 ~deadline:5
+      [ Program.make ~name:(Actor_name.make "a") ~home:l1 [ Action.evaluate 3 ] ]
+  in
+  let trace =
+    Trace.of_events
+      [
+        (0, Trace.Join (Resource_set.of_terms [ Term.v 1 (Interval.of_pair 0 10) cpu1 ]));
+        (0, Trace.Arrive job);
+      ]
+  in
+  let kills = ref [] in
+  let _ =
+    Engine.run
+      ~observer:(function
+        | Engine.Killed { at; owed; _ } -> kills := (at, owed) :: !kills
+        | _ -> ())
+      ~policy:Admission.Optimistic trace
+  in
+  match !kills with
+  | [ (at, owed) ] ->
+      (* 24 cpu demanded, 5 consumed by the deadline: 19 owed. *)
+      Alcotest.(check int) "killed at the deadline" 5 at;
+      Alcotest.(check int) "owed" 19 owed
+  | other -> Alcotest.failf "expected one kill, got %d" (List.length other)
+
+let () =
+  Alcotest.run "rota_experiments"
+    [
+      ( "experiments",
+        List.map
+          (fun id -> Alcotest.test_case id `Slow (test_experiment id))
+          Rota_experiments.Experiments.all_ids
+        @ [
+            Alcotest.test_case "unknown id" `Quick test_unknown_experiment;
+            Alcotest.test_case "descriptions" `Quick test_descriptions;
+          ] );
+      ( "observer",
+        [
+          Alcotest.test_case "event story" `Quick test_engine_observer;
+          Alcotest.test_case "kill event" `Quick test_engine_observer_kill;
+        ] );
+    ]

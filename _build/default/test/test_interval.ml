@@ -1,0 +1,581 @@
+(* Tests for the temporal substrate: Time, Interval, Allen, Interval_set,
+   Ia_network.  The Allen composition table is verified exhaustively against
+   the concrete semantics of [relate]. *)
+
+open Rota_interval
+
+let iv a b = Interval.of_pair a b
+
+let interval_testable =
+  Alcotest.testable Interval.pp Interval.equal
+
+let relation_testable = Alcotest.testable Allen.pp Allen.equal
+
+(* Every interval on the point universe [0..hi]. *)
+let universe hi =
+  let is = ref [] in
+  for a = 0 to hi do
+    for b = a + 1 to hi do
+      is := iv a b :: !is
+    done
+  done;
+  !is
+
+(* --- Time ------------------------------------------------------------- *)
+
+let test_time_basics () =
+  Alcotest.(check int) "origin" 0 Time.origin;
+  Alcotest.(check int) "dt" 1 Time.dt;
+  Alcotest.(check int) "add" 7 (Time.add 3 4);
+  Alcotest.(check int) "diff" (-1) (Time.diff 3 4);
+  Alcotest.(check int) "succ" 4 (Time.succ 3);
+  Alcotest.(check int) "pred" 2 (Time.pred 3);
+  Alcotest.(check string) "pp" "t42" (Time.to_string 42);
+  Alcotest.(check bool) "equal" true (Time.equal 5 5);
+  Alcotest.(check int) "min" 2 (Time.min 5 2);
+  Alcotest.(check int) "max" 5 (Time.max 5 2)
+
+(* --- Interval ---------------------------------------------------------- *)
+
+let test_interval_make () =
+  Alcotest.(check bool) "valid" true (Option.is_some (Interval.make ~start:0 ~stop:1));
+  Alcotest.(check bool) "empty" true (Option.is_none (Interval.make ~start:3 ~stop:3));
+  Alcotest.(check bool) "reversed" true (Option.is_none (Interval.make ~start:4 ~stop:2));
+  Alcotest.check_raises "of_pair empty"
+    (Invalid_argument "Interval.of_pair: empty interval [5,5)") (fun () ->
+      ignore (iv 5 5))
+
+let test_interval_accessors () =
+  let i = iv 2 7 in
+  Alcotest.(check int) "start" 2 (Interval.start i);
+  Alcotest.(check int) "stop" 7 (Interval.stop i);
+  Alcotest.(check int) "duration" 5 (Interval.duration i);
+  Alcotest.(check string) "pp" "[2,7)" (Interval.to_string i)
+
+let test_interval_mem () =
+  let i = iv 2 5 in
+  Alcotest.(check bool) "below" false (Interval.mem 1 i);
+  Alcotest.(check bool) "at start" true (Interval.mem 2 i);
+  Alcotest.(check bool) "inside" true (Interval.mem 4 i);
+  Alcotest.(check bool) "at stop (exclusive)" false (Interval.mem 5 i)
+
+let test_interval_relations () =
+  Alcotest.(check bool) "subset" true (Interval.subset (iv 2 4) (iv 1 5));
+  Alcotest.(check bool) "subset refl" true (Interval.subset (iv 2 4) (iv 2 4));
+  Alcotest.(check bool) "not subset" false (Interval.subset (iv 0 4) (iv 1 5));
+  Alcotest.(check bool) "overlaps" true (Interval.overlaps (iv 0 3) (iv 2 5));
+  Alcotest.(check bool) "adjacent no overlap" false
+    (Interval.overlaps (iv 0 2) (iv 2 4));
+  Alcotest.(check bool) "adjacent" true (Interval.adjacent (iv 0 2) (iv 2 4));
+  Alcotest.(check bool) "not adjacent" false (Interval.adjacent (iv 0 2) (iv 3 4))
+
+let test_interval_inter () =
+  Alcotest.(check (option interval_testable)) "overlap"
+    (Some (iv 2 3))
+    (Interval.inter (iv 0 3) (iv 2 5));
+  Alcotest.(check (option interval_testable)) "disjoint" None
+    (Interval.inter (iv 0 2) (iv 3 5));
+  Alcotest.(check (option interval_testable)) "adjacent empty" None
+    (Interval.inter (iv 0 2) (iv 2 5))
+
+let test_interval_union_hull () =
+  Alcotest.(check (option interval_testable)) "overlapping union"
+    (Some (iv 0 5))
+    (Interval.union (iv 0 3) (iv 2 5));
+  Alcotest.(check (option interval_testable)) "adjacent union"
+    (Some (iv 0 5))
+    (Interval.union (iv 0 2) (iv 2 5));
+  Alcotest.(check (option interval_testable)) "disjoint union" None
+    (Interval.union (iv 0 2) (iv 3 5));
+  Alcotest.check interval_testable "hull" (iv 0 5)
+    (Interval.hull (iv 0 2) (iv 3 5))
+
+let test_interval_diff () =
+  let check name expected i j =
+    Alcotest.(check (list interval_testable)) name expected (Interval.diff i j)
+  in
+  check "carve middle" [ iv 0 2; iv 4 6 ] (iv 0 6) (iv 2 4);
+  check "carve left" [ iv 3 6 ] (iv 0 6) (iv 0 3);
+  check "carve right" [ iv 0 3 ] (iv 0 6) (iv 3 6);
+  check "carve all" [] (iv 0 6) (iv 0 6);
+  check "disjoint" [ iv 0 6 ] (iv 0 6) (iv 7 9);
+  check "superset erases" [] (iv 2 4) (iv 0 6)
+
+let test_interval_split () =
+  (match Interval.split (iv 0 6) 2 with
+  | Some (a, b) ->
+      Alcotest.check interval_testable "left" (iv 0 2) a;
+      Alcotest.check interval_testable "right" (iv 2 6) b
+  | None -> Alcotest.fail "split inside should succeed");
+  Alcotest.(check bool) "split at start" true
+    (Option.is_none (Interval.split (iv 0 6) 0));
+  Alcotest.(check bool) "split at stop" true
+    (Option.is_none (Interval.split (iv 0 6) 6))
+
+let test_interval_shift_ticks () =
+  Alcotest.check interval_testable "shift" (iv 3 5) (Interval.shift (iv 1 3) 2);
+  Alcotest.(check (list int)) "ticks" [ 2; 3; 4 ] (Interval.ticks (iv 2 5))
+
+(* --- Allen: classification --------------------------------------------- *)
+
+let test_allen_relate_examples () =
+  let check name r i j =
+    Alcotest.check relation_testable name r (Allen.relate i j)
+  in
+  check "before" Allen.Before (iv 0 2) (iv 3 5);
+  check "after" Allen.After (iv 3 5) (iv 0 2);
+  check "meets" Allen.Meets (iv 0 2) (iv 2 5);
+  check "met_by" Allen.Met_by (iv 2 5) (iv 0 2);
+  check "overlaps" Allen.Overlaps (iv 0 3) (iv 2 5);
+  check "overlapped_by" Allen.Overlapped_by (iv 2 5) (iv 0 3);
+  check "starts" Allen.Starts (iv 0 2) (iv 0 5);
+  check "started_by" Allen.Started_by (iv 0 5) (iv 0 2);
+  check "during" Allen.During (iv 2 3) (iv 0 5);
+  check "contains" Allen.Contains (iv 0 5) (iv 2 3);
+  check "finishes" Allen.Finishes (iv 3 5) (iv 0 5);
+  check "finished_by" Allen.Finished_by (iv 0 5) (iv 3 5);
+  check "equals" Allen.Equals (iv 1 4) (iv 1 4)
+
+(* Table I: exactly one of the thirteen relations holds for any pair. *)
+let test_allen_exhaustive_disjoint () =
+  let is = universe 6 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          let holding = List.filter (fun r -> Allen.holds r i j) Allen.all in
+          Alcotest.(check int)
+            (Format.asprintf "unique relation for %a %a" Interval.pp i
+               Interval.pp j)
+            1 (List.length holding))
+        is)
+    is
+
+let test_allen_inverse () =
+  List.iter
+    (fun r ->
+      Alcotest.check relation_testable
+        (Allen.to_symbol r ^ " involution")
+        r
+        (Allen.inverse (Allen.inverse r)))
+    Allen.all;
+  let is = universe 6 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          Alcotest.check relation_testable "inverse semantics"
+            (Allen.inverse (Allen.relate i j))
+            (Allen.relate j i))
+        is)
+    is
+
+let test_allen_symbols () =
+  List.iter
+    (fun r ->
+      Alcotest.(check (option relation_testable))
+        (Allen.to_symbol r ^ " roundtrip")
+        (Some r)
+        (Allen.of_symbol (Allen.to_symbol r)))
+    Allen.all;
+  Alcotest.(check (option relation_testable)) "unknown" None (Allen.of_symbol "zz");
+  (* Thirteen distinct symbols, thirteen distinct indices. *)
+  let symbols = List.sort_uniq String.compare (List.map Allen.to_symbol Allen.all) in
+  Alcotest.(check int) "13 symbols" 13 (List.length symbols);
+  let indexes =
+    List.sort_uniq Int.compare (List.map Allen.is_base_index Allen.all)
+  in
+  Alcotest.(check (list int)) "indices 0..12"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+    indexes
+
+(* The heart of Table I verification: the hand-written composition table is
+   checked for soundness *and* completeness against enumeration over a
+   concrete universe.  Three intervals involve at most six endpoints, so the
+   universe [0..6] realizes every consistent endpoint ordering. *)
+let test_allen_composition_exhaustive () =
+  let is = universe 6 in
+  let observed = Hashtbl.create 512 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              let key = (Allen.relate a b, Allen.relate b c) in
+              let seen =
+                try Hashtbl.find observed key with Not_found -> Allen.Set.empty
+              in
+              Hashtbl.replace observed key
+                (Allen.Set.add (Allen.relate a c) seen))
+            is)
+        is)
+    is;
+  List.iter
+    (fun r1 ->
+      List.iter
+        (fun r2 ->
+          let expected =
+            try Hashtbl.find observed (r1, r2)
+            with Not_found ->
+              Alcotest.failf "no witness for pair (%s, %s)"
+                (Allen.to_symbol r1) (Allen.to_symbol r2)
+          in
+          let table = Allen.Set.of_list (Allen.compose r1 r2) in
+          if not (Allen.Set.equal expected table) then
+            Alcotest.failf "compose %s %s: table %a, semantics %a"
+              (Allen.to_symbol r1) (Allen.to_symbol r2) Allen.Set.pp table
+              Allen.Set.pp expected)
+        Allen.all)
+    Allen.all
+
+let test_allen_composition_identities () =
+  List.iter
+    (fun r ->
+      Alcotest.(check (list relation_testable))
+        ("eq neutral left " ^ Allen.to_symbol r)
+        [ r ]
+        (Allen.compose Allen.Equals r);
+      Alcotest.(check (list relation_testable))
+        ("eq neutral right " ^ Allen.to_symbol r)
+        [ r ]
+        (Allen.compose r Allen.Equals))
+    Allen.all
+
+(* Composition respects inversion: (r1 . r2)^-1 = r2^-1 . r1^-1. *)
+let test_allen_composition_inverse_law () =
+  List.iter
+    (fun r1 ->
+      List.iter
+        (fun r2 ->
+          let lhs =
+            Allen.Set.inverse (Allen.Set.of_list (Allen.compose r1 r2))
+          in
+          let rhs =
+            Allen.Set.of_list
+              (Allen.compose (Allen.inverse r2) (Allen.inverse r1))
+          in
+          if not (Allen.Set.equal lhs rhs) then
+            Alcotest.failf "inverse law fails at (%s, %s)" (Allen.to_symbol r1)
+              (Allen.to_symbol r2))
+        Allen.all)
+    Allen.all
+
+(* --- Allen.Set ---------------------------------------------------------- *)
+
+let test_allen_set_basics () =
+  let s = Allen.Set.of_list [ Allen.Before; Allen.Meets ] in
+  Alcotest.(check bool) "mem b" true (Allen.Set.mem Allen.Before s);
+  Alcotest.(check bool) "mem o" false (Allen.Set.mem Allen.Overlaps s);
+  Alcotest.(check int) "cardinal" 2 (Allen.Set.cardinal s);
+  Alcotest.(check int) "full" 13 (Allen.Set.cardinal Allen.Set.full);
+  Alcotest.(check bool) "empty" true (Allen.Set.is_empty Allen.Set.empty);
+  Alcotest.(check bool) "subset" true (Allen.Set.subset s Allen.Set.full);
+  Alcotest.(check bool) "not subset" false (Allen.Set.subset Allen.Set.full s);
+  let t = Allen.Set.of_list [ Allen.Meets; Allen.Overlaps ] in
+  Alcotest.(check int) "inter" 1 (Allen.Set.cardinal (Allen.Set.inter s t));
+  Alcotest.(check int) "union" 3 (Allen.Set.cardinal (Allen.Set.union s t));
+  Alcotest.(check string) "pp" "{b,m}" (Format.asprintf "%a" Allen.Set.pp s)
+
+let test_allen_set_inverse_compose () =
+  let s = Allen.Set.of_list [ Allen.Before; Allen.Starts ] in
+  let inv = Allen.Set.inverse s in
+  Alcotest.(check bool) "inv mem bi" true (Allen.Set.mem Allen.After inv);
+  Alcotest.(check bool) "inv mem si" true (Allen.Set.mem Allen.Started_by inv);
+  Alcotest.(check int) "inv cardinal" 2 (Allen.Set.cardinal inv);
+  (* Set composition distributes over union of singletons. *)
+  let a = Allen.Set.of_list [ Allen.Before; Allen.Meets ] in
+  let b = Allen.Set.of_list [ Allen.During ] in
+  let via_set = Allen.Set.compose a b in
+  let via_base =
+    Allen.Set.union
+      (Allen.Set.of_list (Allen.compose Allen.Before Allen.During))
+      (Allen.Set.of_list (Allen.compose Allen.Meets Allen.During))
+  in
+  Alcotest.(check bool) "set compose = union of base" true
+    (Allen.Set.equal via_set via_base)
+
+(* --- Interval_set -------------------------------------------------------- *)
+
+let iset l = Interval_set.of_list l
+
+let intervalset_testable = Alcotest.testable Interval_set.pp Interval_set.equal
+
+let test_iset_normalize () =
+  Alcotest.check intervalset_testable "merge overlap"
+    (iset [ iv 0 5 ])
+    (iset [ iv 0 3; iv 2 5 ]);
+  Alcotest.check intervalset_testable "merge adjacent"
+    (iset [ iv 0 5 ])
+    (iset [ iv 0 2; iv 2 5 ]);
+  Alcotest.check intervalset_testable "keep gap"
+    (iset [ iv 0 2; iv 3 5 ])
+    (iset [ iv 3 5; iv 0 2 ]);
+  Alcotest.(check int) "canonical pieces" 2
+    (List.length (Interval_set.intervals (iset [ iv 0 2; iv 3 5; iv 4 5 ])))
+
+let test_iset_ops () =
+  let a = iset [ iv 0 4; iv 6 9 ] and b = iset [ iv 2 7 ] in
+  Alcotest.check intervalset_testable "union"
+    (iset [ iv 0 9 ])
+    (Interval_set.union a b);
+  Alcotest.check intervalset_testable "inter"
+    (iset [ iv 2 4; iv 6 7 ])
+    (Interval_set.inter a b);
+  Alcotest.check intervalset_testable "diff"
+    (iset [ iv 0 2; iv 7 9 ])
+    (Interval_set.diff a b);
+  Alcotest.(check int) "measure" 7 (Interval_set.measure a);
+  Alcotest.(check bool) "mem" true (Interval_set.mem 6 a);
+  Alcotest.(check bool) "not mem" false (Interval_set.mem 5 a);
+  Alcotest.(check bool) "subset" true
+    (Interval_set.subset (iset [ iv 1 3 ]) a);
+  Alcotest.(check bool) "not subset" false (Interval_set.subset b a)
+
+let test_iset_queries () =
+  let a = iset [ iv 2 4; iv 6 9 ] in
+  Alcotest.(check (option int)) "first" (Some 2) (Interval_set.first a);
+  Alcotest.(check (option int)) "last" (Some 8) (Interval_set.last a);
+  Alcotest.(check (option interval_testable)) "hull" (Some (iv 2 9))
+    (Interval_set.hull a);
+  Alcotest.check intervalset_testable "restrict"
+    (iset [ iv 3 4; iv 6 7 ])
+    (Interval_set.restrict (iv 3 7) a);
+  Alcotest.(check (option int)) "empty first" None
+    (Interval_set.first Interval_set.empty);
+  Alcotest.(check string) "pp empty" "{}"
+    (Format.asprintf "%a" Interval_set.pp Interval_set.empty);
+  Alcotest.(check string) "pp" "[2,4) u [6,9)" (Format.asprintf "%a" Interval_set.pp a)
+
+(* Model-based property tests: an interval set is extensionally the set of
+   its member ticks. *)
+let ticks_of_set s =
+  List.concat_map Interval.ticks (Interval_set.intervals s)
+
+let arbitrary_iset =
+  let open QCheck in
+  let interval_gen =
+    Gen.(
+      let* a = int_range 0 20 in
+      let* d = int_range 1 6 in
+      Gen.return (iv a (a + d)))
+  in
+  make
+    ~print:(fun s -> Format.asprintf "%a" Interval_set.pp (iset s))
+    Gen.(list_size (int_range 0 6) interval_gen)
+
+let prop_iset_union_model =
+  QCheck.Test.make ~name:"interval_set union = tick-set union" ~count:300
+    (QCheck.pair arbitrary_iset arbitrary_iset) (fun (xs, ys) ->
+      let a = iset xs and b = iset ys in
+      let u = Interval_set.union a b in
+      let expected =
+        List.sort_uniq Int.compare (ticks_of_set a @ ticks_of_set b)
+      in
+      ticks_of_set u = expected)
+
+let prop_iset_diff_model =
+  QCheck.Test.make ~name:"interval_set diff = tick-set diff" ~count:300
+    (QCheck.pair arbitrary_iset arbitrary_iset) (fun (xs, ys) ->
+      let a = iset xs and b = iset ys in
+      let d = Interval_set.diff a b in
+      let bt = ticks_of_set b in
+      let expected =
+        List.filter (fun t -> not (List.mem t bt)) (ticks_of_set a)
+      in
+      ticks_of_set d = expected)
+
+let prop_iset_inter_model =
+  QCheck.Test.make ~name:"interval_set inter = tick-set inter" ~count:300
+    (QCheck.pair arbitrary_iset arbitrary_iset) (fun (xs, ys) ->
+      let a = iset xs and b = iset ys in
+      let i = Interval_set.inter a b in
+      let bt = ticks_of_set b in
+      let expected = List.filter (fun t -> List.mem t bt) (ticks_of_set a) in
+      ticks_of_set i = expected)
+
+let prop_iset_canonical =
+  QCheck.Test.make ~name:"interval_set canonical form" ~count:300
+    arbitrary_iset (fun xs ->
+      let s = iset xs in
+      let rec disjoint_sorted = function
+        | [] | [ _ ] -> true
+        | a :: (b :: _ as rest) ->
+            Interval.stop a < Interval.start b && disjoint_sorted rest
+      in
+      disjoint_sorted (Interval_set.intervals s))
+
+(* --- Ia_network ---------------------------------------------------------- *)
+
+let test_ia_trivial () =
+  let net = Ia_network.create 2 in
+  Alcotest.(check int) "size" 2 (Ia_network.size net);
+  Alcotest.(check bool) "unconstrained consistent" true
+    (Ia_network.propagate net);
+  Alcotest.(check int) "full edge" 13
+    (Allen.Set.cardinal (Ia_network.get net 0 1))
+
+let test_ia_inverse_maintained () =
+  let net = Ia_network.create 2 in
+  Ia_network.constrain_relation net 0 1 Allen.Before;
+  Alcotest.(check bool) "edge 1->0 is inverse" true
+    (Allen.Set.equal
+       (Ia_network.get net 1 0)
+       (Allen.Set.singleton Allen.After))
+
+let test_ia_propagation_chain () =
+  (* 0 before 1, 1 before 2 forces 0 before 2. *)
+  let net = Ia_network.create 3 in
+  Ia_network.constrain_relation net 0 1 Allen.Before;
+  Ia_network.constrain_relation net 1 2 Allen.Before;
+  Alcotest.(check bool) "consistent" true (Ia_network.propagate net);
+  Alcotest.(check bool) "0 before 2" true
+    (Allen.Set.equal
+       (Ia_network.get net 0 2)
+       (Allen.Set.singleton Allen.Before))
+
+let test_ia_inconsistency () =
+  (* 0 before 1, 1 before 2, 2 before 0 is a cycle. *)
+  let net = Ia_network.create 3 in
+  Ia_network.constrain_relation net 0 1 Allen.Before;
+  Ia_network.constrain_relation net 1 2 Allen.Before;
+  Ia_network.constrain_relation net 2 0 Allen.Before;
+  Alcotest.(check bool) "inconsistent" false (Ia_network.propagate net)
+
+let test_ia_scenario_and_realize () =
+  let net = Ia_network.create 3 in
+  Ia_network.constrain net 0 1 (Allen.Set.of_list [ Allen.Before; Allen.Meets ]);
+  Ia_network.constrain_relation net 1 2 Allen.During;
+  match Ia_network.consistent_scenario net with
+  | None -> Alcotest.fail "expected a consistent scenario"
+  | Some scenario -> (
+      match Ia_network.realize scenario with
+      | None -> Alcotest.fail "scenario should be realizable"
+      | Some ivs ->
+          Alcotest.(check int) "three intervals" 3 (Array.length ivs);
+          for i = 0 to 2 do
+            for j = 0 to 2 do
+              Alcotest.check relation_testable
+                (Printf.sprintf "realized relation %d-%d" i j)
+                scenario.(i).(j)
+                (Allen.relate ivs.(i) ivs.(j))
+            done
+          done)
+
+let test_ia_scenario_none () =
+  let net = Ia_network.create 3 in
+  Ia_network.constrain_relation net 0 1 Allen.Before;
+  Ia_network.constrain_relation net 1 2 Allen.Before;
+  Ia_network.constrain_relation net 2 0 Allen.Before;
+  Alcotest.(check bool) "no scenario" true
+    (Option.is_none (Ia_network.consistent_scenario net))
+
+(* Random scenario realization: constrain a random consistent set of
+   relations derived from concrete intervals, then check the network finds a
+   scenario realizable back into intervals with the same relations. *)
+let prop_ia_roundtrip =
+  let open QCheck in
+  let interval_gen =
+    Gen.(
+      let* a = int_range 0 10 in
+      let* d = int_range 1 5 in
+      Gen.return (iv a (a + d)))
+  in
+  Test.make ~name:"ia_network realizes relations of concrete intervals"
+    ~count:60
+    (make
+       ~print:(fun l ->
+         String.concat ";" (List.map Interval.to_string l))
+       Gen.(list_size (return 4) interval_gen))
+    (fun ivs ->
+      let ivs = Array.of_list ivs in
+      let n = Array.length ivs in
+      let net = Ia_network.create n in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          Ia_network.constrain_relation net i j (Allen.relate ivs.(i) ivs.(j))
+        done
+      done;
+      match Ia_network.consistent_scenario net with
+      | None -> false
+      | Some scenario -> (
+          match Ia_network.realize scenario with
+          | None -> false
+          | Some out ->
+              let ok = ref true in
+              for i = 0 to n - 1 do
+                for j = 0 to n - 1 do
+                  if Allen.relate out.(i) out.(j) <> Allen.relate ivs.(i) ivs.(j)
+                  then ok := false
+                done
+              done;
+              !ok))
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_iset_union_model;
+      prop_iset_diff_model;
+      prop_iset_inter_model;
+      prop_iset_canonical;
+      prop_ia_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "rota_interval"
+    [
+      ( "time",
+        [ Alcotest.test_case "basics" `Quick test_time_basics ] );
+      ( "interval",
+        [
+          Alcotest.test_case "make" `Quick test_interval_make;
+          Alcotest.test_case "accessors" `Quick test_interval_accessors;
+          Alcotest.test_case "mem" `Quick test_interval_mem;
+          Alcotest.test_case "relations" `Quick test_interval_relations;
+          Alcotest.test_case "inter" `Quick test_interval_inter;
+          Alcotest.test_case "union/hull" `Quick test_interval_union_hull;
+          Alcotest.test_case "diff" `Quick test_interval_diff;
+          Alcotest.test_case "split" `Quick test_interval_split;
+          Alcotest.test_case "shift/ticks" `Quick test_interval_shift_ticks;
+        ] );
+      ( "allen",
+        [
+          Alcotest.test_case "relate examples (Table I)" `Quick
+            test_allen_relate_examples;
+          Alcotest.test_case "jointly exhaustive, pairwise disjoint" `Quick
+            test_allen_exhaustive_disjoint;
+          Alcotest.test_case "inverse" `Quick test_allen_inverse;
+          Alcotest.test_case "symbols" `Quick test_allen_symbols;
+          Alcotest.test_case "composition table vs semantics" `Slow
+            test_allen_composition_exhaustive;
+          Alcotest.test_case "composition identities" `Quick
+            test_allen_composition_identities;
+          Alcotest.test_case "composition inverse law" `Quick
+            test_allen_composition_inverse_law;
+        ] );
+      ( "allen_set",
+        [
+          Alcotest.test_case "basics" `Quick test_allen_set_basics;
+          Alcotest.test_case "inverse/compose" `Quick
+            test_allen_set_inverse_compose;
+        ] );
+      ( "interval_set",
+        [
+          Alcotest.test_case "normalize" `Quick test_iset_normalize;
+          Alcotest.test_case "ops" `Quick test_iset_ops;
+          Alcotest.test_case "queries" `Quick test_iset_queries;
+        ] );
+      ( "ia_network",
+        [
+          Alcotest.test_case "trivial" `Quick test_ia_trivial;
+          Alcotest.test_case "inverse maintained" `Quick
+            test_ia_inverse_maintained;
+          Alcotest.test_case "propagation chain" `Quick
+            test_ia_propagation_chain;
+          Alcotest.test_case "inconsistency" `Quick test_ia_inconsistency;
+          Alcotest.test_case "scenario + realize" `Quick
+            test_ia_scenario_and_realize;
+          Alcotest.test_case "no scenario" `Quick test_ia_scenario_none;
+        ] );
+      ("properties", properties);
+    ]

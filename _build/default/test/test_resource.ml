@@ -1,0 +1,579 @@
+(* Tests for the resource algebra: Location, Located_type, Term, Profile,
+   Resource_set, Requirement.  Includes the paper's Section III worked
+   examples verbatim. *)
+
+open Rota_interval
+open Rota_resource
+
+let iv a b = Interval.of_pair a b
+let l1 = Location.make "l1"
+let l2 = Location.make "l2"
+let l3 = Location.make "l3"
+let cpu1 = Located_type.cpu l1
+let cpu2 = Located_type.cpu l2
+let net12 = Located_type.network ~src:l1 ~dst:l2
+
+let profile_testable = Alcotest.testable Profile.pp Profile.equal
+let rset_testable = Alcotest.testable Resource_set.pp Resource_set.equal
+let ltype_testable = Alcotest.testable Located_type.pp Located_type.equal
+
+(* --- Location / Located_type ------------------------------------------- *)
+
+let test_location () =
+  Alcotest.(check string) "name" "l1" (Location.name l1);
+  Alcotest.(check bool) "equal" true (Location.equal l1 (Location.make "l1"));
+  Alcotest.(check bool) "distinct" false (Location.equal l1 l2);
+  Alcotest.(check string) "pp" "l1" (Location.to_string l1);
+  Alcotest.check_raises "empty name" (Invalid_argument "Location.make: empty name")
+    (fun () -> ignore (Location.make ""))
+
+let test_located_type () =
+  Alcotest.(check string) "cpu pp" "<cpu,l1>" (Located_type.to_string cpu1);
+  Alcotest.(check string) "network pp" "<network,l1->l2>"
+    (Located_type.to_string net12);
+  Alcotest.(check string) "memory pp" "<memory,l2>"
+    (Located_type.to_string (Located_type.memory l2));
+  Alcotest.(check string) "custom pp" "<gpu,l3>"
+    (Located_type.to_string (Located_type.custom "gpu" l3));
+  Alcotest.(check bool) "equal" true
+    (Located_type.equal cpu1 (Located_type.cpu (Location.make "l1")));
+  Alcotest.(check bool) "cpu <> memory" false
+    (Located_type.equal cpu1 (Located_type.memory l1));
+  Alcotest.(check bool) "network direction matters" false
+    (Located_type.equal net12 (Located_type.network ~src:l2 ~dst:l1));
+  Alcotest.(check string) "kind" "network" (Located_type.kind net12);
+  Alcotest.(check (list string)) "locations of network" [ "l1"; "l2" ]
+    (List.map Location.name (Located_type.locations net12));
+  Alcotest.(check (list string)) "locations of cpu" [ "l1" ]
+    (List.map Location.name (Located_type.locations cpu1));
+  (* The order is total and antisymmetric across kinds. *)
+  let types =
+    [ cpu1; cpu2; Located_type.memory l1; net12; Located_type.custom "gpu" l1 ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c1 = Located_type.compare a b and c2 = Located_type.compare b a in
+          Alcotest.(check bool) "antisymmetric" true (compare c1 0 = compare 0 c2))
+        types)
+    types
+
+(* --- Term ---------------------------------------------------------------- *)
+
+let test_term_basics () =
+  let t = Term.v 5 (iv 0 3) cpu1 in
+  Alcotest.(check int) "rate" 5 (Term.rate t);
+  Alcotest.(check int) "quantity" 15 (Term.quantity t);
+  Alcotest.(check string) "pp" "{5}^[0,3)_<cpu,l1>" (Term.to_string t);
+  Alcotest.(check bool) "make zero rate" true
+    (Option.is_none (Term.make ~rate:0 ~interval:(iv 0 3) ~ltype:cpu1));
+  Alcotest.check_raises "v zero rate"
+    (Invalid_argument "Term.v: non-positive rate 0") (fun () ->
+      ignore (Term.v 0 (iv 0 3) cpu1))
+
+let test_term_order () =
+  (* gt: same type, strictly greater rate, containing interval. *)
+  let big = Term.v 5 (iv 0 10) cpu1 in
+  Alcotest.(check bool) "gt" true (Term.gt big (Term.v 3 (iv 2 5) cpu1));
+  Alcotest.(check bool) "ge equal rate" true
+    (Term.ge big (Term.v 5 (iv 2 5) cpu1));
+  Alcotest.(check bool) "gt equal rate" false
+    (Term.gt big (Term.v 5 (iv 2 5) cpu1));
+  Alcotest.(check bool) "different type" false
+    (Term.gt big (Term.v 3 (iv 2 5) cpu2));
+  (* The paper's caveat: larger total quantity is NOT sufficient — the
+     interval must contain the needed window. *)
+  let plentiful_late = Term.v 100 (iv 5 50) cpu1 in
+  let needed_early = Term.v 1 (iv 0 2) cpu1 in
+  Alcotest.(check bool) "quantity outside window does not help" false
+    (Term.gt plentiful_late needed_early)
+
+(* --- Profile ------------------------------------------------------------- *)
+
+let test_profile_basics () =
+  let p = Profile.constant (iv 0 3) 5 in
+  Alcotest.(check int) "rate inside" 5 (Profile.rate_at p 1);
+  Alcotest.(check int) "rate outside" 0 (Profile.rate_at p 3);
+  Alcotest.(check int) "total" 15 (Profile.total p);
+  Alcotest.(check bool) "zero constant is empty" true
+    (Profile.is_empty (Profile.constant (iv 0 3) 0));
+  Alcotest.check_raises "negative constant"
+    (Invalid_argument "Profile.constant: negative rate") (fun () ->
+      ignore (Profile.constant (iv 0 3) (-1)));
+  Alcotest.(check string) "pp empty" "0" (Format.asprintf "%a" Profile.pp Profile.empty);
+  Alcotest.(check string) "pp" "5@[0,3)" (Format.asprintf "%a" Profile.pp p)
+
+(* Paper Section III, second worked example:
+   {5}^(0,3)_cpu  u  {5}^(0,5)_cpu  =  {10}^(0,3)_cpu , {5}^(3,5)_cpu *)
+let test_profile_union_paper_example () =
+  let p = Profile.add (Profile.constant (iv 0 3) 5) (Profile.constant (iv 0 5) 5) in
+  Alcotest.check profile_testable "aggregated"
+    (Profile.of_segments [ (iv 0 3, 10); (iv 3 5, 5) ])
+    p;
+  let segs = Profile.segments p in
+  Alcotest.(check int) "two segments" 2 (List.length segs)
+
+(* Paper Section III, third worked example:
+   {5}^(0,3)_cpu \ {3}^(1,2)_cpu = {5}^(0,1) , {2}^(1,2) , {5}^(2,3) *)
+let test_profile_sub_paper_example () =
+  match Profile.sub (Profile.constant (iv 0 3) 5) (Profile.constant (iv 1 2) 3) with
+  | Error _ -> Alcotest.fail "subtraction should be defined"
+  | Ok p ->
+      Alcotest.check profile_testable "relative complement"
+        (Profile.of_segments [ (iv 0 1, 5); (iv 1 2, 2); (iv 2 3, 5) ])
+        p;
+      Alcotest.(check int) "three segments" 3 (List.length (Profile.segments p))
+
+let test_profile_sub_deficit () =
+  match Profile.sub (Profile.constant (iv 0 3) 2) (Profile.constant (iv 2 5) 3) with
+  | Ok _ -> Alcotest.fail "expected a deficit"
+  | Error d ->
+      Alcotest.(check int) "at" 2 d.Profile.at;
+      Alcotest.(check int) "available" 2 d.Profile.available;
+      Alcotest.(check int) "required" 3 d.Profile.required
+
+let test_profile_coalesce () =
+  (* Equal-rate segments that meet reduce to one term (paper's reduction
+     remark). *)
+  let p = Profile.of_segments [ (iv 0 2, 4); (iv 2 5, 4) ] in
+  Alcotest.(check int) "coalesced" 1 (List.length (Profile.segments p));
+  Alcotest.check profile_testable "same as constant" (Profile.constant (iv 0 5) 4) p
+
+let test_profile_queries () =
+  let p = Profile.of_segments [ (iv 0 3, 5); (iv 5 8, 2) ] in
+  Alcotest.(check int) "integrate across gap" 21 (Profile.integrate p (iv 0 8));
+  Alcotest.(check int) "integrate window" 9 (Profile.integrate p (iv 2 7));
+  Alcotest.(check int) "min_rate gap" 0 (Profile.min_rate p (iv 0 8));
+  Alcotest.(check int) "min_rate covered" 5 (Profile.min_rate p (iv 0 3));
+  Alcotest.(check int) "max_rate" 5 (Profile.max_rate p);
+  Alcotest.(check (option int)) "first" (Some 0) (Profile.first p);
+  Alcotest.(check (option int)) "last" (Some 7) (Profile.last p);
+  Alcotest.(check (option int)) "horizon" (Some 8) (Profile.horizon p);
+  Alcotest.(check (option int)) "empty horizon" None (Profile.horizon Profile.empty);
+  Alcotest.check profile_testable "restrict"
+    (Profile.of_segments [ (iv 2 3, 5); (iv 5 6, 2) ])
+    (Profile.restrict p (iv 2 6));
+  Alcotest.check profile_testable "truncate_before"
+    (Profile.of_segments [ (iv 2 3, 5); (iv 5 8, 2) ])
+    (Profile.truncate_before p 2);
+  Alcotest.check profile_testable "shift"
+    (Profile.of_segments [ (iv 10 13, 5); (iv 15 18, 2) ])
+    (Profile.shift p 10)
+
+let test_profile_completion_time () =
+  let p = Profile.of_segments [ (iv 0 3, 5); (iv 5 8, 2) ] in
+  (* 5+5 >= 10 after two ticks. *)
+  Alcotest.(check (option int)) "fast" (Some 2)
+    (Profile.completion_time p ~window:(iv 0 8) ~quantity:10);
+  (* 15 from the first segment, then 2 per tick: 15+2 >= 16 at tick 6. *)
+  Alcotest.(check (option int)) "across gap" (Some 6)
+    (Profile.completion_time p ~window:(iv 0 8) ~quantity:16);
+  Alcotest.(check (option int)) "exact capacity" (Some 8)
+    (Profile.completion_time p ~window:(iv 0 8) ~quantity:21);
+  Alcotest.(check (option int)) "too much" None
+    (Profile.completion_time p ~window:(iv 0 8) ~quantity:22);
+  Alcotest.(check (option int)) "zero quantity immediate" (Some 0)
+    (Profile.completion_time p ~window:(iv 0 8) ~quantity:0);
+  Alcotest.(check (option int)) "window restricts" None
+    (Profile.completion_time p ~window:(iv 1 3) ~quantity:11)
+
+let test_profile_consume () =
+  let p = Profile.of_segments [ (iv 0 3, 5); (iv 5 8, 2) ] in
+  (match Profile.consume p ~window:(iv 0 8) ~quantity:7 with
+  | None -> Alcotest.fail "consume should succeed"
+  | Some (remaining, allocation) ->
+      Alcotest.(check int) "allocation quantity" 7 (Profile.total allocation);
+      Alcotest.check profile_testable "conservation" p
+        (Profile.add remaining allocation);
+      (* Greedy: one full tick of 5, then 2 on the second tick. *)
+      Alcotest.check profile_testable "greedy shape"
+        (Profile.of_segments [ (iv 0 1, 5); (iv 1 2, 2) ])
+        allocation);
+  Alcotest.(check bool) "consume too much" true
+    (Option.is_none (Profile.consume p ~window:(iv 0 8) ~quantity:22));
+  (match Profile.consume p ~window:(iv 0 8) ~quantity:0 with
+  | Some (remaining, allocation) ->
+      Alcotest.check profile_testable "zero leaves all" p remaining;
+      Alcotest.(check bool) "zero allocation" true (Profile.is_empty allocation)
+  | None -> Alcotest.fail "zero consume succeeds")
+
+let test_profile_terms_roundtrip () =
+  let p = Profile.of_segments [ (iv 0 3, 5); (iv 5 8, 2) ] in
+  let terms = Profile.to_terms ~ltype:cpu1 p in
+  Alcotest.(check int) "two terms" 2 (List.length terms);
+  Alcotest.check profile_testable "roundtrip" p (Profile.of_terms terms)
+
+(* --- Profile properties -------------------------------------------------- *)
+
+let rectangles_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 6)
+      (let* a = int_range 0 20 in
+       let* d = int_range 1 6 in
+       let* r = int_range 1 9 in
+       return (iv a (a + d), r)))
+
+let arbitrary_profile =
+  QCheck.make
+    ~print:(fun rects ->
+      Format.asprintf "%a" Profile.pp (Profile.of_segments rects))
+    rectangles_gen
+
+let prop_profile_model =
+  (* of_segments is extensionally the pointwise sum of rectangles. *)
+  QCheck.Test.make ~name:"profile of_segments = pointwise sum" ~count:300
+    arbitrary_profile (fun rects ->
+      let p = Profile.of_segments rects in
+      let expect t =
+        List.fold_left
+          (fun acc (i, r) -> if Interval.mem t i then acc + r else acc)
+          0 rects
+      in
+      List.for_all (fun t -> Profile.rate_at p t = expect t)
+        (List.init 30 Fun.id))
+
+let prop_profile_add_commutative =
+  QCheck.Test.make ~name:"profile add commutative" ~count:200
+    (QCheck.pair arbitrary_profile arbitrary_profile) (fun (xs, ys) ->
+      let p = Profile.of_segments xs and q = Profile.of_segments ys in
+      Profile.equal (Profile.add p q) (Profile.add q p))
+
+let prop_profile_add_associative =
+  QCheck.Test.make ~name:"profile add associative" ~count:200
+    (QCheck.triple arbitrary_profile arbitrary_profile arbitrary_profile)
+    (fun (xs, ys, zs) ->
+      let p = Profile.of_segments xs
+      and q = Profile.of_segments ys
+      and r = Profile.of_segments zs in
+      Profile.equal
+        (Profile.add (Profile.add p q) r)
+        (Profile.add p (Profile.add q r)))
+
+let prop_profile_sub_inverse =
+  (* (p + q) - q = p: union then relative complement restores the set. *)
+  QCheck.Test.make ~name:"profile (p+q)-q = p" ~count:300
+    (QCheck.pair arbitrary_profile arbitrary_profile) (fun (xs, ys) ->
+      let p = Profile.of_segments xs and q = Profile.of_segments ys in
+      match Profile.sub (Profile.add p q) q with
+      | Ok r -> Profile.equal r p
+      | Error _ -> false)
+
+let prop_profile_dominates_iff_pointwise =
+  QCheck.Test.make ~name:"dominates iff pointwise >=" ~count:300
+    (QCheck.pair arbitrary_profile arbitrary_profile) (fun (xs, ys) ->
+      let p = Profile.of_segments xs and q = Profile.of_segments ys in
+      let pointwise =
+        List.for_all
+          (fun t -> Profile.rate_at p t >= Profile.rate_at q t)
+          (List.init 30 Fun.id)
+      in
+      Profile.dominates p q = pointwise)
+
+let prop_profile_integrate_additive =
+  QCheck.Test.make ~name:"integrate additive over add" ~count:200
+    (QCheck.pair arbitrary_profile arbitrary_profile) (fun (xs, ys) ->
+      let p = Profile.of_segments xs and q = Profile.of_segments ys in
+      let w = iv 0 30 in
+      Profile.integrate (Profile.add p q) w
+      = Profile.integrate p w + Profile.integrate q w)
+
+let prop_profile_consume_invariants =
+  QCheck.Test.make ~name:"consume conserves and allocates in window"
+    ~count:300
+    (QCheck.pair arbitrary_profile (QCheck.int_range 0 40))
+    (fun (xs, quantity) ->
+      let p = Profile.of_segments xs in
+      let window = iv 0 30 in
+      match Profile.consume p ~window ~quantity with
+      | None ->
+          (* Only fails when the window genuinely lacks capacity. *)
+          Profile.integrate p window < quantity
+      | Some (remaining, allocation) ->
+          Profile.equal (Profile.add remaining allocation) p
+          && Profile.total allocation = quantity
+          && Profile.equal allocation (Profile.restrict allocation window))
+
+let prop_profile_completion_monotone =
+  (* completion_time is the earliest satisfying tick: integrating up to one
+     tick earlier falls short. *)
+  QCheck.Test.make ~name:"completion_time minimal" ~count:300
+    (QCheck.pair arbitrary_profile (QCheck.int_range 1 40))
+    (fun (xs, quantity) ->
+      let p = Profile.of_segments xs in
+      let window = iv 0 30 in
+      match Profile.completion_time p ~window ~quantity with
+      | None -> Profile.integrate p window < quantity
+      | Some u ->
+          let upto t =
+            match Interval.make ~start:0 ~stop:t with
+            | None -> 0
+            | Some w -> Profile.integrate p w
+          in
+          upto u >= quantity && upto (Time.pred u) < quantity)
+
+(* --- Resource_set --------------------------------------------------------- *)
+
+(* Paper Section III, first worked example: terms of different located types
+   stay separate under union. *)
+let test_rset_union_different_types () =
+  let theta =
+    Resource_set.of_terms
+      [ Term.v 5 (iv 0 3) cpu1; Term.v 5 (iv 0 5) net12 ]
+  in
+  Alcotest.(check int) "two types" 2 (List.length (Resource_set.domain theta));
+  Alcotest.(check int) "cpu quantity" 15 (Resource_set.integrate theta cpu1 (iv 0 5));
+  Alcotest.(check int) "network quantity" 25
+    (Resource_set.integrate theta net12 (iv 0 5))
+
+let test_rset_union_same_type () =
+  let theta =
+    Resource_set.of_terms [ Term.v 5 (iv 0 3) cpu1; Term.v 5 (iv 0 5) cpu1 ]
+  in
+  Alcotest.check profile_testable "simplified profile"
+    (Profile.of_segments [ (iv 0 3, 10); (iv 3 5, 5) ])
+    (Resource_set.find cpu1 theta);
+  (* to_terms exposes the simplification as terms. *)
+  Alcotest.(check int) "two terms" 2 (List.length (Resource_set.to_terms theta))
+
+let test_rset_diff () =
+  let theta = Resource_set.singleton (Term.v 5 (iv 0 3) cpu1) in
+  (match Resource_set.diff theta (Resource_set.singleton (Term.v 3 (iv 1 2) cpu1)) with
+  | Error _ -> Alcotest.fail "diff should be defined"
+  | Ok rest ->
+      Alcotest.check profile_testable "paper example"
+        (Profile.of_segments [ (iv 0 1, 5); (iv 1 2, 2); (iv 2 3, 5) ])
+        (Resource_set.find cpu1 rest));
+  (match Resource_set.diff theta (Resource_set.singleton (Term.v 6 (iv 1 2) cpu1)) with
+  | Ok _ -> Alcotest.fail "expected deficit"
+  | Error d ->
+      Alcotest.check ltype_testable "deficit type" cpu1 d.Resource_set.ltype;
+      Alcotest.(check int) "deficit amount" 6 d.Resource_set.deficit.Profile.required);
+  (* Subtracting a type that is absent entirely. *)
+  match Resource_set.diff theta (Resource_set.singleton (Term.v 1 (iv 0 1) cpu2)) with
+  | Ok _ -> Alcotest.fail "expected deficit on absent type"
+  | Error d -> Alcotest.check ltype_testable "absent type" cpu2 d.Resource_set.ltype
+
+let test_rset_exact_diff_empties () =
+  let theta = Resource_set.singleton (Term.v 5 (iv 0 3) cpu1) in
+  match Resource_set.diff theta theta with
+  | Ok rest -> Alcotest.(check bool) "empty" true (Resource_set.is_empty rest)
+  | Error _ -> Alcotest.fail "self diff defined"
+
+let test_rset_queries () =
+  let theta =
+    Resource_set.of_terms
+      [ Term.v 5 (iv 0 3) cpu1; Term.v 2 (iv 5 8) cpu1; Term.v 4 (iv 2 6) net12 ]
+  in
+  Alcotest.(check int) "total" 15 (Resource_set.integrate theta cpu1 (iv 0 4));
+  Alcotest.(check int) "overall total" 37 (Resource_set.total theta);
+  Alcotest.(check (option int)) "horizon" (Some 8) (Resource_set.horizon theta);
+  Alcotest.(check bool) "mem" true (Resource_set.mem net12 theta);
+  Alcotest.(check bool) "not mem" false (Resource_set.mem cpu2 theta);
+  let truncated = Resource_set.truncate_before theta 5 in
+  Alcotest.(check int) "truncated cpu" 6
+    (Resource_set.integrate truncated cpu1 (iv 0 10));
+  Alcotest.(check int) "truncated net" 4
+    (Resource_set.integrate truncated net12 (iv 0 10));
+  let restricted = Resource_set.restrict theta (iv 0 3) in
+  Alcotest.(check (option int)) "restricted horizon" (Some 3)
+    (Resource_set.horizon restricted);
+  Alcotest.(check bool) "empty pp" true
+    (String.equal "{}" (Format.asprintf "%a" Resource_set.pp Resource_set.empty))
+
+let test_rset_union_operator () =
+  let a = Resource_set.singleton (Term.v 5 (iv 0 3) cpu1) in
+  let b = Resource_set.singleton (Term.v 5 (iv 0 5) cpu1) in
+  let u = Resource_set.union a b in
+  Alcotest.check rset_testable "union = of_terms"
+    (Resource_set.of_terms [ Term.v 5 (iv 0 3) cpu1; Term.v 5 (iv 0 5) cpu1 ])
+    u
+
+(* --- Requirement ----------------------------------------------------------- *)
+
+let test_requirement_normalization () =
+  let s =
+    Requirement.make_simple
+      ~amounts:
+        [
+          Requirement.amount cpu1 3;
+          Requirement.amount cpu1 2;
+          Requirement.amount net12 0;
+          Requirement.amount cpu2 1;
+        ]
+      ~window:(iv 0 5)
+  in
+  Alcotest.(check int) "distinct types" 2 (List.length s.Requirement.amounts);
+  Alcotest.(check (list (pair ltype_testable int))) "aggregated"
+    [ (cpu1, 5); (cpu2, 1) ]
+    (Requirement.demand_simple s);
+  Alcotest.check_raises "negative amount"
+    (Invalid_argument "Requirement.amount: negative quantity") (fun () ->
+      ignore (Requirement.amount cpu1 (-1)))
+
+let test_requirement_satisfied_simple () =
+  let theta =
+    Resource_set.of_terms [ Term.v 5 (iv 0 3) cpu1; Term.v 4 (iv 0 5) net12 ]
+  in
+  let need amounts window =
+    Requirement.make_simple ~amounts ~window
+  in
+  Alcotest.(check bool) "satisfiable" true
+    (Requirement.satisfied_simple theta
+       (need [ Requirement.amount cpu1 10; Requirement.amount net12 8 ] (iv 0 5)));
+  Alcotest.(check bool) "cpu too much" false
+    (Requirement.satisfied_simple theta
+       (need [ Requirement.amount cpu1 16 ] (iv 0 5)));
+  (* Quantity exists but not inside the window. *)
+  Alcotest.(check bool) "window matters" false
+    (Requirement.satisfied_simple theta
+       (need [ Requirement.amount cpu1 10 ] (iv 2 5)));
+  Alcotest.(check bool) "empty requirement trivially satisfied" true
+    (Requirement.satisfied_simple Resource_set.empty (need [] (iv 0 5)))
+
+let test_requirement_unsatisfied_amounts () =
+  let theta = Resource_set.singleton (Term.v 2 (iv 0 3) cpu1) in
+  let s =
+    Requirement.make_simple
+      ~amounts:[ Requirement.amount cpu1 10; Requirement.amount net12 4 ]
+      ~window:(iv 0 3)
+  in
+  match Requirement.unsatisfied_amounts theta s with
+  | [ a; b ] ->
+      Alcotest.check ltype_testable "first missing" cpu1 a.Requirement.ltype;
+      Alcotest.(check int) "cpu residual" 4 a.Requirement.quantity;
+      Alcotest.check ltype_testable "second missing" net12 b.Requirement.ltype;
+      Alcotest.(check int) "net residual" 4 b.Requirement.quantity
+  | other -> Alcotest.failf "expected 2 missing amounts, got %d" (List.length other)
+
+let test_requirement_complex () =
+  let c =
+    Requirement.make_complex
+      ~steps:
+        [
+          [ Requirement.amount cpu1 8 ];
+          [];
+          [ Requirement.amount net12 4 ];
+          [ Requirement.amount cpu2 3; Requirement.amount cpu2 2 ];
+        ]
+      ~window:(iv 0 10)
+  in
+  Alcotest.(check int) "empty step dropped" 3 (Requirement.step_count c);
+  Alcotest.(check int) "total quantity" 17 (Requirement.total_quantity_complex c);
+  Alcotest.(check (list (pair ltype_testable int))) "aggregate demand"
+    [ (cpu1, 8); (cpu2, 5); (net12, 4) ]
+    (Requirement.demand_complex c);
+  let s = Requirement.simple_of_complex c in
+  Alcotest.(check bool) "simple forgets order" true
+    (Requirement.equal_simple s
+       (Requirement.make_simple
+          ~amounts:
+            [
+              Requirement.amount cpu1 8;
+              Requirement.amount cpu2 5;
+              Requirement.amount net12 4;
+            ]
+          ~window:(iv 0 10)));
+  let back = Requirement.complex_of_simple s in
+  Alcotest.(check int) "one step" 1 (Requirement.step_count back)
+
+let test_requirement_concurrent () =
+  let part window =
+    Requirement.make_complex ~steps:[ [ Requirement.amount cpu1 2 ] ] ~window
+  in
+  let conc =
+    Requirement.make_concurrent
+      ~parts:[ part (iv 0 3); part (iv 5 9) ]
+      ~window:(iv 0 10)
+  in
+  (* Part windows are overridden by the common window. *)
+  List.iter
+    (fun (p : Requirement.complex) ->
+      Alcotest.(check bool) "window overridden" true
+        (Interval.equal p.Requirement.window (iv 0 10)))
+    conc.Requirement.parts
+
+(* Monotonicity: adding resources never falsifies satisfaction. *)
+let prop_requirement_monotone =
+  QCheck.Test.make ~name:"satisfied_simple monotone in Theta" ~count:300
+    (QCheck.triple arbitrary_profile arbitrary_profile (QCheck.int_range 0 30))
+    (fun (xs, ys, quantity) ->
+      let theta = Resource_set.of_terms
+          (Profile.to_terms ~ltype:cpu1 (Profile.of_segments xs))
+      in
+      let extra = Resource_set.of_terms
+          (Profile.to_terms ~ltype:cpu1 (Profile.of_segments ys))
+      in
+      let s =
+        Requirement.make_simple
+          ~amounts:[ Requirement.amount cpu1 quantity ]
+          ~window:(iv 0 30)
+      in
+      (* If satisfied with fewer resources, still satisfied with more. *)
+      (not (Requirement.satisfied_simple theta s))
+      || Requirement.satisfied_simple (Resource_set.union theta extra) s)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_profile_model;
+      prop_profile_add_commutative;
+      prop_profile_add_associative;
+      prop_profile_sub_inverse;
+      prop_profile_dominates_iff_pointwise;
+      prop_profile_integrate_additive;
+      prop_profile_consume_invariants;
+      prop_profile_completion_monotone;
+      prop_requirement_monotone;
+    ]
+
+let () =
+  Alcotest.run "rota_resource"
+    [
+      ( "location",
+        [
+          Alcotest.test_case "location" `Quick test_location;
+          Alcotest.test_case "located_type" `Quick test_located_type;
+        ] );
+      ( "term",
+        [
+          Alcotest.test_case "basics" `Quick test_term_basics;
+          Alcotest.test_case "order" `Quick test_term_order;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "basics" `Quick test_profile_basics;
+          Alcotest.test_case "union (paper ex. 2)" `Quick
+            test_profile_union_paper_example;
+          Alcotest.test_case "sub (paper ex. 3)" `Quick
+            test_profile_sub_paper_example;
+          Alcotest.test_case "sub deficit" `Quick test_profile_sub_deficit;
+          Alcotest.test_case "coalesce" `Quick test_profile_coalesce;
+          Alcotest.test_case "queries" `Quick test_profile_queries;
+          Alcotest.test_case "completion_time" `Quick test_profile_completion_time;
+          Alcotest.test_case "consume" `Quick test_profile_consume;
+          Alcotest.test_case "terms roundtrip" `Quick test_profile_terms_roundtrip;
+        ] );
+      ( "resource_set",
+        [
+          Alcotest.test_case "union across types (paper ex. 1)" `Quick
+            test_rset_union_different_types;
+          Alcotest.test_case "union same type (paper ex. 2)" `Quick
+            test_rset_union_same_type;
+          Alcotest.test_case "diff (paper ex. 3)" `Quick test_rset_diff;
+          Alcotest.test_case "self diff empties" `Quick test_rset_exact_diff_empties;
+          Alcotest.test_case "queries" `Quick test_rset_queries;
+          Alcotest.test_case "union operator" `Quick test_rset_union_operator;
+        ] );
+      ( "requirement",
+        [
+          Alcotest.test_case "normalization" `Quick test_requirement_normalization;
+          Alcotest.test_case "satisfied_simple (f)" `Quick
+            test_requirement_satisfied_simple;
+          Alcotest.test_case "unsatisfied_amounts" `Quick
+            test_requirement_unsatisfied_amounts;
+          Alcotest.test_case "complex" `Quick test_requirement_complex;
+          Alcotest.test_case "concurrent" `Quick test_requirement_concurrent;
+        ] );
+      ("properties", properties);
+    ]

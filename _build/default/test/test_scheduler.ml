@@ -1,0 +1,207 @@
+(* Tests for the scheduler library: Calendar (commitment ledger) and
+   Admission (ROTA vs baseline policies). *)
+
+open Rota_interval
+open Rota_resource
+open Rota_actor
+open Rota_scheduler
+
+let iv a b = Interval.of_pair a b
+let l1 = Location.make "l1"
+let l2 = Location.make "l2"
+let cpu1 = Located_type.cpu l1
+let net12 = Located_type.network ~src:l1 ~dst:l2
+let a1 = Actor_name.make "a1"
+let rset = Resource_set.of_terms
+
+let one_actor_job ~id ~start ~deadline actions =
+  Computation.make ~id ~start ~deadline [ Program.make ~name:a1 ~home:l1 actions ]
+
+(* A schedule certificate occupying [window] at [rate] on cpu1. *)
+let entry ~id ~window ~rate =
+  let reservation = rset [ Term.v rate window cpu1 ] in
+  {
+    Calendar.computation = id;
+    window;
+    reservation;
+    schedules = [];
+  }
+
+(* --- Calendar ---------------------------------------------------------- *)
+
+let test_calendar_commit_release () =
+  let c = Calendar.create (rset [ Term.v 2 (iv 0 10) cpu1 ]) in
+  Alcotest.(check int) "full residual" 20
+    (Resource_set.integrate (Calendar.residual c) cpu1 (iv 0 10));
+  let c =
+    Result.get_ok (Calendar.commit c (entry ~id:"x" ~window:(iv 0 5) ~rate:1))
+  in
+  Alcotest.(check int) "residual shrank" 15
+    (Resource_set.integrate (Calendar.residual c) cpu1 (iv 0 10));
+  Alcotest.(check int) "committed" 5 (Calendar.committed_quantity c cpu1 (iv 0 10));
+  Alcotest.(check bool) "find" true
+    (Option.is_some (Calendar.find c ~computation:"x"));
+  (* Duplicate ids rejected. *)
+  (match Calendar.commit c (entry ~id:"x" ~window:(iv 5 6) ~rate:1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate commit must fail");
+  (* Overcommit rejected. *)
+  (match Calendar.commit c (entry ~id:"y" ~window:(iv 0 5) ~rate:2) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overcommit must fail");
+  let c = Calendar.release c ~computation:"x" in
+  Alcotest.(check int) "released" 20
+    (Resource_set.integrate (Calendar.residual c) cpu1 (iv 0 10));
+  (* Releasing an unknown id is a no-op. *)
+  let c' = Calendar.release c ~computation:"nope" in
+  Alcotest.(check int) "no-op release" 20
+    (Resource_set.integrate (Calendar.residual c') cpu1 (iv 0 10))
+
+let test_calendar_advance_and_capacity () =
+  let c = Calendar.create (rset [ Term.v 2 (iv 0 10) cpu1 ]) in
+  let c =
+    Result.get_ok (Calendar.commit c (entry ~id:"x" ~window:(iv 0 6) ~rate:1))
+  in
+  let c = Calendar.advance c 4 in
+  Alcotest.(check int) "capacity truncated" 12
+    (Calendar.capacity_quantity c cpu1 (iv 0 10));
+  Alcotest.(check int) "reservation truncated" 2
+    (Calendar.committed_quantity c cpu1 (iv 0 10));
+  let c = Calendar.add_capacity c (rset [ Term.v 1 (iv 6 12) cpu1 ]) in
+  Alcotest.(check int) "capacity joined" 18
+    (Calendar.capacity_quantity c cpu1 (iv 0 12))
+
+(* --- Admission: ROTA policy --------------------------------------------- *)
+
+let test_admission_rota_admits_and_reserves () =
+  let ctrl = Admission.create Admission.Rota (rset [ Term.v 1 (iv 0 20) cpu1 ]) in
+  (* evaluate(1) = 8 cpu; ready = 1 cpu; merged to 9 cpu. *)
+  let job = one_actor_job ~id:"j1" ~start:0 ~deadline:12 [ Action.evaluate 1; Action.ready ] in
+  let ctrl, outcome = Admission.request ctrl ~now:0 job in
+  Alcotest.(check bool) "admitted" true outcome.Admission.admitted;
+  Alcotest.(check bool) "has certificate" true
+    (Option.is_some outcome.Admission.schedules);
+  Alcotest.(check int) "residual shrank by 9" 11
+    (Resource_set.integrate (Admission.residual ctrl) cpu1 (iv 0 20));
+  (* A second 9-cpu job with deadline 12 cannot fit the remaining 3 ticks
+     before 12. *)
+  let job2 = one_actor_job ~id:"j2" ~start:0 ~deadline:12 [ Action.evaluate 1; Action.ready ] in
+  let ctrl, outcome2 = Admission.request ctrl ~now:0 job2 in
+  Alcotest.(check bool) "second rejected" false outcome2.Admission.admitted;
+  (* With a later deadline it fits after the first. *)
+  let job3 = one_actor_job ~id:"j3" ~start:0 ~deadline:20 [ Action.evaluate 1; Action.ready ] in
+  let ctrl, outcome3 = Admission.request ctrl ~now:0 job3 in
+  Alcotest.(check bool) "third admitted" true outcome3.Admission.admitted;
+  (* Completion releases the reservation. *)
+  let ctrl = Admission.complete ctrl ~computation:"j1" in
+  Alcotest.(check int) "released" 11
+    (Resource_set.integrate (Admission.residual ctrl) cpu1 (iv 0 20))
+
+let test_admission_deadline_passed () =
+  List.iter
+    (fun policy ->
+      let ctrl = Admission.create policy (rset [ Term.v 9 (iv 0 30) cpu1 ]) in
+      let job = one_actor_job ~id:"late" ~start:0 ~deadline:5 [ Action.ready ] in
+      let _, outcome = Admission.request ctrl ~now:5 job in
+      Alcotest.(check bool)
+        (Admission.policy_name policy ^ " rejects past deadline")
+        false outcome.Admission.admitted)
+    Admission.all_policies
+
+let test_admission_aggregate_ignores_order () =
+  (* cpu early, net early; job needs cpu then net — sequentially impossible
+     (net is gone by the time cpu finishes), but aggregate quantities fit. *)
+  let capacity = rset [ Term.v 1 (iv 0 8) cpu1; Term.v 1 (iv 0 9) net12 ] in
+  (* evaluate(1) -> 8 cpu@l1, then send to a peer at l2 -> 4 net. *)
+  let peer = Actor_name.make "peer" in
+  let job =
+    Computation.make ~id:"ordered" ~start:0 ~deadline:9
+      [
+        Program.make ~name:a1 ~home:l1
+          [ Action.evaluate 1; Action.send ~dest:peer ~size:1 ];
+        Program.make ~name:peer ~home:l2 [];
+      ]
+  in
+  let rota = Admission.create Admission.Rota capacity in
+  let _, rota_outcome = Admission.request rota ~now:0 job in
+  Alcotest.(check bool) "rota rejects (order infeasible)" false
+    rota_outcome.Admission.admitted;
+  let agg = Admission.create Admission.Aggregate capacity in
+  let _, agg_outcome = Admission.request agg ~now:0 job in
+  Alcotest.(check bool) "aggregate admits (quantities fit)" true
+    agg_outcome.Admission.admitted
+
+let test_admission_aggregate_ledger () =
+  let capacity = rset [ Term.v 1 (iv 0 20) cpu1 ] in
+  let agg = Admission.create Admission.Aggregate capacity in
+  let job1 = one_actor_job ~id:"g1" ~start:0 ~deadline:20 [ Action.evaluate 1; Action.ready ] in
+  let agg, o1 = Admission.request agg ~now:0 job1 in
+  Alcotest.(check bool) "first admitted" true o1.Admission.admitted;
+  Alcotest.(check int) "ledger has one" 1
+    (List.length (Admission.admitted_demands agg));
+  (* 9 + 9 = 18 <= 20 still fits; a third 9 does not. *)
+  let job2 = one_actor_job ~id:"g2" ~start:0 ~deadline:20 [ Action.evaluate 1; Action.ready ] in
+  let agg, o2 = Admission.request agg ~now:0 job2 in
+  Alcotest.(check bool) "second admitted" true o2.Admission.admitted;
+  let job3 = one_actor_job ~id:"g3" ~start:0 ~deadline:20 [ Action.evaluate 1; Action.ready ] in
+  let agg, o3 = Admission.request agg ~now:0 job3 in
+  Alcotest.(check bool) "third rejected" false o3.Admission.admitted;
+  (* Completion frees ledger space. *)
+  let agg = Admission.complete agg ~computation:"g1" in
+  let _, o4 = Admission.request agg ~now:0 job3 in
+  Alcotest.(check bool) "fits after completion" true o4.Admission.admitted
+
+let test_admission_optimistic () =
+  let ctrl = Admission.create Admission.Optimistic Resource_set.empty in
+  let job = one_actor_job ~id:"any" ~start:0 ~deadline:4 [ Action.evaluate 3 ] in
+  let _, outcome = Admission.request ctrl ~now:0 job in
+  Alcotest.(check bool) "admits with zero capacity" true
+    outcome.Admission.admitted
+
+let test_admission_rota_unmerged_conservative () =
+  (* Unmerged steps force a breakpoint between the two cpu actions; with a
+     one-tick window per unit that costs nothing here, but with capacity
+     that only just fits, both variants agree; this test pins the variant
+     dispatch works and is at most as permissive. *)
+  let capacity = rset [ Term.v 1 (iv 0 9) cpu1 ] in
+  let job = one_actor_job ~id:"m" ~start:0 ~deadline:9 [ Action.evaluate 1; Action.ready ] in
+  let merged = Admission.create Admission.Rota capacity in
+  let unmerged = Admission.create Admission.Rota_unmerged capacity in
+  let _, om = Admission.request merged ~now:0 job in
+  let _, ou = Admission.request unmerged ~now:0 job in
+  Alcotest.(check bool) "merged admits" true om.Admission.admitted;
+  Alcotest.(check bool) "unmerged admits too" true ou.Admission.admitted
+
+let test_admission_add_capacity_unlocks () =
+  let ctrl = Admission.create Admission.Rota (rset [ Term.v 1 (iv 0 5) cpu1 ]) in
+  let job = one_actor_job ~id:"k" ~start:0 ~deadline:10 [ Action.evaluate 1; Action.ready ] in
+  let ctrl, o1 = Admission.request ctrl ~now:0 job in
+  Alcotest.(check bool) "rejected at first" false o1.Admission.admitted;
+  let ctrl = Admission.add_capacity ctrl (rset [ Term.v 1 (iv 5 10) cpu1 ]) in
+  let _, o2 = Admission.request ctrl ~now:0 job in
+  Alcotest.(check bool) "admitted after join" true o2.Admission.admitted
+
+let () =
+  Alcotest.run "rota_scheduler"
+    [
+      ( "calendar",
+        [
+          Alcotest.test_case "commit/release" `Quick test_calendar_commit_release;
+          Alcotest.test_case "advance/capacity" `Quick
+            test_calendar_advance_and_capacity;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "rota admits and reserves" `Quick
+            test_admission_rota_admits_and_reserves;
+          Alcotest.test_case "deadline passed" `Quick test_admission_deadline_passed;
+          Alcotest.test_case "aggregate ignores order" `Quick
+            test_admission_aggregate_ignores_order;
+          Alcotest.test_case "aggregate ledger" `Quick test_admission_aggregate_ledger;
+          Alcotest.test_case "optimistic" `Quick test_admission_optimistic;
+          Alcotest.test_case "rota unmerged" `Quick
+            test_admission_rota_unmerged_conservative;
+          Alcotest.test_case "capacity join unlocks" `Quick
+            test_admission_add_capacity_unlocks;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+(* End-to-end tests for interacting-actor sessions in the simulator:
+   admission, dependency-gated execution, deadline kills, and the
+   deadline-assurance invariant extended to sessions. *)
+
+open Rota_interval
+open Rota_resource
+open Rota_actor
+open Rota
+open Rota_scheduler
+open Rota_sim
+
+let iv a b = Interval.of_pair a b
+let l1 = Location.make "l1"
+let l2 = Location.make "l2"
+let cpu1 = Located_type.cpu l1
+let rset = Resource_set.of_terms
+let alice = Actor_name.make "alice"
+let bob = Actor_name.make "bob"
+
+let capacity stop =
+  rset
+    [
+      Term.v 1 (iv 0 stop) cpu1;
+      Term.v 1 (iv 0 stop) (Located_type.cpu l2);
+      Term.v 2 (iv 0 stop) (Located_type.network ~src:l1 ~dst:l2);
+      Term.v 2 (iv 0 stop) (Located_type.network ~src:l2 ~dst:l1);
+    ]
+
+(* alice computes, sends, awaits the reply, computes; bob replies.  The
+   dependency chain takes 28 unit-rate ticks (see test_extensions). *)
+let ping_pong ~deadline =
+  Result.get_ok
+    (Session.make ~id:"pp" ~start:0 ~deadline
+       [
+         Session.participant ~name:alice ~home:l1
+           [
+             Session.Act (Action.evaluate 1);
+             Session.Act (Action.send ~dest:bob ~size:1);
+             Session.Await bob;
+             Session.Act (Action.evaluate 1);
+           ];
+         Session.participant ~name:bob ~home:l2
+           [
+             Session.Await alice;
+             Session.Act (Action.evaluate 1);
+             Session.Act (Action.send ~dest:alice ~size:1);
+           ];
+       ])
+
+let deadlocked ~deadline =
+  Result.get_ok
+    (Session.make ~id:"dl" ~start:0 ~deadline
+       [
+         Session.participant ~name:alice ~home:l1
+           [ Session.Await bob; Session.Act (Action.send ~dest:bob ~size:1) ];
+         Session.participant ~name:bob ~home:l2
+           [ Session.Await alice; Session.Act (Action.send ~dest:alice ~size:1) ];
+       ])
+
+let trace_of ~stop events =
+  Trace.of_events ((0, Trace.Join (capacity stop)) :: events)
+
+let test_session_rota_on_time () =
+  let t = trace_of ~stop:40 [ (0, Trace.Arrive_session (ping_pong ~deadline:40)) ] in
+  let r = Engine.run ~policy:Admission.Rota t in
+  Alcotest.(check int) "admitted" 1 r.Engine.admitted;
+  Alcotest.(check int) "on time" 1 r.Engine.completed_on_time;
+  Alcotest.(check int) "no misses" 0 r.Engine.missed_deadlines;
+  (match r.Engine.outcomes with
+  | [ o ] -> (
+      match o.Engine.finished with
+      | Some f ->
+          (* The dependency chain needs exactly 28 ticks at unit rates. *)
+          Alcotest.(check int) "finished at the makespan" 28 f
+      | None -> Alcotest.fail "should have finished")
+  | _ -> Alcotest.fail "one outcome");
+  (* The session consumed exactly its priced work: 3x8 cpu + 2x4 net. *)
+  Alcotest.(check int) "consumed" 32 r.Engine.consumed_total
+
+let test_session_rota_rejects_tight () =
+  let t = trace_of ~stop:27 [ (0, Trace.Arrive_session (ping_pong ~deadline:27)) ] in
+  let r = Engine.run ~policy:Admission.Rota t in
+  Alcotest.(check int) "rejected" 1 r.Engine.rejected;
+  Alcotest.(check int) "no misses" 0 r.Engine.missed_deadlines
+
+let test_session_optimistic_deadlock_misses () =
+  (* Optimistic admits the deadlocked session; no segment with work is
+     ever released, so it is killed at its deadline. *)
+  let t = trace_of ~stop:30 [ (0, Trace.Arrive_session (deadlocked ~deadline:20)) ] in
+  let r = Engine.run ~policy:Admission.Optimistic t in
+  Alcotest.(check int) "admitted" 1 r.Engine.admitted;
+  Alcotest.(check int) "missed" 1 r.Engine.missed_deadlines;
+  Alcotest.(check int) "nothing consumed" 0 r.Engine.consumed_total
+
+let test_session_rota_rejects_deadlock () =
+  let t = trace_of ~stop:30 [ (0, Trace.Arrive_session (deadlocked ~deadline:20)) ] in
+  let r = Engine.run ~policy:Admission.Rota t in
+  Alcotest.(check int) "rejected statically" 1 r.Engine.rejected;
+  (match (List.hd r.Engine.outcomes).Engine.reject_reason with
+  | Some reason ->
+      Alcotest.(check bool) "mentions cycle" true
+        (String.length reason > 0)
+  | None -> Alcotest.fail "reason recorded")
+
+let test_session_contends_with_computation () =
+  (* A plain computation and a session sharing cpu@l1 under ROTA: both
+     admitted only if reservations fit; whatever is admitted finishes. *)
+  let job =
+    Computation.make ~id:"job" ~start:0 ~deadline:40
+      [ Program.make ~name:(Actor_name.make "solo") ~home:l1
+          [ Action.evaluate 1; Action.ready ] ]
+  in
+  let t =
+    trace_of ~stop:40
+      [
+        (0, Trace.Arrive_session (ping_pong ~deadline:40));
+        (0, Trace.Arrive job);
+      ]
+  in
+  let r = Engine.run ~policy:Admission.Rota t in
+  Alcotest.(check int) "no misses" 0 r.Engine.missed_deadlines;
+  Alcotest.(check int) "everything admitted finishes on time"
+    r.Engine.admitted r.Engine.completed_on_time
+
+let test_session_aggregate_runs_shared () =
+  (* Aggregate admits the ping-pong on totals; shared dispatch with
+     dependency gating still finishes it (no contention here). *)
+  let t = trace_of ~stop:60 [ (0, Trace.Arrive_session (ping_pong ~deadline:60)) ] in
+  let r = Engine.run ~policy:Admission.Aggregate t in
+  Alcotest.(check int) "admitted" 1 r.Engine.admitted;
+  Alcotest.(check int) "on time" 1 r.Engine.completed_on_time
+
+let test_mixed_trace_smoke () =
+  let params =
+    { Rota_workload.Scenario.default_params with seed = 3; arrivals = 6; horizon = 120;
+      locations = 2 }
+  in
+  let t = Rota_workload.Scenario.trace_with_sessions params ~sessions:4 in
+  Alcotest.(check bool) "sessions present" true
+    (List.length (Trace.sessions t) > 0);
+  let r = Engine.run ~policy:Admission.Rota t in
+  Alcotest.(check int) "offered = arrivals + sessions"
+    (List.length (Trace.arrivals t) + List.length (Trace.sessions t))
+    r.Engine.offered;
+  Alcotest.(check int) "no misses" 0 r.Engine.missed_deadlines
+
+(* The deadline-assurance invariant extended to interacting sessions. *)
+let prop_sessions_deadline_assurance =
+  QCheck.Test.make ~name:"rota sessions never miss deadlines" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let params =
+        {
+          Rota_workload.Scenario.default_params with
+          seed;
+          horizon = 120;
+          arrivals = 16;
+          locations = 2;
+          slack = 1.6;
+        }
+      in
+      let trace = Rota_workload.Scenario.trace_with_sessions params ~sessions:10 in
+      List.for_all
+        (fun policy ->
+          (Engine.run ~policy trace).Engine.missed_deadlines = 0)
+        [ Admission.Rota; Admission.Rota_unmerged ])
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest [ prop_sessions_deadline_assurance ]
+
+let () =
+  Alcotest.run "rota_sessions_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "rota on time" `Quick test_session_rota_on_time;
+          Alcotest.test_case "rota rejects tight" `Quick
+            test_session_rota_rejects_tight;
+          Alcotest.test_case "optimistic deadlock misses" `Quick
+            test_session_optimistic_deadlock_misses;
+          Alcotest.test_case "rota rejects deadlock" `Quick
+            test_session_rota_rejects_deadlock;
+          Alcotest.test_case "contention with computation" `Quick
+            test_session_contends_with_computation;
+          Alcotest.test_case "aggregate shared dispatch" `Quick
+            test_session_aggregate_runs_shared;
+          Alcotest.test_case "mixed trace smoke" `Quick test_mixed_trace_smoke;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,251 @@
+(* Tests for the simulator: Event_queue, Trace, Engine — including the
+   headline deadline-assurance invariant: computations admitted by the ROTA
+   policy never miss their deadlines. *)
+
+open Rota_interval
+open Rota_resource
+open Rota_actor
+open Rota_scheduler
+open Rota_sim
+
+let iv a b = Interval.of_pair a b
+let l1 = Location.make "l1"
+let l2 = Location.make "l2"
+let cpu1 = Located_type.cpu l1
+let rset = Resource_set.of_terms
+let a1 = Actor_name.make "a1"
+
+let one_actor_job ~id ~start ~deadline actions =
+  Computation.make ~id ~start ~deadline [ Program.make ~name:a1 ~home:l1 actions ]
+
+(* --- Event_queue ------------------------------------------------------- *)
+
+let test_eq_order () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Event_queue.add q ~time:5 "e5";
+  Event_queue.add q ~time:1 "e1";
+  Event_queue.add q ~time:3 "e3a";
+  Event_queue.add q ~time:3 "e3b";
+  Alcotest.(check int) "length" 4 (Event_queue.length q);
+  Alcotest.(check (option int)) "peek" (Some 1) (Event_queue.peek_time q);
+  let drained = Event_queue.to_sorted_list q in
+  Alcotest.(check (list (pair int string))) "sorted, FIFO ties"
+    [ (1, "e1"); (3, "e3a"); (3, "e3b"); (5, "e5") ]
+    drained;
+  Alcotest.(check int) "queue untouched" 4 (Event_queue.length q);
+  Alcotest.(check (list (pair int string))) "pop_until 3"
+    [ (1, "e1"); (3, "e3a"); (3, "e3b") ]
+    (Event_queue.pop_until q 3);
+  Alcotest.(check int) "one left" 1 (Event_queue.length q);
+  Alcotest.(check (option (pair int string))) "pop last" (Some (5, "e5"))
+    (Event_queue.pop q);
+  Alcotest.(check (option (pair int string))) "pop empty" None (Event_queue.pop q)
+
+let prop_eq_sorted =
+  QCheck.Test.make ~name:"event_queue drains sorted and stable" ~count:300
+    QCheck.(list (pair (int_range 0 50) small_nat))
+    (fun events ->
+      let q = Event_queue.of_list events in
+      let out = Event_queue.to_sorted_list q in
+      let expected =
+        List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2) events
+      in
+      out = expected)
+
+(* --- Trace -------------------------------------------------------------- *)
+
+let test_trace_basics () =
+  let c = one_actor_job ~id:"c" ~start:4 ~deadline:9 [ Action.ready ] in
+  let t =
+    Trace.of_events
+      [
+        (4, Trace.Arrive c);
+        (0, Trace.Join (rset [ Term.v 1 (iv 0 12) cpu1 ]));
+      ]
+  in
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  (match Trace.events t with
+  | (0, Trace.Join _) :: (4, Trace.Arrive _) :: [] -> ()
+  | _ -> Alcotest.fail "events not sorted");
+  Alcotest.(check int) "one arrival" 1 (List.length (Trace.arrivals t));
+  Alcotest.(check int) "one join" 1 (List.length (Trace.joins t));
+  (* Horizon covers both the join's availability and the deadline. *)
+  Alcotest.(check int) "horizon" 12 (Trace.horizon t);
+  Alcotest.(check int) "empty horizon" 0 (Trace.horizon (Trace.of_events []));
+  let t2 = Trace.merge t (Trace.initial_capacity (rset [ Term.v 1 (iv 0 20) cpu1 ])) in
+  Alcotest.(check int) "merged" 3 (Trace.length t2);
+  Alcotest.(check int) "merged horizon" 20 (Trace.horizon t2)
+
+(* --- Engine: hand-built scenarios ----------------------------------------- *)
+
+(* evaluate(1); ready = 9 cpu total at l1. *)
+let job ~id ~start ~deadline =
+  one_actor_job ~id ~start ~deadline [ Action.evaluate 1; Action.ready ]
+
+let capacity rate stop = rset [ Term.v rate (iv 0 stop) cpu1 ]
+
+let run_jobs ~policy ~rate ~stop jobs =
+  let events =
+    (0, Trace.Join (capacity rate stop))
+    :: List.map
+         (fun (j : Computation.t) -> (j.Computation.start, Trace.Arrive j))
+         jobs
+  in
+  Engine.run ~policy (Trace.of_events events)
+
+let test_engine_single_job () =
+  let report = run_jobs ~policy:Admission.Rota ~rate:1 ~stop:20 [ job ~id:"j" ~start:0 ~deadline:12 ] in
+  Alcotest.(check int) "offered" 1 report.Engine.offered;
+  Alcotest.(check int) "admitted" 1 report.Engine.admitted;
+  Alcotest.(check int) "on time" 1 report.Engine.completed_on_time;
+  Alcotest.(check int) "missed" 0 report.Engine.missed_deadlines;
+  (match report.Engine.outcomes with
+  | [ o ] ->
+      Alcotest.(check (option int)) "finished at 9" (Some 9) o.Engine.finished
+  | _ -> Alcotest.fail "one outcome expected");
+  Alcotest.(check int) "consumed the 9 units" 9 report.Engine.consumed_total
+
+let test_engine_rota_rejects_overload () =
+  (* Two 9-unit jobs, both deadline 12, rate 1: only one fits. *)
+  let jobs = [ job ~id:"j1" ~start:0 ~deadline:12; job ~id:"j2" ~start:0 ~deadline:12 ] in
+  let report = run_jobs ~policy:Admission.Rota ~rate:1 ~stop:20 jobs in
+  Alcotest.(check int) "one admitted" 1 report.Engine.admitted;
+  Alcotest.(check int) "one rejected" 1 report.Engine.rejected;
+  Alcotest.(check int) "no misses" 0 report.Engine.missed_deadlines;
+  Alcotest.(check int) "one on time" 1 report.Engine.completed_on_time
+
+let test_engine_optimistic_misses () =
+  (* The same overload under optimistic admission: both admitted, shared
+     dispatch splits the single cpu, neither finishes 9 units by 12 ...
+     actually each gets ~4.5/9 by t=9; both miss. *)
+  let jobs = [ job ~id:"j1" ~start:0 ~deadline:12; job ~id:"j2" ~start:0 ~deadline:12 ] in
+  let report = run_jobs ~policy:Admission.Optimistic ~rate:1 ~stop:20 jobs in
+  Alcotest.(check int) "both admitted" 2 report.Engine.admitted;
+  Alcotest.(check bool) "misses happen" true (report.Engine.missed_deadlines >= 1)
+
+let test_engine_aggregate_order_miss () =
+  (* Aggregate admits an order-infeasible job (cpu then net, net early
+     only); it must then miss at runtime. *)
+  let peer = Actor_name.make "peer" in
+  let net12 = Located_type.network ~src:l1 ~dst:l2 in
+  let c =
+    Computation.make ~id:"ordered" ~start:0 ~deadline:9
+      [
+        Program.make ~name:a1 ~home:l1
+          [ Action.evaluate 1; Action.send ~dest:peer ~size:1 ];
+        Program.make ~name:peer ~home:l2 [];
+      ]
+  in
+  let cap = rset [ Term.v 1 (iv 0 8) cpu1; Term.v 1 (iv 0 9) net12 ] in
+  let trace = Trace.of_events [ (0, Trace.Join cap); (0, Trace.Arrive c) ] in
+  let agg = Engine.run ~policy:Admission.Aggregate trace in
+  Alcotest.(check int) "aggregate admits" 1 agg.Engine.admitted;
+  Alcotest.(check int) "and misses" 1 agg.Engine.missed_deadlines;
+  let rota = Engine.run ~policy:Admission.Rota trace in
+  Alcotest.(check int) "rota rejects" 1 rota.Engine.rejected;
+  Alcotest.(check int) "rota never misses" 0 rota.Engine.missed_deadlines
+
+let test_engine_churn_join_enables () =
+  (* The job only fits thanks to a later resource join. *)
+  let j = job ~id:"late-cap" ~start:5 ~deadline:20 in
+  let trace =
+    Trace.of_events
+      [
+        (0, Trace.Join (rset [ Term.v 1 (iv 0 4) cpu1 ]));
+        (5, Trace.Join (rset [ Term.v 1 (iv 5 20) cpu1 ]));
+        (5, Trace.Arrive j);
+      ]
+  in
+  let report = Engine.run ~policy:Admission.Rota trace in
+  Alcotest.(check int) "admitted" 1 report.Engine.admitted;
+  Alcotest.(check int) "on time" 1 report.Engine.completed_on_time
+
+let test_engine_workless_job () =
+  let c = Computation.make ~id:"empty" ~start:0 ~deadline:5 [] in
+  let trace = Trace.of_events [ (0, Trace.Arrive c) ] in
+  let report = Engine.run ~policy:Admission.Rota trace in
+  Alcotest.(check int) "admitted" 1 report.Engine.admitted;
+  Alcotest.(check int) "on time" 1 report.Engine.completed_on_time
+
+let test_engine_report_helpers () =
+  let report = run_jobs ~policy:Admission.Rota ~rate:1 ~stop:20 [ job ~id:"j" ~start:0 ~deadline:12 ] in
+  Alcotest.(check bool) "utilization in (0,1]" true
+    (Engine.utilization report > 0. && Engine.utilization report <= 1.);
+  Alcotest.(check (float 0.0001)) "goodput" 1.0 (Engine.goodput report);
+  let line = Format.asprintf "%a" Engine.pp_report report in
+  Alcotest.(check bool) "report line mentions policy" true
+    (String.length line > 0)
+
+(* --- The deadline-assurance invariant -------------------------------------- *)
+
+(* For any random open-system scenario, the ROTA policies admit only what
+   they can schedule, and the reservation-driven runtime finishes every
+   admitted computation by its deadline. *)
+let prop_rota_deadline_assurance =
+  let open QCheck in
+  Test.make ~name:"rota admissions never miss deadlines" ~count:25
+    (pair (int_range 0 1000) (int_range 1 4))
+    (fun (seed, load_quarters) ->
+      let params =
+        {
+          Rota_workload.Scenario.default_params with
+          seed;
+          horizon = 100;
+          arrivals = 8 * load_quarters;
+          locations = 2;
+        }
+      in
+      let trace = Rota_workload.Scenario.trace params in
+      List.for_all
+        (fun policy ->
+          let report = Engine.run ~policy trace in
+          report.Engine.missed_deadlines = 0)
+        [ Admission.Rota; Admission.Rota_unmerged; Admission.Rota_given_order ])
+
+(* Baselines admit at least as much as ROTA (they skip the ordering check),
+   and optimistic admits everything not yet expired. *)
+let prop_baselines_admit_more =
+  let open QCheck in
+  Test.make ~name:"optimistic admits a superset" ~count:15
+    (int_range 0 1000)
+    (fun seed ->
+      let params =
+        {
+          Rota_workload.Scenario.default_params with
+          seed;
+          horizon = 80;
+          arrivals = 12;
+          locations = 2;
+        }
+      in
+      let trace = Rota_workload.Scenario.trace params in
+      let rota = Engine.run ~policy:Admission.Rota trace in
+      let opt = Engine.run ~policy:Admission.Optimistic trace in
+      opt.Engine.admitted >= rota.Engine.admitted)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_eq_sorted; prop_rota_deadline_assurance; prop_baselines_admit_more ]
+
+let () =
+  Alcotest.run "rota_sim"
+    [
+      ("event_queue", [ Alcotest.test_case "order" `Quick test_eq_order ]);
+      ("trace", [ Alcotest.test_case "basics" `Quick test_trace_basics ]);
+      ( "engine",
+        [
+          Alcotest.test_case "single job" `Quick test_engine_single_job;
+          Alcotest.test_case "rota rejects overload" `Quick
+            test_engine_rota_rejects_overload;
+          Alcotest.test_case "optimistic misses" `Quick
+            test_engine_optimistic_misses;
+          Alcotest.test_case "aggregate order miss" `Quick
+            test_engine_aggregate_order_miss;
+          Alcotest.test_case "churn join enables" `Quick
+            test_engine_churn_join_enables;
+          Alcotest.test_case "workless job" `Quick test_engine_workless_job;
+          Alcotest.test_case "report helpers" `Quick test_engine_report_helpers;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,296 @@
+(* Tests for the scenario language: lexer, parser, semantics, and the
+   print/parse round-trip. *)
+
+open Rota_interval
+open Rota_resource
+open Rota_actor
+open Rota_syntax
+
+let example =
+  {|
+# three nodes and a link
+resource cpu@l1 rate 2 from 0 to 30
+resource cpu@l2 rate 1 from 0 to 30
+resource memory@l1 rate 8 from 0 to 30
+resource gpu@l2 rate 1 from 0 to 20
+resource network l1 -> l2 rate 1 from 0 to 30
+resource cpu@l3 rate 2 from 5 to 25 join 5   # a volunteer
+
+computation job1 start 0 deadline 30
+  actor a1 at l1
+    evaluate 2
+    send a2 size 1
+    ready
+  actor a2 at l2
+    evaluate 1
+    migrate l1
+    create helper
+
+computation job2 start 4 deadline 12
+  actor solo at l2
+    evaluate 1
+|}
+
+(* --- Lexer ----------------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  match Lexer.tokenize "resource cpu@l1 rate -2 from 0 to 30 # hi\nnext" with
+  | Error e -> Alcotest.failf "lex error: %s" (Format.asprintf "%a" Lexer.pp_error e)
+  | Ok tokens ->
+      let show =
+        List.map
+          (fun t -> Format.asprintf "%a" Lexer.pp_token t.Lexer.token)
+          tokens
+      in
+      Alcotest.(check (list string)) "tokens"
+        [ "resource"; "cpu"; "@"; "l1"; "rate"; "-2"; "from"; "0"; "to"; "30";
+          "<newline>"; "next"; "<newline>" ]
+        show;
+      (* Line numbers. *)
+      let lines = List.map (fun (t : Lexer.located) -> t.Lexer.line) tokens in
+      Alcotest.(check (list int)) "lines"
+        [ 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 2; 2 ]
+        lines
+
+let test_lexer_arrow_and_blank () =
+  match Lexer.tokenize "a -> b\n\n\n  # only a comment\nc" with
+  | Error _ -> Alcotest.fail "should lex"
+  | Ok tokens ->
+      let show =
+        List.map (fun t -> Format.asprintf "%a" Lexer.pp_token t.Lexer.token) tokens
+      in
+      Alcotest.(check (list string)) "blank lines vanish"
+        [ "a"; "->"; "b"; "<newline>"; "c"; "<newline>" ]
+        show
+
+let test_lexer_error () =
+  match Lexer.tokenize "ok\n\twhat?!" with
+  | Error e ->
+      Alcotest.(check int) "error line" 2 e.Lexer.line
+  | Ok _ -> Alcotest.fail "expected lex error on '?!'"
+
+(* --- Parser ------------------------------------------------------------------ *)
+
+let test_parse_example () =
+  match Document.parse example with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok doc ->
+      Alcotest.(check int) "resources" 6 (List.length doc.Document.resources);
+      Alcotest.(check int) "computations" 2
+        (List.length doc.Document.computations);
+      (* The volunteer joins at 5. *)
+      let volunteer = List.nth doc.Document.resources 5 in
+      Alcotest.(check int) "join at" 5 volunteer.Document.join_at;
+      (* Capacity aggregates all terms. *)
+      let cap = Document.capacity doc in
+      let cpu1 = Located_type.cpu (Location.make "l1") in
+      Alcotest.(check int) "cpu@l1 quantity" 60
+        (Resource_set.integrate cap cpu1 (Interval.of_pair 0 30));
+      let gpu = Located_type.custom "gpu" (Location.make "l2") in
+      Alcotest.(check bool) "custom kind parsed" true (Resource_set.mem gpu cap);
+      (* Programs parsed in order with their actions. *)
+      let job1 = List.hd doc.Document.computations in
+      Alcotest.(check string) "id" "job1" job1.Computation.id;
+      (match job1.Computation.programs with
+      | [ p1; p2 ] ->
+          Alcotest.(check int) "a1 actions" 3 (Program.length p1);
+          Alcotest.(check int) "a2 actions" 3 (Program.length p2);
+          (match p2.Program.actions with
+          | [ _; Action.Migrate { dest }; Action.Create _ ] ->
+              Alcotest.(check string) "migrate target" "l1" (Location.name dest)
+          | _ -> Alcotest.fail "a2 actions shape")
+      | _ -> Alcotest.fail "two actors");
+      (* Trace: 6 joins + 2 arrivals, arrivals at start times. *)
+      let trace = Document.to_trace doc in
+      Alcotest.(check int) "trace events" 8 (Rota_sim.Trace.length trace);
+      match Rota_sim.Trace.arrivals trace with
+      | [ (0, _); (4, _) ] -> ()
+      | _ -> Alcotest.fail "arrival times"
+
+let check_parse_error input fragment =
+  match Document.parse input with
+  | Ok _ -> Alcotest.failf "expected a parse error mentioning %S" fragment
+  | Error e ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+        m = 0 || scan 0
+      in
+      if not (contains e fragment) then
+        Alcotest.failf "error %S does not mention %S" e fragment
+
+let test_parse_errors () =
+  check_parse_error "nonsense here\n" "resource";
+  check_parse_error "resource cpu@l1 rate 0 from 0 to 5\n" "rate must be positive";
+  check_parse_error "resource cpu@l1 rate 1 from 5 to 5\n" "empty interval";
+  check_parse_error "resource cpu l1 rate 1 from 0 to 5\n" "@";
+  check_parse_error "resource network l1 l2 rate 1 from 0 to 5\n" "->";
+  check_parse_error "computation c start 5 deadline 5\n" "deadline";
+  check_parse_error
+    "computation c start 0 deadline 5\n  actor a at l1\n    explode 3\n"
+    "resource";
+  (* duplicate actor names *)
+  check_parse_error
+    "computation c start 0 deadline 9\n  actor a at l1\n  actor a at l2\n"
+    "duplicate";
+  (* error line numbers are reported *)
+  match Document.parse "resource cpu@l1 rate 1 from 0 to 5\nresource cpu@l1 rate 0 from 0 to 5\n" with
+  | Error e ->
+      Alcotest.(check bool) "mentions line 2" true
+        (String.length e >= 6 && String.sub e 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_roundtrip_example () =
+  let doc = Result.get_ok (Document.parse example) in
+  let printed = Document.print doc in
+  match Document.parse printed with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok doc2 ->
+      Alcotest.(check int) "same resources"
+        (List.length doc.Document.resources)
+        (List.length doc2.Document.resources);
+      List.iter2
+        (fun (a : Document.resource) (b : Document.resource) ->
+          Alcotest.(check bool) "term equal" true (Term.equal a.Document.term b.Document.term);
+          Alcotest.(check int) "join equal" a.Document.join_at b.Document.join_at)
+        doc.Document.resources doc2.Document.resources;
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "computation equal" true (Computation.equal a b))
+        doc.Document.computations doc2.Document.computations
+
+let session_example =
+  {|
+resource cpu@l1 rate 1 from 0 to 40
+resource cpu@l2 rate 1 from 0 to 40
+resource network l1 -> l2 rate 2 from 0 to 40
+resource network l2 -> l1 rate 2 from 0 to 40
+
+session rpc start 0 deadline 40
+  actor client at l1
+    evaluate 1
+    send server size 1
+    await server
+    ready
+  actor server at l2
+    await client
+    evaluate 1
+    send client size 1
+|}
+
+let test_parse_session () =
+  match Document.parse session_example with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok doc ->
+      Alcotest.(check int) "one session" 1 (List.length doc.Document.sessions);
+      let s = List.hd doc.Document.sessions in
+      Alcotest.(check string) "id" "rpc" s.Rota.Session.id;
+      Alcotest.(check int) "deadline" 40 s.Rota.Session.deadline;
+      (match s.Rota.Session.participants with
+      | [ client; server ] ->
+          Alcotest.(check int) "client events" 4
+            (List.length client.Rota.Session.events);
+          (match List.nth server.Rota.Session.events 0 with
+          | Rota.Session.Await who ->
+              Alcotest.(check string) "server awaits client" "client"
+                (Actor_name.name who)
+          | Rota.Session.Act _ -> Alcotest.fail "first server event is an await")
+      | _ -> Alcotest.fail "two participants");
+      (* The trace carries the session arrival. *)
+      let trace = Document.to_trace doc in
+      Alcotest.(check int) "session arrival" 1
+        (List.length (Rota_sim.Trace.sessions trace));
+      (* Round-trip. *)
+      let printed = Document.print doc in
+      (match Document.parse printed with
+      | Ok doc2 ->
+          Alcotest.(check int) "session survives roundtrip" 1
+            (List.length doc2.Document.sessions);
+          let s2 = List.hd doc2.Document.sessions in
+          Alcotest.(check int) "participants preserved"
+            (List.length s.Rota.Session.participants)
+            (List.length s2.Rota.Session.participants)
+      | Error e -> Alcotest.failf "reparse failed: %s" e);
+      (* And the session is actually runnable end to end. *)
+      let report =
+        Rota_sim.Engine.run ~policy:Rota_scheduler.Admission.Rota trace
+      in
+      Alcotest.(check int) "admitted and on time" 1
+        report.Rota_sim.Engine.completed_on_time
+
+let test_parse_session_errors () =
+  (* An await in a plain computation block is rejected. *)
+  check_parse_error
+    "computation c start 0 deadline 9\n  actor a at l1\n    await b\n"
+    "resource";
+  (* Session-level validation errors surface with the session's line. *)
+  check_parse_error
+    "session s start 0 deadline 9\n  actor a at l1\n    await b\n"
+    "unknown participant"
+
+(* Random documents round-trip: generate computations with the workload
+   generators and resources with the scenario capacity. *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let params =
+        { Rota_workload.Scenario.default_params with seed; arrivals = 4; horizon = 60 }
+      in
+      let resources =
+        Resource_set.to_terms (Rota_workload.Scenario.capacity_of params)
+        |> List.map (fun term -> { Document.term; join_at = 0 })
+      in
+      let computations = Rota_workload.Scenario.computations params in
+      let doc = { Document.resources; computations; sessions = [] } in
+      match Document.parse (Document.print doc) with
+      | Error _ -> false
+      | Ok doc2 ->
+          List.length doc2.Document.resources = List.length resources
+          && List.for_all2 Computation.equal computations
+               doc2.Document.computations)
+
+(* Printing is idempotent: print (parse (print d)) = print d. *)
+let prop_print_idempotent =
+  QCheck.Test.make ~name:"printer idempotent" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let params =
+        { Rota_workload.Scenario.default_params with seed; arrivals = 3; horizon = 50 }
+      in
+      let resources =
+        Resource_set.to_terms (Rota_workload.Scenario.capacity_of params)
+        |> List.map (fun term -> { Document.term; join_at = 0 })
+      in
+      let doc =
+        { Document.resources;
+          computations = Rota_workload.Scenario.computations params;
+          sessions = [] }
+      in
+      let once = Document.print doc in
+      match Document.parse once with
+      | Error _ -> false
+      | Ok doc2 -> String.equal once (Document.print doc2))
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_print_idempotent ]
+
+let () =
+  Alcotest.run "rota_syntax"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "arrow/blank" `Quick test_lexer_arrow_and_blank;
+          Alcotest.test_case "error" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "example" `Quick test_parse_example;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_example;
+          Alcotest.test_case "session block" `Quick test_parse_session;
+          Alcotest.test_case "session errors" `Quick test_parse_session_errors;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,216 @@
+(* Tests for the workload library: Prng, Gen, Scenario. *)
+
+open Rota_interval
+open Rota_resource
+open Rota_actor
+open Rota_workload
+
+let iv a b = Interval.of_pair a b
+
+(* --- Prng ---------------------------------------------------------------- *)
+
+let test_prng_determinism () =
+  let g1 = Prng.create 7 and g2 = Prng.create 7 in
+  let seq g = List.init 20 (fun _ -> Prng.int g 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq g1) (seq g2);
+  let g3 = Prng.create 8 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (seq (Prng.create 7) <> seq g3)
+
+let test_prng_ranges () =
+  let g = Prng.create 3 in
+  for _ = 1 to 500 do
+    let v = Prng.int g 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of range: %d" v;
+    let r = Prng.int_range g 5 9 in
+    if r < 5 || r > 9 then Alcotest.failf "int_range out of range: %d" r;
+    let f = Prng.float g 2.0 in
+    if f < 0. || f >= 2. then Alcotest.failf "float out of range: %f" f
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound <= 0")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_prng_copy_split () =
+  let g = Prng.create 11 in
+  ignore (Prng.next_int64 g);
+  let c = Prng.copy g in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 g)
+    (Prng.next_int64 c);
+  let child = Prng.split g in
+  Alcotest.(check bool) "split diverges" true
+    (Prng.next_int64 child <> Prng.next_int64 g)
+
+let test_prng_choose_shuffle () =
+  let g = Prng.create 5 in
+  let l = [ 1; 2; 3; 4; 5 ] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "choose member" true (List.mem (Prng.choose g l) l)
+  done;
+  let shuffled = Prng.shuffle g l in
+  Alcotest.(check (list int)) "permutation" l (List.sort compare shuffled);
+  Alcotest.check_raises "empty choose"
+    (Invalid_argument "Prng.choose: empty list") (fun () ->
+      ignore (Prng.choose g []))
+
+(* --- Gen ------------------------------------------------------------------ *)
+
+let test_gen_world () =
+  let w = Gen.world ~locations:3 () in
+  Alcotest.(check int) "3 locations" 3 (List.length w.Gen.locations);
+  Alcotest.(check (list string)) "names" [ "l1"; "l2"; "l3" ]
+    (List.map Location.name w.Gen.locations);
+  Alcotest.check_raises "zero locations"
+    (Invalid_argument "Gen.world: need at least one location") (fun () ->
+      ignore (Gen.world ~locations:0 ()))
+
+let test_gen_steady_capacity () =
+  let w = Gen.world ~locations:2 () in
+  let theta = Gen.steady_capacity w ~horizon:10 ~cpu_rate:3 ~net_rate:2 in
+  (* 2 cpu types + 4 ordered pairs (including loopback). *)
+  Alcotest.(check int) "types" 6 (List.length (Resource_set.domain theta));
+  Alcotest.(check int) "cpu quantity" 30
+    (Resource_set.integrate theta (Located_type.cpu (Location.make "l1")) (iv 0 10));
+  let no_net = Gen.steady_capacity w ~horizon:10 ~cpu_rate:3 ~net_rate:0 in
+  Alcotest.(check int) "no net types" 2 (List.length (Resource_set.domain no_net))
+
+let test_gen_random_program_threads_locations () =
+  let w = Gen.world ~locations:3 () in
+  let g = Prng.create 17 in
+  for i = 0 to 30 do
+    let p =
+      Gen.random_program g w
+        ~name:(Actor_name.make (Printf.sprintf "a%d" i))
+        ~peers:[] ~actions:6
+    in
+    Alcotest.(check int) "action count" 6 (Program.length p);
+    (* No self-migrations: each migrate changes the current location. *)
+    List.iter
+      (fun ((action : Action.t), here) ->
+        match action with
+        | Action.Migrate { dest } ->
+            Alcotest.(check bool) "no self migrate" false
+              (Location.equal dest here)
+        | _ -> ())
+      (Program.location_trace p)
+  done
+
+let test_gen_random_computation () =
+  let w = Gen.world ~locations:2 () in
+  let g = Prng.create 23 in
+  for i = 0 to 20 do
+    let c =
+      Gen.random_computation g w
+        ~id:(Printf.sprintf "c%d" i)
+        ~start:5 ~actors:(1, 3) ~actions:(1, 4) ~slack:2.0 ~rate_hint:4
+    in
+    Alcotest.(check bool) "deadline after start" true
+      (c.Computation.deadline > c.Computation.start);
+    let n = Computation.actor_count c in
+    Alcotest.(check bool) "actor count in range" true (n >= 1 && n <= 3)
+  done
+
+let test_gen_churn () =
+  let w = Gen.world ~locations:2 () in
+  let g = Prng.create 31 in
+  let joins = Gen.churn_joins g w ~horizon:50 ~joins:20 ~rate:(1, 3) ~duration:(5, 10) in
+  Alcotest.(check bool) "some joins" true (List.length joins > 0);
+  List.iter
+    (fun (t, r) ->
+      Alcotest.(check bool) "time in horizon" true (t >= 0 && t < 50);
+      match Resource_set.horizon r with
+      | Some h -> Alcotest.(check bool) "clipped" true (h <= 50)
+      | None -> Alcotest.fail "empty join")
+    joins
+
+(* --- Scenario ---------------------------------------------------------------- *)
+
+let test_scenario_trace_deterministic () =
+  let p = { Scenario.default_params with arrivals = 10; horizon = 80 } in
+  let t1 = Scenario.trace p and t2 = Scenario.trace p in
+  Alcotest.(check int) "same length" (Rota_sim.Trace.length t1)
+    (Rota_sim.Trace.length t2);
+  let ids t =
+    List.map (fun (_, (c : Computation.t)) -> c.Computation.id)
+      (Rota_sim.Trace.arrivals t)
+  in
+  Alcotest.(check (list string)) "same computations" (ids t1) (ids t2);
+  (* All arrivals respect their computations' start times. *)
+  List.iter
+    (fun (t, (c : Computation.t)) ->
+      Alcotest.(check int) "arrival at start" c.Computation.start t)
+    (Rota_sim.Trace.arrivals t1)
+
+let test_scenario_load_scaling () =
+  let p = { Scenario.default_params with arrivals = 10 } in
+  Alcotest.(check int) "double load" 20 (Scenario.with_load p 2.0).Scenario.arrivals;
+  Alcotest.(check int) "tiny load floors at 1" 1
+    (Scenario.with_load p 0.01).Scenario.arrivals
+
+let test_scenario_pooled_disjoint () =
+  let capacity, tagged = Scenario.pooled ~seed:1 ~pools:3 ~per_pool:4 ~horizon:60 in
+  Alcotest.(check bool) "computations exist" true (List.length tagged > 0);
+  (* Each pool's capacity slice is disjoint from the others'. *)
+  let slices =
+    List.init 3 (fun i -> Scenario.pool_capacity ~seed:1 ~pools:3 ~horizon:60 i)
+  in
+  List.iteri
+    (fun i si ->
+      List.iteri
+        (fun j sj ->
+          if i < j then
+            List.iter
+              (fun xi ->
+                Alcotest.(check bool) "disjoint domains" false
+                  (Resource_set.mem xi sj))
+              (Resource_set.domain si))
+        slices)
+    slices;
+  (* The union of slices is the global capacity. *)
+  let union =
+    List.fold_left Resource_set.union Resource_set.empty slices
+  in
+  Alcotest.(check bool) "union = capacity" true (Resource_set.equal union capacity);
+  (* Every computation's demand falls inside its own pool's slice. *)
+  List.iter
+    (fun (pool, (c : Computation.t)) ->
+      let slice = List.nth slices pool in
+      let conc = Computation.to_concurrent Cost_model.default c in
+      List.iter
+        (fun part ->
+          List.iter
+            (fun (xi, _) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s demand within pool %d" c.Computation.id pool)
+                true
+                (Resource_set.mem xi slice))
+            (Requirement.demand_complex part))
+        conc.Requirement.parts)
+    tagged
+
+let () =
+  Alcotest.run "rota_workload"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "copy/split" `Quick test_prng_copy_split;
+          Alcotest.test_case "choose/shuffle" `Quick test_prng_choose_shuffle;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "world" `Quick test_gen_world;
+          Alcotest.test_case "steady capacity" `Quick test_gen_steady_capacity;
+          Alcotest.test_case "program locations" `Quick
+            test_gen_random_program_threads_locations;
+          Alcotest.test_case "random computation" `Quick test_gen_random_computation;
+          Alcotest.test_case "churn" `Quick test_gen_churn;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "deterministic trace" `Quick
+            test_scenario_trace_deterministic;
+          Alcotest.test_case "load scaling" `Quick test_scenario_load_scaling;
+          Alcotest.test_case "pooled disjoint" `Quick test_scenario_pooled_disjoint;
+        ] );
+    ]
