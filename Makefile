@@ -1,0 +1,29 @@
+.PHONY: all build test bench check fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Observability-overhead proof: the disabled telemetry path must stay
+# within noise of the uninstrumented baselines (see doc/observability.md).
+bench:
+	dune exec bench/main.exe
+
+# What CI runs.  `dune fmt` is included only when ocamlformat is
+# installed — the pinned toolchain image ships without it.
+check: build test
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+fmt:
+	dune fmt
+
+clean:
+	dune clean

@@ -191,6 +191,54 @@ let bench_scoping =
              ignore (Admission.request ctrl ~now:0 c)));
     ]
 
+(* --- E7b: observability overhead ------------------------------------------------ *)
+
+(* The telemetry layer's contract is that instrumentation left in hot
+   paths costs one load-and-branch while recording is off.  The
+   [-disabled] benchmarks run with the registry off (the process
+   default); the [-enabled]/[-traced] ones toggle the flag (or install a
+   sink) inside the measured closure, which adds two stores — noise at
+   the profile/engine scale being measured. *)
+let bench_obs_overhead =
+  let module Metrics = Rota_obs.Metrics in
+  let module Tracer = Rota_obs.Tracer in
+  let c = Metrics.counter "bench/counter" in
+  let h = Metrics.histogram "bench/hist" in
+  let p = Profile.of_segments (random_segments 7 64) in
+  let q = Profile.of_segments (random_segments 8 64) in
+  Test.make_grouped ~name:"e7/obs-overhead"
+    [
+      Test.make ~name:"counter-incr-disabled"
+        (Staged.stage (fun () -> Metrics.incr c));
+      Test.make ~name:"histogram-observe-disabled"
+        (Staged.stage (fun () -> Metrics.observe h 1e-6));
+      Test.make ~name:"with-span-no-sink"
+        (Staged.stage (fun () -> Tracer.with_span "bench" (fun () -> ())));
+      Test.make ~name:"profile-add-disabled"
+        (Staged.stage (fun () -> ignore (Profile.add p q)));
+      Test.make ~name:"profile-add-enabled"
+        (Staged.stage (fun () ->
+             Metrics.set_enabled true;
+             let r = Profile.add p q in
+             Metrics.set_enabled false;
+             ignore r));
+      Test.make ~name:"engine-run-metrics-off"
+        (Staged.stage (fun () ->
+             ignore (Engine.run ~policy:Admission.Rota small_trace)));
+      Test.make ~name:"engine-run-metrics-on"
+        (Staged.stage (fun () ->
+             Metrics.set_enabled true;
+             let r = Engine.run ~policy:Admission.Rota small_trace in
+             Metrics.set_enabled false;
+             ignore r));
+      Test.make ~name:"engine-run-traced-null-sink"
+        (Staged.stage (fun () ->
+             Tracer.install Rota_obs.Sink.null;
+             let r = Engine.run ~policy:Admission.Rota small_trace in
+             Tracer.uninstall ();
+             ignore r));
+    ]
+
 (* --- E8: extensions ------------------------------------------------------------- *)
 
 let bench_stn =
@@ -338,6 +386,7 @@ let () =
         bench_admission;
         bench_engine;
         bench_scoping;
+        bench_obs_overhead;
         bench_stn;
         bench_precedence;
         bench_session;

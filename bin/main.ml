@@ -41,7 +41,72 @@ let load_document path =
   | Ok doc -> Ok doc
   | Error e -> Error (Printf.sprintf "%s: %s" path e)
 
+(* --- telemetry flags ----------------------------------------------------- *)
+
+let trace_arg =
+  let doc =
+    "Write telemetry (engine events and spans) to $(docv), one JSON object \
+     per line.  Schema: doc/observability.md."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Record counters and latency histograms during the run and print a \
+     summary table at exit."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let obs_args =
+  Term.(const (fun trace metrics -> (trace, metrics)) $ trace_arg $ metrics_arg)
+
+(* Install the requested sinks/registry around [f], and tear them down
+   (flushing files, printing the metrics tables) afterwards — also on
+   exceptions, so a failed run still leaves a valid JSONL prefix. *)
+let with_obs ?(console = false) (trace, metrics) f =
+  match
+    Option.map
+      (fun path ->
+        try Ok (Rota_obs.Sink.jsonl_file path)
+        with Sys_error msg -> Error msg)
+      trace
+  with
+  | Some (Error msg) ->
+      Printf.eprintf "rota: cannot open trace file: %s\n" msg;
+      1
+  | (None | Some (Ok _)) as file_sink ->
+  let sinks =
+    List.filter_map Fun.id
+      [
+        (match file_sink with Some (Ok s) -> Some s | _ -> None);
+        (if console then Some (Rota_obs.Sink.console Format.std_formatter)
+         else None);
+      ]
+  in
+  (match sinks with
+  | [] -> ()
+  | first :: rest ->
+      Rota_obs.Tracer.install (List.fold_left Rota_obs.Sink.tee first rest));
+  if metrics then Rota_obs.Metrics.set_enabled true;
+  let finally () =
+    Rota_obs.Tracer.uninstall ();
+    if metrics then begin
+      Rota_obs.Metrics.set_enabled false;
+      print_newline ();
+      Rota_experiments.Metrics_report.print ()
+    end
+  in
+  Fun.protect ~finally f
+
 (* --- rota experiment --------------------------------------------------- *)
+
+let run_experiment seed id obs =
+  with_obs obs (fun () ->
+      match Rota_experiments.Experiments.run ~seed id with
+      | Ok () -> 0
+      | Error msg ->
+          prerr_endline msg;
+          1)
 
 let experiment_cmd =
   let id_arg =
@@ -51,15 +116,25 @@ let experiment_cmd =
     in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
-  let run seed id =
-    match Rota_experiments.Experiments.run ~seed id with
-    | Ok () -> 0
-    | Error msg ->
-        prerr_endline msg;
-        1
-  in
+  let run seed id obs = run_experiment seed id obs in
   let doc = "Run the experiment suite (see EXPERIMENTS.md)." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ seed_arg $ id_arg)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ seed_arg $ id_arg $ obs_args)
+
+(* One top-level alias per experiment, so [rota e6 --trace run.jsonl
+   --metrics] works without the [experiment] prefix. *)
+let experiment_alias_cmds =
+  List.map
+    (fun id ->
+      let doc =
+        Option.value
+          (Rota_experiments.Experiments.description id)
+          ~default:"Run this experiment."
+      in
+      Cmd.v (Cmd.info id ~doc)
+        Term.(const (fun seed obs -> run_experiment seed id obs)
+              $ seed_arg $ obs_args))
+    Rota_experiments.Experiments.all_ids
 
 (* --- rota simulate ------------------------------------------------------ *)
 
@@ -107,9 +182,11 @@ let simulate_cmd =
   in
   let verbose_arg =
     Arg.(value & flag & info [ "verbose"; "v" ]
-           ~doc:"Print one line per computation outcome.")
+           ~doc:"Print one line per engine event (admission decisions, \
+                 completions, deadline kills) as it happens, in \
+                 simulated-time order.")
   in
-  let run seed policy arrivals horizon locations slack verbose file =
+  let run seed policy arrivals horizon locations slack verbose file obs =
     let trace_result =
       match file with
       | Some path -> Result.map Document.to_trace (load_document path)
@@ -134,34 +211,23 @@ let simulate_cmd =
     let policies =
       match policy with Some p -> [ p ] | None -> Admission.all_policies
     in
-    List.iter
-      (fun policy ->
-        let report = Engine.run ~policy trace in
-        Format.printf "%a@." Engine.pp_report report;
-        if verbose then
-          List.iter
-            (fun (o : Engine.outcome) ->
-              Format.printf "  %-8s arrived=%-4d deadline=%-4d %s@."
-                o.Engine.computation o.Engine.arrived o.Engine.deadline
-                (if not o.Engine.admitted then
-                   "rejected: "
-                   ^ Option.value o.Engine.reject_reason ~default:"?"
-                 else
-                   match o.Engine.finished with
-                   | Some t when t <= o.Engine.deadline ->
-                       Printf.sprintf "finished at %d (on time)" t
-                   | Some t -> Printf.sprintf "finished at %d (LATE)" t
-                   | None -> "MISSED (never finished)"))
-            report.Engine.outcomes)
-      policies;
-    0
+    (* Outcome narration goes through the telemetry sink (the console
+       sink when --verbose): one ordered stream of simulated-time events
+       instead of a second, post-hoc rendering of the report. *)
+    with_obs ~console:verbose obs (fun () ->
+        List.iter
+          (fun policy ->
+            let report = Engine.run ~policy trace in
+            Format.printf "%a@." Engine.pp_report report)
+          policies;
+        0)
   in
   let doc = "Simulate an open-system trace under admission policies." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ seed_arg $ policy_arg $ arrivals_arg $ horizon_arg
-      $ locations_arg $ slack_arg $ verbose_arg $ file_arg)
+      $ locations_arg $ slack_arg $ verbose_arg $ file_arg $ obs_args)
 
 (* --- rota check ---------------------------------------------------------- *)
 
@@ -170,7 +236,8 @@ let check_cmd =
     Arg.(value & opt int 8 & info [ "arrivals" ] ~docv:"N"
            ~doc:"Number of generated computations to check one by one.")
   in
-  let run seed arrivals file =
+  let run seed arrivals file obs =
+    with_obs obs @@ fun () ->
     let inputs =
       match file with
       | Some path ->
@@ -225,7 +292,8 @@ let check_cmd =
     "Ask the Theorem-4 question for a stream of computations, printing \
      admission decisions and schedule certificates."
   in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ seed_arg $ arrivals_arg $ file_arg)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ seed_arg $ arrivals_arg $ file_arg $ obs_args)
 
 (* --- rota plan ------------------------------------------------------------ *)
 
@@ -314,7 +382,8 @@ let calibrate_cmd =
     Arg.(value & opt int 24 & info [ "arrivals" ] ~docv:"N"
            ~doc:"Number of computations offered.")
   in
-  let run seed factor iterations arrivals =
+  let run seed factor iterations arrivals obs =
+    with_obs obs @@ fun () ->
     let believed = Cost_model.default in
     let scale v = max 1 (int_of_float (ceil (float_of_int v *. factor))) in
     let true_model =
@@ -347,7 +416,9 @@ let calibrate_cmd =
   in
   Cmd.v
     (Cmd.info "calibrate" ~doc)
-    Term.(const run $ seed_arg $ factor_arg $ iterations_arg $ arrivals_arg)
+    Term.(
+      const run $ seed_arg $ factor_arg $ iterations_arg $ arrivals_arg
+      $ obs_args)
 
 (* --- rota ----------------------------------------------------------------- *)
 
@@ -358,6 +429,7 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "rota" ~version:"1.0.0" ~doc)
-    [ experiment_cmd; simulate_cmd; check_cmd; plan_cmd; calibrate_cmd ]
+    ([ experiment_cmd; simulate_cmd; check_cmd; plan_cmd; calibrate_cmd ]
+    @ experiment_alias_cmds)
 
 let () = exit (Cmd.eval' main_cmd)

@@ -55,7 +55,14 @@ let step_allocation theta ~index ~subwindow step =
   in
   { step_index = index; subwindow; allocation }
 
-let schedule_sequential theta (c : Requirement.complex) =
+let m_sequential = Rota_obs.Metrics.counter "accommodation/schedule_sequential"
+let m_sequential_s =
+  Rota_obs.Metrics.histogram "accommodation/schedule_sequential_s"
+let m_concurrent = Rota_obs.Metrics.counter "accommodation/schedule_concurrent"
+let m_concurrent_s =
+  Rota_obs.Metrics.histogram "accommodation/schedule_concurrent_s"
+
+let schedule_sequential_uninstrumented theta (c : Requirement.complex) =
   let stop = Interval.stop c.Requirement.window in
   let rec place u index placed = function
     | [] -> Some (List.rev placed)
@@ -83,6 +90,14 @@ let schedule_sequential theta (c : Requirement.complex) =
           Resource_set.empty steps
       in
       Some { window = c.Requirement.window; breakpoints; steps; reservation }
+
+let schedule_sequential theta c =
+  if Rota_obs.Metrics.enabled () then begin
+    Rota_obs.Metrics.incr m_sequential;
+    Rota_obs.Metrics.time m_sequential_s (fun () ->
+        schedule_sequential_uninstrumented theta c)
+  end
+  else schedule_sequential_uninstrumented theta c
 
 let sequential_feasible theta c = Option.is_some (schedule_sequential theta c)
 
@@ -205,7 +220,7 @@ let order_parts order parts =
   | Most_work_first -> by_work (-1)
   | Least_work_first -> by_work 1
 
-let schedule_concurrent ?(order = Order.Most_work_first) theta
+let schedule_concurrent_uninstrumented ?(order = Order.Most_work_first) theta
     (conc : Requirement.concurrent) =
   let rec place residual acc = function
     | [] -> Some acc
@@ -227,6 +242,15 @@ let schedule_concurrent ?(order = Order.Most_work_first) theta
         (indexed
         |> List.sort (fun (i, _) (j, _) -> Int.compare i j)
         |> List.map snd)
+
+let schedule_concurrent ?order theta conc =
+  Rota_obs.Tracer.with_span "accommodation/schedule-concurrent" (fun () ->
+      if Rota_obs.Metrics.enabled () then begin
+        Rota_obs.Metrics.incr m_concurrent;
+        Rota_obs.Metrics.time m_concurrent_s (fun () ->
+            schedule_concurrent_uninstrumented ?order theta conc)
+      end
+      else schedule_concurrent_uninstrumented ?order theta conc)
 
 let concurrent_feasible ?(try_orders = Order.all) theta conc =
   List.exists

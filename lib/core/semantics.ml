@@ -56,7 +56,12 @@ let default_horizon (state : State.t) psi =
 
 exception Out_of_budget
 
-let exists_path ?horizon ?(budget = 200_000) (state : State.t) psi =
+let m_exists = Rota_obs.Metrics.counter "semantics/exists_path"
+let m_exists_s = Rota_obs.Metrics.histogram "semantics/exists_path_s"
+let m_forall = Rota_obs.Metrics.counter "semantics/forall_paths"
+
+let exists_path_uninstrumented ?horizon ?(budget = 200_000) (state : State.t)
+    psi =
   let horizon =
     match horizon with Some h -> h | None -> default_horizon state psi
   in
@@ -77,6 +82,14 @@ let exists_path ?horizon ?(budget = 200_000) (state : State.t) psi =
   | false -> Fails
   | exception Out_of_budget ->
       Unknown (Printf.sprintf "transition budget (%d) exhausted" budget)
+
+let exists_path ?horizon ?budget state psi =
+  if Rota_obs.Metrics.enabled () then begin
+    Rota_obs.Metrics.incr m_exists;
+    Rota_obs.Metrics.time m_exists_s (fun () ->
+        exists_path_uninstrumented ?horizon ?budget state psi)
+  end
+  else exists_path_uninstrumented ?horizon ?budget state psi
 
 let witness ?horizon ?(budget = 200_000) (state : State.t) psi =
   let horizon =
@@ -100,6 +113,7 @@ let witness ?horizon ?(budget = 200_000) (state : State.t) psi =
   | exception Out_of_budget -> None
 
 let forall_paths ?horizon ?budget state psi =
+  Rota_obs.Metrics.incr m_forall;
   match exists_path ?horizon ?budget state (Formula.neg psi) with
   | Holds -> Fails
   | Fails -> Holds

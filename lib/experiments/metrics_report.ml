@@ -1,0 +1,66 @@
+module Metrics = Rota_obs.Metrics
+
+(* Latency series are named "<path>_s" (seconds), possibly with a label
+   suffix, e.g. "admission/decision_s.rota". *)
+let is_latency name =
+  let name =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  String.length name > 2 && String.sub name (String.length name - 2) 2 = "_s"
+
+let us v = Table.cell_float ~decimals:2 (v *. 1e6)
+
+let tables (v : Metrics.view) =
+  let counters = List.filter (fun (_, n) -> n > 0) v.Metrics.counters in
+  let gauges = v.Metrics.gauges in
+  let latency, value_hists =
+    List.partition
+      (fun (h : Metrics.histogram_view) -> is_latency h.Metrics.hname)
+      (List.filter (fun (h : Metrics.histogram_view) -> h.Metrics.count > 0)
+         v.Metrics.histograms)
+  in
+  let sections = ref [] in
+  let section title table = sections := (title, table) :: !sections in
+  if counters <> [] then
+    section "counters"
+      (Table.make ~header:[ "counter"; "value" ]
+         (List.map (fun (n, c) -> [ n; Table.cell_int c ]) counters));
+  if gauges <> [] then
+    section "gauges (last value)"
+      (Table.make ~header:[ "gauge"; "value" ]
+         (List.map (fun (n, g) -> [ n; Table.cell_int g ]) gauges));
+  let hist_rows to_cell hs =
+    List.map
+      (fun (h : Metrics.histogram_view) ->
+        [
+          h.Metrics.hname;
+          Table.cell_int h.Metrics.count;
+          to_cell h.Metrics.mean;
+          to_cell h.Metrics.p50;
+          to_cell h.Metrics.p90;
+          to_cell h.Metrics.p99;
+          to_cell h.Metrics.max_v;
+        ])
+      hs
+  in
+  let hist_header = [ "histogram"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ] in
+  if latency <> [] then
+    section "latency histograms (us)"
+      (Table.make ~header:hist_header (hist_rows us latency));
+  if value_hists <> [] then
+    section "value histograms"
+      (Table.make ~header:hist_header
+         (hist_rows (Table.cell_float ~decimals:1) value_hists));
+  List.rev !sections
+
+let print () =
+  let sections = tables (Metrics.snapshot ()) in
+  if sections = [] then print_endline "(no metrics recorded)"
+  else
+    List.iter
+      (fun (title, table) ->
+        Printf.printf "-- %s --\n" title;
+        Table.print table)
+      sections

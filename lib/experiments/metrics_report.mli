@@ -1,0 +1,14 @@
+(** Human-readable rendering of the {!Rota_obs.Metrics} registry.
+
+    Used by [rota --metrics]: after a run, the recorded counters,
+    gauges, and latency histograms are printed as {!Table}s — per-policy
+    admission counters, engine tallies, and solver hot-path latency
+    quantiles. *)
+
+val tables : Rota_obs.Metrics.view -> (string * Table.t) list
+(** [(section title, table)] pairs; sections with nothing recorded are
+    omitted.  Latency histograms (series named [*_s], recorded in
+    seconds) render in microseconds. *)
+
+val print : unit -> unit
+(** Render {!Rota_obs.Metrics.snapshot} to stdout. *)

@@ -35,7 +35,10 @@ let constrain net i j s =
 
 let constrain_relation net i j r = constrain net i j (Allen.Set.singleton r)
 
-let propagate net =
+let m_propagate = Rota_obs.Metrics.counter "ia/propagate"
+let m_propagate_s = Rota_obs.Metrics.histogram "ia/propagate_s"
+
+let propagate_uninstrumented net =
   let n = net.n in
   let queue = Queue.create () in
   let in_queue = Array.make (n * n) false in
@@ -76,6 +79,14 @@ let propagate net =
     done
   done;
   not !inconsistent
+
+let propagate net =
+  if Rota_obs.Metrics.enabled () then begin
+    Rota_obs.Metrics.incr m_propagate;
+    Rota_obs.Metrics.time m_propagate_s (fun () ->
+        propagate_uninstrumented net)
+  end
+  else propagate_uninstrumented net
 
 let copy net = { n = net.n; edges = Array.copy net.edges }
 

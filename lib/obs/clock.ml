@@ -1,0 +1,5 @@
+let wall_s () = Unix.gettimeofday ()
+
+let origin = wall_s ()
+
+let elapsed_s () = wall_s () -. origin

@@ -1,0 +1,14 @@
+(** Wall-clock timestamps for telemetry.
+
+    Simulated time in this repository is the engine's tick counter; the
+    telemetry layer additionally stamps every event and span with {e
+    wall} time so that offline analysis can relate simulated progress to
+    real cost.  [elapsed_s] is measured against a fixed process-start
+    origin, which makes the values small, monotone under normal clock
+    conditions, and diffable across a single run's JSONL file. *)
+
+val wall_s : unit -> float
+(** Seconds since the Unix epoch (sub-microsecond resolution). *)
+
+val elapsed_s : unit -> float
+(** Seconds since this process initialised the telemetry clock. *)

@@ -1,0 +1,133 @@
+type payload =
+  | Run_started of { label : string }
+  | Capacity_joined of { quantity : int }
+  | Admitted of { id : string; policy : string; reason : string }
+  | Rejected of { id : string; policy : string; reason : string }
+  | Completed of { id : string }
+  | Killed of { id : string; owed : int }
+  | Span of { name : string; depth : int; duration_s : float }
+
+type t = {
+  seq : int;
+  run : int;
+  sim : int option;
+  wall_s : float;
+  payload : payload;
+}
+
+let kind = function
+  | Run_started _ -> "run-started"
+  | Capacity_joined _ -> "capacity-joined"
+  | Admitted _ -> "admitted"
+  | Rejected _ -> "rejected"
+  | Completed _ -> "completed"
+  | Killed _ -> "killed"
+  | Span _ -> "span"
+
+let payload_fields = function
+  | Run_started { label } -> [ ("label", Json.String label) ]
+  | Capacity_joined { quantity } -> [ ("quantity", Json.Int quantity) ]
+  | Admitted { id; policy; reason } | Rejected { id; policy; reason } ->
+      [
+        ("id", Json.String id);
+        ("policy", Json.String policy);
+        ("reason", Json.String reason);
+      ]
+  | Completed { id } -> [ ("id", Json.String id) ]
+  | Killed { id; owed } -> [ ("id", Json.String id); ("owed", Json.Int owed) ]
+  | Span { name; depth; duration_s } ->
+      [
+        ("name", Json.String name);
+        ("depth", Json.Int depth);
+        ("duration_s", Json.Float duration_s);
+      ]
+
+let to_json e =
+  Json.Obj
+    ([
+       ("seq", Json.Int e.seq);
+       ("run", Json.Int e.run);
+       ("sim", match e.sim with Some t -> Json.Int t | None -> Json.Null);
+       ("wall_s", Json.Float e.wall_s);
+       ("kind", Json.String (kind e.payload));
+     ]
+    @ payload_fields e.payload)
+
+let ( let* ) = Result.bind
+
+let field name decode json =
+  match Json.member name json with
+  | Some v -> decode v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let payload_of_json json =
+  let* k = field "kind" Json.to_str json in
+  match k with
+  | "run-started" ->
+      let* label = field "label" Json.to_str json in
+      Ok (Run_started { label })
+  | "capacity-joined" ->
+      let* quantity = field "quantity" Json.to_int json in
+      Ok (Capacity_joined { quantity })
+  | "admitted" | "rejected" ->
+      let* id = field "id" Json.to_str json in
+      let* policy = field "policy" Json.to_str json in
+      let* reason = field "reason" Json.to_str json in
+      Ok
+        (if k = "admitted" then Admitted { id; policy; reason }
+         else Rejected { id; policy; reason })
+  | "completed" ->
+      let* id = field "id" Json.to_str json in
+      Ok (Completed { id })
+  | "killed" ->
+      let* id = field "id" Json.to_str json in
+      let* owed = field "owed" Json.to_int json in
+      Ok (Killed { id; owed })
+  | "span" ->
+      let* name = field "name" Json.to_str json in
+      let* depth = field "depth" Json.to_int json in
+      let* duration_s = field "duration_s" Json.to_float json in
+      Ok (Span { name; depth; duration_s })
+  | k -> Error (Printf.sprintf "unknown event kind %S" k)
+
+let of_json json =
+  let* seq = field "seq" Json.to_int json in
+  let* run = field "run" Json.to_int json in
+  let* sim =
+    match Json.member "sim" json with
+    | Some Json.Null | None -> Ok None
+    | Some v -> Result.map Option.some (Json.to_int v)
+  in
+  let* wall_s = field "wall_s" Json.to_float json in
+  let* payload = payload_of_json json in
+  Ok { seq; run; sim; wall_s; payload }
+
+let to_line e = Json.to_string (to_json e)
+
+let of_line line =
+  let* json = Json.parse line in
+  of_json json
+
+let pp_payload ~sim ppf payload =
+  let pp_sim ppf = function
+    | Some t -> Format.fprintf ppf "t%d" t
+    | None -> Format.pp_print_string ppf "t-"
+  in
+  match payload with
+  | Run_started { label } ->
+      Format.fprintf ppf "%a run started: %s" pp_sim sim label
+  | Capacity_joined { quantity } ->
+      Format.fprintf ppf "%a capacity +%d" pp_sim sim quantity
+  | Admitted { id; policy = _; reason = _ } ->
+      Format.fprintf ppf "%a admitted %s" pp_sim sim id
+  | Rejected { id; policy = _; reason } ->
+      Format.fprintf ppf "%a rejected %s (%s)" pp_sim sim id reason
+  | Completed { id } -> Format.fprintf ppf "%a completed %s" pp_sim sim id
+  | Killed { id; owed } ->
+      Format.fprintf ppf "%a killed %s (owed %d)" pp_sim sim id owed
+  | Span { name; depth; duration_s } ->
+      Format.fprintf ppf "%a span %s%s %.6fs" pp_sim sim
+        (String.make (2 * depth) ' ')
+        name duration_s
+
+let pp ppf e = pp_payload ~sim:e.sim ppf e.payload

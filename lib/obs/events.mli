@@ -1,0 +1,52 @@
+(** Typed telemetry events and their stable JSONL encoding.
+
+    Every record carries a process-wide sequence number, the id of the
+    engine run that produced it (0 outside any run), the {e simulated}
+    time when one applies, and the wall-clock time.  The JSON schema is
+    documented in [doc/observability.md]; {!of_json} accepts exactly
+    what {!to_json} produces, so every event kind round-trips. *)
+
+type payload =
+  | Run_started of { label : string }
+      (** A new engine run (or other traced scope) began; subsequent
+          simulated times restart from this point. *)
+  | Capacity_joined of { quantity : int }
+      (** Resources joined the open system; [quantity] is the total
+          usable quantity within the run's horizon. *)
+  | Admitted of { id : string; policy : string; reason : string }
+  | Rejected of { id : string; policy : string; reason : string }
+  | Completed of { id : string }
+  | Killed of { id : string; owed : int }
+      (** Deadline kill; [owed] is the quantity still unfinished. *)
+  | Span of { name : string; depth : int; duration_s : float }
+      (** A timed scope closed; [depth] is its nesting level (0 =
+          outermost).  Emitted at span {e exit}, so a parent span's
+          record follows its children's. *)
+
+type t = {
+  seq : int;  (** Process-wide emission order, starting at 1. *)
+  run : int;  (** Run id stamping this event; 0 before any run. *)
+  sim : int option;  (** Simulated time (engine ticks), when meaningful. *)
+  wall_s : float;  (** Wall-clock seconds (Unix epoch). *)
+  payload : payload;
+}
+
+val kind : payload -> string
+(** The schema's [kind] discriminator ("run-started", "admitted", ...). *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val to_line : t -> string
+(** One JSONL line (no trailing newline). *)
+
+val of_line : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-liner, e.g. ["t12 admitted c3 (reservation
+    committed)"]; simulated time prints as ["t-"] when absent. *)
+
+val pp_payload : sim:int option -> Format.formatter -> payload -> unit
+(** Same rendering given just a payload — the single formatting path
+    that both the engine's legacy pretty-printer and the console sink
+    go through. *)

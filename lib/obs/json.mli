@@ -1,0 +1,36 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    The telemetry layer must not pull heavyweight dependencies into the
+    substrate libraries, so this is a deliberately small, self-contained
+    codec: enough to emit one event per line (JSONL) and to parse those
+    lines back for round-trip tests and offline validation.  Floats are
+    printed with 17 significant digits so that every double round-trips
+    exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering (no newlines, suitable for JSONL). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document.  Numbers without [.], [e] or [E] parse as
+    [Int]; everything else numeric parses as [Float]. *)
+
+(* Accessors used when decoding events; all return [Error] rather than
+   raising on shape mismatches. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj] ([None] on other constructors). *)
+
+val to_int : t -> (int, string) result
+val to_float : t -> (float, string) result
+(** Accepts both [Int] and [Float]. *)
+
+val to_str : t -> (string, string) result

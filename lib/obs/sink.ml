@@ -1,0 +1,45 @@
+type t = { emit : Events.t -> unit; close : unit -> unit }
+
+let make ~emit ~close = { emit; close }
+
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+let memory () =
+  let captured = ref [] in
+  let sink =
+    { emit = (fun e -> captured := e :: !captured); close = (fun () -> ()) }
+  in
+  (sink, fun () -> List.rev !captured)
+
+let jsonl oc =
+  {
+    emit =
+      (fun e ->
+        output_string oc (Events.to_line e);
+        output_char oc '\n';
+        (* Line-at-a-time flush: an interrupted run (Ctrl-C, SIGPIPE)
+           still leaves every completed event on disk. *)
+        flush oc);
+    close = (fun () -> flush oc);
+  }
+
+let jsonl_file path =
+  let oc = open_out path in
+  let inner = jsonl oc in
+  { inner with close = (fun () -> flush oc; close_out oc) }
+
+let console ppf =
+  {
+    emit =
+      (fun e ->
+        match e.Events.payload with
+        | Events.Span _ -> ()
+        | _ -> Format.fprintf ppf "%a@." Events.pp e);
+    close = (fun () -> Format.pp_print_flush ppf ());
+  }
+
+let tee a b =
+  {
+    emit = (fun e -> a.emit e; b.emit e);
+    close = (fun () -> a.close (); b.close ());
+  }

@@ -1,0 +1,31 @@
+(** Event sinks: where emitted telemetry goes.
+
+    A sink is just an [emit] function plus a [close].  The {!Tracer}
+    holds at most one installed sink; composition (console + file, say)
+    is done with {!tee} rather than by the tracer itself. *)
+
+type t = { emit : Events.t -> unit; close : unit -> unit }
+
+val make : emit:(Events.t -> unit) -> close:(unit -> unit) -> t
+
+val null : t
+(** Drops everything. *)
+
+val memory : unit -> t * (unit -> Events.t list)
+(** An in-memory sink and a function returning everything captured so
+    far, in emission order.  [close] is a no-op. *)
+
+val jsonl : out_channel -> t
+(** One JSON object per line.  [close] flushes but does {e not} close
+    the channel (the caller owns it). *)
+
+val jsonl_file : string -> t
+(** Opens (truncating) [path]; [close] flushes and closes the file. *)
+
+val console : Format.formatter -> t
+(** Human-readable, one event per line via {!Events.pp}.  Span events
+    are skipped — on a console they interleave confusingly with the
+    simulated-time story.  [close] flushes. *)
+
+val tee : t -> t -> t
+(** Sends every event to both sinks; [close] closes both. *)

@@ -1,0 +1,58 @@
+let sink : Sink.t option ref = ref None
+let seq = ref 0
+let run = ref 0
+let depth = ref 0
+
+let uninstall () =
+  match !sink with
+  | Some s ->
+      sink := None;
+      s.Sink.close ()
+  | None -> ()
+
+let install s =
+  uninstall ();
+  sink := Some s
+
+let active () = Option.is_some !sink
+
+let emit ?sim payload =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      incr seq;
+      s.Sink.emit
+        {
+          Events.seq = !seq;
+          run = !run;
+          sim;
+          wall_s = Clock.wall_s ();
+          payload;
+        }
+
+let new_run ?sim label =
+  incr run;
+  emit ?sim (Events.Run_started { label });
+  !run
+
+let run_id () = !run
+
+let with_span ?sim name f =
+  match !sink with
+  | None -> f ()
+  | Some _ ->
+      let d = !depth in
+      depth := d + 1;
+      let t0 = Clock.wall_s () in
+      let finally () =
+        depth := d;
+        emit ?sim
+          (Events.Span { name; depth = d; duration_s = Clock.wall_s () -. t0 })
+      in
+      Fun.protect ~finally f
+
+let reset () =
+  uninstall ();
+  seq := 0;
+  run := 0;
+  depth := 0

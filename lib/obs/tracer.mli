@@ -1,0 +1,37 @@
+(** The process-global event stream: one installed {!Sink}, a sequence
+    counter, a run counter, and a span stack.
+
+    With no sink installed every operation is a cheap no-op — one load
+    and branch for {!emit}, and {!with_span} is exactly the thunk call —
+    so instrumented code can emit unconditionally. *)
+
+val install : Sink.t -> unit
+(** Make [sink] the destination.  Any previously installed sink is
+    closed first. *)
+
+val uninstall : unit -> unit
+(** Close and remove the installed sink (no-op when none). *)
+
+val active : unit -> bool
+(** Whether a sink is installed. *)
+
+val emit : ?sim:int -> Events.payload -> unit
+(** Stamp (seq, run, wall time) and deliver to the sink, if any. *)
+
+val new_run : ?sim:int -> string -> int
+(** Start a new run scope: increments the run id, emits
+    {!Events.Run_started} with [label], returns the new id.  The id
+    advances even with no sink installed, so runs stay distinguishable
+    if a sink is installed mid-process. *)
+
+val run_id : unit -> int
+(** The current run id (0 before the first {!new_run}). *)
+
+val with_span : ?sim:int -> string -> (unit -> 'a) -> 'a
+(** Time the thunk and emit a {!Events.Span} record when it finishes
+    (also on exceptions).  Spans nest: the record carries the nesting
+    depth at entry. *)
+
+val reset : unit -> unit
+(** Uninstall any sink and zero the sequence/run/depth counters.  Test
+    helper. *)

@@ -66,7 +66,17 @@ let rate_at p t =
   match List.find_opt covering p with Some s -> s.rate | None -> 0
 
 let to_rectangles p = List.map (fun s -> (s.interval, s.rate)) p
-let add p q = of_rectangles (to_rectangles p @ to_rectangles q)
+
+let m_add = Rota_obs.Metrics.counter "profile/add"
+let m_add_s = Rota_obs.Metrics.histogram "profile/add_s"
+
+let add p q =
+  if Rota_obs.Metrics.enabled () then begin
+    Rota_obs.Metrics.incr m_add;
+    Rota_obs.Metrics.time m_add_s (fun () ->
+        of_rectangles (to_rectangles p @ to_rectangles q))
+  end
+  else of_rectangles (to_rectangles p @ to_rectangles q)
 
 (* Pointwise difference via boundary slicing; fails on the earliest tick
    where q exceeds p. *)

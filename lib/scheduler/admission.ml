@@ -64,6 +64,100 @@ let reject reason = { admitted = false; reason; schedules = None }
 
 let admit ?schedules reason = { admitted = true; reason; schedules }
 
+(* --- telemetry ---------------------------------------------------------- *)
+
+module Obs = struct
+  module Metrics = Rota_obs.Metrics
+  module Tracer = Rota_obs.Tracer
+  module Clock = Rota_obs.Clock
+
+  type series = {
+    requests : Metrics.counter;
+    admits : Metrics.counter;
+    rejects : Metrics.counter;
+    decision_s : Metrics.histogram;
+  }
+
+  let series =
+    List.map
+      (fun p ->
+        let n = policy_name p in
+        ( p,
+          {
+            requests = Metrics.counter ("admission/requests." ^ n);
+            admits = Metrics.counter ("admission/admitted." ^ n);
+            rejects = Metrics.counter ("admission/rejected." ^ n);
+            decision_s = Metrics.histogram ("admission/decision_s." ^ n);
+          } ))
+      all_policies
+
+  let quantity_buckets =
+    [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.;
+       10000. |]
+
+  let reservation_quantity =
+    Metrics.histogram ~buckets:quantity_buckets
+      "admission/reservation_quantity"
+
+  (* Reject reasons become counter labels; compress free text into a
+     stable slug so one reason maps to one series. *)
+  let slug reason =
+    let buf = Buffer.create (String.length reason) in
+    let last_dash = ref true in
+    String.iter
+      (fun c ->
+        let c = Char.lowercase_ascii c in
+        if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then begin
+          Buffer.add_char buf c;
+          last_dash := false
+        end
+        else if not !last_dash then begin
+          Buffer.add_char buf '-';
+          last_dash := true
+        end)
+      reason;
+    let s = Buffer.contents buf in
+    let s = if String.length s > 0 && s.[String.length s - 1] = '-' then
+        String.sub s 0 (String.length s - 1) else s in
+    if String.length s > 48 then String.sub s 0 48 else s
+
+  let observe_decision policy outcome ~elapsed_s =
+    let s = List.assq policy series in
+    Metrics.incr s.requests;
+    Metrics.observe s.decision_s elapsed_s;
+    if outcome.admitted then begin
+      Metrics.incr s.admits;
+      match outcome.schedules with
+      | Some schedules ->
+          let quantity =
+            List.fold_left
+              (fun acc (_, sch) ->
+                acc + Resource_set.total sch.Accommodation.reservation)
+              0 schedules
+          in
+          Metrics.observe reservation_quantity (float_of_int quantity)
+      | None -> ()
+    end
+    else begin
+      Metrics.incr s.rejects;
+      Metrics.incr
+        (Metrics.counter ("admission/reject_reason." ^ slug outcome.reason))
+    end
+
+  (* Span + per-policy counters/latency around one decision.  The
+     disabled path is the bare [decide] call. *)
+  let observed policy name ~now decide =
+    Tracer.with_span ~sim:now name (fun () ->
+        if Metrics.enabled () then begin
+          let t0 = Clock.wall_s () in
+          let ((_, outcome) as r) = decide () in
+          observe_decision policy outcome
+            ~elapsed_s:(Clock.wall_s () -. t0);
+          r
+        end
+        else decide ())
+end
+
 (* Theorem 4: schedule the newcomer on the residual and commit. *)
 let request_rota ?(merge = true) ?order c ~now:_ computation =
   let conc = Computation.to_concurrent ~merge c.cost_model computation in
@@ -196,7 +290,7 @@ let ledger_fits c ~window totals =
       >= q)
     totals
 
-let request_session c ~now session =
+let decide_session c ~now session =
   if now >= session.Session.deadline then (c, reject "deadline already passed")
   else if
     List.exists
@@ -227,7 +321,7 @@ let request_session c ~now session =
         in
         ({ c with demands = d :: c.demands }, admit "optimistic admission")
 
-let request c ~now computation =
+let decide c ~now computation =
   if now >= computation.Computation.deadline then
     (c, reject "deadline already passed")
   else
@@ -246,6 +340,14 @@ let request c ~now computation =
           }
         in
         ({ c with demands = d :: c.demands }, admit "optimistic admission")
+
+let request c ~now computation =
+  Obs.observed c.policy "admission/request" ~now (fun () ->
+      decide c ~now computation)
+
+let request_session c ~now session =
+  Obs.observed c.policy "admission/request-session" ~now (fun () ->
+      decide_session c ~now session)
 
 let withdraw c ~now ~computation =
   let in_calendar = Calendar.find c.calendar ~computation in

@@ -67,20 +67,53 @@ let head_wants (p : State.pending) xi =
 
 type event =
   | Capacity_joined of { at : Time.t; quantity : int }
-  | Admitted of { id : string; at : Time.t }
+  | Admitted of { id : string; at : Time.t; reason : string }
   | Rejected of { id : string; at : Time.t; reason : string }
   | Completed of { id : string; at : Time.t }
   | Killed of { id : string; at : Time.t; owed : int }
 
-let pp_event ppf = function
-  | Capacity_joined { at; quantity } ->
-      Format.fprintf ppf "t%d capacity +%d" at quantity
-  | Admitted { id; at } -> Format.fprintf ppf "t%d admitted %s" at id
-  | Rejected { id; at; reason } ->
-      Format.fprintf ppf "t%d rejected %s (%s)" at id reason
-  | Completed { id; at } -> Format.fprintf ppf "t%d completed %s" at id
-  | Killed { id; at; owed } ->
-      Format.fprintf ppf "t%d killed %s (owed %d)" at id owed
+let event_time = function
+  | Capacity_joined { at; _ }
+  | Admitted { at; _ }
+  | Rejected { at; _ }
+  | Completed { at; _ }
+  | Killed { at; _ } ->
+      at
+
+let payload_of_event ~policy = function
+  | Capacity_joined { quantity; _ } ->
+      Rota_obs.Events.Capacity_joined { quantity }
+  | Admitted { id; reason; _ } -> Rota_obs.Events.Admitted { id; policy; reason }
+  | Rejected { id; reason; _ } -> Rota_obs.Events.Rejected { id; policy; reason }
+  | Completed { id; _ } -> Rota_obs.Events.Completed { id }
+  | Killed { id; owed; _ } -> Rota_obs.Events.Killed { id; owed }
+
+(* One formatting path for engine events: delegate to the telemetry
+   layer's renderer (the policy label does not show in the rendering). *)
+let pp_event ppf e =
+  Rota_obs.Events.pp_payload ~sim:(Some (event_time e)) ppf
+    (payload_of_event ~policy:"" e)
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let m_runs = Rota_obs.Metrics.counter "engine/runs"
+let m_run_s = Rota_obs.Metrics.histogram "engine/run_s"
+let m_ticks = Rota_obs.Metrics.counter "engine/ticks"
+let m_arrivals = Rota_obs.Metrics.counter "engine/arrivals"
+let m_capacity_joins = Rota_obs.Metrics.counter "engine/capacity_joins"
+let m_capacity_quantity = Rota_obs.Metrics.counter "engine/capacity_quantity"
+let m_completions = Rota_obs.Metrics.counter "engine/completions"
+let m_kills = Rota_obs.Metrics.counter "engine/kills"
+let m_owed = Rota_obs.Metrics.counter "engine/owed_work"
+let m_consumed = Rota_obs.Metrics.counter "engine/consumed_quantity"
+let g_queue = Rota_obs.Metrics.gauge "engine/queue_depth"
+let g_running = Rota_obs.Metrics.gauge "engine/running"
+
+let depth_buckets =
+  [| 0.; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. |]
+
+let h_queue_depth =
+  Rota_obs.Metrics.histogram ~buckets:depth_buckets "engine/queue_depth_dist"
 
 let run ?(cost_model = Cost_model.default) ?true_cost_model
     ?(dispatch = Auto) ?(observer = fun (_ : event) -> ()) ~policy trace =
@@ -91,6 +124,18 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
     | Auto -> if is_rota_family policy then Reservation else Shared
     | (Reservation | Shared) as d -> d
   in
+  let policy_label = Admission.policy_name policy in
+  ignore
+    (Rota_obs.Tracer.new_run ~sim:0
+       (Printf.sprintf "engine policy=%s dispatch=%s horizon=%d" policy_label
+          (match dispatch_used with
+          | Reservation -> "reservation"
+          | Shared -> "shared"
+          | Auto -> "auto")
+          horizon));
+  Rota_obs.Metrics.incr m_runs;
+  Rota_obs.Tracer.with_span ~sim:0 "engine/run" @@ fun () ->
+  Rota_obs.Metrics.time m_run_s @@ fun () ->
   let events = Event_queue.of_list (Trace.events trace) in
   let state = ref (State.make ~available:Resource_set.empty ~now:0) in
   let admission = ref (Admission.create ~cost_model policy Resource_set.empty) in
@@ -103,6 +148,13 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
   let per_type_consumed : (Located_type.t, int) Hashtbl.t = Hashtbl.create 16 in
   let bump tbl xi q =
     Hashtbl.replace tbl xi (q + Option.value (Hashtbl.find_opt tbl xi) ~default:0)
+  in
+  (* Every run-time notification goes through here: the caller's observer
+     plus the telemetry sink, stamped with simulated time, in one place. *)
+  let notify e =
+    observer e;
+    Rota_obs.Tracer.emit ~sim:(event_time e)
+      (payload_of_event ~policy:policy_label e)
   in
   (* Interacting-actor sessions: each segment runs as its own pending batch
      under a derived id, released only once its dependencies complete. *)
@@ -123,7 +175,8 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
         Hashtbl.replace outcomes id { o with finished = Some at };
         Hashtbl.remove running id;
         admission := Admission.complete !admission ~computation:id;
-        observer (Completed { id; at })
+        Rota_obs.Metrics.incr m_completions;
+        notify (Completed { id; at })
     | Some _ | None -> ()
   in
 
@@ -161,6 +214,7 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
       let total = List.fold_left (fun acc (_, q) -> acc + q) 0 needed in
       if total > 0 then begin
         consumed_total := !consumed_total + total;
+        Rota_obs.Metrics.add m_consumed total;
         List.iter (fun (xi, q) -> bump per_type_consumed xi q) needed;
         state := State.consume_in_head !state ~computation ~actor needed
       end
@@ -209,6 +263,7 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
 
   let process_session_arrival t session =
     incr offered;
+    Rota_obs.Metrics.incr m_arrivals;
     let id = session.Session.id in
     arrival_order := id :: !arrival_order;
     let adm, decision = Admission.request_session !admission ~now:t session in
@@ -225,8 +280,9 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
         finished = None;
         unfinished = [];
       };
-    (if decision.Admission.admitted then observer (Admitted { id; at = t })
-     else observer (Rejected { id; at = t; reason = decision.Admission.reason }));
+    (if decision.Admission.admitted then
+       notify (Admitted { id; at = t; reason = decision.Admission.reason })
+     else notify (Rejected { id; at = t; reason = decision.Admission.reason }));
     if decision.Admission.admitted then begin
       let rt =
         {
@@ -262,10 +318,13 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
         capacity_total := !capacity_total + counted;
         state := State.acquire !state clipped;
         admission := Admission.add_capacity !admission clipped;
-        observer (Capacity_joined { at = t; quantity = counted })
+        Rota_obs.Metrics.incr m_capacity_joins;
+        Rota_obs.Metrics.add m_capacity_quantity counted;
+        notify (Capacity_joined { at = t; quantity = counted })
     | Trace.Arrive_session session -> process_session_arrival t session
     | Trace.Arrive computation ->
         incr offered;
+        Rota_obs.Metrics.incr m_arrivals;
         let id = computation.Computation.id in
         arrival_order := id :: !arrival_order;
         let adm, decision = Admission.request !admission ~now:t computation in
@@ -284,9 +343,10 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
           }
         in
         Hashtbl.replace outcomes id outcome;
-        (if decision.Admission.admitted then observer (Admitted { id; at = t })
+        (if decision.Admission.admitted then
+           notify (Admitted { id; at = t; reason = decision.Admission.reason })
          else
-           observer
+           notify
              (Rejected { id; at = t; reason = decision.Admission.reason }));
         if decision.Admission.admitted then begin
           let conc = Computation.to_concurrent true_cost_model computation in
@@ -368,6 +428,13 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
   in
 
   for t = 0 to horizon - 1 do
+    Rota_obs.Metrics.incr m_ticks;
+    if Rota_obs.Metrics.enabled () then begin
+      let depth = List.length !state.State.pending in
+      Rota_obs.Metrics.set g_queue depth;
+      Rota_obs.Metrics.observe h_queue_depth (float_of_int depth);
+      Rota_obs.Metrics.set g_running (Hashtbl.length running)
+    end;
     List.iter (fun (_, e) -> process_event t e) (Event_queue.pop_until events t);
     (match dispatch_used with
     | Reservation -> dispatch_reservation t
@@ -438,13 +505,12 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
               | None -> pending_remainder id
             in
             Hashtbl.replace outcomes id { o with unfinished };
-            observer
-              (Killed
-                 {
-                   id;
-                   at = Time.succ t;
-                   owed = List.fold_left (fun acc (_, q) -> acc + q) 0 unfinished;
-                 });
+            let owed =
+              List.fold_left (fun acc (_, q) -> acc + q) 0 unfinished
+            in
+            Rota_obs.Metrics.incr m_kills;
+            Rota_obs.Metrics.add m_owed owed;
+            notify (Killed { id; at = Time.succ t; owed });
             (match Hashtbl.find_opt active_sessions id with
             | Some rt ->
                 List.iter

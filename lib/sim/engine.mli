@@ -25,16 +25,30 @@ type dispatch = Auto | Reservation | Shared
 
 (** Run-time notifications, for observability: the engine reports each
     admission decision, completion, deadline kill and capacity join as it
-    happens (in simulated-time order). *)
+    happens (in simulated-time order).
+
+    Every event is also delivered to the {!Rota_obs.Tracer} sink, if one
+    is installed, as a typed {!Rota_obs.Events.payload} carrying both
+    simulated and wall time — [run ~observer] remains for in-process
+    consumers, the sink is for export (JSONL files, consoles). *)
 type event =
   | Capacity_joined of { at : Time.t; quantity : int }
-  | Admitted of { id : string; at : Time.t }
+  | Admitted of { id : string; at : Time.t; reason : string }
   | Rejected of { id : string; at : Time.t; reason : string }
   | Completed of { id : string; at : Time.t }
   | Killed of { id : string; at : Time.t; owed : int }
       (** Deadline kill; [owed] is the total quantity still unfinished. *)
 
+val event_time : event -> Time.t
+(** The simulated time the event happened at. *)
+
+val payload_of_event : policy:string -> event -> Rota_obs.Events.payload
+(** The telemetry-layer rendering of an engine event; [policy] labels
+    the admission decisions. *)
+
 val pp_event : Format.formatter -> event -> unit
+(** Renders via {!Rota_obs.Events.pp_payload}, so the engine and every
+    sink print one event the same way. *)
 
 type outcome = {
   computation : string;

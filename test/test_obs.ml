@@ -1,0 +1,375 @@
+(* Tests for the telemetry layer (Rota_obs): metrics registry semantics,
+   span nesting, the JSONL codec, and the engine's event stream through
+   an installed sink. *)
+
+open Rota_interval
+open Rota_resource
+open Rota_actor
+open Rota_scheduler
+open Rota_sim
+module Metrics = Rota_obs.Metrics
+module Events = Rota_obs.Events
+module Sink = Rota_obs.Sink
+module Tracer = Rota_obs.Tracer
+
+(* Metrics and the tracer are process-global; every test starts from a
+   clean slate and leaves recording off. *)
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect f ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+
+let with_tracer f =
+  Tracer.reset ();
+  Fun.protect f ~finally:Tracer.reset
+
+(* --- Counters & gauges ----------------------------------------------------- *)
+
+let test_counter_semantics () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test/counter" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "incr + add" 5 (Metrics.counter_value c);
+  (* Interned: same name, same cell. *)
+  Metrics.incr (Metrics.counter "test/counter");
+  Alcotest.(check int) "interned by name" 6 (Metrics.counter_value c);
+  (* Disabled mutations are dropped. *)
+  Metrics.set_enabled false;
+  Metrics.incr c;
+  Metrics.add c 100;
+  Alcotest.(check int) "disabled is a no-op" 6 (Metrics.counter_value c);
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes, handle survives" 0 (Metrics.counter_value c)
+
+let test_gauge_semantics () =
+  with_metrics @@ fun () ->
+  let g = Metrics.gauge "test/gauge" in
+  Metrics.set g 7;
+  Metrics.set g 3;
+  Alcotest.(check int) "last write wins" 3 (Metrics.gauge_value g);
+  Metrics.set_enabled false;
+  Metrics.set g 99;
+  Alcotest.(check int) "disabled set dropped" 3 (Metrics.gauge_value g)
+
+(* --- Histograms ------------------------------------------------------------ *)
+
+let test_histogram_basic () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram ~buckets:[| 1.; 2.; 4. |] "test/hist-basic" in
+  Alcotest.(check int) "empty count" 0 (Metrics.hist_count h);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Metrics.hist_mean h);
+  Alcotest.(check (float 0.)) "empty quantile" 0. (Metrics.quantile h 0.5);
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 2.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 7.5 (Metrics.hist_sum h);
+  Alcotest.(check (float 1e-9)) "mean" 1.875 (Metrics.hist_mean h);
+  Metrics.set_enabled false;
+  Metrics.observe h 100.;
+  Alcotest.(check int) "disabled observe dropped" 4 (Metrics.hist_count h)
+
+let test_histogram_quantile_boundaries () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram ~buckets:[| 1.; 2.; 4. |] "test/hist-bounds" in
+  (* Cells: (0,1] gets 0.5 and 1.0; (1,2] gets 2.0; (2,4] gets 4.0. *)
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 2.0; 4.0 ];
+  let q p = Metrics.quantile h p in
+  (* Ranks landing exactly on a cumulative-count boundary return the
+     bucket's upper bound exactly — no interpolation fuzz. *)
+  Alcotest.(check (float 0.)) "q0.5 on bucket boundary" 1.0 (q 0.5);
+  Alcotest.(check (float 0.)) "q0.75 on bucket boundary" 2.0 (q 0.75);
+  Alcotest.(check (float 0.)) "q1.0 is the max" 4.0 (q 1.0);
+  (* Interior ranks interpolate linearly inside the covering bucket. *)
+  Alcotest.(check (float 1e-9)) "q0.25 interpolates" 0.5 (q 0.25);
+  Alcotest.(check (float 0.)) "q0 is the min" 0.5 (q 0.)
+
+let test_histogram_overflow_and_clamp () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram ~buckets:[| 1.; 2.; 4. |] "test/hist-over" in
+  (* Past the last bucket: the overflow cell reports the true maximum. *)
+  Metrics.observe h 100.;
+  Alcotest.(check (float 0.)) "overflow reports true max" 100.
+    (Metrics.quantile h 0.9);
+  Metrics.reset ();
+  (* A single observation low in a wide bucket: interpolation would
+     reach toward the bucket's upper bound; clamping caps it at the
+     observed max. *)
+  Metrics.observe h 2.5;
+  Alcotest.(check (float 0.)) "estimate clamped to observed max" 2.5
+    (Metrics.quantile h 0.9)
+
+let test_histogram_validation () =
+  Alcotest.check_raises "empty buckets"
+    (Invalid_argument "Metrics.histogram: empty bucket array") (fun () ->
+      ignore (Metrics.histogram ~buckets:[||] "test/hist-empty"));
+  Alcotest.check_raises "unsorted buckets"
+    (Invalid_argument "Metrics.histogram: buckets must be strictly ascending")
+    (fun () -> ignore (Metrics.histogram ~buckets:[| 2.; 1. |] "test/hist-bad"))
+
+let test_time_records_duration () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test/hist-time" in
+  let x = Metrics.time h (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk result" 42 x;
+  Alcotest.(check int) "one observation" 1 (Metrics.hist_count h);
+  Alcotest.(check bool) "nonnegative duration" true (Metrics.hist_sum h >= 0.);
+  (* Observes even when the thunk raises. *)
+  (try Metrics.time h (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "observed on raise too" 2 (Metrics.hist_count h)
+
+(* --- Spans ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_tracer @@ fun () ->
+  let sink, captured = Sink.memory () in
+  Tracer.install sink;
+  let r =
+    Tracer.with_span "outer" (fun () ->
+        Tracer.with_span ~sim:3 "inner" (fun () -> "done"))
+  in
+  Alcotest.(check string) "value passes through" "done" r;
+  match captured () with
+  | [ e_inner; e_outer ] -> (
+      Alcotest.(check bool) "seq increases" true (e_inner.Events.seq < e_outer.Events.seq);
+      Alcotest.(check (option int)) "inner sim time" (Some 3) e_inner.Events.sim;
+      match (e_inner.Events.payload, e_outer.Events.payload) with
+      | ( Events.Span { name = "inner"; depth = 1; duration_s = d_in },
+          Events.Span { name = "outer"; depth = 0; duration_s = d_out } ) ->
+          Alcotest.(check bool) "outer spans at least as long" true (d_out >= d_in)
+      | _ -> Alcotest.fail "expected inner (depth 1) then outer (depth 0)")
+  | es -> Alcotest.failf "expected 2 span events, got %d" (List.length es)
+
+let test_span_without_sink () =
+  with_tracer @@ fun () ->
+  Alcotest.(check bool) "no sink" false (Tracer.active ());
+  Alcotest.(check int) "with_span is the thunk" 9
+    (Tracer.with_span "quiet" (fun () -> 9))
+
+(* --- JSONL codec ------------------------------------------------------------ *)
+
+let all_payloads =
+  [
+    Events.Run_started { label = "engine policy=rota" };
+    Events.Capacity_joined { quantity = 120 };
+    Events.Admitted { id = "c001"; policy = "rota"; reason = "reservation committed" };
+    Events.Rejected { id = "c002"; policy = "rota"; reason = "no accommodating schedule" };
+    Events.Completed { id = "c001" };
+    Events.Killed { id = "c003"; owed = 7 };
+    Events.Span { name = "engine/run"; depth = 0; duration_s = 0.001953125 };
+  ]
+
+let test_jsonl_roundtrip () =
+  List.iteri
+    (fun i payload ->
+      let sim = if i mod 2 = 0 then Some (i * 5) else None in
+      let e =
+        { Events.seq = i + 1; run = 1; sim; wall_s = 1754500000.0625; payload }
+      in
+      match Events.of_line (Events.to_line e) with
+      | Ok e' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s round-trips" (Events.kind payload))
+            true (e = e')
+      | Error msg ->
+          Alcotest.failf "%s failed to parse: %s" (Events.kind payload) msg)
+    all_payloads
+
+let test_jsonl_rejects_garbage () =
+  let bad s =
+    match Events.of_line s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "not json";
+  bad "{\"seq\":1}";
+  bad "{\"seq\":1,\"run\":0,\"sim\":null,\"wall_s\":0.0,\"kind\":\"martian\"}"
+
+let test_jsonl_file_sink () =
+  with_tracer @@ fun () ->
+  let path = Filename.temp_file "rota-obs-test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Tracer.install (Sink.jsonl_file path);
+  ignore (Tracer.new_run ~sim:0 "test run");
+  Tracer.emit ~sim:2 (Events.Admitted { id = "a"; policy = "rota"; reason = "ok" });
+  Tracer.emit ~sim:5 (Events.Completed { id = "a" });
+  Tracer.uninstall ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let events =
+    List.rev_map
+      (fun line ->
+        match Events.of_line line with
+        | Ok e -> e
+        | Error msg -> Alcotest.failf "bad line %S: %s" line msg)
+      !lines
+  in
+  Alcotest.(check int) "three lines" 3 (List.length events);
+  (match List.map (fun e -> Events.kind e.Events.payload) events with
+  | [ "run-started"; "admitted"; "completed" ] -> ()
+  | ks -> Alcotest.failf "unexpected kinds: %s" (String.concat "," ks));
+  let sims = List.filter_map (fun e -> e.Events.sim) events in
+  Alcotest.(check (list int)) "sim times" [ 0; 2; 5 ] sims
+
+(* --- Engine event stream (E6-style smoke) ----------------------------------- *)
+
+let iv a b = Interval.of_pair a b
+let l1 = Location.make "l1"
+let cpu1 = Located_type.cpu l1
+let a1 = Actor_name.make "a1"
+
+let job ~id ~start ~deadline =
+  Computation.make ~id ~start ~deadline
+    [ Program.make ~name:a1 ~home:l1 [ Action.evaluate 1; Action.ready ] ]
+
+let smoke_trace =
+  lazy
+    (Trace.of_events
+       ((0, Trace.Join (Resource_set.of_terms [ Term.v 1 (iv 0 40) cpu1 ]))
+       :: List.map
+            (fun (j : Computation.t) -> (j.Computation.start, Trace.Arrive j))
+            [
+              job ~id:"c1" ~start:0 ~deadline:12;
+              job ~id:"c2" ~start:0 ~deadline:12;
+              job ~id:"c3" ~start:14 ~deadline:30;
+            ]))
+
+let test_engine_stream_ordered () =
+  (* An E6-style smoke run: several policies over one workload, all
+     through one installed sink.  Within each engine run the simulated
+     timestamps must be nondecreasing, and the stream must agree with
+     the engine's own report. *)
+  with_tracer @@ fun () ->
+  let sink, captured = Sink.memory () in
+  Tracer.install sink;
+  let reports =
+    List.map
+      (fun policy -> Engine.run ~policy (Lazy.force smoke_trace))
+      [ Admission.Rota; Admission.Optimistic; Admission.Aggregate ]
+  in
+  let events = captured () in
+  Alcotest.(check bool) "stream is non-empty" true (events <> []);
+  (* Every run announces itself, once per policy. *)
+  let starts =
+    List.filter
+      (fun e ->
+        match e.Events.payload with Events.Run_started _ -> true | _ -> false)
+      events
+  in
+  Alcotest.(check int) "one run-started per policy" 3 (List.length starts);
+  (* Simulated time is nondecreasing within each run (spans are emitted
+     at exit and carry no ordering promise; everything else does). *)
+  let by_run = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      match (e.Events.payload, e.Events.sim) with
+      | Events.Span _, _ | _, None -> ()
+      | _, Some t ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt by_run e.Events.run) in
+          if t < prev then
+            Alcotest.failf "run %d: sim time went backwards (%d after %d)"
+              e.Events.run t prev;
+          Hashtbl.replace by_run e.Events.run t)
+    events;
+  (* The stream agrees with the reports, in aggregate. *)
+  let count p = List.length (List.filter p events) in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  Alcotest.(check int) "admitted events match reports"
+    (total (fun r -> r.Engine.admitted))
+    (count (fun e ->
+         match e.Events.payload with Events.Admitted _ -> true | _ -> false));
+  Alcotest.(check int) "rejected events match reports"
+    (total (fun r -> r.Engine.rejected))
+    (count (fun e ->
+         match e.Events.payload with Events.Rejected _ -> true | _ -> false));
+  (* Conservation: every admitted computation either completes or is
+     killed at its deadline. *)
+  Alcotest.(check int) "completions + kills = admissions"
+    (total (fun r -> r.Engine.admitted))
+    (count (fun e ->
+         match e.Events.payload with
+         | Events.Completed _ | Events.Killed _ -> true
+         | _ -> false))
+
+let test_engine_metrics_counters () =
+  with_tracer @@ fun () ->
+  with_metrics @@ fun () ->
+  let report = Engine.run ~policy:Admission.Rota (Lazy.force smoke_trace) in
+  let c name = Metrics.counter_value (Metrics.counter name) in
+  Alcotest.(check int) "engine/runs" 1 (c "engine/runs");
+  Alcotest.(check int) "engine/completions" report.Engine.completed_on_time
+    (c "engine/completions");
+  Alcotest.(check int) "admission admit counter" report.Engine.admitted
+    (c "admission/admitted.rota");
+  Alcotest.(check int) "admission reject counter" report.Engine.rejected
+    (c "admission/rejected.rota");
+  Alcotest.(check bool) "solver was exercised" true
+    (c "accommodation/schedule_concurrent" > 0)
+
+(* --- Metrics report -------------------------------------------------------- *)
+
+let test_metrics_report_sections () =
+  with_metrics @@ fun () ->
+  Metrics.incr (Metrics.counter "test/report-counter");
+  Metrics.observe (Metrics.histogram "test/report_s") 0.002;
+  Metrics.observe
+    (Metrics.histogram ~buckets:[| 1.; 10.; 100. |] "test/report-size")
+    5.;
+  let titles =
+    List.map fst (Rota_experiments.Metrics_report.tables (Metrics.snapshot ()))
+  in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (t ^ " section present") true (List.mem t titles))
+    [ "counters"; "latency histograms (us)"; "value histograms" ]
+
+(* --------------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+          Alcotest.test_case "histogram basics" `Quick test_histogram_basic;
+          Alcotest.test_case "quantiles at bucket boundaries" `Quick
+            test_histogram_quantile_boundaries;
+          Alcotest.test_case "overflow and clamping" `Quick
+            test_histogram_overflow_and_clamp;
+          Alcotest.test_case "bucket validation" `Quick test_histogram_validation;
+          Alcotest.test_case "time records duration" `Quick
+            test_time_records_duration;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "no sink, no cost" `Quick test_span_without_sink;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "every kind round-trips" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_jsonl_rejects_garbage;
+          Alcotest.test_case "file sink round-trip" `Quick test_jsonl_file_sink;
+        ] );
+      ( "engine stream",
+        [
+          Alcotest.test_case "E6 smoke: ordered events" `Quick
+            test_engine_stream_ordered;
+          Alcotest.test_case "engine + admission counters" `Quick
+            test_engine_metrics_counters;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table sections" `Quick test_metrics_report_sections;
+        ] );
+    ]
