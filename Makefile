@@ -1,4 +1,4 @@
-.PHONY: all build test bench check fmt clean
+.PHONY: all build test bench trace-smoke check fmt clean
 
 all: build
 
@@ -13,9 +13,20 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Trace contract, end to end on a real experiment: the E6 trace the
+# binary emits must satisfy its own validator, and the analysis tools
+# must be able to read it back.
+trace-smoke: build
+	@tmp=$$(mktemp /tmp/rota-trace-smoke.XXXXXX.jsonl); \
+	trap 'rm -f "$$tmp"' EXIT; \
+	dune exec bin/main.exe -- e6 --trace "$$tmp" >/dev/null && \
+	dune exec bin/main.exe -- trace validate "$$tmp" && \
+	dune exec bin/main.exe -- trace summarize "$$tmp" >/dev/null && \
+	echo "trace-smoke: OK"
+
 # What CI runs.  `dune fmt` is included only when ocamlformat is
 # installed — the pinned toolchain image ships without it.
-check: build test
+check: build test trace-smoke
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt; \
 	else \

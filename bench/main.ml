@@ -237,6 +237,30 @@ let bench_obs_overhead =
              let r = Engine.run ~policy:Admission.Rota small_trace in
              Tracer.uninstall ();
              ignore r));
+      (* The buffered-flush option: one flush syscall per event vs one
+         per 256 events, measured on the same sink machinery (writing to
+         /dev/null so the disk does not participate). *)
+      (let devnull = open_out "/dev/null" in
+       let ev =
+         {
+           Rota_obs.Events.seq = 1;
+           run = 1;
+           sim = Some 7;
+           wall_s = 1754500000.0625;
+           payload =
+             Rota_obs.Events.Admitted
+               { id = "c001"; policy = "rota"; reason = "reservation committed" };
+         }
+       in
+       let per_line = Rota_obs.Sink.jsonl devnull in
+       let buffered = Rota_obs.Sink.jsonl ~flush_every:256 devnull in
+       Test.make_grouped ~name:"jsonl-sink"
+         [
+           Test.make ~name:"flush-per-line"
+             (Staged.stage (fun () -> per_line.Rota_obs.Sink.emit ev));
+           Test.make ~name:"flush-every-256"
+             (Staged.stage (fun () -> buffered.Rota_obs.Sink.emit ev));
+         ]);
     ]
 
 (* --- E8: extensions ------------------------------------------------------------- *)

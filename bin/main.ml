@@ -57,17 +57,45 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let sample_every_arg =
+  let doc =
+    "With $(b,--trace): emit a metric-sample event for every counter and \
+     gauge each $(docv) simulated ticks, so registry series become time \
+     series inside the trace.  0 disables sampling."
+  in
+  Arg.(value & opt int 25 & info [ "sample-every" ] ~docv:"TICKS" ~doc)
+
+let trace_buffer_arg =
+  let doc =
+    "With $(b,--trace): flush the trace file every $(docv) events instead \
+     of after each one.  The default (1) survives interruption with every \
+     completed event on disk; larger values amortize the flush syscall for \
+     high-rate tracing."
+  in
+  Arg.(value & opt int 1 & info [ "trace-buffer" ] ~docv:"N" ~doc)
+
+type obs_opts = {
+  trace : string option;
+  metrics : bool;
+  sample_every : int;
+  trace_buffer : int;
+}
+
 let obs_args =
-  Term.(const (fun trace metrics -> (trace, metrics)) $ trace_arg $ metrics_arg)
+  Term.(
+    const (fun trace metrics sample_every trace_buffer ->
+        { trace; metrics; sample_every; trace_buffer })
+    $ trace_arg $ metrics_arg $ sample_every_arg $ trace_buffer_arg)
 
 (* Install the requested sinks/registry around [f], and tear them down
    (flushing files, printing the metrics tables) afterwards — also on
    exceptions, so a failed run still leaves a valid JSONL prefix. *)
-let with_obs ?(console = false) (trace, metrics) f =
+let with_obs ?(console = false) { trace; metrics; sample_every; trace_buffer } f =
   match
     Option.map
       (fun path ->
-        try Ok (Rota_obs.Sink.jsonl_file path)
+        try
+          Ok (Rota_obs.Sink.jsonl_file ~flush_every:(max 1 trace_buffer) path)
         with Sys_error msg -> Error msg)
       trace
   with
@@ -87,11 +115,17 @@ let with_obs ?(console = false) (trace, metrics) f =
   | [] -> ()
   | first :: rest ->
       Rota_obs.Tracer.install (List.fold_left Rota_obs.Sink.tee first rest));
-  if metrics then Rota_obs.Metrics.set_enabled true;
+  Rota_obs.Tracer.set_sample_period (if trace = None then 0 else sample_every);
+  (* Sampling reads the registry, so a traced run with sampling on
+     records metrics even without --metrics (which only controls the
+     printed report). *)
+  let record_metrics = metrics || (trace <> None && sample_every > 0) in
+  if record_metrics then Rota_obs.Metrics.set_enabled true;
   let finally () =
     Rota_obs.Tracer.uninstall ();
+    Rota_obs.Tracer.set_sample_period 0;
+    if record_metrics then Rota_obs.Metrics.set_enabled false;
     if metrics then begin
-      Rota_obs.Metrics.set_enabled false;
       print_newline ();
       Rota_experiments.Metrics_report.print ()
     end
@@ -420,6 +454,143 @@ let calibrate_cmd =
       const run $ seed_arg $ factor_arg $ iterations_arg $ arrivals_arg
       $ obs_args)
 
+(* --- rota trace ------------------------------------------------------------ *)
+
+module Trace_reader = Rota_obs.Trace_reader
+module Trace_summary = Rota_obs.Summary
+
+let trace_pos ?(idx = 0) ~docv () =
+  Arg.(required & pos idx (some file) None & info [] ~docv
+         ~doc:"A JSONL telemetry trace written with --trace.")
+
+(* Load a whole trace leniently (unknown kinds pass through), reporting
+   the first malformed line on stderr. *)
+let with_trace_events path k =
+  match Trace_reader.read_file path with
+  | Ok events -> k events
+  | Error e ->
+      Format.eprintf "rota trace: %s: %a@." path Trace_reader.pp_error e;
+      1
+
+let trace_validate_cmd =
+  let run file =
+    let v = Trace_reader.validate_file file in
+    if Trace_reader.valid v then begin
+      Printf.printf "ok: %d events, %d runs\n" v.Trace_reader.events
+        v.Trace_reader.runs;
+      0
+    end
+    else begin
+      List.iter (Printf.eprintf "%s: %s\n" file) v.Trace_reader.errors;
+      Printf.eprintf "invalid: %d events, %d runs\n" v.Trace_reader.events
+        v.Trace_reader.runs;
+      1
+    end
+  in
+  let doc =
+    "Check the trace contract: every line parses strictly and round-trips, \
+     seq strictly increases, per-run simulated time is nondecreasing, and \
+     span parent ids resolve."
+  in
+  Cmd.v (Cmd.info "validate" ~doc)
+    Term.(const run $ trace_pos ~docv:"TRACE" ())
+
+let trace_summarize_cmd =
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
+           ~doc:"How many individual slowest spans to list.")
+  in
+  let run file top =
+    with_trace_events file @@ fun events ->
+    Rota_experiments.Trace_report.print_summary
+      (Trace_summary.of_events ~top events);
+    0
+  in
+  let doc =
+    "Per-run admit/reject/kill breakdown by policy, span self/total time \
+     rollups, the slowest spans, and metric time-series extents."
+  in
+  Cmd.v (Cmd.info "summarize" ~doc)
+    Term.(const run $ trace_pos ~docv:"TRACE" () $ top_arg)
+
+let trace_timeline_cmd =
+  let width_arg =
+    Arg.(value & opt int 60 & info [ "width" ] ~docv:"COLS"
+           ~doc:"Columns the simulated horizon is scaled onto.")
+  in
+  let run file width =
+    with_trace_events file @@ fun events ->
+    print_string (Rota_obs.Timeline.render ~width events);
+    0
+  in
+  let doc =
+    "ASCII Gantt of computation lifecycles (arrival, admit, run, \
+     complete/kill) and capacity joins against simulated time."
+  in
+  Cmd.v (Cmd.info "timeline" ~doc)
+    Term.(const run $ trace_pos ~docv:"TRACE" () $ width_arg)
+
+let trace_diff_cmd =
+  let run file_a file_b =
+    with_trace_events file_a @@ fun events_a ->
+    with_trace_events file_b @@ fun events_b ->
+    Rota_experiments.Trace_report.print_diff ~label_a:file_a ~label_b:file_b
+      (Trace_summary.of_events events_a)
+      (Trace_summary.of_events events_b);
+    0
+  in
+  let doc =
+    "Policy-vs-policy deltas between two traces: admit rate, deadline \
+     misses, and latency quantiles (the paper's E6 comparison)."
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(
+      const run
+      $ trace_pos ~docv:"TRACE_A" ()
+      $ trace_pos ~idx:1 ~docv:"TRACE_B" ())
+
+let trace_export_cmd =
+  let format_arg =
+    let doc = "Output format; $(b,chrome) is Chrome trace-event JSON \
+               (array form), loadable in Perfetto or chrome://tracing." in
+    Arg.(value & opt (enum [ ("chrome", `Chrome) ]) `Chrome
+           & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let out_arg =
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Where to write the export; - is stdout.")
+  in
+  let run file `Chrome out =
+    with_trace_events file @@ fun events ->
+    let payload = Rota_obs.Chrome.to_string events in
+    match out with
+    | "-" -> print_endline payload; 0
+    | path -> (
+        try
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+              output_string oc payload;
+              output_char oc '\n');
+          0
+        with Sys_error msg ->
+          Printf.eprintf "rota trace export: %s\n" msg;
+          1)
+  in
+  let doc = "Convert a trace for an external viewer (Perfetto)." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ trace_pos ~docv:"TRACE" () $ format_arg $ out_arg)
+
+let trace_cmd =
+  let doc =
+    "Analyse JSONL telemetry traces: validate, summarize, timeline, diff, \
+     export."
+  in
+  Cmd.group (Cmd.info "trace" ~doc)
+    [
+      trace_validate_cmd; trace_summarize_cmd; trace_timeline_cmd;
+      trace_diff_cmd; trace_export_cmd;
+    ]
+
 (* --- rota ----------------------------------------------------------------- *)
 
 let main_cmd =
@@ -429,7 +600,8 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "rota" ~version:"1.0.0" ~doc)
-    ([ experiment_cmd; simulate_cmd; check_cmd; plan_cmd; calibrate_cmd ]
+    ([ experiment_cmd; simulate_cmd; check_cmd; plan_cmd; calibrate_cmd;
+       trace_cmd ]
     @ experiment_alias_cmds)
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,155 @@
+module Summary = Rota_obs.Summary
+
+let ms v = Table.cell_float ~decimals:3 (v *. 1e3)
+
+let runs_table (s : Summary.t) =
+  Table.make
+    ~header:
+      [
+        "run"; "policy"; "offered"; "admitted"; "rejected"; "completed";
+        "missed"; "owed"; "admit-rate"; "lat p50"; "lat p90"; "lat p99";
+      ]
+    (List.map
+       (fun (r : Summary.run) ->
+         [
+           Table.cell_int r.Summary.run_id;
+           (if r.Summary.policy = "" then "?" else r.Summary.policy);
+           Table.cell_int (Summary.offered r);
+           Table.cell_int r.Summary.admitted;
+           Table.cell_int r.Summary.rejected;
+           Table.cell_int r.Summary.completed;
+           Table.cell_int r.Summary.killed;
+           Table.cell_int r.Summary.owed;
+           Table.cell_float (Summary.admit_rate r);
+           Table.cell_int (Summary.latency_quantile r 0.5);
+           Table.cell_int (Summary.latency_quantile r 0.9);
+           Table.cell_int (Summary.latency_quantile r 0.99);
+         ])
+       s.Summary.runs)
+
+let spans_table (s : Summary.t) =
+  Table.make
+    ~header:[ "span"; "count"; "total ms"; "self ms"; "max ms" ]
+    (List.map
+       (fun (st : Summary.span_stat) ->
+         [
+           st.Summary.span_name;
+           Table.cell_int st.Summary.count;
+           ms st.Summary.total_s;
+           ms st.Summary.self_s;
+           ms st.Summary.max_s;
+         ])
+       s.Summary.span_stats)
+
+let slowest_table (s : Summary.t) =
+  Table.make
+    ~header:[ "slowest spans"; "run"; "ms" ]
+    (List.map
+       (fun (sl : Summary.slow_span) ->
+         [
+           sl.Summary.slow_name;
+           Table.cell_int sl.Summary.slow_run;
+           ms sl.Summary.slow_s;
+         ])
+       s.Summary.slowest)
+
+let series_table (s : Summary.t) =
+  Table.make
+    ~header:[ "metric series"; "samples"; "first"; "last"; "min"; "max" ]
+    (List.map
+       (fun (se : Summary.series) ->
+         let values = List.map snd se.Summary.samples in
+         let fold f init = List.fold_left f init values in
+         let cell v = Table.cell_float ~decimals:1 v in
+         [
+           se.Summary.series_name;
+           Table.cell_int (List.length values);
+           cell (match values with v :: _ -> v | [] -> 0.);
+           cell (match List.rev values with v :: _ -> v | [] -> 0.);
+           cell (fold Float.min infinity);
+           cell (fold Float.max neg_infinity);
+         ])
+       s.Summary.series)
+
+let print_summary (s : Summary.t) =
+  Printf.printf "%d events, %d runs\n\n" s.Summary.total_events
+    (List.length s.Summary.runs);
+  if s.Summary.runs <> [] then begin
+    print_endline "-- runs --";
+    Table.print (runs_table s)
+  end;
+  if s.Summary.span_stats <> [] then begin
+    print_endline "-- spans (self vs total) --";
+    Table.print (spans_table s)
+  end;
+  if s.Summary.slowest <> [] then begin
+    print_endline "-- slowest spans --";
+    Table.print (slowest_table s)
+  end;
+  if s.Summary.series <> [] then begin
+    print_endline "-- metric time series --";
+    Table.print (series_table s)
+  end
+
+(* --- diff ---------------------------------------------------------------- *)
+
+let delta_int a b = Printf.sprintf "%+d" (b - a)
+let delta_rate a b = Printf.sprintf "%+.2f" (b -. a)
+
+let print_diff ~label_a ~label_b (a : Summary.t) (b : Summary.t) =
+  let aggs_a = Summary.by_policy a and aggs_b = Summary.by_policy b in
+  let policies =
+    List.sort_uniq String.compare
+      (List.map (fun (g : Summary.agg) -> g.Summary.agg_policy) aggs_a
+      @ List.map (fun (g : Summary.agg) -> g.Summary.agg_policy) aggs_b)
+  in
+  let find aggs p =
+    List.find_opt (fun (g : Summary.agg) -> g.Summary.agg_policy = p) aggs
+  in
+  let zero p =
+    {
+      Summary.agg_policy = p;
+      agg_runs = 0;
+      agg_offered = 0;
+      agg_admitted = 0;
+      agg_completed = 0;
+      agg_killed = 0;
+      agg_owed = 0;
+      agg_latencies = [||];
+    }
+  in
+  Printf.printf "A = %s\nB = %s\n\n" label_a label_b;
+  let rows =
+    List.map
+      (fun p ->
+        let ga = Option.value (find aggs_a p) ~default:(zero p) in
+        let gb = Option.value (find aggs_b p) ~default:(zero p) in
+        [
+          p;
+          Table.cell_float (Summary.agg_admit_rate ga);
+          Table.cell_float (Summary.agg_admit_rate gb);
+          delta_rate (Summary.agg_admit_rate ga) (Summary.agg_admit_rate gb);
+          Table.cell_int ga.Summary.agg_killed;
+          Table.cell_int gb.Summary.agg_killed;
+          delta_int ga.Summary.agg_killed gb.Summary.agg_killed;
+          Table.cell_int (Summary.agg_quantile ga 0.5);
+          Table.cell_int (Summary.agg_quantile gb 0.5);
+          Table.cell_int (Summary.agg_quantile ga 0.9);
+          Table.cell_int (Summary.agg_quantile gb 0.9);
+        ])
+      policies
+  in
+  Table.print
+    (Table.make
+       ~header:
+         [
+           "policy"; "admit A"; "admit B"; "d-admit"; "missed A"; "missed B";
+           "d-missed"; "p50 A"; "p50 B"; "p90 A"; "p90 B";
+         ]
+       rows);
+  (* The E6 headline: total deadline misses, side by side. *)
+  let total aggs =
+    List.fold_left (fun acc (g : Summary.agg) -> acc + g.Summary.agg_killed) 0 aggs
+  in
+  let ma = total aggs_a and mb = total aggs_b in
+  Printf.printf "deadline misses: A=%d B=%d (delta %+d)\n" ma mb (mb - ma)

@@ -1,0 +1,14 @@
+(** Table rendering for trace summaries and trace-vs-trace diffs — the
+    output side of [rota trace summarize] and [rota trace diff],
+    sharing {!Table} with the experiment reports. *)
+
+val print_summary : Rota_obs.Summary.t -> unit
+(** Event/run counts, the per-run admission table, span self/total
+    rollups, the top-N slowest spans, and metric time-series extents.
+    Sections with no data are omitted. *)
+
+val print_diff :
+  label_a:string -> label_b:string -> Rota_obs.Summary.t -> Rota_obs.Summary.t -> unit
+(** Policy-by-policy comparison of two traces (admit rate, deadline
+    misses, latency quantiles), ending with the total deadline-miss
+    delta — the paper's E6 headline number. *)

@@ -1,0 +1,17 @@
+(** Chrome trace-event JSON export (array form) — [rota trace export
+    --format chrome].
+
+    The output loads directly in Perfetto (ui.perfetto.dev) or
+    chrome://tracing.  Each engine run becomes a process named by its
+    run-started label; spans become complete ("X") slices positioned by
+    begin timestamp and duration with the id/parent linkage in [args];
+    instantaneous engine events become instant ("i") marks; metric
+    samples become counter ("C") tracks.  Timestamps are microseconds
+    relative to the earliest event.  {!Events.Unknown} records are
+    skipped. *)
+
+val export : Events.t list -> Json.t
+(** The trace-event array as a JSON value ([Json.List]). *)
+
+val to_string : Events.t list -> string
+(** Compact single-line rendering of {!export}. *)

@@ -5,7 +5,16 @@ type payload =
   | Rejected of { id : string; policy : string; reason : string }
   | Completed of { id : string }
   | Killed of { id : string; owed : int }
-  | Span of { name : string; depth : int; duration_s : float }
+  | Span of {
+      name : string;
+      id : int;
+      parent : int option;
+      depth : int;
+      begin_s : float;
+      duration_s : float;
+    }
+  | Metric_sample of { name : string; value : float }
+  | Unknown of { kind : string; fields : (string * Json.t) list }
 
 type t = {
   seq : int;
@@ -23,6 +32,8 @@ let kind = function
   | Completed _ -> "completed"
   | Killed _ -> "killed"
   | Span _ -> "span"
+  | Metric_sample _ -> "metric-sample"
+  | Unknown { kind; _ } -> kind
 
 let payload_fields = function
   | Run_started { label } -> [ ("label", Json.String label) ]
@@ -35,12 +46,18 @@ let payload_fields = function
       ]
   | Completed { id } -> [ ("id", Json.String id) ]
   | Killed { id; owed } -> [ ("id", Json.String id); ("owed", Json.Int owed) ]
-  | Span { name; depth; duration_s } ->
+  | Span { name; id; parent; depth; begin_s; duration_s } ->
       [
         ("name", Json.String name);
+        ("id", Json.Int id);
+        ("parent", match parent with Some p -> Json.Int p | None -> Json.Null);
         ("depth", Json.Int depth);
+        ("begin_s", Json.Float begin_s);
         ("duration_s", Json.Float duration_s);
       ]
+  | Metric_sample { name; value } ->
+      [ ("name", Json.String name); ("value", Json.Float value) ]
+  | Unknown { kind = _; fields } -> fields
 
 let to_json e =
   Json.Obj
@@ -60,7 +77,11 @@ let field name decode json =
   | Some v -> decode v
   | None -> Error (Printf.sprintf "missing field %S" name)
 
-let payload_of_json json =
+(* Fields the envelope owns; everything else belongs to the payload
+   (used to preserve unknown kinds verbatim). *)
+let envelope_keys = [ "seq"; "run"; "sim"; "wall_s"; "kind" ]
+
+let payload_of_json ~strict ~wall_s json =
   let* k = field "kind" Json.to_str json in
   match k with
   | "run-started" ->
@@ -87,10 +108,42 @@ let payload_of_json json =
       let* name = field "name" Json.to_str json in
       let* depth = field "depth" Json.to_int json in
       let* duration_s = field "duration_s" Json.to_float json in
-      Ok (Span { name; depth; duration_s })
-  | k -> Error (Printf.sprintf "unknown event kind %S" k)
+      (* Linkage fields arrived after the first schema revision; traces
+         written by older binaries omit them.  Default to the legacy
+         "no linkage" encoding: id 0, no parent, begin inferred from
+         the emission (= exit) time. *)
+      let* id =
+        match Json.member "id" json with
+        | None -> Ok 0
+        | Some v -> Json.to_int v
+      in
+      let* parent =
+        match Json.member "parent" json with
+        | None | Some Json.Null -> Ok None
+        | Some v -> Result.map Option.some (Json.to_int v)
+      in
+      let* begin_s =
+        match Json.member "begin_s" json with
+        | None -> Ok (wall_s -. duration_s)
+        | Some v -> Json.to_float v
+      in
+      Ok (Span { name; id; parent; depth; begin_s; duration_s })
+  | "metric-sample" ->
+      let* name = field "name" Json.to_str json in
+      let* value = field "value" Json.to_float json in
+      Ok (Metric_sample { name; value })
+  | k ->
+      if strict then Error (Printf.sprintf "unknown event kind %S" k)
+      else
+        let fields =
+          match json with
+          | Json.Obj fields ->
+              List.filter (fun (n, _) -> not (List.mem n envelope_keys)) fields
+          | _ -> []
+        in
+        Ok (Unknown { kind = k; fields })
 
-let of_json json =
+let of_json ?(strict = false) json =
   let* seq = field "seq" Json.to_int json in
   let* run = field "run" Json.to_int json in
   let* sim =
@@ -99,14 +152,14 @@ let of_json json =
     | Some v -> Result.map Option.some (Json.to_int v)
   in
   let* wall_s = field "wall_s" Json.to_float json in
-  let* payload = payload_of_json json in
+  let* payload = payload_of_json ~strict ~wall_s json in
   Ok { seq; run; sim; wall_s; payload }
 
 let to_line e = Json.to_string (to_json e)
 
-let of_line line =
+let of_line ?strict line =
   let* json = Json.parse line in
-  of_json json
+  of_json ?strict json
 
 let pp_payload ~sim ppf payload =
   let pp_sim ppf = function
@@ -125,9 +178,12 @@ let pp_payload ~sim ppf payload =
   | Completed { id } -> Format.fprintf ppf "%a completed %s" pp_sim sim id
   | Killed { id; owed } ->
       Format.fprintf ppf "%a killed %s (owed %d)" pp_sim sim id owed
-  | Span { name; depth; duration_s } ->
+  | Span { name; depth; duration_s; _ } ->
       Format.fprintf ppf "%a span %s%s %.6fs" pp_sim sim
         (String.make (2 * depth) ' ')
         name duration_s
+  | Metric_sample { name; value } ->
+      Format.fprintf ppf "%a sample %s=%g" pp_sim sim name value
+  | Unknown { kind; _ } -> Format.fprintf ppf "%a ? %s" pp_sim sim kind
 
 let pp ppf e = pp_payload ~sim:e.sim ppf e.payload

@@ -4,7 +4,14 @@
     engine run that produced it (0 outside any run), the {e simulated}
     time when one applies, and the wall-clock time.  The JSON schema is
     documented in [doc/observability.md]; {!of_json} accepts exactly
-    what {!to_json} produces, so every event kind round-trips. *)
+    what {!to_json} produces, so every event kind round-trips.
+
+    Parsing is {e forward-compatible} by default: a record whose [kind]
+    this binary does not know decodes to {!Unknown}, preserving its
+    payload fields verbatim for re-serialization, so old binaries can
+    read (and pass through) traces written by newer ones.  Pass
+    [~strict:true] to reject unknown kinds instead — the behaviour
+    [rota trace validate] wants. *)
 
 type payload =
   | Run_started of { label : string }
@@ -18,10 +25,27 @@ type payload =
   | Completed of { id : string }
   | Killed of { id : string; owed : int }
       (** Deadline kill; [owed] is the quantity still unfinished. *)
-  | Span of { name : string; depth : int; duration_s : float }
-      (** A timed scope closed; [depth] is its nesting level (0 =
-          outermost).  Emitted at span {e exit}, so a parent span's
-          record follows its children's. *)
+  | Span of {
+      name : string;
+      id : int;  (** Process-wide span id, starting at 1 (0 = legacy
+                     record without linkage). *)
+      parent : int option;  (** Id of the enclosing open span, if any. *)
+      depth : int;  (** Nesting level (0 = outermost). *)
+      begin_s : float;  (** Wall-clock time the span {e opened}. *)
+      duration_s : float;
+    }
+      (** A timed scope closed.  Emitted at span {e exit}, so a parent
+          span's record follows its children's; the [id]/[parent]
+          linkage (and [begin_s]) lets readers rebuild the tree and
+          attribute self vs total time regardless of emission order. *)
+  | Metric_sample of { name : string; value : float }
+      (** Point-in-time value of one counter or gauge, emitted by the
+          engine's periodic sampler so registry series become time
+          series inside the trace. *)
+  | Unknown of { kind : string; fields : (string * Json.t) list }
+      (** A kind this binary does not know (lenient mode only).
+          [fields] holds every non-envelope field verbatim, so the
+          record re-serializes unchanged. *)
 
 type t = {
   seq : int;  (** Process-wide emission order, starting at 1. *)
@@ -32,15 +56,22 @@ type t = {
 }
 
 val kind : payload -> string
-(** The schema's [kind] discriminator ("run-started", "admitted", ...). *)
+(** The schema's [kind] discriminator ("run-started", "admitted", ...);
+    for {!Unknown} the preserved original kind. *)
 
 val to_json : t -> Json.t
-val of_json : Json.t -> (t, string) result
+
+val of_json : ?strict:bool -> Json.t -> (t, string) result
+(** [strict] (default [false]) controls unknown-kind handling: lenient
+    parses them to {!Unknown}, strict errors.  Envelope fields and
+    known-kind payload shapes are always checked.  Span records missing
+    the linkage fields (written by older binaries) decode with [id = 0],
+    no parent, and [begin_s] inferred from the emission time. *)
 
 val to_line : t -> string
 (** One JSONL line (no trailing newline). *)
 
-val of_line : string -> (t, string) result
+val of_line : ?strict:bool -> string -> (t, string) result
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable one-liner, e.g. ["t12 admitted c3 (reservation

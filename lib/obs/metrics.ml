@@ -59,10 +59,19 @@ let default_buckets =
 
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
-let histogram ?(buckets = default_buckets) name =
+let histogram ?buckets name =
   match Hashtbl.find_opt histograms name with
-  | Some h -> h
+  | Some h ->
+      (match buckets with
+      | Some b when b <> h.buckets ->
+          invalid_arg
+            (Printf.sprintf
+               "Metrics.histogram: %S re-registered with different buckets"
+               name)
+      | Some _ | None -> ());
+      h
   | None ->
+      let buckets = Option.value buckets ~default:default_buckets in
       if Array.length buckets = 0 then
         invalid_arg "Metrics.histogram: empty bucket array";
       Array.iteri

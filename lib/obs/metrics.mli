@@ -48,9 +48,12 @@ val default_buckets : float array
 (** Log-spaced latency buckets in seconds, 100ns .. 10s. *)
 
 val histogram : ?buckets:float array -> string -> histogram
-(** Find or create.  [buckets] must be strictly ascending and is only
-    consulted on first creation.  Raises [Invalid_argument] on an empty
-    or unsorted bucket array. *)
+(** Find or create.  [buckets] must be strictly ascending.  Raises
+    [Invalid_argument] on an empty or unsorted bucket array, and also
+    when [name] already exists and [buckets] is given but differs from
+    the registered array — a silent mismatch would drop the caller's
+    buckets and skew every later observation.  Omitting [buckets] always
+    finds an existing histogram regardless of how it was bucketed. *)
 
 val observe : histogram -> float -> unit
 

@@ -15,17 +15,23 @@ val memory : unit -> t * (unit -> Events.t list)
 (** An in-memory sink and a function returning everything captured so
     far, in emission order.  [close] is a no-op. *)
 
-val jsonl : out_channel -> t
+val jsonl : ?flush_every:int -> out_channel -> t
 (** One JSON object per line.  [close] flushes but does {e not} close
-    the channel (the caller owns it). *)
+    the channel (the caller owns it).  [flush_every] (default 1) is the
+    number of lines buffered between flushes: 1 pays a flush syscall per
+    event but survives interruption with every completed event on disk;
+    larger values amortize the syscall for high-rate tracing (see the
+    [e7/obs-overhead] bench group) at the cost of losing up to that many
+    trailing events on a crash.  Raises [Invalid_argument] when
+    [flush_every < 1]. *)
 
-val jsonl_file : string -> t
+val jsonl_file : ?flush_every:int -> string -> t
 (** Opens (truncating) [path]; [close] flushes and closes the file. *)
 
 val console : Format.formatter -> t
-(** Human-readable, one event per line via {!Events.pp}.  Span events
-    are skipped — on a console they interleave confusingly with the
-    simulated-time story.  [close] flushes. *)
+(** Human-readable, one event per line via {!Events.pp}.  Span and
+    metric-sample events are skipped — on a console they interleave
+    confusingly with the simulated-time story.  [close] flushes. *)
 
 val tee : t -> t -> t
 (** Sends every event to both sinks; [close] closes both. *)

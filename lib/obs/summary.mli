@@ -1,0 +1,84 @@
+(** Per-run and per-policy rollups of a telemetry event stream — the
+    numbers behind [rota trace summarize] and [rota trace diff].
+
+    The admission/completion story is aggregated per engine run
+    (matching run-started envelopes), span wall-clock time is attributed
+    per span name with {e self} time separated from {e total} time via
+    the span id/parent linkage, and metric-sample events are regrouped
+    into named time series. *)
+
+type run = {
+  run_id : int;
+  label : string;  (** The run-started label, verbatim. *)
+  policy : string;  (** Parsed from a [policy=...] label token; [""] if absent. *)
+  horizon : int option;  (** Parsed from a [horizon=...] label token. *)
+  capacity : int;  (** Sum of capacity-joined quantities. *)
+  admitted : int;
+  rejected : int;
+  completed : int;
+  killed : int;  (** Deadline kills = deadline misses among admitted. *)
+  owed : int;  (** Total quantity still unfinished at kill time. *)
+  latencies : int array;
+      (** Admission-to-completion times in simulated ticks, sorted
+          ascending, one per completed computation. *)
+}
+
+val offered : run -> int
+(** [admitted + rejected]. *)
+
+val admit_rate : run -> float
+(** 0 when nothing was offered. *)
+
+val latency_quantile : run -> float -> int
+(** Nearest-rank quantile of {!field-latencies}; 0 when empty. *)
+
+type span_stat = {
+  span_name : string;
+  count : int;
+  total_s : float;  (** Summed durations (children included). *)
+  self_s : float;
+      (** Summed durations minus each span's direct children — time
+          spent in the span itself.  Legacy spans without linkage
+          (id 0) count wholly as self time. *)
+  max_s : float;
+}
+
+type slow_span = { slow_name : string; slow_run : int; slow_s : float }
+type series = { series_name : string; samples : (int option * float) list }
+
+type t = {
+  total_events : int;
+  runs : run list;  (** In run-id order. *)
+  span_stats : span_stat list;  (** Sorted by total time, descending. *)
+  slowest : slow_span list;  (** Top-N individual spans by duration. *)
+  series : series list;  (** Metric-sample series, sorted by name. *)
+}
+
+val of_events : ?top:int -> Events.t list -> t
+(** [top] (default 10) bounds {!field-slowest}. *)
+
+val label_field : string -> string -> string option
+(** [label_field key label] finds a [key=value] token in a run label. *)
+
+(** {1 Per-policy aggregation}
+
+    [rota trace diff] compares two traces policy-by-policy; runs with
+    the same [policy=] label are pooled first. *)
+
+type agg = {
+  agg_policy : string;
+  agg_runs : int;
+  agg_offered : int;
+  agg_admitted : int;
+  agg_completed : int;
+  agg_killed : int;
+  agg_owed : int;
+  agg_latencies : int array;  (** Pooled and sorted ascending. *)
+}
+
+val by_policy : t -> agg list
+(** In first-appearance order; runs without a policy label pool under
+    ["(unlabelled)"]. *)
+
+val agg_admit_rate : agg -> float
+val agg_quantile : agg -> float -> int

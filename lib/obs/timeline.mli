@@ -1,0 +1,15 @@
+(** ASCII Gantt rendering of a telemetry event stream — [rota trace
+    timeline].
+
+    One section per run, one row per computation in arrival order, the
+    horizontal axis in simulated time scaled to [width] columns.  Each
+    row shows the lifecycle arrival→admit→run→complete/kill ([A], [=],
+    [C]/[X]); rejected computations show a lone [x] at arrival, and a
+    capacity row marks resource joins ([+]) with their quantities.  A
+    legend line closes the rendering. *)
+
+val render : ?width:int -> Events.t list -> string
+(** [width] (default 60, minimum 10) is the number of columns the
+    simulated horizon is scaled onto.  The horizon is taken from the
+    run label's [horizon=] token when present, else from the largest
+    simulated time seen in the run. *)

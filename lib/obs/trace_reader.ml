@@ -1,0 +1,132 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e =
+  if e.line = 0 then Format.pp_print_string ppf e.message
+  else Format.fprintf ppf "line %d: %s" e.line e.message
+
+let fold_lines path ~init ~f =
+  match open_in path with
+  | exception Sys_error msg -> Error { line = 0; message = msg }
+  | ic ->
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      let rec loop acc n =
+        match input_line ic with
+        | exception End_of_file -> Ok acc
+        | line -> (
+            match f acc n line with
+            | Ok acc -> loop acc (n + 1)
+            | Error _ as e -> e)
+      in
+      loop init 1
+
+let fold_file ?strict path ~init ~f =
+  fold_lines path ~init ~f:(fun acc n line ->
+      (* Tolerate a trailing blank line (text editors add them). *)
+      if String.trim line = "" then Ok acc
+      else
+        match Events.of_line ?strict line with
+        | Ok e -> Ok (f acc e)
+        | Error message -> Error { line = n; message })
+
+let read_file ?strict path =
+  Result.map List.rev
+    (fold_file ?strict path ~init:[] ~f:(fun acc e -> e :: acc))
+
+(* --- validation --------------------------------------------------------- *)
+
+type validation = { events : int; runs : int; errors : string list }
+
+let valid v = v.errors = []
+
+type vstate = {
+  mutable n_events : int;
+  mutable n_runs : int;
+  mutable last_seq : int option;
+  last_sim : (int, int) Hashtbl.t;  (* run -> last non-span sim *)
+  span_ids : (int, unit) Hashtbl.t;
+  mutable parents : (int * int) list;  (* (line, parent id) to resolve *)
+  mutable errs : int;  (* total, including suppressed *)
+  mutable messages : string list;  (* newest first, capped *)
+}
+
+let validate_file ?(max_errors = 20) path =
+  let st =
+    {
+      n_events = 0;
+      n_runs = 0;
+      last_seq = None;
+      last_sim = Hashtbl.create 8;
+      span_ids = Hashtbl.create 64;
+      parents = [];
+      errs = 0;
+      messages = [];
+    }
+  in
+  let report line fmt =
+    Printf.ksprintf
+      (fun msg ->
+        st.errs <- st.errs + 1;
+        if st.errs <= max_errors then
+          st.messages <-
+            (if line = 0 then msg else Printf.sprintf "line %d: %s" line msg)
+            :: st.messages)
+      fmt
+  in
+  let check_event n (e : Events.t) =
+    st.n_events <- st.n_events + 1;
+    (* Round-trip: re-serializing and re-parsing must reproduce the
+       event exactly (the codec's contract). *)
+    (match Events.of_line ~strict:true (Events.to_line e) with
+    | Ok e' when e' = e -> ()
+    | Ok _ -> report n "event does not round-trip through the codec"
+    | Error msg -> report n "re-serialized event fails to parse: %s" msg);
+    (match st.last_seq with
+    | Some prev when e.Events.seq <= prev ->
+        report n "seq %d not greater than previous %d" e.Events.seq prev
+    | Some _ | None -> ());
+    st.last_seq <- Some e.Events.seq;
+    match e.Events.payload with
+    | Events.Run_started _ -> st.n_runs <- st.n_runs + 1
+    | Events.Span { id; parent; _ } ->
+        if id <> 0 then begin
+          if Hashtbl.mem st.span_ids id then
+            report n "duplicate span id %d" id
+          else Hashtbl.replace st.span_ids id ()
+        end;
+        Option.iter (fun p -> st.parents <- (n, p) :: st.parents) parent
+    | _ -> (
+        (* Within one run, non-span simulated times are nondecreasing. *)
+        match e.Events.sim with
+        | None -> ()
+        | Some t ->
+            (match Hashtbl.find_opt st.last_sim e.Events.run with
+            | Some prev when t < prev ->
+                report n "run %d: sim time %d after %d" e.Events.run t prev
+            | Some _ | None -> ());
+            Hashtbl.replace st.last_sim e.Events.run t)
+  in
+  (match
+     fold_lines path ~init:() ~f:(fun () n line ->
+         (if String.trim line <> "" then
+            match Events.of_line ~strict:true line with
+            | Ok e -> check_event n e
+            | Error msg -> report n "%s" msg);
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> report e.line "%s" e.message);
+  (* Parent spans are emitted after their children, so resolution runs
+     once the whole file has been seen. *)
+  List.iter
+    (fun (n, p) ->
+      if not (Hashtbl.mem st.span_ids p) then
+        report n "span parent id %d does not resolve" p)
+    (List.rev st.parents);
+  let messages = List.rev st.messages in
+  let messages =
+    if st.errs > max_errors then
+      messages
+      @ [ Printf.sprintf "... and %d more errors" (st.errs - max_errors) ]
+    else messages
+  in
+  { events = st.n_events; runs = st.n_runs; errors = messages }

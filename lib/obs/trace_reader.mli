@@ -1,0 +1,43 @@
+(** Streaming JSONL trace reader and validator — the consume side of the
+    telemetry layer.
+
+    Traces are read a line at a time, so a multi-gigabyte trace never
+    has to fit in memory ({!fold_file}); {!read_file} is the convenience
+    wrapper for workloads that do fit.  Blank lines are tolerated. *)
+
+type error = { line : int; message : string }
+(** [line] is 1-based; 0 means the file itself could not be opened. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val fold_file :
+  ?strict:bool -> string -> init:'a -> f:('a -> Events.t -> 'a) -> ('a, error) result
+(** Fold [f] over every event in the file, in file order, stopping at
+    the first malformed line.  [strict] is {!Events.of_line}'s flag
+    (default lenient: unknown kinds become {!Events.Unknown}). *)
+
+val read_file : ?strict:bool -> string -> (Events.t list, error) result
+(** All events, in file order. *)
+
+(** {1 Validation}
+
+    The trace contract, checked by [rota trace validate]:
+    every line parses strictly (no unknown kinds) and round-trips
+    through the codec; [seq] is strictly increasing across the file;
+    within each run the non-span simulated times are nondecreasing;
+    nonzero span ids are unique and every span's [parent] id resolves
+    to a span in the file. *)
+
+type validation = {
+  events : int;  (** Events successfully parsed. *)
+  runs : int;  (** [run-started] records seen. *)
+  errors : string list;  (** Human-readable violations; empty = valid. *)
+}
+
+val valid : validation -> bool
+
+val validate_file : ?max_errors:int -> string -> validation
+(** Check the whole file, never raising: unreadable files and malformed
+    lines are reported as errors.  At most [max_errors] (default 20)
+    messages are kept, with a final count of any suppressed beyond
+    that. *)

@@ -2,6 +2,9 @@ let sink : Sink.t option ref = ref None
 let seq = ref 0
 let run = ref 0
 let depth = ref 0
+let next_span_id = ref 0
+let open_spans : int list ref = ref []  (* innermost first *)
+let period = ref 0
 
 let uninstall () =
   match !sink with
@@ -42,17 +45,48 @@ let with_span ?sim name f =
   | None -> f ()
   | Some _ ->
       let d = !depth in
+      let parent = match !open_spans with [] -> None | p :: _ -> Some p in
+      incr next_span_id;
+      let id = !next_span_id in
       depth := d + 1;
+      open_spans := id :: !open_spans;
       let t0 = Clock.wall_s () in
       let finally () =
         depth := d;
+        (open_spans :=
+           match !open_spans with
+           | s :: rest when s = id -> rest
+           | stack -> stack);
         emit ?sim
-          (Events.Span { name; depth = d; duration_s = Clock.wall_s () -. t0 })
+          (Events.Span
+             {
+               name;
+               id;
+               parent;
+               depth = d;
+               begin_s = t0;
+               duration_s = Clock.wall_s () -. t0;
+             })
       in
       Fun.protect ~finally f
+
+let set_sample_period n = period := max 0 n
+let sample_period () = !period
+
+let sample_metrics ?sim () =
+  if active () && Metrics.enabled () then begin
+    let view = Metrics.snapshot () in
+    List.iter
+      (fun (name, v) ->
+        emit ?sim (Events.Metric_sample { name; value = float_of_int v }))
+      (view.Metrics.counters @ view.Metrics.gauges)
+  end
 
 let reset () =
   uninstall ();
   seq := 0;
   run := 0;
-  depth := 0
+  depth := 0;
+  next_span_id := 0;
+  open_spans := [];
+  period := 0

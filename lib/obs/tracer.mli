@@ -29,9 +29,25 @@ val run_id : unit -> int
 
 val with_span : ?sim:int -> string -> (unit -> 'a) -> 'a
 (** Time the thunk and emit a {!Events.Span} record when it finishes
-    (also on exceptions).  Spans nest: the record carries the nesting
-    depth at entry. *)
+    (also on exceptions).  Spans nest: each open span is assigned a
+    fresh process-wide id at entry and records the id of the span it
+    nests inside, so the record carries its nesting depth {e and} the
+    [id]/[parent] linkage plus the begin timestamp. *)
+
+val set_sample_period : int -> unit
+(** Cadence, in simulated ticks, at which the engine emits
+    {!Events.Metric_sample} events for every registered counter and
+    gauge.  0 (the default) disables sampling.  Negative values clamp
+    to 0. *)
+
+val sample_period : unit -> int
+
+val sample_metrics : ?sim:int -> unit -> unit
+(** Emit one {!Events.Metric_sample} per registered counter and gauge,
+    at their current values.  A no-op unless a sink is installed {e and}
+    the metrics registry is enabled (disabled metrics would sample
+    frozen zeros). *)
 
 val reset : unit -> unit
-(** Uninstall any sink and zero the sequence/run/depth counters.  Test
-    helper. *)
+(** Uninstall any sink and zero the sequence/run/depth/span-id counters
+    and the sample period.  Test helper. *)

@@ -110,6 +110,21 @@ let test_histogram_validation () =
     (Invalid_argument "Metrics.histogram: buckets must be strictly ascending")
     (fun () -> ignore (Metrics.histogram ~buckets:[| 2.; 1. |] "test/hist-bad"))
 
+let test_histogram_bucket_mismatch () =
+  (* Regression: re-registering a name with different buckets used to
+     silently return the old histogram, dropping the caller's buckets. *)
+  let h = Metrics.histogram ~buckets:[| 1.; 2.; 4. |] "test/hist-rereg" in
+  Alcotest.check_raises "different buckets raise"
+    (Invalid_argument
+       "Metrics.histogram: \"test/hist-rereg\" re-registered with different \
+        buckets") (fun () ->
+      ignore (Metrics.histogram ~buckets:[| 1.; 3. |] "test/hist-rereg"));
+  (* Same buckets and bucket-less lookups still intern. *)
+  Alcotest.(check bool) "same buckets ok" true
+    (h == Metrics.histogram ~buckets:[| 1.; 2.; 4. |] "test/hist-rereg");
+  Alcotest.(check bool) "no buckets finds existing" true
+    (h == Metrics.histogram "test/hist-rereg")
+
 let test_time_records_duration () =
   with_metrics @@ fun () ->
   let h = Metrics.histogram "test/hist-time" in
@@ -137,9 +152,32 @@ let test_span_nesting () =
       Alcotest.(check bool) "seq increases" true (e_inner.Events.seq < e_outer.Events.seq);
       Alcotest.(check (option int)) "inner sim time" (Some 3) e_inner.Events.sim;
       match (e_inner.Events.payload, e_outer.Events.payload) with
-      | ( Events.Span { name = "inner"; depth = 1; duration_s = d_in },
-          Events.Span { name = "outer"; depth = 0; duration_s = d_out } ) ->
-          Alcotest.(check bool) "outer spans at least as long" true (d_out >= d_in)
+      | ( Events.Span
+            {
+              name = "inner";
+              depth = 1;
+              duration_s = d_in;
+              id = id_in;
+              parent = p_in;
+              begin_s = b_in;
+            },
+          Events.Span
+            {
+              name = "outer";
+              depth = 0;
+              duration_s = d_out;
+              id = id_out;
+              parent = p_out;
+              begin_s = b_out;
+            } ) ->
+          Alcotest.(check bool) "outer spans at least as long" true (d_out >= d_in);
+          (* The id/parent linkage reconstructs the nesting regardless of
+             emission order (parents are emitted after children). *)
+          Alcotest.(check (option int)) "inner's parent is outer" (Some id_out) p_in;
+          Alcotest.(check (option int)) "outer has no parent" None p_out;
+          Alcotest.(check bool) "ids distinct and positive" true
+            (id_in > 0 && id_out > 0 && id_in <> id_out);
+          Alcotest.(check bool) "outer begins first" true (b_out <= b_in)
       | _ -> Alcotest.fail "expected inner (depth 1) then outer (depth 0)")
   | es -> Alcotest.failf "expected 2 span events, got %d" (List.length es)
 
@@ -159,7 +197,16 @@ let all_payloads =
     Events.Rejected { id = "c002"; policy = "rota"; reason = "no accommodating schedule" };
     Events.Completed { id = "c001" };
     Events.Killed { id = "c003"; owed = 7 };
-    Events.Span { name = "engine/run"; depth = 0; duration_s = 0.001953125 };
+    Events.Span
+      {
+        name = "engine/run";
+        id = 4;
+        parent = Some 2;
+        depth = 0;
+        begin_s = 1754499999.5;
+        duration_s = 0.001953125;
+      };
+    Events.Metric_sample { name = "engine/ticks"; value = 160. };
   ]
 
 let test_jsonl_roundtrip () =
@@ -187,7 +234,49 @@ let test_jsonl_rejects_garbage () =
   bad "";
   bad "not json";
   bad "{\"seq\":1}";
-  bad "{\"seq\":1,\"run\":0,\"sim\":null,\"wall_s\":0.0,\"kind\":\"martian\"}"
+  (* An unknown kind is only an error in strict mode. *)
+  (match
+     Events.of_line ~strict:true
+       "{\"seq\":1,\"run\":0,\"sim\":null,\"wall_s\":0.0,\"kind\":\"martian\"}"
+   with
+  | Ok _ -> Alcotest.fail "strict mode accepted an unknown kind"
+  | Error _ -> ())
+
+let test_unknown_kind_forward_compat () =
+  (* A trace written by a newer binary parses leniently to Unknown and
+     re-serializes with its payload fields intact. *)
+  let line =
+    "{\"seq\":7,\"run\":2,\"sim\":9,\"wall_s\":1.5,\"kind\":\"martian\",\
+     \"temp\":3,\"tag\":\"x\"}"
+  in
+  match Events.of_line line with
+  | Error msg -> Alcotest.failf "lenient parse failed: %s" msg
+  | Ok e -> (
+      (match e.Events.payload with
+      | Events.Unknown { kind = "martian"; fields } ->
+          Alcotest.(check int) "payload fields preserved" 2 (List.length fields)
+      | _ -> Alcotest.fail "expected Unknown payload");
+      Alcotest.(check int) "envelope seq" 7 e.Events.seq;
+      Alcotest.(check (option int)) "envelope sim" (Some 9) e.Events.sim;
+      (* Round-trip: the re-serialized line parses back to the same event. *)
+      match Events.of_line (Events.to_line e) with
+      | Ok e' -> Alcotest.(check bool) "unknown round-trips" true (e = e')
+      | Error msg -> Alcotest.failf "re-parse failed: %s" msg)
+
+let test_legacy_span_defaults () =
+  (* Span lines written before the linkage fields existed still parse,
+     with id 0, no parent, and begin inferred from the emission time. *)
+  let line =
+    "{\"seq\":1,\"run\":1,\"sim\":null,\"wall_s\":10.5,\"kind\":\"span\",\
+     \"name\":\"engine/run\",\"depth\":0,\"duration_s\":0.5}"
+  in
+  match Events.of_line ~strict:true line with
+  | Error msg -> Alcotest.failf "legacy span failed to parse: %s" msg
+  | Ok e -> (
+      match e.Events.payload with
+      | Events.Span { id = 0; parent = None; begin_s; duration_s = 0.5; _ } ->
+          Alcotest.(check (float 1e-9)) "begin inferred" 10.0 begin_s
+      | _ -> Alcotest.fail "expected a legacy span with defaults")
 
 let test_jsonl_file_sink () =
   with_tracer @@ fun () ->
@@ -347,6 +436,8 @@ let () =
           Alcotest.test_case "overflow and clamping" `Quick
             test_histogram_overflow_and_clamp;
           Alcotest.test_case "bucket validation" `Quick test_histogram_validation;
+          Alcotest.test_case "bucket mismatch on re-registration" `Quick
+            test_histogram_bucket_mismatch;
           Alcotest.test_case "time records duration" `Quick
             test_time_records_duration;
         ] );
@@ -359,6 +450,10 @@ let () =
         [
           Alcotest.test_case "every kind round-trips" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "garbage rejected" `Quick test_jsonl_rejects_garbage;
+          Alcotest.test_case "unknown kinds forward-compatible" `Quick
+            test_unknown_kind_forward_compat;
+          Alcotest.test_case "legacy span defaults" `Quick
+            test_legacy_span_defaults;
           Alcotest.test_case "file sink round-trip" `Quick test_jsonl_file_sink;
         ] );
       ( "engine stream",
