@@ -1,4 +1,4 @@
-.PHONY: all build test bench trace-smoke check fmt clean
+.PHONY: all build test bench bench-smoke trace-smoke check fmt clean
 
 all: build
 
@@ -12,6 +12,14 @@ test:
 # within noise of the uninstrumented baselines (see doc/observability.md).
 bench:
 	dune exec bench/main.exe
+
+# Incremental-ledger smoke: run just the admission-at-scale group so
+# the cached-residual decision path is exercised beyond unit tests (the
+# O(n) invariant checker stays off here — it would hide the incremental
+# cost being measured; the test suite runs it instead).  CI runs this
+# on every push.
+bench-smoke:
+	dune exec bench/main.exe -- scheduler/admission-scale
 
 # Trace contract, end to end on a real experiment: the E6 trace the
 # binary emits must satisfy its own validator, and the analysis tools

@@ -16,6 +16,10 @@ module Profile = Rota_resource.Profile
 module Resource_set = Rota_resource.Resource_set
 module Requirement = Rota_resource.Requirement
 module Actor_name = Rota_actor.Actor_name
+module Action = Rota_actor.Action
+module Program = Rota_actor.Program
+module Computation = Rota_actor.Computation
+module Calendar = Rota_scheduler.Calendar
 module State = Rota.State
 module Formula = Rota.Formula
 module Semantics = Rota.Semantics
@@ -150,6 +154,67 @@ let bench_admission =
              { params with seed = 99; arrivals = 1 })
       in
       Staged.stage (fun () -> ignore (Admission.request ctrl ~now:0 probe)))
+
+(* --- scheduler: admission at ledger scale ------------------------------------ *)
+
+(* The incremental-ledger contract: one decision against a controller
+   carrying n live commitments must cost flat-to-logarithmic in n (the
+   cached residual replaces the O(n) re-fold).  Reservations all share
+   one window so the residual stays a single segment and only the
+   ledger's own bookkeeping varies with n. *)
+let controller_at_scale n =
+  let window = iv 0 100 in
+  let capacity = Resource_set.singleton (Term.v (n + 16) window cpu1) in
+  let ctrl = ref (Admission.create Admission.Rota capacity) in
+  for i = 0 to n - 1 do
+    let entry =
+      {
+        Calendar.computation = Printf.sprintf "c%04d" i;
+        window;
+        reservation = Resource_set.singleton (Term.v 1 window cpu1);
+        schedules = [];
+      }
+    in
+    match Admission.adopt !ctrl entry with
+    | Ok next -> ctrl := next
+    | Error e -> failwith e
+  done;
+  !ctrl
+
+let bench_admission_scale =
+  let probe =
+    Computation.make ~id:"probe" ~start:0 ~deadline:100
+      [
+        Program.make ~name:(Actor_name.make "a1") ~home:l1
+          [ Action.evaluate 1; Action.ready ];
+      ]
+  in
+  Test.make_grouped ~name:"scheduler/admission-scale"
+    [
+      Test.make_indexed ~name:"decide" ~args:[ 10; 100; 1000 ] (fun n ->
+          let ctrl = controller_at_scale n in
+          Staged.stage (fun () ->
+              ignore (Admission.request ctrl ~now:0 probe)));
+      Test.make_indexed ~name:"residual" ~args:[ 10; 100; 1000 ] (fun n ->
+          let ctrl = controller_at_scale n in
+          Staged.stage (fun () -> ignore (Admission.residual ctrl)));
+      Test.make_indexed ~name:"commit-release" ~args:[ 10; 100; 1000 ]
+        (fun n ->
+          let ctrl = controller_at_scale n in
+          let entry =
+            {
+              Calendar.computation = "one-more";
+              window = iv 0 100;
+              reservation = Resource_set.singleton (Term.v 1 (iv 0 100) cpu1);
+              schedules = [];
+            }
+          in
+          Staged.stage (fun () ->
+              match Admission.adopt ctrl entry with
+              | Ok next ->
+                  ignore (Admission.complete next ~computation:"one-more")
+              | Error e -> failwith e));
+    ]
 
 (* --- E6: end-to-end engine --------------------------------------------------- *)
 
@@ -395,31 +460,54 @@ let bench_calibration =
 
 (* --- runner -------------------------------------------------------------------- *)
 
+(* Named registry so a CLI argument can select a subset: any argument
+   that is a substring of a suite name keeps that suite (used by `make
+   bench-smoke` to exercise just scheduler/admission-scale in CI). *)
+let suites =
+  [
+    ("e1/allen-compose", bench_allen_compose);
+    ("e1/allen-set-compose", bench_allen_set_compose);
+    ("e1/ia-propagate", bench_ia_propagate);
+    ("e2/profile-union", bench_profile_union);
+    ("e2/profile-complement", bench_profile_sub);
+    ("e2/resource-set-union", bench_rset_union);
+    ("e3/exists-path", bench_semantics_exists);
+    ("e4/schedule-sequential", bench_schedule_sequential);
+    ("e5/admit-one-more", bench_admission);
+    ("scheduler/admission-scale", bench_admission_scale);
+    ("e6/engine", bench_engine);
+    ("e7/scoping", bench_scoping);
+    ("e7/obs-overhead", bench_obs_overhead);
+    ("ext/stn-consistency", bench_stn);
+    ("ext/precedence-chain", bench_precedence);
+    ("ext/session-compile", bench_session);
+    ("ext/planner-evaluate", bench_planner);
+    ("ext/scenario-parse", bench_parse);
+    ("ext/engine-mixed-sessions", bench_session_engine);
+    ("ext/calibration-iteration", bench_calibration);
+  ]
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 let () =
-  let tests =
-    Test.make_grouped ~name:"rota"
-      [
-        bench_allen_compose;
-        bench_allen_set_compose;
-        bench_ia_propagate;
-        bench_profile_union;
-        bench_profile_sub;
-        bench_rset_union;
-        bench_semantics_exists;
-        bench_schedule_sequential;
-        bench_admission;
-        bench_engine;
-        bench_scoping;
-        bench_obs_overhead;
-        bench_stn;
-        bench_precedence;
-        bench_session;
-        bench_planner;
-        bench_parse;
-        bench_session_engine;
-        bench_calibration;
-      ]
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let chosen =
+    if requested = [] then suites
+    else
+      List.filter
+        (fun (name, _) -> List.exists (contains name) requested)
+        suites
   in
+  if chosen = [] then begin
+    Printf.eprintf "no benchmark matches %s; known suites:\n"
+      (String.concat " " requested);
+    List.iter (fun (name, _) -> Printf.eprintf "  %s\n" name) suites;
+    exit 1
+  end;
+  let tests = Test.make_grouped ~name:"rota" (List.map snd chosen) in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   let ols =

@@ -28,22 +28,40 @@ type demand = {
   totals : (Located_type.t * int) list;
 }
 
+module Demand_map = Map.Make (String)
+
 type t = {
   policy : policy;
   cost_model : Cost_model.t;
   calendar : Calendar.t;
-  demands : demand list;  (** Aggregate baseline's ledger. *)
+  demands : demand Demand_map.t;
+      (** Aggregate/Optimistic baselines' ledger, keyed by computation id
+          so duplicate checks and removals are O(log n); pruned of
+          expired windows on {!advance}. *)
 }
 
 let create ?(cost_model = Cost_model.default) policy capacity =
-  { policy; cost_model; calendar = Calendar.create capacity; demands = [] }
+  {
+    policy;
+    cost_model;
+    calendar = Calendar.create capacity;
+    demands = Demand_map.empty;
+  }
 
 let policy c = c.policy
+let cost_model c = c.cost_model
 let calendar c = c.calendar
 let residual c = Calendar.residual c.calendar
+let ledger_size c = Calendar.size c.calendar + Demand_map.cardinal c.demands
+
+let already_admitted c id =
+  Demand_map.mem id c.demands
+  || Option.is_some (Calendar.find c.calendar ~computation:id)
 
 let admitted_demands c =
-  List.map (fun d -> (d.computation, d.window, d.totals)) c.demands
+  List.map
+    (fun (_, d) -> (d.computation, d.window, d.totals))
+    (Demand_map.bindings c.demands)
 
 let total_demand cost_model computation =
   let conc = Computation.to_concurrent cost_model computation in
@@ -76,6 +94,10 @@ module Obs = struct
     admits : Metrics.counter;
     rejects : Metrics.counter;
     decision_s : Metrics.histogram;
+    ledger : Metrics.gauge;
+        (** Live ledger size (calendar entries + demand records) after
+            the decision — the scale the incremental ledger keeps the
+            decision cost independent of. *)
   }
 
   let series =
@@ -88,6 +110,7 @@ module Obs = struct
             admits = Metrics.counter ("admission/admitted." ^ n);
             rejects = Metrics.counter ("admission/rejected." ^ n);
             decision_s = Metrics.histogram ("admission/decision_s." ^ n);
+            ledger = Metrics.gauge ("admission/ledger_size." ^ n);
           } ))
       all_policies
 
@@ -119,7 +142,10 @@ module Obs = struct
     let s = Buffer.contents buf in
     let s = if String.length s > 0 && s.[String.length s - 1] = '-' then
         String.sub s 0 (String.length s - 1) else s in
-    if String.length s > 48 then String.sub s 0 48 else s
+    let s = if String.length s > 48 then String.sub s 0 48 else s in
+    (* An all-punctuation reason would otherwise yield the dangling
+       counter name "admission/reject_reason.". *)
+    if String.length s = 0 then "other" else s
 
   let observe_decision policy outcome ~elapsed_s =
     let s = List.assq policy series in
@@ -146,13 +172,14 @@ module Obs = struct
 
   (* Span + per-policy counters/latency around one decision.  The
      disabled path is the bare [decide] call. *)
-  let observed policy name ~now decide =
+  let observed policy name ~now ~size decide =
     Tracer.with_span ~sim:now name (fun () ->
         if Metrics.enabled () then begin
           let t0 = Clock.wall_s () in
-          let ((_, outcome) as r) = decide () in
+          let ((c, outcome) as r) = decide () in
           observe_decision policy outcome
             ~elapsed_s:(Clock.wall_s () -. t0);
+          Metrics.set (List.assq policy series).ledger (size c);
           r
         end
         else decide ())
@@ -192,32 +219,35 @@ let request_rota ?(merge = true) ?order c ~now:_ computation =
           (* Cannot happen: the reservation was carved from the residual. *)
           (c, reject ("internal: " ^ e)))
 
-let request_aggregate c ~now:_ computation =
-  let window = Computation.window computation in
-  let totals = total_demand c.cost_model computation in
+let remember_demand c d =
+  { c with demands = Demand_map.add d.computation d c.demands }
+
+let ledger_fits c ~window totals =
   let overlapping_committed xi =
-    List.fold_left
-      (fun acc d ->
+    Demand_map.fold
+      (fun _ d acc ->
         if Interval.overlaps d.window window then
           acc
           + List.fold_left
               (fun acc (xj, q) -> if Located_type.equal xi xj then acc + q else acc)
               0 d.totals
         else acc)
-      0 c.demands
+      c.demands 0
   in
-  let fits =
-    List.for_all
-      (fun (xi, q) ->
-        Calendar.capacity_quantity c.calendar xi window
-        - overlapping_committed xi
-        >= q)
-      totals
-  in
-  if not fits then (c, reject "aggregate quantities do not fit")
+  List.for_all
+    (fun (xi, q) ->
+      Calendar.capacity_quantity c.calendar xi window - overlapping_committed xi
+      >= q)
+    totals
+
+let request_aggregate c ~now:_ computation =
+  let window = Computation.window computation in
+  let totals = total_demand c.cost_model computation in
+  if not (ledger_fits c ~window totals) then
+    (c, reject "aggregate quantities do not fit")
   else
     let d = { computation = computation.Computation.id; window; totals } in
-    ( { c with demands = d :: c.demands },
+    ( remember_demand c d,
       admit "aggregate quantities fit (no ordering check)" )
 
 let session_totals cost_model session =
@@ -272,32 +302,10 @@ let request_session_rota c ~now:_ session =
             admit ~schedules:named "session reservation committed (Theorem 4)" )
       | Error e -> (c, reject ("internal: " ^ e)))
 
-let ledger_fits c ~window totals =
-  let overlapping_committed xi =
-    List.fold_left
-      (fun acc d ->
-        if Interval.overlaps d.window window then
-          acc
-          + List.fold_left
-              (fun acc (xj, q) -> if Located_type.equal xi xj then acc + q else acc)
-              0 d.totals
-        else acc)
-      0 c.demands
-  in
-  List.for_all
-    (fun (xi, q) ->
-      Calendar.capacity_quantity c.calendar xi window - overlapping_committed xi
-      >= q)
-    totals
-
 let decide_session c ~now session =
   if now >= session.Session.deadline then (c, reject "deadline already passed")
-  else if
-    List.exists
-      (fun d -> String.equal d.computation session.Session.id)
-      c.demands
-    || Option.is_some (Calendar.find c.calendar ~computation:session.Session.id)
-  then (c, reject (Printf.sprintf "%s is already admitted" session.Session.id))
+  else if already_admitted c session.Session.id then
+    (c, reject (Printf.sprintf "%s is already admitted" session.Session.id))
   else
     match c.policy with
     | Rota | Rota_unmerged | Rota_given_order ->
@@ -309,7 +317,7 @@ let decide_session c ~now session =
           (c, reject "aggregate quantities do not fit")
         else
           let d = { computation = session.Session.id; window; totals } in
-          ( { c with demands = d :: c.demands },
+          ( remember_demand c d,
             admit "aggregate quantities fit (no ordering check)" )
     | Optimistic ->
         let d =
@@ -319,11 +327,16 @@ let decide_session c ~now session =
             totals = session_totals c.cost_model session;
           }
         in
-        ({ c with demands = d :: c.demands }, admit "optimistic admission")
+        (remember_demand c d, admit "optimistic admission")
 
 let decide c ~now computation =
   if now >= computation.Computation.deadline then
     (c, reject "deadline already passed")
+  else if already_admitted c computation.Computation.id then
+    (* Without this guard a re-submitted id double-counts under
+       Optimistic/Aggregate and surfaces under Rota as a misleading
+       "internal: calendar: ... already committed" reject. *)
+    (c, reject (Printf.sprintf "%s is already admitted" computation.Computation.id))
   else
     match c.policy with
     | Rota -> request_rota c ~now computation
@@ -339,21 +352,19 @@ let decide c ~now computation =
             totals = total_demand c.cost_model computation;
           }
         in
-        ({ c with demands = d :: c.demands }, admit "optimistic admission")
+        (remember_demand c d, admit "optimistic admission")
 
 let request c ~now computation =
-  Obs.observed c.policy "admission/request" ~now (fun () ->
+  Obs.observed c.policy "admission/request" ~now ~size:ledger_size (fun () ->
       decide c ~now computation)
 
 let request_session c ~now session =
-  Obs.observed c.policy "admission/request-session" ~now (fun () ->
-      decide_session c ~now session)
+  Obs.observed c.policy "admission/request-session" ~now ~size:ledger_size
+    (fun () -> decide_session c ~now session)
 
 let withdraw c ~now ~computation =
   let in_calendar = Calendar.find c.calendar ~computation in
-  let in_demands =
-    List.find_opt (fun d -> String.equal d.computation computation) c.demands
-  in
+  let in_demands = Demand_map.find_opt computation c.demands in
   let window =
     match (in_calendar, in_demands) with
     | Some entry, _ -> Some entry.Calendar.window
@@ -373,18 +384,14 @@ let withdraw c ~now ~computation =
           {
             c with
             calendar = Calendar.release c.calendar ~computation;
-            demands =
-              List.filter
-                (fun d -> not (String.equal d.computation computation))
-                c.demands;
+            demands = Demand_map.remove computation c.demands;
           }
 
 let complete c ~computation =
   {
     c with
     calendar = Calendar.release c.calendar ~computation;
-    demands =
-      List.filter (fun d -> not (String.equal d.computation computation)) c.demands;
+    demands = Demand_map.remove computation c.demands;
   }
 
 let add_capacity c theta =
@@ -398,7 +405,15 @@ let adopt c entry =
   Result.map (fun calendar -> { c with calendar })
     (Calendar.commit c.calendar entry)
 
-let advance c now = { c with calendar = Calendar.advance c.calendar now }
+(* Advancing also prunes demand records whose windows have fully
+   expired: the optimistic/aggregate baselines would otherwise scan dead
+   demands on every decision forever. *)
+let advance c now =
+  {
+    c with
+    calendar = Calendar.advance c.calendar now;
+    demands = Demand_map.filter (fun _ d -> Interval.stop d.window > now) c.demands;
+  }
 
 let pp_outcome ppf o =
   Format.fprintf ppf "%s (%s)" (if o.admitted then "admit" else "reject") o.reason

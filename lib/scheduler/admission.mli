@@ -55,14 +55,23 @@ val create : ?cost_model:Cost_model.t -> policy -> Resource_set.t -> t
 
 val policy : t -> policy
 
+val cost_model : t -> Cost_model.t
+(** The cost model the controller prices requirements with — exposed so
+    derived controllers (e.g. pool subdivision) inherit it. *)
+
 val calendar : t -> Calendar.t
 (** The underlying ledger (capacity and any reservations). *)
 
 val residual : t -> Resource_set.t
 
+val ledger_size : t -> int
+(** Live bookkeeping records: calendar entries plus demand records — the
+    scale the incremental ledger keeps decision cost independent of. *)
+
 val request : t -> now:Time.t -> Computation.t -> t * outcome
-(** Decide one arrival.  Deadline-passed requests are rejected by every
-    policy.  On a Rota admission the controller commits the reservation. *)
+(** Decide one arrival.  Deadline-passed and already-admitted requests
+    are rejected by every policy.  On a Rota admission the controller
+    commits the reservation. *)
 
 val request_session : t -> now:Time.t -> Session.t -> t * outcome
 (** Like {!request} for an interacting-actor session: the Rota policies
@@ -96,6 +105,13 @@ val advance : t -> Time.t -> t
 
 val admitted_demands : t -> (string * Interval.t * (Located_type.t * int) list) list
 (** For the Aggregate baseline's ledger (and diagnostics): each admitted,
-    still-active computation with its window and per-type total demand. *)
+    still-active computation with its window and per-type total demand,
+    in computation-id order. *)
+
+module Obs : sig
+  val slug : string -> string
+  (** Compresses a free-text reject reason into a stable counter-label
+      slug; never empty (falls back to ["other"]). *)
+end
 
 val pp_outcome : Format.formatter -> outcome -> unit

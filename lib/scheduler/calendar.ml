@@ -7,70 +7,158 @@ type entry = {
   schedules : (Actor_name.t * Accommodation.schedule) list;
 }
 
-type t = { capacity : Resource_set.t; entries : entry list }
+module Id_map = Map.Make (String)
 
-let create capacity = { capacity; entries = [] }
+(* [committed] and [residual] are caches: the union of all live
+   reservations, and capacity minus that union.  Every operation updates
+   them with one resource-set operation instead of re-folding the whole
+   ledger, which keeps the admission decision path sublinear in the
+   number of committed computations.  [self_check] recomputes both from
+   scratch and compares. *)
+type t = {
+  capacity : Resource_set.t;
+  entries : entry Id_map.t;
+  committed : Resource_set.t;
+  residual : Resource_set.t;
+}
+
+(* --- invariant checking -------------------------------------------------- *)
+
+let checked =
+  ref
+    (match Sys.getenv_opt "ROTA_CHECK_CALENDAR" with
+    | None | Some "" | Some "0" | Some "false" -> false
+    | Some _ -> true)
+
+let set_self_check enabled = checked := enabled
+
+let recompute_committed c =
+  Id_map.fold
+    (fun _ e acc -> Resource_set.union acc e.reservation)
+    c.entries Resource_set.empty
+
+let self_check c =
+  let committed = recompute_committed c in
+  if not (Resource_set.equal committed c.committed) then
+    Error
+      (Format.asprintf
+         "calendar: cached committed drifted: cached %a, recomputed %a"
+         Resource_set.pp c.committed Resource_set.pp committed)
+  else
+    match Resource_set.diff c.capacity committed with
+    | Error d ->
+        Error
+          (Format.asprintf "calendar: commitments exceed capacity: %a"
+             Resource_set.pp_deficit d)
+    | Ok residual ->
+        if not (Resource_set.equal residual c.residual) then
+          Error
+            (Format.asprintf
+               "calendar: cached residual drifted: cached %a, recomputed %a"
+               Resource_set.pp c.residual Resource_set.pp residual)
+        else Ok ()
+
+let debug_check c =
+  if !checked then
+    match self_check c with Ok () -> c | Error e -> invalid_arg e
+  else c
+
+(* --- construction and accessors ------------------------------------------ *)
+
+let create capacity =
+  {
+    capacity;
+    entries = Id_map.empty;
+    committed = Resource_set.empty;
+    residual = capacity;
+  }
+
 let capacity c = c.capacity
-let entries c = c.entries
+let entries c = List.map snd (Id_map.bindings c.entries)
+let size c = Id_map.cardinal c.entries
+let committed c = c.committed
+let residual c = c.residual
 
-let committed c =
-  List.fold_left
-    (fun acc e -> Resource_set.union acc e.reservation)
-    Resource_set.empty c.entries
-
-let residual c =
-  match Resource_set.diff c.capacity (committed c) with
-  | Ok r -> r
-  | Error _ ->
-      (* [commit] never lets commitments exceed capacity. *)
-      assert false
+(* --- ledger operations ---------------------------------------------------- *)
 
 let commit c entry =
-  if List.exists (fun e -> String.equal e.computation entry.computation) c.entries
-  then Error (Printf.sprintf "calendar: %s already committed" entry.computation)
-  else if not (Resource_set.dominates (residual c) entry.reservation) then
-    Error
-      (Printf.sprintf
-         "calendar: reservation for %s exceeds the residual capacity"
-         entry.computation)
-  else Ok { c with entries = entry :: c.entries }
+  if Id_map.mem entry.computation c.entries then
+    Error (Printf.sprintf "calendar: %s already committed" entry.computation)
+  else
+    match Resource_set.diff c.residual entry.reservation with
+    | Error _ ->
+        Error
+          (Printf.sprintf
+             "calendar: reservation for %s exceeds the residual capacity"
+             entry.computation)
+    | Ok residual ->
+        Ok
+          (debug_check
+             {
+               c with
+               entries = Id_map.add entry.computation entry c.entries;
+               committed = Resource_set.union c.committed entry.reservation;
+               residual;
+             })
 
 let release c ~computation =
-  {
-    c with
-    entries =
-      List.filter (fun e -> not (String.equal e.computation computation)) c.entries;
-  }
+  match Id_map.find_opt computation c.entries with
+  | None -> c
+  | Some e ->
+      let committed =
+        match Resource_set.diff c.committed e.reservation with
+        | Ok r -> r
+        | Error _ ->
+            (* [committed] is the union of all live reservations. *)
+            assert false
+      in
+      debug_check
+        {
+          c with
+          entries = Id_map.remove computation c.entries;
+          committed;
+          residual = Resource_set.union c.residual e.reservation;
+        }
 
-let find c ~computation =
-  List.find_opt (fun e -> String.equal e.computation computation) c.entries
+let find c ~computation = Id_map.find_opt computation c.entries
 
-let add_capacity c theta = { c with capacity = Resource_set.union c.capacity theta }
+let add_capacity c theta =
+  debug_check
+    {
+      c with
+      capacity = Resource_set.union c.capacity theta;
+      residual = Resource_set.union c.residual theta;
+    }
 
 let remove_capacity c slice =
-  if not (Resource_set.dominates (residual c) slice) then
-    Error "calendar: cannot withdraw committed or absent capacity"
-  else
-    match Resource_set.diff c.capacity slice with
-    | Ok capacity -> Ok { c with capacity }
-    | Error _ ->
-        (* [slice] is dominated by the residual, a subset of capacity. *)
-        assert false
+  match Resource_set.diff c.residual slice with
+  | Error _ -> Error "calendar: cannot withdraw committed or absent capacity"
+  | Ok residual -> (
+      match Resource_set.diff c.capacity slice with
+      | Ok capacity -> Ok (debug_check { c with capacity; residual })
+      | Error _ ->
+          (* [slice] is dominated by the residual, a subset of capacity. *)
+          assert false)
 
+(* Truncation is pointwise per tick, so it distributes over both the
+   union behind [committed] and the complement behind [residual]: the
+   caches stay exact without recomputation. *)
 let advance c now =
-  {
-    capacity = Resource_set.truncate_before c.capacity now;
-    entries =
-      List.map
-        (fun e ->
-          { e with reservation = Resource_set.truncate_before e.reservation now })
-        c.entries;
-  }
+  debug_check
+    {
+      capacity = Resource_set.truncate_before c.capacity now;
+      entries =
+        Id_map.map
+          (fun e ->
+            { e with reservation = Resource_set.truncate_before e.reservation now })
+          c.entries;
+      committed = Resource_set.truncate_before c.committed now;
+      residual = Resource_set.truncate_before c.residual now;
+    }
 
-let committed_quantity c xi w = Resource_set.integrate (committed c) xi w
+let committed_quantity c xi w = Resource_set.integrate c.committed xi w
 let capacity_quantity c xi w = Resource_set.integrate c.capacity xi w
 
 let pp ppf c =
   Format.fprintf ppf "@[<v>calendar: capacity %a@ %d entries, residual %a@]"
-    Resource_set.pp c.capacity (List.length c.entries) Resource_set.pp
-    (residual c)
+    Resource_set.pp c.capacity (size c) Resource_set.pp c.residual

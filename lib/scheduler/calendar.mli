@@ -7,7 +7,16 @@ open Import
     computations.  Its {!residual} — capacity minus commitments — is
     exactly the paper's "resources which will expire unless new
     computations requiring them enter the system": the availability that
-    Theorem 4 lets a new computation claim without disturbing anyone. *)
+    Theorem 4 lets a new computation claim without disturbing anyone.
+
+    The ledger is incremental: entries live in a map keyed by computation
+    id, and the committed/residual sets are caches updated by one
+    resource-set operation per {!commit}, {!release}, {!add_capacity},
+    {!remove_capacity} and {!advance} — never by re-folding all entries.
+    The admission decision path is therefore O(log n) in the number of
+    committed computations (plus the size of the sets involved), instead
+    of O(n).  {!self_check} recomputes both caches from scratch and
+    compares, guarding against silent drift. *)
 
 type entry = {
   computation : string;
@@ -18,28 +27,30 @@ type entry = {
       (** The per-actor certificates behind the reservation. *)
 }
 
-type t = private {
-  capacity : Resource_set.t;
-  entries : entry list;  (** Most recently committed first. *)
-}
+type t
 
 val create : Resource_set.t -> t
 
 val capacity : t -> Resource_set.t
 
 val entries : t -> entry list
+(** Live entries, in computation-id order. *)
+
+val size : t -> int
+(** Number of live entries — the ledger's telemetry size. *)
 
 val committed : t -> Resource_set.t
-(** Union of all reservations. *)
+(** Union of all reservations (cached; O(1)). *)
 
 val residual : t -> Resource_set.t
 (** Capacity minus commitments — the expiring resources offered to new
-    computations.  An invariant of {!commit} is that this is always
-    well-defined (commitments never exceed capacity). *)
+    computations (cached; O(1)).  An invariant of {!commit} is that this
+    is always well-defined (commitments never exceed capacity). *)
 
 val commit : t -> entry -> (t, string) result
 (** Adds an entry; fails when its reservation is not covered by the current
-    residual (which would disturb existing commitments). *)
+    residual (which would disturb existing commitments), or when the id is
+    already committed. *)
 
 val release : t -> computation:string -> t
 (** Drops a computation's entry (on completion, cancellation or deadline
@@ -62,5 +73,16 @@ val advance : t -> Time.t -> t
 val committed_quantity : t -> Located_type.t -> Interval.t -> int
 
 val capacity_quantity : t -> Located_type.t -> Interval.t -> int
+
+val self_check : t -> (unit, string) result
+(** Recomputes the committed and residual sets from the entries and
+    compares them against the caches; [Error] describes the first drift
+    found.  Cheap enough for tests, too slow for production ledgers. *)
+
+val set_self_check : bool -> unit
+(** When enabled, every mutating operation runs {!self_check} on its
+    result and raises [Invalid_argument] on drift.  Defaults to the
+    [ROTA_CHECK_CALENDAR] environment variable (any value other than
+    empty, ["0"] or ["false"] enables it); tests turn it on explicitly. *)
 
 val pp : Format.formatter -> t -> unit

@@ -59,6 +59,22 @@ let best ?cost_model theta ~window ~name ~home ~sites ~work =
   | [] -> None
   | v :: _ -> Some v
 
+(* Plan against a live controller: only its residual (uncommitted)
+   capacity is offered, priced with the controller's own cost model, so
+   a pursued plan can be committed without disturbing admitted work. *)
+let evaluate_on ?cost_model controller ~window ~name ~home ~sites ~work =
+  let cost_model =
+    Option.value cost_model ~default:(Admission.cost_model controller)
+  in
+  evaluate ~cost_model
+    (Admission.residual controller)
+    ~window ~name ~home ~sites ~work
+
+let best_on ?cost_model controller ~window ~name ~home ~sites ~work =
+  match evaluate_on ?cost_model controller ~window ~name ~home ~sites ~work with
+  | [] -> None
+  | v :: _ -> Some v
+
 let pp_strategy ppf = function
   | Stay -> Format.pp_print_string ppf "stay"
   | Relocate site -> Format.fprintf ppf "relocate(%a)" Location.pp site

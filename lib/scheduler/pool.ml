@@ -48,7 +48,13 @@ let subdivide pool ~parent ~name ~slice =
             let child =
               {
                 name;
-                controller = Admission.create Admission.Rota slice;
+                controller =
+                  (* The child prices requirements the way its parent
+                     does; a default model here would silently change
+                     admission decisions inside the slice. *)
+                  Admission.create
+                    ~cost_model:(Admission.cost_model parent_pool.controller)
+                    Admission.Rota slice;
                 children = [];
               }
             in

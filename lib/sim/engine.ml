@@ -108,6 +108,7 @@ let m_owed = Rota_obs.Metrics.counter "engine/owed_work"
 let m_consumed = Rota_obs.Metrics.counter "engine/consumed_quantity"
 let g_queue = Rota_obs.Metrics.gauge "engine/queue_depth"
 let g_running = Rota_obs.Metrics.gauge "engine/running"
+let g_ledger = Rota_obs.Metrics.gauge "engine/ledger_size"
 
 let depth_buckets =
   [| 0.; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. |]
@@ -440,7 +441,8 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
       let depth = List.length !state.State.pending in
       Rota_obs.Metrics.set g_queue depth;
       Rota_obs.Metrics.observe h_queue_depth (float_of_int depth);
-      Rota_obs.Metrics.set g_running (Hashtbl.length running)
+      Rota_obs.Metrics.set g_running (Hashtbl.length running);
+      Rota_obs.Metrics.set g_ledger (Admission.ledger_size !admission)
     end;
     List.iter (fun (_, e) -> process_event t e) (Event_queue.pop_until events t);
     (match dispatch_used with

@@ -414,6 +414,30 @@ let test_pool_subdivide_and_isolation () =
         outcome.Admission.admitted
   | Error e -> Alcotest.failf "admit: %s" e
 
+(* Regression: subdivision must thread the parent's cost model into the
+   child controller — a default model there silently changes admission
+   decisions inside the slice. *)
+let test_pool_subdivide_inherits_cost_model () =
+  let cheap = Cost_model.uniform 1 in
+  let capacity = rset [ Term.v 2 (iv 0 10) cpu1 ] in
+  let tree = Pool.root ~cost_model:cheap ~name:"root" capacity in
+  let tree =
+    Result.get_ok
+      (Pool.subdivide tree ~parent:"root" ~name:"child"
+         ~slice:(rset [ Term.v 1 (iv 0 10) cpu1 ]))
+  in
+  let child = Option.get (Pool.find tree "child") in
+  Alcotest.(check bool) "child inherits cost model" true
+    (Admission.cost_model child.Pool.controller = cheap);
+  (* Behavioural check: evaluate(3) is 3 cpu under the cheap model but 24
+     under the default, which the 10-quantity slice cannot carry. *)
+  let job = one_actor_job ~id:"j" ~deadline:10 ~home:l1 [ Action.evaluate 3 ] in
+  match Pool.admit tree ~pool:"child" ~now:0 job with
+  | Ok (_, outcome) ->
+      Alcotest.(check bool) "admitted under parent's model" true
+        outcome.Admission.admitted
+  | Error e -> Alcotest.failf "admit: %s" e
+
 let test_pool_subdivide_errors () =
   let tree = Pool.root ~name:"root" (rset [ Term.v 1 (iv 0 10) cpu1 ]) in
   (match
@@ -541,6 +565,35 @@ let test_planner_prefers_stay_when_cheap () =
       Alcotest.failf "expected stay, got %s"
         (Format.asprintf "%a" Planner.pp_strategy v.Planner.strategy)
   | None -> Alcotest.fail "stay should fit"
+
+(* Planning against a live controller: only the residual is offered,
+   priced with the controller's own cost model. *)
+let test_planner_on_controller () =
+  let window = iv 0 30 in
+  let cheap = Cost_model.uniform 1 in
+  let ctrl =
+    Admission.create ~cost_model:cheap Admission.Rota
+      (rset [ Term.v 2 window cpu1 ])
+  in
+  let ctrl =
+    Result.get_ok
+      (Admission.adopt ctrl
+         {
+           Calendar.computation = "tenant";
+           window;
+           reservation = rset [ Term.v 1 window cpu1 ];
+           schedules = [];
+         })
+  in
+  let work = [ Action.evaluate 2 ] in
+  match Planner.best_on ctrl ~window ~name:a_name ~home:l1 ~sites:[] ~work with
+  | None -> Alcotest.fail "stay should fit on the residual"
+  | Some v ->
+      (* 2 cpu (cheap model) at the residual's rate 1: finishes at 2.  A
+         planner reading full capacity would finish at 1; one using the
+         default cost model would need 16 cpu and finish at 16. *)
+      Alcotest.(check int) "residual rate and controller cost model" 2
+        v.Planner.finish
 
 let test_planner_all_infeasible () =
   let window = iv 0 3 in
@@ -683,6 +736,8 @@ let () =
           Alcotest.test_case "subdivide/isolation" `Quick
             test_pool_subdivide_and_isolation;
           Alcotest.test_case "subdivide errors" `Quick test_pool_subdivide_errors;
+          Alcotest.test_case "subdivide inherits cost model" `Quick
+            test_pool_subdivide_inherits_cost_model;
           Alcotest.test_case "assimilate" `Quick test_pool_assimilate;
           Alcotest.test_case "assimilate non-leaf" `Quick
             test_pool_assimilate_non_leaf;
@@ -695,6 +750,8 @@ let () =
           Alcotest.test_case "prefers stay" `Quick
             test_planner_prefers_stay_when_cheap;
           Alcotest.test_case "all infeasible" `Quick test_planner_all_infeasible;
+          Alcotest.test_case "plans on controller residual" `Quick
+            test_planner_on_controller;
           Alcotest.test_case "verdicts sorted + certified" `Quick
             test_planner_verdicts_sorted;
         ] );

@@ -6,6 +6,10 @@ open Rota_resource
 open Rota_actor
 open Rota_scheduler
 
+(* Every calendar mutation in this binary re-verifies the cached
+   committed/residual sets against a from-scratch recomputation. *)
+let () = Calendar.set_self_check true
+
 let iv a b = Interval.of_pair a b
 let l1 = Location.make "l1"
 let l2 = Location.make "l2"
@@ -70,6 +74,96 @@ let test_calendar_advance_and_capacity () =
   let c = Calendar.add_capacity c (rset [ Term.v 1 (iv 6 12) cpu1 ]) in
   Alcotest.(check int) "capacity joined" 18
     (Calendar.capacity_quantity c cpu1 (iv 0 12))
+
+(* --- Calendar: cached-residual property --------------------------------- *)
+
+(* Random ledger workloads: after every operation the incrementally
+   maintained committed/residual caches must equal what a from-scratch
+   fold over the entries produces. *)
+
+type cal_op =
+  | Commit of int * int * int * int  (* id slot, start, duration, rate *)
+  | Release of int
+  | Advance of int
+  | Add_capacity of int * int * int
+  | Remove_capacity of int * int * int
+
+let pp_cal_op = function
+  | Commit (k, a, d, r) -> Printf.sprintf "commit c%d [%d,%d)@%d" k a (a + d) r
+  | Release k -> Printf.sprintf "release c%d" k
+  | Advance t -> Printf.sprintf "advance %d" t
+  | Add_capacity (a, d, r) -> Printf.sprintf "add [%d,%d)@%d" a (a + d) r
+  | Remove_capacity (a, d, r) -> Printf.sprintf "remove [%d,%d)@%d" a (a + d) r
+
+let cal_op_gen =
+  QCheck.Gen.(
+    let slot = int_range 0 5 in
+    let seg =
+      let* a = int_range 0 30 in
+      let* d = int_range 1 8 in
+      let* r = int_range 1 4 in
+      return (a, d, r)
+    in
+    frequency
+      [
+        (4, map2 (fun k (a, d, r) -> Commit (k, a, d, r)) slot seg);
+        (2, map (fun k -> Release k) slot);
+        (1, map (fun t -> Advance t) (int_range 0 40));
+        (2, map (fun (a, d, r) -> Add_capacity (a, d, r)) seg);
+        (1, map (fun (a, d, r) -> Remove_capacity (a, d, r)) seg);
+      ])
+
+let arbitrary_cal_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_cal_op ops))
+    QCheck.Gen.(list_size (int_range 1 40) cal_op_gen)
+
+let recomputed_residual cal =
+  let committed =
+    List.fold_left
+      (fun acc (e : Calendar.entry) -> Resource_set.union acc e.Calendar.reservation)
+      Resource_set.empty (Calendar.entries cal)
+  in
+  Result.get_ok (Resource_set.diff (Calendar.capacity cal) committed)
+
+let apply_cal_op cal = function
+  | Commit (k, a, d, r) -> (
+      let window = iv a (a + d) in
+      let e =
+        {
+          Calendar.computation = Printf.sprintf "c%d" k;
+          window;
+          reservation = rset [ Term.v r window cpu1 ];
+          schedules = [];
+        }
+      in
+      match Calendar.commit cal e with Ok cal -> cal | Error _ -> cal)
+  | Release k -> Calendar.release cal ~computation:(Printf.sprintf "c%d" k)
+  | Advance t -> Calendar.advance cal t
+  | Add_capacity (a, d, r) ->
+      Calendar.add_capacity cal (rset [ Term.v r (iv a (a + d)) cpu1 ])
+  | Remove_capacity (a, d, r) -> (
+      match Calendar.remove_capacity cal (rset [ Term.v r (iv a (a + d)) cpu1 ]) with
+      | Ok cal -> cal
+      | Error _ -> cal)
+
+let prop_calendar_residual_cache =
+  QCheck.Test.make ~name:"calendar cached residual = recomputation" ~count:300
+    arbitrary_cal_ops (fun ops ->
+      let cal = Calendar.create (rset [ Term.v 5 (iv 0 40) cpu1 ]) in
+      let _ =
+        List.fold_left
+          (fun cal op ->
+            let cal = apply_cal_op cal op in
+            (match Calendar.self_check cal with
+            | Ok () -> ()
+            | Error e -> QCheck.Test.fail_report e);
+            if not (Resource_set.equal (Calendar.residual cal) (recomputed_residual cal))
+            then QCheck.Test.fail_report "residual differs from recomputation";
+            cal)
+          cal ops
+      in
+      true)
 
 (* --- Admission: ROTA policy --------------------------------------------- *)
 
@@ -181,6 +275,54 @@ let test_admission_add_capacity_unlocks () =
   let _, o2 = Admission.request ctrl ~now:0 job in
   Alcotest.(check bool) "admitted after join" true o2.Admission.admitted
 
+(* Regression: a re-submitted id must be rejected by every policy with a
+   proper reason — not double-counted (Optimistic/Aggregate) or bounced
+   with an "internal: calendar ..." message (Rota). *)
+let test_admission_duplicate_rejected () =
+  List.iter
+    (fun policy ->
+      let name = Admission.policy_name policy in
+      let ctrl = Admission.create policy (rset [ Term.v 9 (iv 0 30) cpu1 ]) in
+      let job =
+        one_actor_job ~id:"dup" ~start:0 ~deadline:30
+          [ Action.evaluate 1; Action.ready ]
+      in
+      let ctrl, o1 = Admission.request ctrl ~now:0 job in
+      Alcotest.(check bool) (name ^ " first admitted") true o1.Admission.admitted;
+      Alcotest.(check int) (name ^ " one record") 1 (Admission.ledger_size ctrl);
+      let ctrl, o2 = Admission.request ctrl ~now:0 job in
+      Alcotest.(check bool) (name ^ " duplicate rejected") false
+        o2.Admission.admitted;
+      Alcotest.(check string)
+        (name ^ " duplicate reason")
+        "dup is already admitted" o2.Admission.reason;
+      Alcotest.(check int)
+        (name ^ " not double-counted")
+        1 (Admission.ledger_size ctrl))
+    Admission.all_policies
+
+(* Regression: an all-punctuation reject reason must not produce the
+   dangling counter name "admission/reject_reason.". *)
+let test_reject_reason_slug () =
+  Alcotest.(check string) "all punctuation" "other" (Admission.Obs.slug "!?!");
+  Alcotest.(check string) "empty" "other" (Admission.Obs.slug "");
+  Alcotest.(check string) "normal text" "deadline-already-passed"
+    (Admission.Obs.slug "Deadline already passed!")
+
+(* Advancing prunes demand records whose windows have fully expired, so
+   the aggregate/optimistic ledgers stop scanning dead demands. *)
+let test_admission_advance_prunes_demands () =
+  let ctrl = Admission.create Admission.Optimistic Resource_set.empty in
+  let early = one_actor_job ~id:"early" ~start:0 ~deadline:5 [ Action.ready ] in
+  let late = one_actor_job ~id:"late" ~start:0 ~deadline:20 [ Action.ready ] in
+  let ctrl, _ = Admission.request ctrl ~now:0 early in
+  let ctrl, _ = Admission.request ctrl ~now:0 late in
+  Alcotest.(check int) "two records" 2 (Admission.ledger_size ctrl);
+  let ctrl = Admission.advance ctrl 10 in
+  Alcotest.(check int) "expired pruned" 1 (Admission.ledger_size ctrl);
+  Alcotest.(check (list string)) "survivor" [ "late" ]
+    (List.map (fun (id, _, _) -> id) (Admission.admitted_demands ctrl))
+
 let () =
   Alcotest.run "rota_scheduler"
     [
@@ -189,6 +331,7 @@ let () =
           Alcotest.test_case "commit/release" `Quick test_calendar_commit_release;
           Alcotest.test_case "advance/capacity" `Quick
             test_calendar_advance_and_capacity;
+          QCheck_alcotest.to_alcotest prop_calendar_residual_cache;
         ] );
       ( "admission",
         [
@@ -203,5 +346,10 @@ let () =
             test_admission_rota_unmerged_conservative;
           Alcotest.test_case "capacity join unlocks" `Quick
             test_admission_add_capacity_unlocks;
+          Alcotest.test_case "duplicate admission rejected" `Quick
+            test_admission_duplicate_rejected;
+          Alcotest.test_case "reject reason slug" `Quick test_reject_reason_slug;
+          Alcotest.test_case "advance prunes demands" `Quick
+            test_admission_advance_prunes_demands;
         ] );
     ]
