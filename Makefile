@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke trace-smoke check fmt clean
+.PHONY: all build test bench bench-smoke trace-smoke faults-smoke check fmt clean
 
 all: build
 
@@ -32,9 +32,24 @@ trace-smoke: build
 	dune exec bin/main.exe -- trace summarize "$$tmp" >/dev/null && \
 	echo "trace-smoke: OK"
 
+# Fault-injection smoke, end to end: run E11 (repair vs no-repair vs
+# optimistic under unannounced failure, see doc/robustness.md) with
+# tracing on, check the emitted stream — fault/repair events included —
+# against the trace validator, and re-run one arm from its --fault-seed
+# to pin determinism.
+faults-smoke: build
+	@tmp=$$(mktemp /tmp/rota-faults-smoke.XXXXXX.jsonl); \
+	trap 'rm -f "$$tmp"' EXIT; \
+	dune exec bin/main.exe -- e11 --trace "$$tmp" >/dev/null && \
+	dune exec bin/main.exe -- trace validate "$$tmp" && \
+	a=$$(dune exec bin/main.exe -- simulate --policy rota --faults 1.0 --fault-seed 3) && \
+	b=$$(dune exec bin/main.exe -- simulate --policy rota --faults 1.0 --fault-seed 3) && \
+	test "$$a" = "$$b" && \
+	echo "faults-smoke: OK"
+
 # What CI runs.  `dune fmt` is included only when ocamlformat is
 # installed — the pinned toolchain image ships without it.
-check: build test trace-smoke
+check: build test trace-smoke faults-smoke
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt; \
 	else \

@@ -236,6 +236,28 @@ let bench_engine =
              ignore (Engine.run ~policy:Admission.Optimistic small_trace)));
     ]
 
+(* --- E11: fault repair --------------------------------------------------------- *)
+
+let bench_fault_repair =
+  let fault_params =
+    { Scenario.default_params with seed = 9; arrivals = 12; horizon = 100; locations = 2 }
+  in
+  let plan = Scenario.fault_plan ~intensity:1.0 fault_params in
+  Test.make_grouped ~name:"sim/fault-repair"
+    [
+      Test.make ~name:"no-faults"
+        (Staged.stage (fun () ->
+             ignore (Engine.run ~policy:Admission.Rota small_trace)));
+      Test.make ~name:"faults-repair"
+        (Staged.stage (fun () ->
+             ignore (Engine.run ~faults:plan ~policy:Admission.Rota small_trace)));
+      Test.make ~name:"faults-no-repair"
+        (Staged.stage (fun () ->
+             ignore
+               (Engine.run ~faults:plan ~repair:false ~policy:Admission.Rota
+                  small_trace)));
+    ]
+
 (* --- E7: scoping -------------------------------------------------------------- *)
 
 let bench_scoping =
@@ -424,7 +446,7 @@ let scenario_text =
     |> List.map (fun term -> { Rota_syntax.Document.term; join_at = 0 })
   in
   Rota_syntax.Document.print
-    { Rota_syntax.Document.resources; computations = Scenario.computations params; sessions = [] }
+    { Rota_syntax.Document.resources; computations = Scenario.computations params; sessions = []; faults = [] }
 
 let bench_parse =
   Test.make ~name:"ext/scenario-parse"
@@ -476,6 +498,7 @@ let suites =
     ("e5/admit-one-more", bench_admission);
     ("scheduler/admission-scale", bench_admission_scale);
     ("e6/engine", bench_engine);
+    ("sim/fault-repair", bench_fault_repair);
     ("e7/scoping", bench_scoping);
     ("e7/obs-overhead", bench_obs_overhead);
     ("ext/stn-consistency", bench_stn);

@@ -220,10 +220,31 @@ let simulate_cmd =
                  completions, deadline kills) as it happens, in \
                  simulated-time order.")
   in
-  let run seed policy arrivals horizon locations slack verbose file obs =
-    let trace_result =
+  let faults_arg =
+    Arg.(value & opt float 0.0 & info [ "faults" ] ~docv:"INTENSITY"
+           ~doc:"Inject a generated fault plan of this intensity \
+                 (roughly 8*INTENSITY unannounced revocations, blackouts, \
+                 slowdowns and rejoins; 0 disables).  With $(b,--file), \
+                 the document's own fault stanzas are used instead.")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Vary the generated fault plan without disturbing the \
+                 workload.")
+  in
+  let no_repair_arg =
+    Arg.(value & flag & info [ "no-repair" ]
+           ~doc:"Disable the commitment-repair ladder: broken commitments \
+                 stall and die at their deadlines.")
+  in
+  let run seed policy arrivals horizon locations slack verbose intensity
+      fault_seed no_repair file obs =
+    let inputs_result =
       match file with
-      | Some path -> Result.map Document.to_trace (load_document path)
+      | Some path ->
+          Result.map
+            (fun doc -> (Document.to_trace doc, doc.Document.faults))
+            (load_document path)
       | None ->
           let params =
             {
@@ -235,13 +256,13 @@ let simulate_cmd =
               slack;
             }
           in
-          Ok (Scenario.trace params)
+          Ok (Scenario.trace params, Scenario.fault_plan ~fault_seed ~intensity params)
     in
-    match trace_result with
+    match inputs_result with
     | Error e ->
         prerr_endline e;
         1
-    | Ok trace ->
+    | Ok (trace, faults) ->
     let policies =
       match policy with Some p -> [ p ] | None -> Admission.all_policies
     in
@@ -251,7 +272,7 @@ let simulate_cmd =
     with_obs ~console:verbose obs (fun () ->
         List.iter
           (fun policy ->
-            let report = Engine.run ~policy trace in
+            let report = Engine.run ~faults ~repair:(not no_repair) ~policy trace in
             Format.printf "%a@." Engine.pp_report report)
           policies;
         0)
@@ -261,7 +282,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ seed_arg $ policy_arg $ arrivals_arg $ horizon_arg
-      $ locations_arg $ slack_arg $ verbose_arg $ file_arg $ obs_args)
+      $ locations_arg $ slack_arg $ verbose_arg $ faults_arg $ fault_seed_arg
+      $ no_repair_arg $ file_arg $ obs_args)
 
 (* --- rota check ---------------------------------------------------------- *)
 

@@ -56,6 +56,14 @@ let acquire s theta_join =
         (Resource_set.truncate_before theta_join s.now);
   }
 
+let revoke s slice =
+  {
+    s with
+    available =
+      Resource_set.diff_clamped s.available
+        (Resource_set.truncate_before slice s.now);
+  }
+
 (* Remaining steps must be positive-amount only and non-empty. *)
 let clean_steps steps =
   List.filter_map

@@ -47,6 +47,14 @@ val acquire : t -> Resource_set.t -> t
     (There is no resource-leave rule: a term's interval already says when
     it leaves.) *)
 
+val revoke : t -> Resource_set.t -> t
+(** Forcibly removes a capacity slice from [Theta]: the pointwise clamped
+    difference ({!Resource_set.diff_clamped}), so revoking more than is
+    present zeroes availability rather than failing.  Not one of the
+    paper's rules — the paper requires "the time of leaving must be
+    declared at the time of joining" — this is the fault-model extension
+    for {e unannounced} departure. *)
+
 val accommodate :
   ?merge:bool -> t -> Cost_model.t -> Computation.t -> (t, string) result
 (** The {b computation accommodation rule}: adds [rho(Lambda, s, d)] for

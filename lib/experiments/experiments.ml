@@ -692,6 +692,93 @@ let e10 ~seed () =
      misses deadlines despite ROTA reservations; once the loop learns the\n\
      real price, admissions shrink and misses return to zero.\n"
 
+(* ----------------------------------------------------------------- E11 *)
+
+let e11 ~seed () =
+  section "E11: Fault injection — deadline assurance under unannounced failure";
+  (* The same workload under growing fault intensity, three arms per
+     intensity: ROTA with the repair ladder, ROTA with broken commitments
+     left to die, and the optimistic baseline.  Each intensity aggregates
+     several fault seeds so one lucky plan cannot flatter an arm. *)
+  let params =
+    { Scenario.default_params with seed; horizon = 160; arrivals = 16;
+      slack = 3.0 }
+  in
+  let trace = Scenario.trace params in
+  let fault_seeds = [ 0; 1; 2; 3; 4 ] in
+  let arms =
+    [
+      ("rota+repair", Admission.Rota, true);
+      ("rota-no-repair", Admission.Rota, false);
+      ("optimistic", Admission.Optimistic, true);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun intensity ->
+        List.map
+          (fun (label, policy, repair) ->
+            let total = ref Engine.no_faults in
+            let admitted = ref 0 and missed = ref 0 in
+            List.iter
+              (fun fault_seed ->
+                let faults = Scenario.fault_plan ~fault_seed ~intensity params in
+                let r = Engine.run ~faults ~repair ~policy trace in
+                admitted := !admitted + r.Engine.admitted;
+                missed := !missed + r.Engine.missed_deadlines;
+                let f = r.Engine.faults in
+                total :=
+                  {
+                    Engine.injected = !total.Engine.injected + f.Engine.injected;
+                    revoked_quantity =
+                      !total.Engine.revoked_quantity + f.Engine.revoked_quantity;
+                    commitments_revoked =
+                      !total.Engine.commitments_revoked
+                      + f.Engine.commitments_revoked;
+                    degraded = !total.Engine.degraded + f.Engine.degraded;
+                    reaccommodated =
+                      !total.Engine.reaccommodated + f.Engine.reaccommodated;
+                    migrated = !total.Engine.migrated + f.Engine.migrated;
+                    retries = !total.Engine.retries + f.Engine.retries;
+                    retry_successes =
+                      !total.Engine.retry_successes + f.Engine.retry_successes;
+                    preempted = !total.Engine.preempted + f.Engine.preempted;
+                    work_saved = !total.Engine.work_saved + f.Engine.work_saved;
+                  })
+              fault_seeds;
+            let miss_rate =
+              if !admitted = 0 then 0.
+              else float_of_int !missed /. float_of_int !admitted
+            in
+            [
+              Table.cell_float ~decimals:2 intensity;
+              label;
+              Table.cell_int !admitted;
+              Table.cell_int
+                (!total.Engine.commitments_revoked + !total.Engine.degraded);
+              Table.cell_int
+                (!total.Engine.reaccommodated + !total.Engine.migrated);
+              Table.cell_int !total.Engine.preempted;
+              Table.cell_int !missed;
+              Table.cell_float miss_rate;
+              Table.cell_int !total.Engine.work_saved;
+            ])
+          arms)
+      [ 0.0; 0.25; 0.5; 1.0; 1.5 ]
+  in
+  Table.print
+    (Table.make
+       ~header:
+         [ "intensity"; "policy"; "admitted"; "broken"; "repaired";
+           "preempted"; "missed"; "miss rate"; "work saved" ]
+       rows);
+  print_endline
+    "Expected shape: at intensity 0 the arms agree with E6.  As faults\n\
+     grow, rota-no-repair's broken commitments all become deadline misses;\n\
+     the repair ladder re-accommodates or migrates most victims (strictly\n\
+     lower miss rate at every non-zero intensity) and its work-saved\n\
+     column prices the partial executions rescued from the kill pass.\n"
+
 (* ---------------------------------------------------------------- glue *)
 
 let experiments =
@@ -706,6 +793,7 @@ let experiments =
     ("e8", ("Interacting actors: chains, makespans, deadlock detection", e8));
     ("e9", ("Stay-or-migrate planning crossover", e9));
     ("e10", ("Cost-model calibration loop", e10));
+    ("e11", ("Fault injection: repair vs no-repair vs optimistic", e11));
   ]
 
 let all_ids = List.map fst experiments

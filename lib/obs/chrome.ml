@@ -117,6 +117,18 @@ let export events =
           instant e (Printf.sprintf "completed %s" id) []
       | Events.Killed { id; owed } ->
           instant e (Printf.sprintf "killed %s" id) [ ("owed", Json.Int owed) ]
+      | Events.Fault_injected { fault; quantity } ->
+          instant e
+            (Printf.sprintf "fault %s" fault)
+            [ ("quantity", Json.Int quantity) ]
+      | ( Events.Commitment_revoked { id; _ }
+        | Events.Commitment_degraded { id; _ }
+        | Events.Repaired { id; _ }
+        | Events.Preempted { id; _ }
+        | Events.Anomaly { id; _ } ) as p ->
+          instant e
+            (Printf.sprintf "%s %s" (Events.kind p) id)
+            (List.remove_assoc "id" (Events.payload_fields p))
       | Events.Unknown _ -> ())
     events;
   Json.List (List.rev !entries)

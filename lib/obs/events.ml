@@ -5,6 +5,12 @@ type payload =
   | Rejected of { id : string; policy : string; reason : string }
   | Completed of { id : string }
   | Killed of { id : string; owed : int }
+  | Fault_injected of { fault : string; quantity : int }
+  | Commitment_revoked of { id : string; quantity : int }
+  | Commitment_degraded of { id : string; extra : int }
+  | Repaired of { id : string; rung : string; attempt : int }
+  | Preempted of { id : string; owed : int }
+  | Anomaly of { id : string; reason : string }
   | Span of {
       name : string;
       id : int;
@@ -31,6 +37,12 @@ let kind = function
   | Rejected _ -> "rejected"
   | Completed _ -> "completed"
   | Killed _ -> "killed"
+  | Fault_injected _ -> "fault"
+  | Commitment_revoked _ -> "revoked"
+  | Commitment_degraded _ -> "degraded"
+  | Repaired _ -> "repaired"
+  | Preempted _ -> "preempted"
+  | Anomaly _ -> "anomaly"
   | Span _ -> "span"
   | Metric_sample _ -> "metric-sample"
   | Unknown { kind; _ } -> kind
@@ -46,6 +58,22 @@ let payload_fields = function
       ]
   | Completed { id } -> [ ("id", Json.String id) ]
   | Killed { id; owed } -> [ ("id", Json.String id); ("owed", Json.Int owed) ]
+  | Fault_injected { fault; quantity } ->
+      [ ("fault", Json.String fault); ("quantity", Json.Int quantity) ]
+  | Commitment_revoked { id; quantity } ->
+      [ ("id", Json.String id); ("quantity", Json.Int quantity) ]
+  | Commitment_degraded { id; extra } ->
+      [ ("id", Json.String id); ("extra", Json.Int extra) ]
+  | Repaired { id; rung; attempt } ->
+      [
+        ("id", Json.String id);
+        ("rung", Json.String rung);
+        ("attempt", Json.Int attempt);
+      ]
+  | Preempted { id; owed } ->
+      [ ("id", Json.String id); ("owed", Json.Int owed) ]
+  | Anomaly { id; reason } ->
+      [ ("id", Json.String id); ("reason", Json.String reason) ]
   | Span { name; id; parent; depth; begin_s; duration_s } ->
       [
         ("name", Json.String name);
@@ -104,6 +132,31 @@ let payload_of_json ~strict ~wall_s json =
       let* id = field "id" Json.to_str json in
       let* owed = field "owed" Json.to_int json in
       Ok (Killed { id; owed })
+  | "fault" ->
+      let* fault = field "fault" Json.to_str json in
+      let* quantity = field "quantity" Json.to_int json in
+      Ok (Fault_injected { fault; quantity })
+  | "revoked" ->
+      let* id = field "id" Json.to_str json in
+      let* quantity = field "quantity" Json.to_int json in
+      Ok (Commitment_revoked { id; quantity })
+  | "degraded" ->
+      let* id = field "id" Json.to_str json in
+      let* extra = field "extra" Json.to_int json in
+      Ok (Commitment_degraded { id; extra })
+  | "repaired" ->
+      let* id = field "id" Json.to_str json in
+      let* rung = field "rung" Json.to_str json in
+      let* attempt = field "attempt" Json.to_int json in
+      Ok (Repaired { id; rung; attempt })
+  | "preempted" ->
+      let* id = field "id" Json.to_str json in
+      let* owed = field "owed" Json.to_int json in
+      Ok (Preempted { id; owed })
+  | "anomaly" ->
+      let* id = field "id" Json.to_str json in
+      let* reason = field "reason" Json.to_str json in
+      Ok (Anomaly { id; reason })
   | "span" ->
       let* name = field "name" Json.to_str json in
       let* depth = field "depth" Json.to_int json in
@@ -178,6 +231,24 @@ let pp_payload ~sim ppf payload =
   | Completed { id } -> Format.fprintf ppf "%a completed %s" pp_sim sim id
   | Killed { id; owed } ->
       Format.fprintf ppf "%a killed %s (owed %d)" pp_sim sim id owed
+  | Fault_injected { fault; quantity } ->
+      (* Rejoins bring capacity back; every other kind takes it away.
+         Slowdowns move work, not capacity (quantity 0): no parens. *)
+      if quantity = 0 then Format.fprintf ppf "%a fault %s" pp_sim sim fault
+      else
+        let sign = if String.equal fault "rejoin" then '+' else '-' in
+        Format.fprintf ppf "%a fault %s (%c%d)" pp_sim sim fault sign quantity
+  | Commitment_revoked { id; quantity } ->
+      Format.fprintf ppf "%a revoked %s (lost %d)" pp_sim sim id quantity
+  | Commitment_degraded { id; extra } ->
+      Format.fprintf ppf "%a degraded %s (+%d work)" pp_sim sim id extra
+  | Repaired { id; rung; attempt } ->
+      Format.fprintf ppf "%a repaired %s via %s (attempt %d)" pp_sim sim id
+        rung attempt
+  | Preempted { id; owed } ->
+      Format.fprintf ppf "%a preempted %s (owed %d)" pp_sim sim id owed
+  | Anomaly { id; reason } ->
+      Format.fprintf ppf "%a anomaly %s: %s" pp_sim sim id reason
   | Span { name; depth; duration_s; _ } ->
       Format.fprintf ppf "%a span %s%s %.6fs" pp_sim sim
         (String.make (2 * depth) ' ')

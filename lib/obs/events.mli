@@ -25,6 +25,27 @@ type payload =
   | Completed of { id : string }
   | Killed of { id : string; owed : int }
       (** Deadline kill; [owed] is the quantity still unfinished. *)
+  | Fault_injected of { fault : string; quantity : int }
+      (** An unannounced fault fired ([Rota_sim.Fault.kind_name]);
+          [quantity] is the capacity actually lost (0 for slowdowns,
+          negative for nothing — rejoins report the quantity {e
+          gained}). *)
+  | Commitment_revoked of { id : string; quantity : int }
+      (** A fault evicted this commitment from the calendar; [quantity]
+          is the reservation quantity it lost. *)
+  | Commitment_degraded of { id : string; extra : int }
+      (** A slowdown fault inflated this computation's remaining work by
+          [extra] quantity units. *)
+  | Repaired of { id : string; rung : string; attempt : int }
+      (** The repair ladder rescued the computation ([rung] is
+          ["reaccommodate"] or ["migrate"]); [attempt] counts backoff
+          retries before success (0 = first try). *)
+  | Preempted of { id : string; owed : int }
+      (** The repair ladder gave up and killed the victim early,
+          releasing its resources; [owed] as in {!Killed}. *)
+  | Anomaly of { id : string; reason : string }
+      (** The engine hit an internal inconsistency while handling [id]
+          and degraded (skipped the work) instead of aborting the run. *)
   | Span of {
       name : string;
       id : int;  (** Process-wide span id, starting at 1 (0 = legacy
@@ -58,6 +79,10 @@ type t = {
 val kind : payload -> string
 (** The schema's [kind] discriminator ("run-started", "admitted", ...);
     for {!Unknown} the preserved original kind. *)
+
+val payload_fields : payload -> (string * Json.t) list
+(** The payload's own JSON fields (everything {!to_json} adds beyond the
+    envelope), in schema order. *)
 
 val to_json : t -> Json.t
 

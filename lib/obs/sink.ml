@@ -34,7 +34,22 @@ let jsonl ?(flush_every = 1) oc =
 let jsonl_file ?flush_every path =
   let oc = open_out path in
   let inner = jsonl ?flush_every oc in
-  { inner with close = (fun () -> inner.close (); close_out oc) }
+  let closed = ref false in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      inner.close ();
+      close_out oc
+    end
+  in
+  (* Crash safety for buffered sinks: if the process unwinds without
+     anyone calling [close] — an observer raised out of the engine, a
+     fatal error path, plain [exit] — the buffered tail would vanish
+     and leave a torn trace.  Flush (and close, releasing the fd) from
+     [at_exit]; the [closed] guard makes the handler a no-op after a
+     normal close, so the channel is never double-closed. *)
+  at_exit close;
+  { inner with close }
 
 let console ppf =
   {

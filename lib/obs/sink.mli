@@ -26,7 +26,11 @@ val jsonl : ?flush_every:int -> out_channel -> t
     [flush_every < 1]. *)
 
 val jsonl_file : ?flush_every:int -> string -> t
-(** Opens (truncating) [path]; [close] flushes and closes the file. *)
+(** Opens (truncating) [path]; [close] flushes and closes the file and
+    is idempotent.  The sink also registers an [at_exit] flush+close,
+    so even when the process unwinds without closing (an observer
+    raising out of a run, a fatal exit) the buffered tail reaches disk
+    and the trace stays [rota trace validate]-clean. *)
 
 val console : Format.formatter -> t
 (** Human-readable, one event per line via {!Events.pp}.  Span and

@@ -153,7 +153,12 @@ let of_events ?(top = 10) events =
                 c
           in
           cell := (e.Events.sim, value) :: !cell
-      | Events.Unknown _ -> ())
+      (* Fault/repair lifecycle events don't change admission or
+         completion counts; the repair counters reach the summary as
+         metric samples instead. *)
+      | Events.Fault_injected _ | Events.Commitment_revoked _
+      | Events.Commitment_degraded _ | Events.Repaired _
+      | Events.Preempted _ | Events.Anomaly _ | Events.Unknown _ -> ())
     events;
   let runs =
     List.rev_map

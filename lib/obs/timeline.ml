@@ -66,6 +66,11 @@ let render ?(width = 60) events =
       | Events.Rejected { id; _ } -> (comp r id).c_reject <- Some sim
       | Events.Completed { id } -> (comp r id).c_end <- Some (sim, 'C')
       | Events.Killed { id; _ } -> (comp r id).c_end <- Some (sim, 'X')
+      (* A preemption ends the computation's lane like a kill, just
+         earlier and by choice. *)
+      | Events.Preempted { id; _ } -> (comp r id).c_end <- Some (sim, 'P')
+      | Events.Fault_injected _ | Events.Commitment_revoked _
+      | Events.Commitment_degraded _ | Events.Repaired _ | Events.Anomaly _
       | Events.Span _ | Events.Metric_sample _ | Events.Unknown _ -> ())
     events;
   let buf = Buffer.create 1024 in

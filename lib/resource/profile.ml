@@ -107,6 +107,47 @@ let sub p q =
 
 let dominates p q = Result.is_ok (sub p q)
 
+(* Pointwise max(p - q, 0): the part of [p] that survives losing [q].
+   Same boundary slicing as [sub], but a deficit clamps to zero instead
+   of failing — the caller is modelling capacity being ripped away, not
+   checking a reservation. *)
+let sub_clamped p q =
+  let boundaries =
+    List.concat_map
+      (fun s -> [ Interval.start s.interval; Interval.stop s.interval ])
+      (p @ q)
+    |> List.sort_uniq Time.compare
+  in
+  let rec slices = function
+    | a :: (b :: _ as rest) -> Interval.of_pair a b :: slices rest
+    | [ _ ] | [] -> []
+  in
+  let piece slice =
+    let t = Interval.start slice in
+    let rate = rate_at p t - rate_at q t in
+    if rate > 0 then Some { interval = slice; rate } else None
+  in
+  coalesce (List.filter_map piece (slices boundaries))
+
+(* Pointwise min — the part of [p] that [q] also covers. *)
+let meet p q =
+  let boundaries =
+    List.concat_map
+      (fun s -> [ Interval.start s.interval; Interval.stop s.interval ])
+      (p @ q)
+    |> List.sort_uniq Time.compare
+  in
+  let rec slices = function
+    | a :: (b :: _ as rest) -> Interval.of_pair a b :: slices rest
+    | [ _ ] | [] -> []
+  in
+  let piece slice =
+    let t = Interval.start slice in
+    let rate = min (rate_at p t) (rate_at q t) in
+    if rate > 0 then Some { interval = slice; rate } else None
+  in
+  coalesce (List.filter_map piece (slices boundaries))
+
 let integrate p w =
   let contribution s =
     match Interval.inter s.interval w with

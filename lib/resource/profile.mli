@@ -61,6 +61,17 @@ val dominates : t -> t -> bool
     a computation that can use [q] can use [p] instead.  The profile-level
     generalization of the paper's term order. *)
 
+val sub_clamped : t -> t -> t
+(** [sub_clamped p q] is the pointwise [max (p - q) 0] — what remains of
+    [p] after [q] is forcibly taken away.  Unlike {!sub} this is total:
+    where [q] exceeds [p] the result is simply zero.  This is the
+    availability update for an {e unannounced} revocation, where the
+    departing capacity was never promised to stay. *)
+
+val meet : t -> t -> t
+(** Pointwise minimum — the part of [p] that [q] also covers.  Used to
+    clip a revocation slice to the capacity actually present. *)
+
 val integrate : t -> Interval.t -> int
 (** [integrate p w] is the total quantity available within window [w]:
     the sum over ticks of the rate. *)

@@ -44,6 +44,17 @@ let diff a b =
   | exception Failed d -> Error d
 
 let dominates a b = Result.is_ok (diff a b)
+
+let diff_clamped a b =
+  Ltmap.fold
+    (fun xi q acc -> put xi (Profile.sub_clamped (find xi a) q) acc)
+    b a
+
+let meet a b =
+  Ltmap.fold
+    (fun xi p acc -> put xi (Profile.meet p (find xi b)) acc)
+    a empty
+
 let domain set = List.map fst (Ltmap.bindings set)
 let integrate set xi w = Profile.integrate (find xi set) w
 let restrict set w =

@@ -46,6 +46,16 @@ val diff : t -> t -> (t, deficit) result
 val dominates : t -> t -> bool
 (** [dominates a b] iff [diff a b] is defined. *)
 
+val diff_clamped : t -> t -> t
+(** [diff_clamped a b] is the pointwise [max (a - b) 0] — total, unlike
+    {!diff}.  Models an {e unannounced} revocation: the departing slice is
+    ripped out of availability whether or not it was all there. *)
+
+val meet : t -> t -> t
+(** Pointwise minimum over every type — the part of [a] that [b] also
+    covers.  Clips a fault's nominal slice to the capacity actually
+    present. *)
+
 val find : Located_type.t -> t -> Profile.t
 (** The availability profile of a type ({!Profile.empty} when absent). *)
 

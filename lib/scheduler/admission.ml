@@ -401,6 +401,14 @@ let remove_capacity c slice =
   Result.map (fun calendar -> { c with calendar })
     (Calendar.remove_capacity c.calendar slice)
 
+(* Unannounced revocation: the calendar decides which commitments
+   survive; the demand ledger (baselines) keeps its records — baseline
+   policies hold no reservations to evict, they simply find less
+   capacity at dispatch time. *)
+let revoke c slice =
+  let calendar, evicted = Calendar.revoke c.calendar slice in
+  ({ c with calendar }, evicted)
+
 let adopt c entry =
   Result.map (fun calendar -> { c with calendar })
     (Calendar.commit c.calendar entry)

@@ -95,6 +95,14 @@ val remove_capacity : t -> Resource_set.t -> (t, string) result
 (** Withdraws uncommitted capacity (delegation to a child encapsulation —
     see [Pool]); fails when commitments cover part of the slice. *)
 
+val revoke : t -> Resource_set.t -> t * Calendar.entry list
+(** {!Calendar.revoke} at the admission layer: forcibly withdraws an
+    {e unannounced} capacity slice and returns the evicted entries —
+    the commitments broken by the fault, in id order — for the repair
+    ladder.  Baseline demand records are kept (they hold no
+    reservations; the shrunk capacity shows up in their later
+    decisions). *)
+
 val adopt : t -> Calendar.entry -> (t, string) result
 (** Transfers an existing reservation into this controller's ledger —
     used when a child encapsulation is assimilated and its commitments

@@ -140,6 +140,38 @@ let remove_capacity c slice =
           (* [slice] is dominated by the residual, a subset of capacity. *)
           assert false)
 
+(* An unannounced revocation cannot be refused: the slice leaves whether
+   the ledger likes it or not.  Shrink capacity with the clamped
+   difference, then decide which commitments survive on what is left: a
+   single greedy keep/evict pass in id order, keeping an entry exactly
+   when the remaining capacity still dominates its reservation.  Kept
+   entries retain their original reservations — they execute exactly as
+   committed, which is what makes repair non-interfering (Theorem 4's
+   residual discipline applied in reverse). *)
+let revoke c slice =
+  let capacity = Resource_set.diff_clamped c.capacity slice in
+  let remaining, kept, evicted =
+    Id_map.fold
+      (fun id e (remaining, kept, evicted) ->
+        match Resource_set.diff remaining e.reservation with
+        | Ok remaining -> (remaining, Id_map.add id e kept, evicted)
+        | Error _ -> (remaining, kept, e :: evicted))
+      c.entries
+      (capacity, Id_map.empty, [])
+  in
+  let committed =
+    match
+      Resource_set.diff capacity remaining
+      (* [remaining] = capacity minus every kept reservation, so the
+         difference is exactly their union. *)
+    with
+    | Ok committed -> committed
+    | Error _ -> assert false
+  in
+  ( debug_check
+      { capacity; entries = kept; committed; residual = remaining },
+    List.rev evicted )
+
 (* Truncation is pointwise per tick, so it distributes over both the
    union behind [committed] and the complement behind [residual]: the
    caches stay exact without recomputation. *)

@@ -67,6 +67,16 @@ val remove_capacity : t -> Resource_set.t -> (t, string) result
     encapsulation (see [Pool]).  Fails when the slice is not covered by
     the {e residual} (committed resources cannot be withdrawn). *)
 
+val revoke : t -> Resource_set.t -> t * entry list
+(** Forcibly withdraws a capacity slice that never announced its leave —
+    the fault-model counterpart of {!remove_capacity}.  Capacity shrinks
+    by the clamped difference (total, unlike {!remove_capacity}); entries
+    whose reservations no longer fit on the shrunk capacity are {e
+    evicted} and returned (in id order) for the repair ladder.  Kept
+    entries are untouched — their reservations still hold, so the
+    computations behind them run exactly as committed (non-interference,
+    Theorem 4). *)
+
 val advance : t -> Time.t -> t
 (** Expires capacity and reservations strictly before the given tick. *)
 

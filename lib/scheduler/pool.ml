@@ -20,6 +20,18 @@ let residual pool = Admission.residual pool.controller
 let total_capacity pool =
   fold (fun p acc -> Resource_set.union acc (capacity p)) pool Resource_set.empty
 
+(* [update] walking a name that [find] just located cannot miss — the
+   tree is immutable between the two walks.  If it ever does, the tree
+   itself violated its shape invariant; surface that as a structured
+   error (in the spirit of [Calendar.self_check]) instead of aborting
+   the process. *)
+let tree_drift name =
+  Error
+    (Printf.sprintf
+       "pool: internal tree invariant violated: %s was found but could not \
+        be updated"
+       name)
+
 (* Rebuild the tree with the pool called [name] replaced by [f pool];
    [None] when the name is absent. *)
 let rec update pool name f =
@@ -63,7 +75,7 @@ let subdivide pool ~parent ~name ~slice =
             in
             (match update pool parent replace with
             | Some pool -> Ok pool
-            | None -> assert false (* [find] succeeded above *)))
+            | None -> tree_drift parent))
 
 let admit pool ~pool:pool_name ~now computation =
   match find pool pool_name with
@@ -75,7 +87,7 @@ let admit pool ~pool:pool_name ~now computation =
       let replace p = { p with controller } in
       (match update pool pool_name replace with
       | Some pool -> Ok (pool, outcome)
-      | None -> assert false)
+      | None -> tree_drift pool_name)
 
 let complete pool ~pool:pool_name ~computation =
   match find pool pool_name with
@@ -85,7 +97,7 @@ let complete pool ~pool:pool_name ~computation =
       let replace p = { p with controller } in
       (match update pool pool_name replace with
       | Some pool -> Ok pool
-      | None -> assert false)
+      | None -> tree_drift pool_name)
 
 (* Find the parent of the pool called [name]. *)
 let rec parent_of pool name =
@@ -103,34 +115,43 @@ let assimilate pool ~child =
           Error (Printf.sprintf "pool %s still has children" child)
         else
           let child_calendar = Admission.calendar child_pool.controller in
-          let replace p =
-            (* Return the child's capacity, then re-commit its live
-               reservations: they were carved from exactly that capacity,
-               so every adoption succeeds. *)
-            let controller =
-              Admission.add_capacity p.controller (Calendar.capacity child_calendar)
-            in
-            let controller =
-              List.fold_left
-                (fun controller (entry : Calendar.entry) ->
-                  match Admission.adopt controller entry with
-                  | Ok controller -> controller
-                  | Error _ -> assert false)
-                controller
-                (Calendar.entries child_calendar)
-            in
-            {
-              p with
-              controller;
-              children =
-                List.filter
-                  (fun c -> not (String.equal c.name child))
-                  p.children;
-            }
+          (* Return the child's capacity, then re-commit its live
+             reservations.  Each reservation was carved from that
+             capacity, so the residual covers it — but adoption can
+             still fail genuinely: if the same computation id was
+             admitted in both pools, the parent ledger already holds an
+             entry under that id.  Merge the controllers {e before}
+             rebuilding the tree so such a conflict propagates as an
+             error (with the tree unchanged) instead of asserting
+             mid-rebuild. *)
+          let merged =
+            List.fold_left
+              (fun acc (entry : Calendar.entry) ->
+                Result.bind acc (fun controller ->
+                    match Admission.adopt controller entry with
+                    | Ok controller -> Ok controller
+                    | Error e ->
+                        Error
+                          (Printf.sprintf "cannot assimilate %s: %s" child e)))
+              (Ok
+                 (Admission.add_capacity parent_pool.controller
+                    (Calendar.capacity child_calendar)))
+              (Calendar.entries child_calendar)
           in
-          (match update pool parent_pool.name replace with
-          | Some pool -> Ok pool
-          | None -> assert false)
+          Result.bind merged (fun controller ->
+              let replace p =
+                {
+                  p with
+                  controller;
+                  children =
+                    List.filter
+                      (fun c -> not (String.equal c.name child))
+                      p.children;
+                }
+              in
+              match update pool parent_pool.name replace with
+              | Some pool -> Ok pool
+              | None -> tree_drift parent_pool.name)
 
 let rec pp ppf pool =
   Format.fprintf ppf "@[<v2>%s: capacity %a@ %a@]" pool.name Resource_set.pp

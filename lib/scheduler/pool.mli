@@ -15,9 +15,11 @@ open Import
       touching only that pool's resources — experiment E7 measures what
       this scoping saves;
     - {!assimilate} dissolves a leaf child back into its parent, returning
-      its capacity and re-committing its reservations (both cannot fail:
-      the child's commitments were carved from capacity the parent
-      regains).
+      its capacity and re-committing its reservations.  Capacity-wise
+      this cannot fail (the child's commitments were carved from capacity
+      the parent regains), but it {e can} fail on an id conflict: the
+      same computation admitted in both pools.  Such conflicts propagate
+      as [Error] with the tree unchanged.
 
     Pool names are unique across the whole tree. *)
 
@@ -60,8 +62,10 @@ val complete : t -> pool:string -> computation:string -> (t, string) result
 
 val assimilate : t -> child:string -> (t, string) result
 (** Dissolves a {e leaf} child into its parent: capacity returns, active
-    reservations transfer.  Fails on unknown names, the root, or a child
-    that still has children of its own. *)
+    reservations transfer.  Fails on unknown names, the root, a child
+    that still has children of its own, or a computation id committed in
+    both pools (the transfer would collide in the parent's ledger; the
+    tree is left unchanged). *)
 
 val fold : (t -> 'a -> 'a) -> t -> 'a -> 'a
 (** Preorder fold over every pool. *)

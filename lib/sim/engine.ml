@@ -10,6 +10,7 @@ type outcome = {
   reject_reason : string option;
   finished : Time.t option;
   unfinished : (Located_type.t * int) list;
+  faulted : bool;
 }
 
 let on_time o =
@@ -19,6 +20,33 @@ let on_time o =
 let missed o = o.admitted && not (on_time o)
 
 type type_stat = { ltype : Located_type.t; capacity : int; consumed : int }
+
+type fault_stats = {
+  injected : int;
+  revoked_quantity : int;
+  commitments_revoked : int;
+  degraded : int;
+  reaccommodated : int;
+  migrated : int;
+  retries : int;
+  retry_successes : int;
+  preempted : int;
+  work_saved : int;
+}
+
+let no_faults =
+  {
+    injected = 0;
+    revoked_quantity = 0;
+    commitments_revoked = 0;
+    degraded = 0;
+    reaccommodated = 0;
+    migrated = 0;
+    retries = 0;
+    retry_successes = 0;
+    preempted = 0;
+    work_saved = 0;
+  }
 
 type report = {
   policy : Admission.policy;
@@ -33,6 +61,8 @@ type report = {
   consumed_total : int;
   type_stats : type_stat list;
   outcomes : outcome list;
+  faults : fault_stats;
+  anomalies : (Time.t * string) list;
 }
 
 let utilization r =
@@ -106,6 +136,11 @@ let m_completions = Rota_obs.Metrics.counter "engine/completions"
 let m_kills = Rota_obs.Metrics.counter "engine/kills"
 let m_owed = Rota_obs.Metrics.counter "engine/owed_work"
 let m_consumed = Rota_obs.Metrics.counter "engine/consumed_quantity"
+let m_faults = Rota_obs.Metrics.counter "engine/faults"
+let m_revoked = Rota_obs.Metrics.counter "engine/revoked_quantity"
+let m_repairs = Rota_obs.Metrics.counter "engine/repairs"
+let m_repair_retries = Rota_obs.Metrics.counter "engine/repair_retries"
+let m_preempts = Rota_obs.Metrics.counter "engine/preemptions"
 let g_queue = Rota_obs.Metrics.gauge "engine/queue_depth"
 let g_running = Rota_obs.Metrics.gauge "engine/running"
 let g_ledger = Rota_obs.Metrics.gauge "engine/ledger_size"
@@ -117,7 +152,8 @@ let h_queue_depth =
   Rota_obs.Metrics.histogram ~buckets:depth_buckets "engine/queue_depth_dist"
 
 let run ?(cost_model = Cost_model.default) ?true_cost_model
-    ?(dispatch = Auto) ?(observer = fun (_ : event) -> ()) ~policy trace =
+    ?(dispatch = Auto) ?(observer = fun (_ : event) -> ()) ?(faults = [])
+    ?(repair = true) ~policy trace =
   let true_cost_model = Option.value true_cost_model ~default:cost_model in
   let horizon = Trace.horizon trace in
   let dispatch_used =
@@ -156,6 +192,40 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
     observer e;
     Rota_obs.Tracer.emit ~sim:(event_time e)
       (payload_of_event ~policy:policy_label e)
+  in
+  (* Fault machinery.  All of it is inert when the plan is empty: the
+     queues stay empty, [faults_enabled] gates the extra per-tick
+     bookkeeping, and a fault-free run takes exactly the same path (and
+     produces byte-identical output) as before faults existed. *)
+  let fault_plan = Fault.sort faults in
+  let faults_enabled = fault_plan <> [] in
+  let fault_queue =
+    Event_queue.of_list
+      (List.map (fun (f : Fault.t) -> (f.Fault.at, f.Fault.kind)) fault_plan)
+  in
+  (* Backoff retries scheduled by the repair ladder: (id, attempt, window). *)
+  let retry_queue : (string * int * Interval.t) Event_queue.t =
+    Event_queue.create ()
+  in
+  let fs = ref no_faults in
+  let anomalies = ref [] in
+  (* Ids whose commitment a fault touched, and per-computation consumption
+     (only tracked under faults) — together they price the work that
+     repair saved from being thrown away. *)
+  let affected : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let per_comp_consumed : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  (* An anomaly is an internal inconsistency the engine survives by
+     degrading (the computation is left to its deadline) instead of
+     aborting the whole run; each one is surfaced in the report. *)
+  let anomaly ~id ~at reason =
+    anomalies := (at, Printf.sprintf "%s: %s" id reason) :: !anomalies;
+    Rota_obs.Tracer.emit ~sim:at (Rota_obs.Events.Anomaly { id; reason })
+  in
+  let mark_faulted id =
+    Hashtbl.replace affected id ();
+    match Hashtbl.find_opt outcomes id with
+    | Some o -> Hashtbl.replace outcomes id { o with faulted = true }
+    | None -> ()
   in
   (* Interacting-actor sessions: each segment runs as its own pending batch
      under a derived id, released only once its dependencies complete. *)
@@ -217,9 +287,23 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
         consumed_total := !consumed_total + total;
         Rota_obs.Metrics.add m_consumed total;
         List.iter (fun (xi, q) -> bump per_type_consumed xi q) needed;
+        if faults_enabled then bump per_comp_consumed computation total;
         state := State.consume_in_head !state ~computation ~actor needed
       end
     end
+  in
+
+  let pending_remainder cid =
+    List.concat_map
+      (fun (p : State.pending) ->
+        List.concat_map
+          (fun step ->
+            List.map
+              (fun (a : Requirement.amount) ->
+                (a.Requirement.ltype, a.Requirement.quantity))
+              step)
+          p.State.steps)
+      (State.pending_of !state ~computation:cid)
   in
 
   (* Accommodate every segment whose dependencies have all completed and
@@ -256,7 +340,12 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
                     [ (Actor_name.make nid, steps) ]
                 with
                 | Ok s -> state := s
-                | Error e -> failwith ("engine: session segment: " ^ e))
+                | Error e ->
+                    (* Formerly fatal: degrade instead — the segment never
+                       gets pendings, so the deadline pass kills the
+                       session and the run carries on. *)
+                    anomaly ~id:(segment_cid id nid) ~at:now
+                      ("session segment accommodate: " ^ e))
         end)
       rt.Srt.nodes;
     if !progressed then release_ready rt now
@@ -280,6 +369,7 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
            else Some decision.Admission.reason);
         finished = None;
         unfinished = [];
+        faulted = false;
       };
     (if decision.Admission.admitted then
        notify (Admitted { id; at = t; reason = decision.Admission.reason })
@@ -341,6 +431,7 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
                else Some decision.Admission.reason);
             finished = None;
             unfinished = [];
+            faulted = false;
           }
         in
         Hashtbl.replace outcomes id outcome;
@@ -369,9 +460,254 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
               if State.pending_of s ~computation:id = [] then record_finish id t
           | Error e ->
               (* Ids are unique per trace and deadlines were checked by the
-                 admission layer. *)
-              failwith ("engine: accommodate failed: " ^ e)
+                 admission layer, so this cannot happen on a healthy run;
+                 degrade instead of aborting.  Registering the id keeps
+                 its lifecycle intact: the deadline pass will close it
+                 with a Killed notification. *)
+              Hashtbl.replace running id ();
+              anomaly ~id ~at:t ("accommodate failed: " ^ e)
         end
+  in
+
+  (* --- fault handling ----------------------------------------------------
+
+     Everything below runs only when the plan is non-empty (and the
+     ladder only under a Rota policy with reservation dispatch — the
+     baselines hold no commitments to repair). *)
+  let repair_enabled =
+    repair && is_rota_family policy
+    && match dispatch_used with Reservation -> true | Shared | Auto -> false
+  in
+  (* Rung 4: kill the victim now, releasing what it still holds for the
+     survivors, instead of letting it limp to a guaranteed miss. *)
+  let preempt t id =
+    if Hashtbl.mem running id then begin
+      let unfinished = pending_remainder id in
+      (match Hashtbl.find_opt outcomes id with
+      | Some o -> Hashtbl.replace outcomes id { o with unfinished }
+      | None -> ());
+      let owed = List.fold_left (fun acc (_, q) -> acc + q) 0 unfinished in
+      fs := { !fs with preempted = !fs.preempted + 1 };
+      Rota_obs.Metrics.incr m_preempts;
+      Rota_obs.Tracer.emit ~sim:t (Rota_obs.Events.Preempted { id; owed });
+      state := State.drop !state ~computation:id;
+      Hashtbl.remove running id;
+      admission := Admission.complete !admission ~computation:id
+    end
+  in
+  (* One walk of the repair ladder for one victim; Retry outcomes are
+     queued and re-enter here on a later tick (the victim may have
+     finished or been killed in between — then this is a no-op). *)
+  let run_repair t ~attempt id window =
+    if Hashtbl.mem running id && not (Hashtbl.mem active_sessions id) then begin
+      let parts =
+        List.map
+          (fun (p : State.pending) -> (p.State.actor, p.State.steps))
+          (State.pending_of !state ~computation:id)
+      in
+      if parts <> [] then
+        let v = { Repair.computation = id; window; parts } in
+        match
+          Rota_obs.Tracer.with_span ~sim:t "engine/repair" (fun () ->
+              Repair.attempt ~attempt !admission ~now:t v)
+        with
+        | Repair.Repaired r ->
+            admission := r.Repair.controller;
+            (match r.Repair.rung with
+            | Repair.Reaccommodate ->
+                fs := { !fs with reaccommodated = !fs.reaccommodated + 1 }
+            | Repair.Migrate _ ->
+                (* The rescue rewrote the remaining steps (migration legs
+                   prepended, cpu retargeted): swap the pendings to match
+                   the new reservation. *)
+                fs := { !fs with migrated = !fs.migrated + 1 };
+                state := State.drop !state ~computation:id;
+                (match
+                   State.accommodate_parts !state ~id ~window r.Repair.parts
+                 with
+                | Ok s -> state := s
+                | Error e -> anomaly ~id ~at:t ("migration rewrite: " ^ e)));
+            if attempt > 0 then
+              fs := { !fs with retry_successes = !fs.retry_successes + 1 };
+            Rota_obs.Metrics.incr m_repairs;
+            Rota_obs.Tracer.emit ~sim:t
+              (Rota_obs.Events.Repaired
+                 { id; rung = Repair.rung_name r.Repair.rung; attempt })
+        | Repair.Retry { at; attempt } ->
+            fs := { !fs with retries = !fs.retries + 1 };
+            Rota_obs.Metrics.incr m_repair_retries;
+            Event_queue.add retry_queue ~time:at (id, attempt, window)
+        | Repair.Preempted _ -> preempt t id
+    end
+  in
+  (* Commitments evicted by a revocation: mark and announce each one,
+     then run the ladder highest-slack first — when the shrunk residual
+     cannot carry everyone, it is the lowest-slack victims that fall
+     through to preemption ("kill lowest-slack first"). *)
+  let handle_evicted t (evicted : Calendar.entry list) =
+    List.iter
+      (fun (entry : Calendar.entry) ->
+        let id = entry.Calendar.computation in
+        mark_faulted id;
+        fs := { !fs with commitments_revoked = !fs.commitments_revoked + 1 };
+        Rota_obs.Tracer.emit ~sim:t
+          (Rota_obs.Events.Commitment_revoked
+             { id; quantity = Resource_set.total entry.Calendar.reservation }))
+      evicted;
+    if repair_enabled then
+      List.filter_map
+        (fun (entry : Calendar.entry) ->
+          let id = entry.Calendar.computation in
+          if Hashtbl.mem active_sessions id then
+            (* A session holds one merged reservation over many staged
+               segments; re-deriving per-segment remainders is beyond the
+               ladder — an evicted session stalls and dies at its
+               deadline. *)
+            None
+          else
+            let parts =
+              List.map
+                (fun (p : State.pending) -> (p.State.actor, p.State.steps))
+                (State.pending_of !state ~computation:id)
+            in
+            let v =
+              { Repair.computation = id; window = entry.Calendar.window; parts }
+            in
+            Some (Repair.slack ~now:t v, id, entry.Calendar.window))
+        evicted
+      |> List.sort (fun (s1, id1, _) (s2, id2, _) ->
+             match compare (s2 : int) s1 with
+             | 0 -> String.compare id1 id2
+             | c -> c)
+      |> List.iter (fun (_, id, window) -> run_repair t ~attempt:0 id window)
+  in
+  (* Withdraw a capacity slice that never announced its leave.  The slice
+     is clipped to what is actually still present from [t] on, so
+     duplicate or late revocations degrade to no-ops instead of driving
+     availability negative. *)
+  let revoke_capacity t ~fault slice =
+    let actual =
+      Resource_set.meet
+        (Resource_set.truncate_before slice t)
+        (Calendar.capacity (Admission.calendar !admission))
+    in
+    let within w = Resource_set.restrict actual w in
+    let lost =
+      match Interval.make ~start:t ~stop:horizon with
+      | Some w -> Resource_set.total (within w)
+      | None -> 0
+    in
+    Rota_obs.Tracer.emit ~sim:t
+      (Rota_obs.Events.Fault_injected { fault; quantity = lost });
+    if not (Resource_set.is_empty actual) then begin
+      capacity_total := !capacity_total - lost;
+      fs := { !fs with revoked_quantity = !fs.revoked_quantity + lost };
+      Rota_obs.Metrics.add m_revoked lost;
+      (match Interval.make ~start:t ~stop:horizon with
+      | Some w ->
+          Resource_set.fold
+            (fun xi profile () -> bump per_type_capacity xi (-Profile.total profile))
+            (within w) ()
+      | None -> ());
+      state := State.revoke !state actual;
+      let adm, evicted = Admission.revoke !admission actual in
+      admission := adm;
+      handle_evicted t evicted
+    end
+  in
+  let apply_fault t kind =
+    fs := { !fs with injected = !fs.injected + 1 };
+    Rota_obs.Metrics.incr m_faults;
+    match (kind : Fault.kind) with
+    | Fault.Revoke slice -> revoke_capacity t ~fault:"revocation" slice
+    | Fault.Blackout { location; until } ->
+        (* Everything located at the node — cpu, memory, and network legs
+           touching it — goes dark for [t, until); capacity declared past
+           [until] survives. *)
+        let slice =
+          match Interval.make ~start:t ~stop:until with
+          | None -> Resource_set.empty
+          | Some w ->
+              Resource_set.fold
+                (fun xi profile acc ->
+                  if
+                    List.exists (Location.equal location)
+                      (Located_type.locations xi)
+                  then
+                    Resource_set.update xi
+                      (fun _ -> Profile.restrict profile w)
+                      acc
+                  else acc)
+                (Calendar.capacity (Admission.calendar !admission))
+                Resource_set.empty
+        in
+        revoke_capacity t ~fault:"blackout" slice
+    | Fault.Slowdown { computation = id; factor } ->
+        Rota_obs.Tracer.emit ~sim:t
+          (Rota_obs.Events.Fault_injected { fault = "slowdown"; quantity = 0 });
+        if
+          factor > 1
+          && Hashtbl.mem running id
+          && not (Hashtbl.mem active_sessions id)
+        then begin
+          match State.pending_of !state ~computation:id with
+          | [] -> ()
+          | first :: _ as pendings ->
+              let window = first.State.window in
+              let inflate =
+                List.map
+                  (List.map (fun (a : Requirement.amount) ->
+                       Requirement.amount a.Requirement.ltype
+                         (a.Requirement.quantity * factor)))
+              in
+              let quantity steps =
+                List.fold_left
+                  (fun acc step ->
+                    List.fold_left
+                      (fun acc (a : Requirement.amount) ->
+                        acc + a.Requirement.quantity)
+                      acc step)
+                  0 steps
+              in
+              let parts, extra =
+                List.fold_left
+                  (fun (parts, extra) (p : State.pending) ->
+                    ( (p.State.actor, inflate p.State.steps) :: parts,
+                      extra + ((factor - 1) * quantity p.State.steps) ))
+                  ([], 0) pendings
+              in
+              let parts = List.rev parts in
+              mark_faulted id;
+              fs := { !fs with degraded = !fs.degraded + 1 };
+              Rota_obs.Tracer.emit ~sim:t
+                (Rota_obs.Events.Commitment_degraded { id; extra });
+              state := State.drop !state ~computation:id;
+              (match State.accommodate_parts !state ~id ~window parts with
+              | Ok s -> state := s
+              | Error e -> anomaly ~id ~at:t ("slowdown inflate: " ^ e));
+              if repair_enabled then begin
+                (* The committed reservation covers only the original
+                   work; release it and re-admit the inflated remainder
+                   through the ladder. *)
+                admission := Admission.complete !admission ~computation:id;
+                run_repair t ~attempt:0 id window
+              end
+        end
+    | Fault.Rejoin theta ->
+        let quantity =
+          match Interval.make ~start:t ~stop:horizon with
+          | Some w ->
+              Resource_set.total
+                (Resource_set.restrict (Resource_set.truncate_before theta t) w)
+          | None -> 0
+        in
+        Rota_obs.Tracer.emit ~sim:t
+          (Rota_obs.Events.Fault_injected { fault = "rejoin"; quantity });
+        (* From here on a rejoin is exactly a join: same accounting, same
+           Capacity_joined notification — arriving twice is harmless
+           (capacity just grows twice), which is the point: the engine
+           tolerates an unreliable membership layer's duplicates. *)
+        process_event t (Trace.Join theta)
   in
 
   let dispatch_reservation t =
@@ -445,6 +781,16 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
       Rota_obs.Metrics.set g_ledger (Admission.ledger_size !admission)
     end;
     List.iter (fun (_, e) -> process_event t e) (Event_queue.pop_until events t);
+    if faults_enabled then begin
+      (* Faults land after the tick's declared events and before dispatch:
+         a commitment never consumes from capacity revoked "this tick". *)
+      List.iter
+        (fun (_, kind) -> apply_fault t kind)
+        (Event_queue.pop_until fault_queue t);
+      List.iter
+        (fun (_, (id, attempt, window)) -> run_repair t ~attempt id window)
+        (Event_queue.pop_until retry_queue t)
+    end;
     (match dispatch_used with
     | Reservation -> dispatch_reservation t
     | Shared -> dispatch_shared t
@@ -477,18 +823,6 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
         then record_finish id (Time.succ t))
       (Hashtbl.copy running);
     (* ... and deadline kills, recording the work still owed. *)
-    let pending_remainder cid =
-      List.concat_map
-        (fun (p : State.pending) ->
-          List.concat_map
-            (fun step ->
-              List.map
-                (fun (a : Requirement.amount) ->
-                  (a.Requirement.ltype, a.Requirement.quantity))
-                step)
-            p.State.steps)
-        (State.pending_of !state ~computation:cid)
-    in
     Hashtbl.iter
       (fun id () ->
         match Hashtbl.find_opt outcomes id with
@@ -551,6 +885,25 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
                Option.value (Hashtbl.find_opt per_type_consumed ltype) ~default:0;
            })
   in
+  (* Work saved: consumption already sunk into fault-affected computations
+     that nonetheless finished on time — without repair it would have been
+     thrown away at their deadlines.  (Session segments consume under
+     derived "id/node" ids; credit them to the session.) *)
+  let work_saved =
+    Hashtbl.fold
+      (fun id () acc ->
+        match Hashtbl.find_opt outcomes id with
+        | Some o when on_time o ->
+            let prefix = id ^ "/" in
+            Hashtbl.fold
+              (fun cid q acc ->
+                if String.equal cid id || String.starts_with ~prefix cid then
+                  acc + q
+                else acc)
+              per_comp_consumed acc
+        | Some _ | None -> acc)
+      affected 0
+  in
   {
     policy;
     dispatch_used;
@@ -564,6 +917,8 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
     consumed_total = !consumed_total;
     type_stats;
     outcomes = outcomes_list;
+    faults = { !fs with work_saved };
+    anomalies = List.rev !anomalies;
   }
 
 let pp_report ppf r =
@@ -575,7 +930,14 @@ let pp_report ppf r =
     | Shared -> "shared"
     | Auto -> "auto")
     r.offered r.admitted r.rejected r.completed_on_time r.missed_deadlines
-    (utilization r) (goodput r)
+    (utilization r) (goodput r);
+  (* The row is byte-identical to the fault-free format unless faults
+     actually fired (E6 and friends diff engine output verbatim). *)
+  if r.faults.injected > 0 then
+    Format.fprintf ppf " faults=%d revoked=%d repaired=%d preempted=%d saved=%d"
+      r.faults.injected r.faults.commitments_revoked
+      (r.faults.reaccommodated + r.faults.migrated)
+      r.faults.preempted r.faults.work_saved
 
 let pp_type_stats ppf r =
   List.iter

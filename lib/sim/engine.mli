@@ -62,6 +62,10 @@ type outcome = {
       (** Work still owed when the deadline killed it (empty when it
           finished or was rejected).  Consumed + unfinished is the {e
           true} demand — the signal {!Calibration} uses. *)
+  faulted : bool;
+      (** A fault touched this computation's commitment (revoked its
+          reservation, or inflated its work).  [faulted && on_time] means
+          the repair ladder rescued it. *)
 }
 
 val on_time : outcome -> bool
@@ -75,6 +79,31 @@ type type_stat = {
   capacity : int;  (** Quantity offered within the run. *)
   consumed : int;  (** Quantity actually consumed. *)
 }
+
+(** What the fault plan did to the run, and what the repair ladder got
+    back.  All zeros when no faults were injected. *)
+type fault_stats = {
+  injected : int;  (** Faults delivered (all kinds). *)
+  revoked_quantity : int;
+      (** Capacity quantity actually lost to revocations and blackouts
+          (after clipping), within the horizon. *)
+  commitments_revoked : int;
+      (** Calendar entries evicted because their reservation no longer
+          fit the shrunk capacity. *)
+  degraded : int;  (** Computations whose work a slowdown inflated. *)
+  reaccommodated : int;  (** Rescues on rung 1 (residual re-check). *)
+  migrated : int;  (** Rescues on rung 2 (replanned at another site). *)
+  retries : int;  (** Backoff retries scheduled (rung 3). *)
+  retry_successes : int;  (** Rescues that needed at least one retry. *)
+  preempted : int;  (** Victims the ladder gave up on (rung 4). *)
+  work_saved : int;
+      (** Quantity already consumed by fault-affected computations that
+          still finished on time — work repair kept from being thrown
+          away at a deadline kill. *)
+}
+
+val no_faults : fault_stats
+(** The all-zero record — what a fault-free run reports. *)
 
 type report = {
   policy : Admission.policy;
@@ -91,6 +120,11 @@ type report = {
   type_stats : type_stat list;
       (** Per-type capacity/consumption breakdown, in type order. *)
   outcomes : outcome list;  (** In arrival order. *)
+  faults : fault_stats;
+  anomalies : (Time.t * string) list;
+      (** Internal inconsistencies the engine survived by degrading
+          (each also emitted as an [anomaly] telemetry event); empty on
+          a healthy run. *)
 }
 
 val utilization : report -> float
@@ -104,6 +138,8 @@ val run :
   ?true_cost_model:Cost_model.t ->
   ?dispatch:dispatch ->
   ?observer:(event -> unit) ->
+  ?faults:Fault.plan ->
+  ?repair:bool ->
   policy:Admission.policy ->
   Trace.t ->
   report
@@ -114,7 +150,17 @@ val run :
     execution {e actually} costs.  When they differ — the paper's
     "estimates could be used and revised as necessary" — even ROTA
     reservations can fall short and deadlines can be missed; see
-    {!Calibration} for closing the gap. *)
+    {!Calibration} for closing the gap.
+
+    [faults] (default none) is a plan of unannounced failures delivered
+    tick by tick, after the trace's declared events and before dispatch;
+    an empty plan leaves the run byte-identical to one without the
+    parameter.  [repair] (default [true]) enables the
+    {!Rota_scheduler.Repair} ladder for commitments the faults break —
+    only meaningful under a Rota-family policy with reservation dispatch
+    (the baselines hold no commitments to repair).  Faults touch only
+    affected commitments: survivors keep their exact reservations
+    (Theorem 4 non-interference, tested as a qcheck invariant). *)
 
 val pp_report : Format.formatter -> report -> unit
 (** A one-line summary row. *)

@@ -1,0 +1,34 @@
+open Import
+
+type kind =
+  | Revoke of Resource_set.t
+  | Blackout of { location : Location.t; until : Time.t }
+  | Slowdown of { computation : string; factor : int }
+  | Rejoin of Resource_set.t
+
+type t = { at : Time.t; kind : kind }
+
+type plan = t list
+
+let kind_name = function
+  | Revoke _ -> "revocation"
+  | Blackout _ -> "blackout"
+  | Slowdown _ -> "slowdown"
+  | Rejoin _ -> "rejoin"
+
+let sort plan =
+  (* Stable, so same-tick faults keep plan order (duplicate churn events
+     stay adjacent and deterministic). *)
+  List.stable_sort (fun a b -> Time.compare a.at b.at) plan
+
+let pp_kind ppf = function
+  | Revoke slice ->
+      Format.fprintf ppf "revoke %a" Resource_set.pp slice
+  | Blackout { location; until } ->
+      Format.fprintf ppf "blackout %a until %a" Location.pp location Time.pp
+        until
+  | Slowdown { computation; factor } ->
+      Format.fprintf ppf "slowdown %s x%d" computation factor
+  | Rejoin slice -> Format.fprintf ppf "rejoin %a" Resource_set.pp slice
+
+let pp ppf f = Format.fprintf ppf "@[%a: %a@]" Time.pp f.at pp_kind f.kind

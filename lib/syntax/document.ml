@@ -6,6 +6,7 @@ type t = {
   resources : resource list;
   computations : Computation.t list;
   sessions : Session.t list;
+  faults : Fault.plan;
 }
 
 (* --- parsing ------------------------------------------------------------- *)
@@ -78,27 +79,28 @@ let parse_interval s =
   if start >= stop then fail (line_of s) "empty interval [%d,%d)" start stop;
   Interval.of_pair start stop
 
+let parse_ltype s =
+  let kind = expect_ident s "a resource kind" in
+  if String.equal kind "network" then begin
+    let src = expect_ident s "the source location" in
+    if not (accept s Lexer.Arrow) then fail (line_of s) "expected \"->\"";
+    let dst = expect_ident s "the destination location" in
+    Located_type.network ~src:(Location.make src) ~dst:(Location.make dst)
+  end
+  else begin
+    if not (accept s Lexer.At_sign) then
+      fail (line_of s) "expected \"@\" after resource kind %s" kind;
+    let where = Location.make (expect_ident s "a location") in
+    match kind with
+    | "cpu" -> Located_type.cpu where
+    | "memory" -> Located_type.memory where
+    | custom -> Located_type.custom custom where
+  end
+
 let parse_resource s =
   (* After the [resource] keyword. *)
   let line = line_of s in
-  let kind = expect_ident s "a resource kind" in
-  let ltype =
-    if String.equal kind "network" then begin
-      let src = expect_ident s "the source location" in
-      if not (accept s Lexer.Arrow) then fail (line_of s) "expected \"->\"";
-      let dst = expect_ident s "the destination location" in
-      Located_type.network ~src:(Location.make src) ~dst:(Location.make dst)
-    end
-    else begin
-      if not (accept s Lexer.At_sign) then
-        fail (line_of s) "expected \"@\" after resource kind %s" kind;
-      let where = Location.make (expect_ident s "a location") in
-      match kind with
-      | "cpu" -> Located_type.cpu where
-      | "memory" -> Located_type.memory where
-      | custom -> Located_type.custom custom where
-    end
-  in
+  let ltype = parse_ltype s in
   expect_keyword s "rate";
   let rate = expect_int s "the rate" in
   if rate < 1 then fail line "rate must be positive, got %d" rate;
@@ -106,6 +108,50 @@ let parse_resource s =
   let join_at = if accept_keyword s "join" then expect_int s "the join tick" else 0 in
   expect_newline s;
   { term = Term.v rate interval ltype; join_at }
+
+let parse_fault s =
+  (* After the [fault] keyword. *)
+  let line = line_of s in
+  let kw = expect_ident s "a fault kind" in
+  match kw with
+  | "revoke" | "rejoin" ->
+      let ltype = parse_ltype s in
+      expect_keyword s "rate";
+      let rate = expect_int s "the rate" in
+      if rate < 1 then fail line "rate must be positive, got %d" rate;
+      let interval = parse_interval s in
+      let at =
+        if accept_keyword s "at" then expect_int s "the delivery tick"
+        else Interval.start interval
+      in
+      expect_newline s;
+      let slice = Resource_set.singleton (Term.v rate interval ltype) in
+      {
+        Fault.at;
+        kind =
+          (if String.equal kw "revoke" then Fault.Revoke slice
+           else Fault.Rejoin slice);
+      }
+  | "blackout" ->
+      let location = Location.make (expect_ident s "a location") in
+      let window = parse_interval s in
+      expect_newline s;
+      {
+        Fault.at = Interval.start window;
+        kind = Fault.Blackout { location; until = Interval.stop window };
+      }
+  | "slowdown" ->
+      let computation = expect_ident s "the computation id" in
+      expect_keyword s "factor";
+      let factor = expect_int s "the factor" in
+      if factor < 2 then fail line "factor must be at least 2, got %d" factor;
+      expect_keyword s "at";
+      let at = expect_int s "the delivery tick" in
+      expect_newline s;
+      { Fault.at; kind = Fault.Slowdown { computation; factor } }
+  | other ->
+      fail line "unknown fault kind %S (revoke, blackout, slowdown or rejoin)"
+        other
 
 let parse_action s =
   (* The keyword has been peeked, not consumed. *)
@@ -214,6 +260,7 @@ let parse input =
   | Ok tokens -> (
       let s = { tokens = Array.of_list tokens; pos = 0 } in
       let resources = ref [] and computations = ref [] and sessions = ref [] in
+      let faults = ref [] in
       let rec loop () =
         match peek s with
         | None -> ()
@@ -232,9 +279,14 @@ let parse input =
             s.pos <- s.pos + 1;
             sessions := parse_session s :: !sessions;
             loop ()
+        | Some { Lexer.token = Lexer.Ident "fault"; _ } ->
+            s.pos <- s.pos + 1;
+            faults := parse_fault s :: !faults;
+            loop ()
         | Some t ->
             fail t.Lexer.line
-              "expected \"resource\", \"computation\" or \"session\", got %a"
+              "expected \"resource\", \"computation\", \"session\" or \
+               \"fault\", got %a"
               Lexer.pp_token t.Lexer.token
       in
       match loop () with
@@ -244,6 +296,7 @@ let parse input =
               resources = List.rev !resources;
               computations = List.rev !computations;
               sessions = List.rev !sessions;
+              faults = Fault.sort (List.rev !faults);
             }
       | exception Parse_error (message, line) ->
           Error (Printf.sprintf "line %d: %s" line message))
@@ -332,6 +385,35 @@ let print doc =
           List.iter (print_event buf) p.Session.events)
         s.Session.participants)
     doc.sessions;
+  if doc.faults <> [] then Buffer.add_char buf '\n';
+  List.iter
+    (fun (f : Fault.t) ->
+      match f.Fault.kind with
+      | Fault.Revoke slice | Fault.Rejoin slice ->
+          let kw =
+            match f.Fault.kind with
+            | Fault.Revoke _ -> "revoke"
+            | _ -> "rejoin"
+          in
+          (* A multi-term slice prints as one stanza per term, each with
+             the same delivery tick — semantically the same fault. *)
+          List.iter
+            (fun term ->
+              Printf.bprintf buf "fault %s " kw;
+              print_ltype buf (Term.ltype term);
+              Printf.bprintf buf " rate %d from %d to %d at %d\n"
+                (Term.rate term)
+                (Interval.start (Term.interval term))
+                (Interval.stop (Term.interval term))
+                f.Fault.at)
+            (Resource_set.to_terms slice)
+      | Fault.Blackout { location; until } ->
+          Printf.bprintf buf "fault blackout %s from %d to %d\n"
+            (Location.name location) f.Fault.at until
+      | Fault.Slowdown { computation; factor } ->
+          Printf.bprintf buf "fault slowdown %s factor %d at %d\n" computation
+            factor f.Fault.at)
+    doc.faults;
   Buffer.contents buf
 
 let pp ppf doc = Format.pp_print_string ppf (print doc)

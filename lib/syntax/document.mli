@@ -44,7 +44,25 @@ session rpc start 0 deadline 40
     await client
     evaluate 1
     send client size 1
-    v} *)
+    v}
+
+    Fault plans (see [Rota_sim.Fault]) are declared with one-line [fault]
+    stanzas — unannounced failures the engine injects during the run, as
+    opposed to the declared departures of [resource] lines:
+
+    {v
+# half of l1's cpu leaves at t=10 without notice
+fault revoke cpu@l1 rate 1 from 10 to 30
+# ... and churns back at t=18
+fault rejoin cpu@l1 rate 1 from 18 to 30
+fault blackout l2 from 12 to 20
+fault slowdown job1 factor 2 at 15
+    v}
+
+    [revoke]/[rejoin] take a resource spec like [resource] lines, with an
+    optional trailing [at <tick>] (default: the interval start) for the
+    delivery tick; [blackout]'s window is its [from .. to]; [slowdown]
+    names a computation and inflates its remaining work by [factor]. *)
 
 type resource = {
   term : Term.t;
@@ -59,6 +77,10 @@ type t = {
   sessions : Session.t list;
       (** Interacting-actor sessions: [session] blocks whose actor bodies
           may contain [await <actor>] lines. *)
+  faults : Fault.plan;
+      (** Declared [fault] stanzas, sorted by delivery time.  Not part of
+          {!to_trace} (faults are injected beside the trace, via
+          [Engine.run ~faults]). *)
 }
 
 val parse : string -> (t, string) result

@@ -10,4 +10,5 @@ module Action = Rota_actor.Action
 module Program = Rota_actor.Program
 module Computation = Rota_actor.Computation
 module Trace = Rota_sim.Trace
+module Fault = Rota_sim.Fault
 module Session = Rota.Session

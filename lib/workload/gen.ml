@@ -167,3 +167,64 @@ let churn_joins prng world ~horizon ~joins ~rate ~duration =
           (at, Resource_set.singleton (Term.v r span (Located_type.cpu node)))
       | None -> (at, Resource_set.empty))
   |> List.filter (fun (_, r) -> not (Resource_set.is_empty r))
+
+let random_faults prng world ~horizon ~intensity ~cpu_rate ~targets =
+  if intensity <= 0. then []
+  else begin
+    let cpu_slice node ~start ~stop ~rate =
+      match Interval.make ~start ~stop with
+      | Some span -> Resource_set.singleton (Term.v rate span (Located_type.cpu node))
+      | None -> Resource_set.empty
+    in
+    let count = max 1 (int_of_float (Float.round (intensity *. 8.))) in
+    let faults = ref [] in
+    let push at kind = faults := { Fault.at; kind } :: !faults in
+    for _ = 1 to count do
+      (* Faults land in the middle of the run, when commitments exist. *)
+      let at = Prng.int_range prng (max 1 (horizon / 8)) (max 2 (3 * horizon / 4)) in
+      match Prng.int prng 10 with
+      | 0 | 1 | 2 | 3 | 4 ->
+          (* Unannounced revocation: part of one node's cpu leaves early. *)
+          let node = Prng.choose prng world.locations in
+          let rate = Prng.int_range prng 1 (max 1 (cpu_rate / 2)) in
+          let stop = min horizon (at + Prng.int_range prng (max 2 (horizon / 8)) (max 3 (horizon / 3))) in
+          let slice = cpu_slice node ~start:at ~stop ~rate in
+          if not (Resource_set.is_empty slice) then begin
+            push at (Fault.Revoke slice);
+            (* An unreliable membership layer may deliver the same
+               revocation twice; clipping makes the duplicate a no-op. *)
+            if Prng.int prng 4 = 0 then push (at + 1) (Fault.Revoke slice);
+            (* Capacity often churns back — what backoff-retry waits for. *)
+            if Prng.int prng 10 < 6 then begin
+              let back = at + Prng.int_range prng 2 8 in
+              let rejoin = cpu_slice node ~start:back ~stop ~rate in
+              if back < stop && not (Resource_set.is_empty rejoin) then
+                push back (Fault.Rejoin rejoin)
+            end
+          end
+      | 5 | 6 ->
+          (* Node blackout window. *)
+          let node = Prng.choose prng world.locations in
+          let until = min horizon (at + Prng.int_range prng 3 (max 4 (horizon / 6))) in
+          if until > at then push at (Fault.Blackout { location = node; until })
+      | 7 | 8 -> (
+          (* Transient cost overrun on one admitted computation. *)
+          match targets with
+          | [] -> ()
+          | _ ->
+              push at
+                (Fault.Slowdown
+                   {
+                     computation = Prng.choose prng targets;
+                     factor = Prng.int_range prng 2 3;
+                   }))
+      | _ ->
+          (* Unpaired rejoin: fresh capacity from nowhere. *)
+          let node = Prng.choose prng world.locations in
+          let rate = Prng.int_range prng 1 (max 1 (cpu_rate / 2)) in
+          let stop = min horizon (at + Prng.int_range prng (max 2 (horizon / 8)) (max 3 (horizon / 3))) in
+          let slice = cpu_slice node ~start:at ~stop ~rate in
+          if not (Resource_set.is_empty slice) then push at (Fault.Rejoin slice)
+    done;
+    Fault.sort (List.rev !faults)
+  end

@@ -81,3 +81,18 @@ val churn_joins :
     random node (rate and lifetime uniform in the given ranges, clipped to
     the horizon).  The join instant is the interval start, honouring the
     rule that departure time is declared on joining. *)
+
+val random_faults :
+  Prng.t ->
+  world ->
+  horizon:Time.t ->
+  intensity:float ->
+  cpu_rate:int ->
+  targets:string list ->
+  Fault.plan
+(** A deterministic fault plan: roughly [8 * intensity] fault events
+    landing in the middle of the horizon — unannounced cpu revocations
+    (sometimes delivered twice, sometimes followed by a {!Fault.Rejoin}
+    of the same slice a few ticks later), node blackout windows,
+    transient slowdowns on random [targets] (admitted computation ids),
+    and unpaired rejoins.  [intensity <= 0.] is the empty plan. *)

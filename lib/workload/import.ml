@@ -13,4 +13,5 @@ module Cost_model = Rota_actor.Cost_model
 module Program = Rota_actor.Program
 module Computation = Rota_actor.Computation
 module Trace = Rota_sim.Trace
+module Fault = Rota_sim.Fault
 module Session = Rota.Session

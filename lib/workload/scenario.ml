@@ -173,3 +173,14 @@ let pooled ~seed ~pools ~per_pool ~horizon =
       (computations p)
   done;
   (!capacity, List.rev !tagged)
+
+let fault_plan ?(fault_seed = 0) ?(intensity = 0.5) p =
+  if intensity <= 0. then []
+  else
+    let prng = Prng.create (p.seed + 1009 + fault_seed) in
+    let world = world_of p in
+    let targets =
+      List.map (fun (c : Computation.t) -> c.Computation.id) (computations p)
+    in
+    Gen.random_faults prng world ~horizon:p.horizon ~intensity
+      ~cpu_rate:p.cpu_rate ~targets

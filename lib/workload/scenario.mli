@@ -60,3 +60,11 @@ val pooled :
 val pool_capacity :
   seed:int -> pools:int -> horizon:Time.t -> int -> Resource_set.t
 (** The capacity slice of one pool of the {!pooled} scenario. *)
+
+val fault_plan : ?fault_seed:int -> ?intensity:float -> params -> Fault.plan
+(** A deterministic fault plan for the scenario [trace p] generates:
+    {!Gen.random_faults} seeded from [p.seed + 1009 + fault_seed] (so the
+    plan varies under [fault_seed] without disturbing the workload),
+    targeting the scenario's computation ids with slowdowns.  [intensity]
+    (default [0.5]) scales the number of fault events; [<= 0.] is the
+    empty plan. *)

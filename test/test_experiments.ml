@@ -25,7 +25,7 @@ let test_descriptions () =
       | Some d -> Alcotest.(check bool) (id ^ " described") true (String.length d > 0)
       | None -> Alcotest.failf "no description for %s" id)
     Rota_experiments.Experiments.all_ids;
-  Alcotest.(check int) "ten experiments" 10
+  Alcotest.(check int) "eleven experiments" 11
     (List.length Rota_experiments.Experiments.all_ids)
 
 (* --- Engine observer -------------------------------------------------------- *)

@@ -242,7 +242,7 @@ let prop_roundtrip =
         |> List.map (fun term -> { Document.term; join_at = 0 })
       in
       let computations = Rota_workload.Scenario.computations params in
-      let doc = { Document.resources; computations; sessions = [] } in
+      let doc = { Document.resources; computations; sessions = []; faults = [] } in
       match Document.parse (Document.print doc) with
       | Error _ -> false
       | Ok doc2 ->
@@ -265,7 +265,8 @@ let prop_print_idempotent =
       let doc =
         { Document.resources;
           computations = Rota_workload.Scenario.computations params;
-          sessions = [] }
+          sessions = [];
+          faults = [] }
       in
       let once = Document.print doc in
       match Document.parse once with
