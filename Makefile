@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke trace-smoke faults-smoke check fmt clean
+.PHONY: all build test bench bench-smoke trace-smoke faults-smoke audit-smoke check fmt clean
 
 all: build
 
@@ -17,9 +17,10 @@ bench:
 # the cached-residual decision path is exercised beyond unit tests (the
 # O(n) invariant checker stays off here — it would hide the incremental
 # cost being measured; the test suite runs it instead).  CI runs this
-# on every push.
+# on every push.  The machine-readable snapshot lands in BENCH_0.json
+# (schema rota-bench-1); the committed copy is the repo's perf baseline.
 bench-smoke:
-	dune exec bench/main.exe -- scheduler/admission-scale
+	dune exec bench/main.exe -- scheduler/admission-scale --json BENCH_0.json
 
 # Trace contract, end to end on a real experiment: the E6 trace the
 # binary emits must satisfy its own validator, and the analysis tools
@@ -47,9 +48,27 @@ faults-smoke: build
 	test "$$a" = "$$b" && \
 	echo "faults-smoke: OK"
 
+# Decision-provenance smoke, end to end: trace E6 (admissions and
+# rejections across all policies) and E11 (faults, evictions, repairs),
+# then make the independent offline auditor replay each trace and
+# re-verify every decision certificate from the trace file alone.  Any
+# divergence — a certificate the validator rejects, a residual digest
+# that does not match the reconstruction — fails the build.
+audit-smoke: build
+	@tmp6=$$(mktemp /tmp/rota-audit-smoke-e6.XXXXXX.jsonl); \
+	tmp11=$$(mktemp /tmp/rota-audit-smoke-e11.XXXXXX.jsonl); \
+	trap 'rm -f "$$tmp6" "$$tmp11"' EXIT; \
+	dune exec bin/main.exe -- e6 --trace "$$tmp6" >/dev/null && \
+	dune exec bin/main.exe -- trace validate "$$tmp6" && \
+	dune exec bin/main.exe -- audit "$$tmp6" && \
+	dune exec bin/main.exe -- e11 --trace "$$tmp11" >/dev/null && \
+	dune exec bin/main.exe -- trace validate "$$tmp11" && \
+	dune exec bin/main.exe -- audit "$$tmp11" && \
+	echo "audit-smoke: OK"
+
 # What CI runs.  `dune fmt` is included only when ocamlformat is
 # installed — the pinned toolchain image ships without it.
-check: build test trace-smoke faults-smoke
+check: build test trace-smoke faults-smoke audit-smoke
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt; \
 	else \

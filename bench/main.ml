@@ -515,8 +515,77 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   nn = 0 || go 0
 
+(* --- machine-readable output ----------------------------------------------- *)
+
+(* BENCH_<n>.json: group -> test -> ns/run, plus enough metadata to
+   compare numbers across commits (schema "rota-bench-1").  Committed
+   snapshots let a later change diff its perf claims against the repo's
+   recorded baseline instead of a hand-copied table. *)
+module Json = Rota_obs.Json
+
+(* Bechamel reports NaN when a suite produced no usable estimate; JSON
+   has no NaN literal, so encode it (and infinities) as null. *)
+let json_float x = if Float.is_finite x then Json.Float x else Json.Null
+
+let json_results ~filters ~chosen rows =
+  (* Attribute each measured row back to its registry suite: row names
+     are "rota/<suite...>", so the longest suite name that is a
+     substring wins (suite names never overlap in practice, but indexed
+     rows append ":<arg>" and grouped rows insert subtest segments). *)
+  let group_of name =
+    List.fold_left
+      (fun best (suite, _) ->
+        if contains name suite then
+          match best with
+          | Some b when String.length b >= String.length suite -> best
+          | _ -> Some suite
+        else best)
+      None chosen
+    |> Option.value ~default:"other"
+  in
+  let groups =
+    List.fold_left
+      (fun acc (name, ns, r2) ->
+        let g = group_of name in
+        let entry =
+          Json.Obj [ ("ns_per_run", json_float ns); ("r_square", json_float r2) ]
+        in
+        match List.assoc_opt g acc with
+        | Some tests -> (g, (name, entry) :: tests) :: List.remove_assoc g acc
+        | None -> (g, [ (name, entry) ]) :: acc)
+      [] rows
+    |> List.rev_map (fun (g, tests) -> (g, Json.Obj (List.rev tests)))
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "rota-bench-1");
+      ( "metadata",
+        Json.Obj
+          [
+            ("ocaml", Json.String Sys.ocaml_version);
+            ("word_size", Json.Int Sys.word_size);
+            ("quota_s", Json.Float 0.25);
+            ("limit", Json.Int 1000);
+            ("filters", Json.List (List.map (fun f -> Json.String f) filters));
+          ] );
+      ("groups", Json.Obj groups);
+    ]
+
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
+  (* --json PATH (or --json=PATH) is the harness's own flag; everything
+     else is a suite-name filter. *)
+  let json_out, requested =
+    let rec go acc = function
+      | [] -> (None, List.rev acc)
+      | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | arg :: rest
+        when String.length arg > 7 && String.sub arg 0 7 = "--json=" ->
+          (Some (String.sub arg 7 (String.length arg - 7)), List.rev_append acc rest)
+      | arg :: rest -> go (arg :: acc) rest
+    in
+    go [] requested
+  in
   let chosen =
     if requested = [] then suites
     else
@@ -554,4 +623,15 @@ let () =
   Printf.printf "%s\n" (String.make 70 '-');
   List.iter
     (fun (name, ns, r2) -> Printf.printf "%-44s %16.1f %8.3f\n" name ns r2)
-    rows
+    rows;
+  match json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Json.to_string (json_results ~filters:requested ~chosen rows));
+          output_char oc '\n');
+      Printf.printf "json written to %s\n" path

@@ -613,6 +613,61 @@ let trace_cmd =
       trace_diff_cmd; trace_export_cmd;
     ]
 
+(* --- rota audit / rota explain --------------------------------------------- *)
+
+let audit_cmd =
+  let max_div_arg =
+    Arg.(value & opt int 100 & info [ "max-divergences" ] ~docv:"N"
+           ~doc:"How many divergences to report before summarizing the rest.")
+  in
+  let run file max_divergences =
+    match Rota_audit.Audit.audit_file ~max_divergences file with
+    | Error e ->
+        Format.eprintf "rota audit: %s: %a@." file Trace_reader.pp_error e;
+        1
+    | Ok report ->
+        Format.printf "%a@." Rota_audit.Audit.pp_report report;
+        if Rota_audit.Audit.ok report then 0 else 1
+  in
+  let doc =
+    "Independently re-verify every decision certificate in a trace: replay \
+     the trace, reconstruct capacity and the commitment ledger from prior \
+     events alone, and re-check each certificate through the validator \
+     (never the decision procedure).  Exits non-zero on any divergence."
+  in
+  Cmd.v (Cmd.info "audit" ~doc)
+    Term.(const run $ trace_pos ~docv:"TRACE" () $ max_div_arg)
+
+let explain_cmd =
+  let id_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"ID"
+           ~doc:"A computation or session id appearing in the trace.")
+  in
+  let run file id =
+    match Rota_audit.Audit.explain_file file ~id with
+    | Error e ->
+        Format.eprintf "rota explain: %s: %a@." file Trace_reader.pp_error e;
+        1
+    | Ok [] ->
+        Printf.eprintf "rota explain: no decision about %s in %s\n" id file;
+        1
+    | Ok blocks ->
+        List.iteri
+          (fun i b ->
+            if i > 0 then print_newline ();
+            print_endline b)
+          blocks;
+        0
+  in
+  let doc =
+    "Explain why a computation was admitted, rejected, evicted, or \
+     repaired: its decision records with the theorem consulted, the \
+     breakpoint timeline of the certified schedule, and the auditor's \
+     verdict."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ trace_pos ~docv:"TRACE" () $ id_arg)
+
 (* --- rota ----------------------------------------------------------------- *)
 
 let main_cmd =
@@ -623,7 +678,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "rota" ~version:"1.0.0" ~doc)
     ([ experiment_cmd; simulate_cmd; check_cmd; plan_cmd; calibrate_cmd;
-       trace_cmd ]
+       trace_cmd; audit_cmd; explain_cmd ]
     @ experiment_alias_cmds)
 
 let () = exit (Cmd.eval' main_cmd)

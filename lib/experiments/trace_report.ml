@@ -53,6 +53,23 @@ let slowest_table (s : Summary.t) =
          ])
        s.Summary.slowest)
 
+let reject_reasons_table (s : Summary.t) =
+  let rows =
+    List.concat_map
+      (fun (r : Summary.run) ->
+        List.map
+          (fun (slug, n) ->
+            [
+              Table.cell_int r.Summary.run_id;
+              (if r.Summary.policy = "" then "?" else r.Summary.policy);
+              slug;
+              Table.cell_int n;
+            ])
+          r.Summary.reject_reasons)
+      s.Summary.runs
+  in
+  Table.make ~header:[ "run"; "policy"; "reject reason"; "count" ] rows
+
 let series_table (s : Summary.t) =
   Table.make
     ~header:[ "metric series"; "samples"; "first"; "last"; "min"; "max" ]
@@ -77,6 +94,12 @@ let print_summary (s : Summary.t) =
   if s.Summary.runs <> [] then begin
     print_endline "-- runs --";
     Table.print (runs_table s)
+  end;
+  if List.exists (fun (r : Summary.run) -> r.Summary.reject_reasons <> [])
+       s.Summary.runs
+  then begin
+    print_endline "-- reject reasons --";
+    Table.print (reject_reasons_table s)
   end;
   if s.Summary.span_stats <> [] then begin
     print_endline "-- spans (self vs total) --";
@@ -116,6 +139,7 @@ let print_diff ~label_a ~label_b (a : Summary.t) (b : Summary.t) =
       agg_killed = 0;
       agg_owed = 0;
       agg_latencies = [||];
+      agg_reject_reasons = [];
     }
   in
   Printf.printf "A = %s\nB = %s\n\n" label_a label_b;

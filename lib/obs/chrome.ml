@@ -103,8 +103,15 @@ let export events =
                  ("ts", us e.Events.wall_s);
                  ("args", Json.Obj [ ("value", Json.Float value) ]);
                ])
-      | Events.Capacity_joined { quantity } ->
+      | Events.Capacity_joined { quantity; terms = _ } ->
           instant e "capacity-joined" [ ("quantity", Json.Int quantity) ]
+      | Events.Decision { id; policy; action; slug; certificate = _ } ->
+          (* The certificate is structured evidence for the auditor, not
+             a mark annotation: exporting it verbatim would bloat the
+             viewer args without rendering usefully. *)
+          instant e
+            (Printf.sprintf "decision %s %s" action id)
+            [ ("policy", Json.String policy); ("slug", Json.String slug) ]
       | Events.Admitted { id; policy; reason } ->
           instant e
             (Printf.sprintf "admitted %s" id)
@@ -117,7 +124,7 @@ let export events =
           instant e (Printf.sprintf "completed %s" id) []
       | Events.Killed { id; owed } ->
           instant e (Printf.sprintf "killed %s" id) [ ("owed", Json.Int owed) ]
-      | Events.Fault_injected { fault; quantity } ->
+      | Events.Fault_injected { fault; quantity; terms = _ } ->
           instant e
             (Printf.sprintf "fault %s" fault)
             [ ("quantity", Json.Int quantity) ]

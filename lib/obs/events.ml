@@ -1,14 +1,21 @@
 type payload =
   | Run_started of { label : string }
-  | Capacity_joined of { quantity : int }
+  | Capacity_joined of { quantity : int; terms : Json.t }
   | Admitted of { id : string; policy : string; reason : string }
   | Rejected of { id : string; policy : string; reason : string }
+  | Decision of {
+      id : string;
+      policy : string;
+      action : string;
+      slug : string;
+      certificate : Json.t;
+    }
   | Completed of { id : string }
   | Killed of { id : string; owed : int }
-  | Fault_injected of { fault : string; quantity : int }
+  | Fault_injected of { fault : string; quantity : int; terms : Json.t }
   | Commitment_revoked of { id : string; quantity : int }
-  | Commitment_degraded of { id : string; extra : int }
-  | Repaired of { id : string; rung : string; attempt : int }
+  | Commitment_degraded of { id : string; extra : int; released : bool }
+  | Repaired of { id : string; rung : string; attempt : int; certificate : Json.t }
   | Preempted of { id : string; owed : int }
   | Anomaly of { id : string; reason : string }
   | Span of {
@@ -35,6 +42,7 @@ let kind = function
   | Capacity_joined _ -> "capacity-joined"
   | Admitted _ -> "admitted"
   | Rejected _ -> "rejected"
+  | Decision _ -> "decision"
   | Completed _ -> "completed"
   | Killed _ -> "killed"
   | Fault_injected _ -> "fault"
@@ -47,29 +55,45 @@ let kind = function
   | Metric_sample _ -> "metric-sample"
   | Unknown { kind; _ } -> kind
 
+(* Optional payload fields (the decision-provenance additions) are
+   serialized only when present, so events parsed from legacy traces —
+   where the defaults kick in — re-serialize to the same line and the
+   strict round-trip check keeps holding on both schema generations. *)
+let opt_json name v rest = if v = Json.Null then rest else (name, v) :: rest
+
 let payload_fields = function
   | Run_started { label } -> [ ("label", Json.String label) ]
-  | Capacity_joined { quantity } -> [ ("quantity", Json.Int quantity) ]
+  | Capacity_joined { quantity; terms } ->
+      ("quantity", Json.Int quantity) :: opt_json "terms" terms []
   | Admitted { id; policy; reason } | Rejected { id; policy; reason } ->
       [
         ("id", Json.String id);
         ("policy", Json.String policy);
         ("reason", Json.String reason);
       ]
+  | Decision { id; policy; action; slug; certificate } ->
+      ("id", Json.String id)
+      :: ("policy", Json.String policy)
+      :: ("action", Json.String action)
+      :: ("slug", Json.String slug)
+      :: opt_json "certificate" certificate []
   | Completed { id } -> [ ("id", Json.String id) ]
   | Killed { id; owed } -> [ ("id", Json.String id); ("owed", Json.Int owed) ]
-  | Fault_injected { fault; quantity } ->
-      [ ("fault", Json.String fault); ("quantity", Json.Int quantity) ]
+  | Fault_injected { fault; quantity; terms } ->
+      ("fault", Json.String fault)
+      :: ("quantity", Json.Int quantity)
+      :: opt_json "terms" terms []
   | Commitment_revoked { id; quantity } ->
       [ ("id", Json.String id); ("quantity", Json.Int quantity) ]
-  | Commitment_degraded { id; extra } ->
-      [ ("id", Json.String id); ("extra", Json.Int extra) ]
-  | Repaired { id; rung; attempt } ->
-      [
-        ("id", Json.String id);
-        ("rung", Json.String rung);
-        ("attempt", Json.Int attempt);
-      ]
+  | Commitment_degraded { id; extra; released } ->
+      ("id", Json.String id)
+      :: ("extra", Json.Int extra)
+      :: (if released then [ ("released", Json.Bool true) ] else [])
+  | Repaired { id; rung; attempt; certificate } ->
+      ("id", Json.String id)
+      :: ("rung", Json.String rung)
+      :: ("attempt", Json.Int attempt)
+      :: opt_json "certificate" certificate []
   | Preempted { id; owed } ->
       [ ("id", Json.String id); ("owed", Json.Int owed) ]
   | Anomaly { id; reason } ->
@@ -109,6 +133,18 @@ let field name decode json =
    (used to preserve unknown kinds verbatim). *)
 let envelope_keys = [ "seq"; "run"; "sim"; "wall_s"; "kind" ]
 
+(* Decision-provenance fields arrived after the first schema revision;
+   traces written by older binaries omit them.  They default ([Null],
+   [false]) rather than error, mirroring the span-linkage fields. *)
+let opt_field name json =
+  Ok (Option.value (Json.member name json) ~default:Json.Null)
+
+let bool_field name json =
+  match Json.member name json with
+  | None -> Ok false
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S is not a boolean" name)
+
 let payload_of_json ~strict ~wall_s json =
   let* k = field "kind" Json.to_str json in
   match k with
@@ -117,7 +153,15 @@ let payload_of_json ~strict ~wall_s json =
       Ok (Run_started { label })
   | "capacity-joined" ->
       let* quantity = field "quantity" Json.to_int json in
-      Ok (Capacity_joined { quantity })
+      let* terms = opt_field "terms" json in
+      Ok (Capacity_joined { quantity; terms })
+  | "decision" ->
+      let* id = field "id" Json.to_str json in
+      let* policy = field "policy" Json.to_str json in
+      let* action = field "action" Json.to_str json in
+      let* slug = field "slug" Json.to_str json in
+      let* certificate = opt_field "certificate" json in
+      Ok (Decision { id; policy; action; slug; certificate })
   | "admitted" | "rejected" ->
       let* id = field "id" Json.to_str json in
       let* policy = field "policy" Json.to_str json in
@@ -135,7 +179,8 @@ let payload_of_json ~strict ~wall_s json =
   | "fault" ->
       let* fault = field "fault" Json.to_str json in
       let* quantity = field "quantity" Json.to_int json in
-      Ok (Fault_injected { fault; quantity })
+      let* terms = opt_field "terms" json in
+      Ok (Fault_injected { fault; quantity; terms })
   | "revoked" ->
       let* id = field "id" Json.to_str json in
       let* quantity = field "quantity" Json.to_int json in
@@ -143,12 +188,14 @@ let payload_of_json ~strict ~wall_s json =
   | "degraded" ->
       let* id = field "id" Json.to_str json in
       let* extra = field "extra" Json.to_int json in
-      Ok (Commitment_degraded { id; extra })
+      let* released = bool_field "released" json in
+      Ok (Commitment_degraded { id; extra; released })
   | "repaired" ->
       let* id = field "id" Json.to_str json in
       let* rung = field "rung" Json.to_str json in
       let* attempt = field "attempt" Json.to_int json in
-      Ok (Repaired { id; rung; attempt })
+      let* certificate = opt_field "certificate" json in
+      Ok (Repaired { id; rung; attempt; certificate })
   | "preempted" ->
       let* id = field "id" Json.to_str json in
       let* owed = field "owed" Json.to_int json in
@@ -222,16 +269,19 @@ let pp_payload ~sim ppf payload =
   match payload with
   | Run_started { label } ->
       Format.fprintf ppf "%a run started: %s" pp_sim sim label
-  | Capacity_joined { quantity } ->
+  | Capacity_joined { quantity; terms = _ } ->
       Format.fprintf ppf "%a capacity +%d" pp_sim sim quantity
   | Admitted { id; policy = _; reason = _ } ->
       Format.fprintf ppf "%a admitted %s" pp_sim sim id
   | Rejected { id; policy = _; reason } ->
       Format.fprintf ppf "%a rejected %s (%s)" pp_sim sim id reason
+  | Decision { id; policy = _; action; slug; certificate } ->
+      Format.fprintf ppf "%a decision %s %s [%s]%s" pp_sim sim action id slug
+        (if certificate = Json.Null then "" else " certified")
   | Completed { id } -> Format.fprintf ppf "%a completed %s" pp_sim sim id
   | Killed { id; owed } ->
       Format.fprintf ppf "%a killed %s (owed %d)" pp_sim sim id owed
-  | Fault_injected { fault; quantity } ->
+  | Fault_injected { fault; quantity; terms = _ } ->
       (* Rejoins bring capacity back; every other kind takes it away.
          Slowdowns move work, not capacity (quantity 0): no parens. *)
       if quantity = 0 then Format.fprintf ppf "%a fault %s" pp_sim sim fault
@@ -240,9 +290,9 @@ let pp_payload ~sim ppf payload =
         Format.fprintf ppf "%a fault %s (%c%d)" pp_sim sim fault sign quantity
   | Commitment_revoked { id; quantity } ->
       Format.fprintf ppf "%a revoked %s (lost %d)" pp_sim sim id quantity
-  | Commitment_degraded { id; extra } ->
+  | Commitment_degraded { id; extra; released = _ } ->
       Format.fprintf ppf "%a degraded %s (+%d work)" pp_sim sim id extra
-  | Repaired { id; rung; attempt } ->
+  | Repaired { id; rung; attempt; certificate = _ } ->
       Format.fprintf ppf "%a repaired %s via %s (attempt %d)" pp_sim sim id
         rung attempt
   | Preempted { id; owed } ->

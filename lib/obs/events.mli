@@ -17,29 +17,56 @@ type payload =
   | Run_started of { label : string }
       (** A new engine run (or other traced scope) began; subsequent
           simulated times restart from this point. *)
-  | Capacity_joined of { quantity : int }
+  | Capacity_joined of { quantity : int; terms : Json.t }
       (** Resources joined the open system; [quantity] is the total
-          usable quantity within the run's horizon. *)
+          usable quantity within the run's horizon.  [terms] is the
+          joined slice as profile rectangles (the certificate [rect]
+          list encoding), [Null] in traces from older binaries. *)
   | Admitted of { id : string; policy : string; reason : string }
   | Rejected of { id : string; policy : string; reason : string }
+  | Decision of {
+      id : string;
+      policy : string;
+      action : string;
+          (** ["admit"], ["reject"], ["evict"], or ["repair"]. *)
+      slug : string;
+          (** Stable outcome taxonomy: {!Slug.of_reason} of the
+              decision's reason, the same label the metrics counters
+              use. *)
+      certificate : Json.t;
+          (** Serialized [Rota.Certificate.t] — the theorem evidence the
+              decider actually checked — or [Null] when the decision
+              carries no certificate. *)
+    }
+      (** Decision provenance: every admission-control verdict (admit,
+          reject, evict, repair) with its machine-checkable certificate.
+          Emitted alongside the legacy {!Admitted}/{!Rejected} records,
+          which remain the human-readable telling. *)
   | Completed of { id : string }
   | Killed of { id : string; owed : int }
       (** Deadline kill; [owed] is the quantity still unfinished. *)
-  | Fault_injected of { fault : string; quantity : int }
+  | Fault_injected of { fault : string; quantity : int; terms : Json.t }
       (** An unannounced fault fired ([Rota_sim.Fault.kind_name]);
           [quantity] is the capacity actually lost (0 for slowdowns,
           negative for nothing — rejoins report the quantity {e
-          gained}). *)
+          gained}).  [terms] is the slice actually removed, as profile
+          rectangles; [Null] for slowdowns/rejoins and in traces from
+          older binaries. *)
   | Commitment_revoked of { id : string; quantity : int }
       (** A fault evicted this commitment from the calendar; [quantity]
           is the reservation quantity it lost. *)
-  | Commitment_degraded of { id : string; extra : int }
+  | Commitment_degraded of { id : string; extra : int; released : bool }
       (** A slowdown fault inflated this computation's remaining work by
-          [extra] quantity units. *)
-  | Repaired of { id : string; rung : string; attempt : int }
+          [extra] quantity units.  [released] records whether the engine
+          also released its calendar reservation (true when the repair
+          ladder will re-admit it; false — and omitted on the wire —
+          when the commitment stays put). *)
+  | Repaired of { id : string; rung : string; attempt : int;
+                  certificate : Json.t }
       (** The repair ladder rescued the computation ([rung] is
           ["reaccommodate"] or ["migrate"]); [attempt] counts backoff
-          retries before success (0 = first try). *)
+          retries before success (0 = first try).  [certificate] is the
+          Theorem-3 re-admission evidence ([Null] in older traces). *)
   | Preempted of { id : string; owed : int }
       (** The repair ladder gave up and killed the victim early,
           releasing its resources; [owed] as in {!Killed}. *)

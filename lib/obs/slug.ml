@@ -1,0 +1,29 @@
+(* One slugging path for every consumer of reject reasons: the metrics
+   counters (admission/reject_reason.<slug>) and the trace summaries
+   bucket by the same labels, so the two tellings of a run agree. *)
+
+let of_reason reason =
+  let buf = Buffer.create (String.length reason) in
+  let last_dash = ref true in
+  String.iter
+    (fun c ->
+      let c = Char.lowercase_ascii c in
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then begin
+        Buffer.add_char buf c;
+        last_dash := false
+      end
+      else if not !last_dash then begin
+        Buffer.add_char buf '-';
+        last_dash := true
+      end)
+    reason;
+  let s = Buffer.contents buf in
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = '-' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  let s = if String.length s > 48 then String.sub s 0 48 else s in
+  (* An all-punctuation reason would otherwise yield a dangling empty
+     label. *)
+  if String.length s = 0 then "other" else s

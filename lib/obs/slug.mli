@@ -1,0 +1,12 @@
+(** The rejection-reason taxonomy: free text compressed into a stable
+    label.
+
+    Admission reject reasons are human-readable sentences; metrics
+    counters and trace summaries both need one stable series per
+    {e kind} of reason.  This is the single slugging function they
+    share — lowercase alphanumerics with dash runs, capped at 48
+    characters, never empty. *)
+
+val of_reason : string -> string
+(** [of_reason reason] is the stable slug (falls back to ["other"] for
+    all-punctuation input). *)

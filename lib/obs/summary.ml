@@ -10,6 +10,7 @@ type run = {
   killed : int;
   owed : int;
   latencies : int array;
+  reject_reasons : (string * int) list;
 }
 
 type span_stat = {
@@ -68,7 +69,22 @@ type racc = {
   mutable a_killed : int;
   mutable a_owed : int;
   mutable a_latencies : int list;
+  a_reject_reasons : (string, int) Hashtbl.t;
 }
+
+(* Count-descending, then name, so the heaviest bucket leads and ties
+   are deterministic. *)
+let sorted_reasons tbl =
+  Hashtbl.fold (fun slug n acc -> (slug, n) :: acc) tbl []
+  |> List.sort (fun (s1, n1) (s2, n2) ->
+         match compare n2 n1 with 0 -> String.compare s1 s2 | c -> c)
+
+let merge_reasons tbl reasons =
+  List.iter
+    (fun (slug, n) ->
+      Hashtbl.replace tbl slug
+        (n + Option.value (Hashtbl.find_opt tbl slug) ~default:0))
+    reasons
 
 (* A span flattened out of its inline record, so it can be accumulated. *)
 type sp = {
@@ -96,6 +112,7 @@ let of_events ?(top = 10) events =
             a_killed = 0;
             a_owed = 0;
             a_latencies = [];
+            a_reject_reasons = Hashtbl.create 8;
           }
         in
         Hashtbl.replace runs run_id a;
@@ -114,14 +131,21 @@ let of_events ?(top = 10) events =
       let a = racc e.Events.run in
       match e.Events.payload with
       | Events.Run_started { label } -> a.a_label <- label
-      | Events.Capacity_joined { quantity } ->
+      | Events.Capacity_joined { quantity; _ } ->
           a.a_capacity <- a.a_capacity + quantity
       | Events.Admitted { id; _ } ->
           a.a_admitted <- a.a_admitted + 1;
           Option.iter
             (fun t -> Hashtbl.replace admit_time (e.Events.run, id) t)
             e.Events.sim
-      | Events.Rejected _ -> a.a_rejected <- a.a_rejected + 1
+      (* Bucketed by the same slug the metrics counters use
+         (admission/reject_reason.<slug>), so the two tellings agree.
+         Counted from the legacy Rejected record, not the Decision
+         record that newer traces emit alongside it — counting both
+         would double every reject. *)
+      | Events.Rejected { reason; _ } ->
+          a.a_rejected <- a.a_rejected + 1;
+          merge_reasons a.a_reject_reasons [ (Slug.of_reason reason, 1) ]
       | Events.Completed { id } ->
           a.a_completed <- a.a_completed + 1;
           Option.iter
@@ -156,9 +180,10 @@ let of_events ?(top = 10) events =
       (* Fault/repair lifecycle events don't change admission or
          completion counts; the repair counters reach the summary as
          metric samples instead. *)
-      | Events.Fault_injected _ | Events.Commitment_revoked _
-      | Events.Commitment_degraded _ | Events.Repaired _
-      | Events.Preempted _ | Events.Anomaly _ | Events.Unknown _ -> ())
+      | Events.Decision _ | Events.Fault_injected _
+      | Events.Commitment_revoked _ | Events.Commitment_degraded _
+      | Events.Repaired _ | Events.Preempted _ | Events.Anomaly _
+      | Events.Unknown _ -> ())
     events;
   let runs =
     List.rev_map
@@ -179,6 +204,7 @@ let of_events ?(top = 10) events =
           killed = a.a_killed;
           owed = a.a_owed;
           latencies;
+          reject_reasons = sorted_reasons a.a_reject_reasons;
         })
       !order
     |> List.sort (fun r1 r2 -> compare r1.run_id r2.run_id)
@@ -258,6 +284,7 @@ type agg = {
   agg_killed : int;
   agg_owed : int;
   agg_latencies : int array;
+  agg_reject_reasons : (string * int) list;
 }
 
 let agg_admit_rate a =
@@ -286,8 +313,12 @@ let by_policy t =
               agg_killed = 0;
               agg_owed = 0;
               agg_latencies = [||];
+              agg_reject_reasons = [];
             }
       in
+      let reasons = Hashtbl.create 8 in
+      merge_reasons reasons prev.agg_reject_reasons;
+      merge_reasons reasons r.reject_reasons;
       Hashtbl.replace tbl key
         {
           prev with
@@ -298,6 +329,7 @@ let by_policy t =
           agg_killed = prev.agg_killed + r.killed;
           agg_owed = prev.agg_owed + r.owed;
           agg_latencies = Array.append prev.agg_latencies r.latencies;
+          agg_reject_reasons = sorted_reasons reasons;
         })
     t.runs;
   List.rev_map

@@ -21,6 +21,10 @@ type run = {
   latencies : int array;
       (** Admission-to-completion times in simulated ticks, sorted
           ascending, one per completed computation. *)
+  reject_reasons : (string * int) list;
+      (** Reject counts bucketed by {!Slug.of_reason} — the same labels
+          the metrics counters use — sorted count-descending then by
+          name. *)
 }
 
 val offered : run -> int
@@ -74,6 +78,8 @@ type agg = {
   agg_killed : int;
   agg_owed : int;
   agg_latencies : int array;  (** Pooled and sorted ascending. *)
+  agg_reject_reasons : (string * int) list;
+      (** Pooled reject buckets, same ordering as {!run.reject_reasons}. *)
 }
 
 val by_policy : t -> agg list

@@ -60,7 +60,7 @@ let render ?(width = 60) events =
       let sim = Option.value e.Events.sim ~default:r.r_max_sim in
       match e.Events.payload with
       | Events.Run_started { label } -> r.r_label <- label
-      | Events.Capacity_joined { quantity } ->
+      | Events.Capacity_joined { quantity; _ } ->
           r.r_joins <- (sim, quantity) :: r.r_joins
       | Events.Admitted { id; _ } -> (comp r id).c_admit <- Some sim
       | Events.Rejected { id; _ } -> (comp r id).c_reject <- Some sim
@@ -69,9 +69,10 @@ let render ?(width = 60) events =
       (* A preemption ends the computation's lane like a kill, just
          earlier and by choice. *)
       | Events.Preempted { id; _ } -> (comp r id).c_end <- Some (sim, 'P')
-      | Events.Fault_injected _ | Events.Commitment_revoked _
-      | Events.Commitment_degraded _ | Events.Repaired _ | Events.Anomaly _
-      | Events.Span _ | Events.Metric_sample _ | Events.Unknown _ -> ())
+      | Events.Decision _ | Events.Fault_injected _
+      | Events.Commitment_revoked _ | Events.Commitment_degraded _
+      | Events.Repaired _ | Events.Anomaly _ | Events.Span _
+      | Events.Metric_sample _ | Events.Unknown _ -> ())
     events;
   let buf = Buffer.create 1024 in
   let run_ids = List.rev !order in

@@ -20,6 +20,9 @@ type outcome = {
   admitted : bool;
   reason : string;
   schedules : (Actor_name.t * Accommodation.schedule) list option;
+  certificate : Certificate.t Lazy.t;
+      (** Lazy so the untraced hot path never serializes schedules; the
+          engine forces it only when a tracer is recording. *)
 }
 
 type demand = {
@@ -78,9 +81,11 @@ let total_demand cost_model computation =
   in
   M.bindings totals
 
-let reject reason = { admitted = false; reason; schedules = None }
+let reject ~certificate reason =
+  { admitted = false; reason; schedules = None; certificate }
 
-let admit ?schedules reason = { admitted = true; reason; schedules }
+let admit ?schedules ~certificate reason =
+  { admitted = true; reason; schedules; certificate }
 
 (* --- telemetry ---------------------------------------------------------- *)
 
@@ -122,30 +127,9 @@ module Obs = struct
     Metrics.histogram ~buckets:quantity_buckets
       "admission/reservation_quantity"
 
-  (* Reject reasons become counter labels; compress free text into a
-     stable slug so one reason maps to one series. *)
-  let slug reason =
-    let buf = Buffer.create (String.length reason) in
-    let last_dash = ref true in
-    String.iter
-      (fun c ->
-        let c = Char.lowercase_ascii c in
-        if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then begin
-          Buffer.add_char buf c;
-          last_dash := false
-        end
-        else if not !last_dash then begin
-          Buffer.add_char buf '-';
-          last_dash := true
-        end)
-      reason;
-    let s = Buffer.contents buf in
-    let s = if String.length s > 0 && s.[String.length s - 1] = '-' then
-        String.sub s 0 (String.length s - 1) else s in
-    let s = if String.length s > 48 then String.sub s 0 48 else s in
-    (* An all-punctuation reason would otherwise yield the dangling
-       counter name "admission/reject_reason.". *)
-    if String.length s = 0 then "other" else s
+  (* Reject reasons become counter labels; the shared slugging function
+     guarantees trace summaries bucket by exactly these labels. *)
+  let slug = Rota_obs.Slug.of_reason
 
   let observe_decision policy outcome ~elapsed_s =
     let s = List.assq policy series in
@@ -196,7 +180,10 @@ let request_rota ?(merge = true) ?order c ~now:_ computation =
   in
   match result with
   | None ->
-      (c, reject "residual expiring resources cannot satisfy the requirement")
+      ( c,
+        reject
+          ~certificate:(lazy (Certificate.infeasible ~residual:theta))
+          "residual expiring resources cannot satisfy the requirement" )
   | Some schedules ->
       let named =
         List.map2
@@ -211,18 +198,36 @@ let request_rota ?(merge = true) ?order c ~now:_ computation =
           schedules = named;
         }
       in
+      (* [theta] is the pre-commit residual — exactly what Theorem 4's
+         check ran against, which is what the certificate must pin. *)
+      let certificate =
+        lazy
+          (Certificate.of_schedules ~theorem:Certificate.T4 ~residual:theta
+             (List.map2
+                (fun (actor, s) spec -> (actor, spec, s))
+                named conc.Requirement.parts))
+      in
       (match Calendar.commit c.calendar entry with
       | Ok calendar ->
           ( { c with calendar },
-            admit ~schedules:named "reservation committed (Theorem 4)" )
+            admit ~schedules:named ~certificate
+              "reservation committed (Theorem 4)" )
       | Error e ->
           (* Cannot happen: the reservation was carved from the residual. *)
-          (c, reject ("internal: " ^ e)))
+          ( c,
+            reject
+              ~certificate:(lazy (Certificate.infeasible ~residual:theta))
+              ("internal: " ^ e) ))
 
 let remember_demand c d =
   { c with demands = Demand_map.add d.computation d c.demands }
 
-let ledger_fits c ~window totals =
+(* The aggregate baseline's feasibility table, one row per demanded
+   type: the newcomer's demand vs. capacity within the window minus the
+   total demand of overlapping admitted computations.  The rows are the
+   decision {e and} the certificate — [Certificate.rows_fit] is the
+   single verdict function, so the two cannot disagree. *)
+let ledger_rows c ~window totals =
   let overlapping_committed xi =
     Demand_map.fold
       (fun _ d acc ->
@@ -234,21 +239,32 @@ let ledger_fits c ~window totals =
         else acc)
       c.demands 0
   in
-  List.for_all
+  List.map
     (fun (xi, q) ->
-      Calendar.capacity_quantity c.calendar xi window - overlapping_committed xi
-      >= q)
+      {
+        Certificate.row_type = xi;
+        demand = q;
+        capacity = Calendar.capacity_quantity c.calendar xi window;
+        committed = overlapping_committed xi;
+      })
     totals
 
-let request_aggregate c ~now:_ computation =
-  let window = Computation.window computation in
-  let totals = total_demand c.cost_model computation in
-  if not (ledger_fits c ~window totals) then
-    (c, reject "aggregate quantities do not fit")
+let decide_aggregate c ~id ~window totals =
+  let rows = ledger_rows c ~window totals in
+  let certificate =
+    lazy (Certificate.aggregate ~residual:(residual c) ~window ~rows)
+  in
+  if not (Certificate.rows_fit rows) then
+    (c, reject ~certificate "aggregate quantities do not fit")
   else
-    let d = { computation = computation.Computation.id; window; totals } in
+    let d = { computation = id; window; totals } in
     ( remember_demand c d,
-      admit "aggregate quantities fit (no ordering check)" )
+      admit ~certificate "aggregate quantities fit (no ordering check)" )
+
+let request_aggregate c ~now:_ computation =
+  decide_aggregate c ~id:computation.Computation.id
+    ~window:(Computation.window computation)
+    (total_demand c.cost_model computation)
 
 let session_totals cost_model session =
   let nodes = Session.to_nodes cost_model session in
@@ -272,10 +288,12 @@ let session_window (s : Session.t) =
    residual, then commit. *)
 let request_session_rota c ~now:_ session =
   let nodes = Session.to_nodes c.cost_model session in
-  match Precedence.schedule (residual c) nodes with
+  let theta = residual c in
+  match Precedence.schedule theta nodes with
   | Error e ->
       ( c,
         reject
+          ~certificate:(lazy (Certificate.infeasible ~residual:theta))
           (Format.asprintf "residual cannot carry the session: %a"
              Precedence.pp_error e) )
   | Ok placements ->
@@ -296,47 +314,82 @@ let request_session_rota c ~now:_ session =
           schedules = named;
         }
       in
+      (* Placements come back in node order, so zip them with the nodes
+         to recover each one's requirement.  A node's spec window is its
+         {e effective} window — the placement schedule's window, clipped
+         by its dependencies — not the session window. *)
+      let certificate =
+        lazy
+          (Certificate.of_schedules ~theorem:Certificate.T4 ~residual:theta
+             (List.map2
+                (fun (n : Precedence.node) (p : Precedence.placement) ->
+                  ( Actor_name.make p.Precedence.node,
+                    Requirement.make_complex
+                      ~steps:n.Precedence.requirement.Requirement.steps
+                      ~window:p.Precedence.schedule.Accommodation.window,
+                    p.Precedence.schedule ))
+                nodes placements))
+      in
       (match Calendar.commit c.calendar entry with
       | Ok calendar ->
           ( { c with calendar },
-            admit ~schedules:named "session reservation committed (Theorem 4)" )
-      | Error e -> (c, reject ("internal: " ^ e)))
+            admit ~schedules:named ~certificate
+              "session reservation committed (Theorem 4)" )
+      | Error e ->
+          ( c,
+            reject
+              ~certificate:(lazy (Certificate.infeasible ~residual:theta))
+              ("internal: " ^ e) ))
+
+let admit_optimistic c d =
+  ( remember_demand c d,
+    admit
+      ~certificate:
+        (lazy (Certificate.optimistic ~window:d.window ~totals:d.totals))
+      "optimistic admission" )
 
 let decide_session c ~now session =
-  if now >= session.Session.deadline then (c, reject "deadline already passed")
+  if now >= session.Session.deadline then
+    ( c,
+      reject
+        ~certificate:(lazy (Certificate.stale ~deadline:session.Session.deadline))
+        "deadline already passed" )
   else if already_admitted c session.Session.id then
-    (c, reject (Printf.sprintf "%s is already admitted" session.Session.id))
+    ( c,
+      reject
+        ~certificate:(lazy Certificate.duplicate)
+        (Printf.sprintf "%s is already admitted" session.Session.id) )
   else
     match c.policy with
     | Rota | Rota_unmerged | Rota_given_order ->
         request_session_rota c ~now session
     | Aggregate ->
-        let window = session_window session in
-        let totals = session_totals c.cost_model session in
-        if not (ledger_fits c ~window totals) then
-          (c, reject "aggregate quantities do not fit")
-        else
-          let d = { computation = session.Session.id; window; totals } in
-          ( remember_demand c d,
-            admit "aggregate quantities fit (no ordering check)" )
+        decide_aggregate c ~id:session.Session.id
+          ~window:(session_window session)
+          (session_totals c.cost_model session)
     | Optimistic ->
-        let d =
+        admit_optimistic c
           {
             computation = session.Session.id;
             window = session_window session;
             totals = session_totals c.cost_model session;
           }
-        in
-        (remember_demand c d, admit "optimistic admission")
 
 let decide c ~now computation =
   if now >= computation.Computation.deadline then
-    (c, reject "deadline already passed")
+    ( c,
+      reject
+        ~certificate:
+          (lazy (Certificate.stale ~deadline:computation.Computation.deadline))
+        "deadline already passed" )
   else if already_admitted c computation.Computation.id then
     (* Without this guard a re-submitted id double-counts under
        Optimistic/Aggregate and surfaces under Rota as a misleading
        "internal: calendar: ... already committed" reject. *)
-    (c, reject (Printf.sprintf "%s is already admitted" computation.Computation.id))
+    ( c,
+      reject
+        ~certificate:(lazy Certificate.duplicate)
+        (Printf.sprintf "%s is already admitted" computation.Computation.id) )
   else
     match c.policy with
     | Rota -> request_rota c ~now computation
@@ -345,14 +398,12 @@ let decide c ~now computation =
         request_rota ~order:Accommodation.Order.Given c ~now computation
     | Aggregate -> request_aggregate c ~now computation
     | Optimistic ->
-        let d =
+        admit_optimistic c
           {
             computation = computation.Computation.id;
             window = Computation.window computation;
             totals = total_demand c.cost_model computation;
           }
-        in
-        (remember_demand c d, admit "optimistic admission")
 
 let request c ~now computation =
   Obs.observed c.policy "admission/request" ~now ~size:ledger_size (fun () ->

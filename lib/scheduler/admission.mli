@@ -43,7 +43,13 @@ type outcome = {
   admitted : bool;
   reason : string;  (** Human-readable justification either way. *)
   schedules : (Actor_name.t * Accommodation.schedule) list option;
-      (** The certificate, for policies that produce one. *)
+      (** The raw schedules, for policies that produce them. *)
+  certificate : Certificate.t Lazy.t;
+      (** Machine-checkable decision evidence: the theorem consulted and
+          what was checked against which residual ({!Certificate}).
+          Lazy — building it serializes schedules into rectangles — so
+          untraced decisions never pay for it; forcing is free of side
+          effects and idempotent. *)
 }
 
 type t
@@ -119,7 +125,9 @@ val admitted_demands : t -> (string * Interval.t * (Located_type.t * int) list) 
 module Obs : sig
   val slug : string -> string
   (** Compresses a free-text reject reason into a stable counter-label
-      slug; never empty (falls back to ["other"]). *)
+      slug; never empty (falls back to ["other"]).  An alias for
+      {!Rota_obs.Slug.of_reason}, the single taxonomy shared with trace
+      summaries. *)
 end
 
 val pp_outcome : Format.formatter -> outcome -> unit

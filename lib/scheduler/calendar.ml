@@ -24,6 +24,14 @@ type t = {
 
 (* --- invariant checking -------------------------------------------------- *)
 
+(* A cache that should make an operation total turned out not to cover
+   it: the ledger state itself is corrupt (e.g. built by poking the
+   caches directly).  Report it as a structured invariant violation
+   naming the operation, rather than dying on a bare [assert false]
+   with no context. *)
+let invariant_violation fmt =
+  Format.kasprintf invalid_arg ("calendar: invariant violation: " ^^ fmt)
+
 let checked =
   ref
     (match Sys.getenv_opt "ROTA_CHECK_CALENDAR" with
@@ -108,9 +116,13 @@ let release c ~computation =
       let committed =
         match Resource_set.diff c.committed e.reservation with
         | Ok r -> r
-        | Error _ ->
-            (* [committed] is the union of all live reservations. *)
-            assert false
+        | Error d ->
+            (* [committed] is the union of all live reservations, so the
+               difference is defined unless the cache has drifted. *)
+            invariant_violation
+              "release %s: cached committed does not cover the entry's \
+               reservation (%a)"
+              computation Resource_set.pp_deficit d
       in
       debug_check
         {
@@ -136,9 +148,15 @@ let remove_capacity c slice =
   | Ok residual -> (
       match Resource_set.diff c.capacity slice with
       | Ok capacity -> Ok (debug_check { c with capacity; residual })
-      | Error _ ->
-          (* [slice] is dominated by the residual, a subset of capacity. *)
-          assert false)
+      | Error d ->
+          (* [slice] is dominated by the residual, a subset of capacity —
+             unless the caches have drifted.  This operation already has
+             an error channel, so report rather than raise. *)
+          Error
+            (Format.asprintf
+               "calendar: invariant violation: remove_capacity: residual \
+                covers the slice but capacity does not (%a)"
+               Resource_set.pp_deficit d))
 
 (* An unannounced revocation cannot be refused: the slice leaves whether
    the ledger likes it or not.  Shrink capacity with the clamped
@@ -190,6 +208,8 @@ let advance c now =
 
 let committed_quantity c xi w = Resource_set.integrate c.committed xi w
 let capacity_quantity c xi w = Resource_set.integrate c.capacity xi w
+
+let with_caches_unchecked c ~committed ~residual = { c with committed; residual }
 
 let pp ppf c =
   Format.fprintf ppf "@[<v>calendar: capacity %a@ %d entries, residual %a@]"

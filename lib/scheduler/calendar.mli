@@ -96,3 +96,13 @@ val set_self_check : bool -> unit
     empty, ["0"] or ["false"] enables it); tests turn it on explicitly. *)
 
 val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val with_caches_unchecked :
+  t -> committed:Resource_set.t -> residual:Resource_set.t -> t
+(** Test-only: overwrites the committed/residual caches {e without} any
+    consistency check, to simulate cache drift when exercising the
+    invariant-violation reports.  Never call this outside tests. *)
+
+(**/**)

@@ -13,5 +13,6 @@ module Cost_model = Rota_actor.Cost_model
 module Program = Rota_actor.Program
 module Computation = Rota_actor.Computation
 module Accommodation = Rota.Accommodation
+module Certificate = Rota.Certificate
 module Session = Rota.Session
 module Precedence = Rota.Precedence

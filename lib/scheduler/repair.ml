@@ -25,6 +25,9 @@ type repaired = {
   rung : rung;
   schedules : (Actor_name.t * Accommodation.schedule) list;
   parts : (Actor_name.t * Requirement.step list) list;
+  certificate : Certificate.t;
+      (** Theorem-3 evidence for the re-admission, against the pre-adopt
+          residual.  Eager: repairs only run on the (rare) fault path. *)
 }
 
 type outcome =
@@ -74,9 +77,8 @@ let commit_parts controller ~now ~computation ~window parts ~rung =
                parts)
           ~window
       in
-      match
-        Accommodation.schedule_concurrent (Admission.residual controller) conc
-      with
+      let theta = Admission.residual controller in
+      match Accommodation.schedule_concurrent theta conc with
       | None -> None
       | Some schedules -> (
           let named = List.map2 (fun (name, _) s -> (name, s)) parts schedules in
@@ -88,9 +90,15 @@ let commit_parts controller ~now ~computation ~window parts ~rung =
               schedules = named;
             }
           in
+          let certificate =
+            Certificate.of_schedules ~theorem:Certificate.T3 ~residual:theta
+              (List.map2
+                 (fun (actor, s) spec -> (actor, spec, s))
+                 named conc.Requirement.parts)
+          in
           match Admission.adopt controller entry with
           | Ok controller ->
-              Some { controller; rung; schedules = named; parts }
+              Some { controller; rung; schedules = named; parts; certificate }
           | Error _ -> None))
 
 (* Rung 1: the victim's remaining work, re-accommodated as-is on the

@@ -55,6 +55,10 @@ type repaired = {
   parts : (Actor_name.t * Requirement.step list) list;
       (** The steps actually committed — rewritten (migration legs
           prepended, cpu retargeted) when [rung] is [Migrate]. *)
+  certificate : Certificate.t;
+      (** Serializable Theorem-3 evidence for the re-admission, pinned
+          to the pre-adopt residual — what the engine attaches to the
+          repair's decision record. *)
 }
 
 type outcome =

@@ -112,11 +112,19 @@ let event_time = function
 
 let payload_of_event ~policy = function
   | Capacity_joined { quantity; _ } ->
-      Rota_obs.Events.Capacity_joined { quantity }
+      Rota_obs.Events.Capacity_joined { quantity; terms = Rota_obs.Json.Null }
   | Admitted { id; reason; _ } -> Rota_obs.Events.Admitted { id; policy; reason }
   | Rejected { id; reason; _ } -> Rota_obs.Events.Rejected { id; policy; reason }
   | Completed { id; _ } -> Rota_obs.Events.Completed { id }
   | Killed { id; owed; _ } -> Rota_obs.Events.Killed { id; owed }
+
+(* The capacity slice (or a fault's revoked slice) as profile
+   rectangles, for the trace; [Null] when no tracer is recording, so the
+   untraced path never serializes resource sets. *)
+let terms_json set =
+  if Rota_obs.Tracer.active () then
+    Certificate.rects_to_json (Certificate.rects_of_set set)
+  else Rota_obs.Json.Null
 
 (* One formatting path for engine events: delegate to the telemetry
    layer's renderer (the policy label does not show in the rendering). *)
@@ -188,10 +196,32 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
   in
   (* Every run-time notification goes through here: the caller's observer
      plus the telemetry sink, stamped with simulated time, in one place. *)
-  let notify e =
+  let notify ?(terms = Rota_obs.Json.Null) e =
     observer e;
-    Rota_obs.Tracer.emit ~sim:(event_time e)
-      (payload_of_event ~policy:policy_label e)
+    let payload =
+      match payload_of_event ~policy:policy_label e with
+      | Rota_obs.Events.Capacity_joined { quantity; terms = _ }
+        when terms <> Rota_obs.Json.Null ->
+          Rota_obs.Events.Capacity_joined { quantity; terms }
+      | p -> p
+    in
+    Rota_obs.Tracer.emit ~sim:(event_time e) payload
+  in
+  (* Decision provenance: one structured record per admission-control
+     verdict, carrying the certificate the decider actually checked.
+     Forcing the lazy certificate serializes schedules, so it happens
+     only when a tracer is recording. *)
+  let emit_decision t ~id ~action ~reason certificate =
+    if Rota_obs.Tracer.active () then
+      Rota_obs.Tracer.emit ~sim:t
+        (Rota_obs.Events.Decision
+           {
+             id;
+             policy = policy_label;
+             action;
+             slug = Rota_obs.Slug.of_reason reason;
+             certificate = Certificate.to_json (Lazy.force certificate);
+           })
   in
   (* Fault machinery.  All of it is inert when the plan is empty: the
      queues stay empty, [faults_enabled] gates the extra per-tick
@@ -374,6 +404,9 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
     (if decision.Admission.admitted then
        notify (Admitted { id; at = t; reason = decision.Admission.reason })
      else notify (Rejected { id; at = t; reason = decision.Admission.reason }));
+    emit_decision t ~id
+      ~action:(if decision.Admission.admitted then "admit" else "reject")
+      ~reason:decision.Admission.reason decision.Admission.certificate;
     if decision.Admission.admitted then begin
       let rt =
         {
@@ -411,7 +444,8 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
         admission := Admission.add_capacity !admission clipped;
         Rota_obs.Metrics.incr m_capacity_joins;
         Rota_obs.Metrics.add m_capacity_quantity counted;
-        notify (Capacity_joined { at = t; quantity = counted })
+        notify ~terms:(terms_json clipped)
+          (Capacity_joined { at = t; quantity = counted })
     | Trace.Arrive_session session -> process_session_arrival t session
     | Trace.Arrive computation ->
         incr offered;
@@ -440,6 +474,9 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
          else
            notify
              (Rejected { id; at = t; reason = decision.Admission.reason }));
+        emit_decision t ~id
+          ~action:(if decision.Admission.admitted then "admit" else "reject")
+          ~reason:decision.Admission.reason decision.Admission.certificate;
         if decision.Admission.admitted then begin
           let conc = Computation.to_concurrent true_cost_model computation in
           let parts =
@@ -530,9 +567,24 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
             if attempt > 0 then
               fs := { !fs with retry_successes = !fs.retry_successes + 1 };
             Rota_obs.Metrics.incr m_repairs;
+            let certificate =
+              if Rota_obs.Tracer.active () then
+                Certificate.to_json r.Repair.certificate
+              else Rota_obs.Json.Null
+            in
             Rota_obs.Tracer.emit ~sim:t
               (Rota_obs.Events.Repaired
-                 { id; rung = Repair.rung_name r.Repair.rung; attempt })
+                 {
+                   id;
+                   rung = Repair.rung_name r.Repair.rung;
+                   attempt;
+                   certificate;
+                 });
+            emit_decision t ~id ~action:"repair"
+              ~reason:
+                (Printf.sprintf "repaired via %s"
+                   (Repair.rung_name r.Repair.rung))
+              (lazy r.Repair.certificate)
         | Repair.Retry { at; attempt } ->
             fs := { !fs with retries = !fs.retries + 1 };
             Rota_obs.Metrics.incr m_repair_retries;
@@ -554,6 +606,20 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
           (Rota_obs.Events.Commitment_revoked
              { id; quantity = Resource_set.total entry.Calendar.reservation }))
       evicted;
+    (* Second pass, after every revocation above is applied: the evict
+       decisions' digests pin the post-revocation residual, before any
+       repair mutates it. *)
+    if Rota_obs.Tracer.active () then begin
+      let residual = Admission.residual !admission in
+      List.iter
+        (fun (entry : Calendar.entry) ->
+          emit_decision t ~id:entry.Calendar.computation ~action:"evict"
+            ~reason:"commitment evicted by revocation"
+            (lazy
+              (Certificate.of_committed ~theorem:Certificate.T4 ~residual
+                 entry.Calendar.schedules)))
+        evicted
+    end;
     if repair_enabled then
       List.filter_map
         (fun (entry : Calendar.entry) ->
@@ -598,7 +664,8 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
       | None -> 0
     in
     Rota_obs.Tracer.emit ~sim:t
-      (Rota_obs.Events.Fault_injected { fault; quantity = lost });
+      (Rota_obs.Events.Fault_injected
+         { fault; quantity = lost; terms = terms_json actual });
     if not (Resource_set.is_empty actual) then begin
       capacity_total := !capacity_total - lost;
       fs := { !fs with revoked_quantity = !fs.revoked_quantity + lost };
@@ -644,7 +711,8 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
         revoke_capacity t ~fault:"blackout" slice
     | Fault.Slowdown { computation = id; factor } ->
         Rota_obs.Tracer.emit ~sim:t
-          (Rota_obs.Events.Fault_injected { fault = "slowdown"; quantity = 0 });
+          (Rota_obs.Events.Fault_injected
+             { fault = "slowdown"; quantity = 0; terms = Rota_obs.Json.Null });
         if
           factor > 1
           && Hashtbl.mem running id
@@ -679,8 +747,12 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
               let parts = List.rev parts in
               mark_faulted id;
               fs := { !fs with degraded = !fs.degraded + 1 };
+              (* [released]: whether the engine is about to hand the
+                 commitment's reservation back and re-admit the inflated
+                 remainder — the auditor frees the ledger entry iff so. *)
               Rota_obs.Tracer.emit ~sim:t
-                (Rota_obs.Events.Commitment_degraded { id; extra });
+                (Rota_obs.Events.Commitment_degraded
+                   { id; extra; released = repair_enabled });
               state := State.drop !state ~computation:id;
               (match State.accommodate_parts !state ~id ~window parts with
               | Ok s -> state := s
@@ -701,8 +773,11 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
                 (Resource_set.restrict (Resource_set.truncate_before theta t) w)
           | None -> 0
         in
+        (* terms stay Null: the Capacity_joined this forwards to carries
+           the slice. *)
         Rota_obs.Tracer.emit ~sim:t
-          (Rota_obs.Events.Fault_injected { fault = "rejoin"; quantity });
+          (Rota_obs.Events.Fault_injected
+             { fault = "rejoin"; quantity; terms = Rota_obs.Json.Null });
         (* From here on a rejoin is exactly a join: same accounting, same
            Capacity_joined notification — arriving twice is harmless
            (capacity just grows twice), which is the point: the engine

@@ -1,0 +1,240 @@
+(* The independent offline auditor, end to end: traced engine runs must
+   re-verify 100% of their decision certificates from the trace file
+   alone, and a tampered certificate must surface as a divergence naming
+   the offending decision. *)
+
+open Rota_scheduler
+open Rota_sim
+module Scenario = Rota_workload.Scenario
+module Events = Rota_obs.Events
+module Sink = Rota_obs.Sink
+module Tracer = Rota_obs.Tracer
+module Audit = Rota_audit.Audit
+
+let () = Calendar.set_self_check true
+
+(* Trace whatever [run] does into a fresh JSONL file, then hand the path
+   to [k]; tracer state and the file are cleaned up afterwards. *)
+let with_traced run k =
+  Tracer.reset ();
+  let path = Filename.temp_file "rota-audit-test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Tracer.reset ();
+      Sys.remove path)
+  @@ fun () ->
+  Tracer.install (Sink.jsonl_file path);
+  run ();
+  Tracer.uninstall ();
+  k path
+
+let audit path =
+  match Audit.audit_file path with
+  | Ok report -> report
+  | Error e ->
+      Alcotest.failf "audit_file: %s"
+        (Format.asprintf "%a" Rota_obs.Trace_reader.pp_error e)
+
+let check_full_coverage name (r : Audit.report) =
+  Alcotest.(check bool) (name ^ ": decisions recorded") true (r.Audit.decisions > 0);
+  Alcotest.(check int)
+    (name ^ ": every decision re-verified")
+    r.Audit.decisions r.Audit.verified;
+  Alcotest.(check int) (name ^ ": nothing skipped") 0 r.Audit.skipped;
+  Alcotest.(check int)
+    (name ^ ": no divergences")
+    0
+    (List.length r.Audit.divergences);
+  Alcotest.(check bool) (name ^ ": ok") true (Audit.ok r)
+
+let params ~seed =
+  { Scenario.default_params with seed; horizon = 120; arrivals = 10; locations = 2 }
+
+(* --- clean traces audit clean ------------------------------------------- *)
+
+(* E6 shape: the same workload under every admission policy, no faults —
+   covers T4 schedule/infeasible, T1 aggregate tables, optimistic
+   unchecked, stale and duplicate evidence. *)
+let test_audit_all_policies () =
+  let p = params ~seed:42 in
+  let trace = Scenario.trace p in
+  with_traced
+    (fun () ->
+      List.iter
+        (fun policy -> ignore (Engine.run ~policy trace))
+        Admission.all_policies)
+  @@ fun path ->
+  let r = audit path in
+  Alcotest.(check int) "one audited run per policy"
+    (List.length Admission.all_policies)
+    r.Audit.runs;
+  check_full_coverage "all policies" r
+
+(* E11 shape: fault storms with the repair ladder on — covers eviction
+   and repair (T3) certificates plus capacity reconstruction through
+   revocations, slowdowns and rejoins. *)
+let test_audit_faulted_run () =
+  let p = params ~seed:17 in
+  let trace = Scenario.trace p in
+  let faults = Scenario.fault_plan ~fault_seed:3 ~intensity:1.5 p in
+  with_traced (fun () ->
+      ignore (Engine.run ~faults ~repair:true ~policy:Admission.Rota trace))
+  @@ fun path -> check_full_coverage "faulted run" (audit path)
+
+(* QCheck: whatever workload and fault plan the generators produce, the
+   auditor re-verifies every certificate with zero divergences — the
+   checker (Accommodation.check_schedule on a reconstructed ledger) and
+   the greedy decider never disagree. *)
+let prop_audit_verifies_everything =
+  QCheck.Test.make ~count:25
+    ~name:"audit: every decision in a random traced run re-verifies"
+    QCheck.(pair (int_bound 1000) (int_bound 100))
+    (fun (seed, fault_seed) ->
+      let p = params ~seed in
+      let trace = Scenario.trace p in
+      let faults = Scenario.fault_plan ~fault_seed ~intensity:1.5 p in
+      with_traced (fun () ->
+          ignore (Engine.run ~faults ~repair:true ~policy:Admission.Rota trace);
+          ignore (Engine.run ~policy:Admission.Aggregate trace))
+      @@ fun path ->
+      let r = audit path in
+      if not (Audit.ok r && r.Audit.skipped = 0 && r.Audit.verified = r.Audit.decisions)
+      then
+        QCheck.Test.fail_reportf
+          "audit diverged: %d decisions, %d verified, %d skipped, %d divergent"
+          r.Audit.decisions r.Audit.verified r.Audit.skipped
+          (List.length r.Audit.divergences);
+      true)
+
+(* --- tampering is caught ------------------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Find the first decision line carrying a non-empty digest, flip one
+   digest character, and return the mutated trace plus the decision's id. *)
+let corrupt_first_digest ~src ~dst =
+  let needle = "\"digest\":\"" in
+  let mutated = ref None in
+  let ic = open_in src and oc = open_out dst in
+  (try
+     while true do
+       let line = input_line ic in
+       let line =
+         match !mutated with
+         | Some _ -> line
+         | None -> (
+             match
+               if contains ~sub:"\"kind\":\"decision\"" line then
+                 Rota_obs.Json.parse line
+               else Error "not a decision"
+             with
+             | Error _ -> line
+             | Ok _ -> (
+                 (* locate the digest value inside the raw line *)
+                 let rec find i =
+                   if i + String.length needle > String.length line then None
+                   else if String.sub line i (String.length needle) = needle then
+                     Some (i + String.length needle)
+                   else find (i + 1)
+                 in
+                 match find 0 with
+                 | Some at when line.[at] <> '"' ->
+                     (match Events.of_line ~strict:true line with
+                     | Ok { Events.payload = Events.Decision { id; _ }; _ } ->
+                         mutated := Some id
+                     | _ -> Alcotest.fail "decision line failed to parse");
+                     let b = Bytes.of_string line in
+                     Bytes.set b at (if line.[at] = '0' then 'f' else '0');
+                     Bytes.to_string b
+                 | _ -> line))
+       in
+       output_string oc line;
+       output_char oc '\n'
+     done
+   with End_of_file -> ());
+  close_in ic;
+  close_out oc;
+  match !mutated with
+  | Some id -> id
+  | None -> Alcotest.fail "no decision with a digest found to corrupt"
+
+let test_audit_catches_tampering () =
+  let p = params ~seed:42 in
+  let trace = Scenario.trace p in
+  with_traced (fun () -> ignore (Engine.run ~policy:Admission.Rota trace))
+  @@ fun path ->
+  let bad = Filename.temp_file "rota-audit-bad" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove bad) @@ fun () ->
+  let victim = corrupt_first_digest ~src:path ~dst:bad in
+  let r = audit bad in
+  Alcotest.(check bool) "tampered audit fails" false (Audit.ok r);
+  match r.Audit.divergences with
+  | [] -> Alcotest.fail "no divergence reported"
+  | d :: _ ->
+      (* The first divergence names the decision whose digest was flipped. *)
+      Alcotest.(check string) "divergence names the decision" victim d.Audit.id;
+      Alcotest.(check bool) "message mentions the digest" true
+        (contains ~sub:"digest" d.Audit.message)
+
+(* rota explain: the decision's story renders with the auditor verdict. *)
+let test_explain_renders_decision () =
+  let p = params ~seed:42 in
+  let trace = Scenario.trace p in
+  with_traced (fun () -> ignore (Engine.run ~policy:Admission.Rota trace))
+  @@ fun path ->
+  (* Pick any decided id off the trace. *)
+  let events =
+    match Rota_obs.Trace_reader.read_file path with
+    | Ok es -> es
+    | Error _ -> Alcotest.fail "trace unreadable"
+  in
+  let id =
+    match
+      List.find_map
+        (fun (e : Events.t) ->
+          match e.Events.payload with
+          | Events.Decision { id; _ } -> Some id
+          | _ -> None)
+        events
+    with
+    | Some id -> id
+    | None -> Alcotest.fail "no decision in trace"
+  in
+  match Audit.explain_file path ~id with
+  | Error _ -> Alcotest.fail "explain_file failed"
+  | Ok [] -> Alcotest.failf "no explanation for %s" id
+  | Ok (block :: _ as blocks) ->
+      Alcotest.(check bool) "names the id" true (contains ~sub:id block);
+      Alcotest.(check bool) "carries an auditor verdict" true
+        (List.exists (contains ~sub:"auditor:") blocks);
+      (* Unknown ids yield the empty list, not an error. *)
+      (match Audit.explain_file path ~id:"no-such-id" with
+      | Ok [] -> ()
+      | Ok _ -> Alcotest.fail "unknown id must yield no blocks"
+      | Error _ -> Alcotest.fail "unknown id must not be a read error")
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "all policies re-verify" `Quick
+            test_audit_all_policies;
+          Alcotest.test_case "faulted run re-verifies" `Quick
+            test_audit_faulted_run;
+          QCheck_alcotest.to_alcotest prop_audit_verifies_everything;
+        ] );
+      ( "tampering",
+        [
+          Alcotest.test_case "flipped digest is caught" `Quick
+            test_audit_catches_tampering;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "decision story renders" `Quick
+            test_explain_renders_decision;
+        ] );
+    ]

@@ -9,6 +9,7 @@ open Rota_scheduler
 open Rota_sim
 module Metrics = Rota_obs.Metrics
 module Events = Rota_obs.Events
+module Json = Rota_obs.Json
 module Sink = Rota_obs.Sink
 module Tracer = Rota_obs.Tracer
 
@@ -189,14 +190,61 @@ let test_span_without_sink () =
 
 (* --- JSONL codec ------------------------------------------------------------ *)
 
+(* A serialized certificate as the engine would attach it; the codec
+   carries it verbatim, so any JSON object exercises the path. *)
+let cert_json =
+  Json.Obj
+    [
+      ("theorem", Json.String "T4");
+      ("digest", Json.String "4909ae3863d70ea6");
+      ("evidence", Json.Obj [ ("kind", Json.String "infeasible") ]);
+    ]
+
+let rects_json =
+  Json.List
+    [
+      Json.Obj
+        [
+          ("type", Json.String "cpu@l1");
+          ("start", Json.Int 0);
+          ("stop", Json.Int 40);
+          ("rate", Json.Int 2);
+        ];
+    ]
+
 let all_payloads =
   [
     Events.Run_started { label = "engine policy=rota" };
-    Events.Capacity_joined { quantity = 120 };
+    Events.Capacity_joined { quantity = 120; terms = Json.Null };
+    Events.Capacity_joined { quantity = 80; terms = rects_json };
     Events.Admitted { id = "c001"; policy = "rota"; reason = "reservation committed" };
     Events.Rejected { id = "c002"; policy = "rota"; reason = "no accommodating schedule" };
+    Events.Decision
+      {
+        id = "c002";
+        policy = "rota";
+        action = "reject";
+        slug = "no-accommodating-schedule";
+        certificate = cert_json;
+      };
+    Events.Decision
+      {
+        id = "c009";
+        policy = "optimistic";
+        action = "admit";
+        slug = "admitted-without-schedule-check";
+        certificate = Json.Null;
+      };
     Events.Completed { id = "c001" };
     Events.Killed { id = "c003"; owed = 7 };
+    Events.Fault_injected { fault = "revocation"; quantity = 30; terms = rects_json };
+    Events.Fault_injected { fault = "slowdown"; quantity = 0; terms = Json.Null };
+    Events.Commitment_revoked { id = "c004"; quantity = 12 };
+    Events.Commitment_degraded { id = "c005"; extra = 4; released = true };
+    Events.Commitment_degraded { id = "c006"; extra = 2; released = false };
+    Events.Repaired { id = "c004"; rung = "migrate"; attempt = 1; certificate = cert_json };
+    Events.Preempted { id = "c007"; owed = 3 };
+    Events.Anomaly { id = "c008"; reason = "repair pass skipped" };
     Events.Span
       {
         name = "engine/run";
@@ -216,7 +264,7 @@ let test_jsonl_roundtrip () =
       let e =
         { Events.seq = i + 1; run = 1; sim; wall_s = 1754500000.0625; payload }
       in
-      match Events.of_line (Events.to_line e) with
+      match Events.of_line ~strict:true (Events.to_line e) with
       | Ok e' ->
           Alcotest.(check bool)
             (Printf.sprintf "%s round-trips" (Events.kind payload))

@@ -75,6 +75,49 @@ let test_calendar_advance_and_capacity () =
   Alcotest.(check int) "capacity joined" 18
     (Calendar.capacity_quantity c cpu1 (iv 0 12))
 
+(* --- Calendar: invariant-violation reports ------------------------------ *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Regression: a drifted committed cache (simulated via the test-only
+   with_caches_unchecked) must surface from [release] as a structured
+   invariant-violation report naming the operation and the computation —
+   not as a bare [assert false]. *)
+let test_calendar_release_reports_drift () =
+  let c = Calendar.create (rset [ Term.v 2 (iv 0 10) cpu1 ]) in
+  let c =
+    Result.get_ok (Calendar.commit c (entry ~id:"x" ~window:(iv 0 5) ~rate:1))
+  in
+  let drifted =
+    Calendar.with_caches_unchecked c ~committed:Resource_set.empty
+      ~residual:(Calendar.capacity c)
+  in
+  match Calendar.release drifted ~computation:"x" with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names operation and id" true
+        (contains ~sub:"calendar: invariant violation: release x" msg)
+  | _ -> Alcotest.fail "release on a drifted ledger must raise"
+
+(* Regression: [remove_capacity] already has an error channel, so cache
+   drift there must come back as a structured [Error] — again naming the
+   operation — rather than raising. *)
+let test_calendar_remove_capacity_reports_drift () =
+  let c = Calendar.create (rset [ Term.v 2 (iv 0 10) cpu1 ]) in
+  let drifted =
+    (* Residual inflated past capacity: the slice passes the residual
+       check but capacity cannot cover it. *)
+    Calendar.with_caches_unchecked c ~committed:Resource_set.empty
+      ~residual:(rset [ Term.v 5 (iv 0 10) cpu1 ])
+  in
+  match Calendar.remove_capacity drifted (rset [ Term.v 4 (iv 0 10) cpu1 ]) with
+  | Error msg ->
+      Alcotest.(check bool) "names the operation" true
+        (contains ~sub:"calendar: invariant violation: remove_capacity" msg)
+  | Ok _ -> Alcotest.fail "remove_capacity on a drifted ledger must error"
+
 (* --- Calendar: cached-residual property --------------------------------- *)
 
 (* Random ledger workloads: after every operation the incrementally
@@ -332,6 +375,10 @@ let () =
           Alcotest.test_case "advance/capacity" `Quick
             test_calendar_advance_and_capacity;
           QCheck_alcotest.to_alcotest prop_calendar_residual_cache;
+          Alcotest.test_case "release reports cache drift" `Quick
+            test_calendar_release_reports_drift;
+          Alcotest.test_case "remove_capacity reports cache drift" `Quick
+            test_calendar_remove_capacity_reports_drift;
         ] );
       ( "admission",
         [

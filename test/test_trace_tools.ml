@@ -106,6 +106,9 @@ let test_validate_catches_violations () =
   (* span whose parent id never appears *)
   line 5 1 "null" "span"
     ",\"name\":\"x\",\"id\":9,\"parent\":77,\"depth\":0,\"begin_s\":0.5,\"duration_s\":0.1";
+  (* second span reusing id 9 *)
+  line 6 1 "null" "span"
+    ",\"name\":\"y\",\"id\":9,\"depth\":0,\"begin_s\":0.6,\"duration_s\":0.1";
   close_out oc;
   let v = Trace_reader.validate_file path in
   let expect_substring sub =
@@ -118,7 +121,73 @@ let test_validate_catches_violations () =
   expect_substring "sim time";
   expect_substring "unknown event kind";
   expect_substring "parent id 77";
+  expect_substring "duplicate span id 9";
   Alcotest.(check bool) "invalid" false (Trace_reader.valid v)
+
+(* Decision provenance in the trace: every admit/reject verdict has a
+   matching decision record, strict-parseable, whose embedded certificate
+   decodes and is internally well-formed (the full replay audit lives in
+   test_audit.ml). *)
+let test_e2e_decision_records () =
+  with_smoke_jsonl @@ fun path _ ->
+  let events = read_events path in
+  let decisions, verdicts =
+    List.fold_left
+      (fun (ds, vs) (e : Events.t) ->
+        match e.Events.payload with
+        | Events.Decision { id; policy; action; slug; certificate } ->
+            ((id, policy, action, slug, certificate) :: ds, vs)
+        | Events.Admitted _ | Events.Rejected _ -> (ds, vs + 1)
+        | _ -> (ds, vs))
+      ([], 0) events
+  in
+  Alcotest.(check int) "one decision per admit/reject verdict" verdicts
+    (List.length decisions);
+  Alcotest.(check bool) "decisions present" true (decisions <> []);
+  List.iter
+    (fun (id, _policy, action, slug, certificate) ->
+      (match action with
+      | "admit" | "reject" -> ()
+      | _ -> Alcotest.failf "unexpected action %S" action);
+      Alcotest.(check bool) "slug non-empty" true (slug <> "");
+      match Rota.Certificate.of_json certificate with
+      | Error msg -> Alcotest.failf "%s: certificate: %s" id msg
+      | Ok cert -> (
+          match Rota.Certificate.well_formed cert with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s: ill-formed certificate: %s" id msg))
+    decisions;
+  (* Rota backs its verdicts with theorem evidence; the optimistic
+     baseline's certificates record that nothing was checked. *)
+  let theorems policy =
+    List.filter_map
+      (fun (_, p, _, _, certificate) ->
+        if p = policy then
+          match Rota.Certificate.of_json certificate with
+          | Ok c -> Some (Rota.Certificate.theorem_name c.Rota.Certificate.theorem)
+          | Error _ -> None
+        else None)
+      decisions
+  in
+  Alcotest.(check bool) "rota cites T4" true (List.mem "T4" (theorems "rota"));
+  Alcotest.(check bool) "optimistic checks nothing" true
+    (List.for_all (( = ) "unchecked") (theorems "optimistic"));
+  (* The Chrome export renders decisions as instants. *)
+  match Chrome.export events with
+  | Json.List entries ->
+      let decision_instants =
+        List.filter
+          (fun e ->
+            match Json.member "name" e with
+            | Some (Json.String n) ->
+                String.length n >= 8 && String.sub n 0 8 = "decision"
+            | _ -> false)
+          entries
+      in
+      Alcotest.(check int) "decision instants exported"
+        (List.length decisions)
+        (List.length decision_instants)
+  | _ -> Alcotest.fail "export is not a JSON array"
 
 let test_e2e_summary_matches_reports () =
   with_smoke_jsonl @@ fun path reports ->
@@ -268,6 +337,8 @@ let () =
           Alcotest.test_case "E6 smoke validates" `Quick test_e2e_validate;
           Alcotest.test_case "violations are caught" `Quick
             test_validate_catches_violations;
+          Alcotest.test_case "decision records carry certificates" `Quick
+            test_e2e_decision_records;
         ] );
       ( "analysis",
         [
