@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke trace-smoke faults-smoke audit-smoke check fmt clean
+.PHONY: all build test bench bench-smoke trace-smoke faults-smoke audit-smoke watchdog-smoke check fmt clean
 
 all: build
 
@@ -66,9 +66,26 @@ audit-smoke: build
 	dune exec bin/main.exe -- audit "$$tmp11" && \
 	echo "audit-smoke: OK"
 
+# Live-watchdog smoke, end to end: ride E11 (faults, evictions,
+# repairs) with the in-engine watchdog in fail-fast mode — any decision
+# whose certificate fails to re-verify live aborts the run with a
+# nonzero exit naming the decision — and require the exit summary to
+# confirm 100% live re-verification with zero divergences.  The same
+# trace must then re-audit cleanly offline (live ≡ offline), and the
+# obs/audit-overhead bench pair prices the watchdog against the
+# identical run without it.
+watchdog-smoke: build
+	@tmp=$$(mktemp /tmp/rota-watchdog-smoke.XXXXXX.jsonl); \
+	trap 'rm -f "$$tmp"' EXIT; \
+	out=$$(dune exec bin/main.exe -- e11 --trace "$$tmp" --watchdog=fail-fast) && \
+	echo "$$out" | grep -q "every decision re-verified live" && \
+	dune exec bin/main.exe -- audit "$$tmp" >/dev/null && \
+	dune exec bench/main.exe -- obs/audit-overhead >/dev/null && \
+	echo "watchdog-smoke: OK"
+
 # What CI runs.  `dune fmt` is included only when ocamlformat is
 # installed — the pinned toolchain image ships without it.
-check: build test trace-smoke faults-smoke audit-smoke
+check: build test trace-smoke faults-smoke audit-smoke watchdog-smoke
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt; \
 	else \

@@ -350,6 +350,35 @@ let bench_obs_overhead =
          ]);
     ]
 
+(* --- obs: live audit watchdog overhead ------------------------------------------ *)
+
+(* The watchdog's contract is that live re-verification rides the trace
+   stream at a cost proportional to the decision count, not the event
+   count.  Both benchmarks pay the same sink-installation and teeing
+   cost inside the measured closure; the difference between the pair is
+   the price of [Live.step] over every event plus a
+   [Accommodation.check_schedule] per decision. *)
+let bench_audit_overhead =
+  let module Tracer = Rota_obs.Tracer in
+  let module Sink = Rota_obs.Sink in
+  let module Watchdog = Rota_audit.Watchdog in
+  Test.make_grouped ~name:"obs/audit-overhead"
+    [
+      Test.make ~name:"engine-run-watchdog-off"
+        (Staged.stage (fun () ->
+             Tracer.install (Sink.tee Sink.null Sink.null);
+             let r = Engine.run ~policy:Admission.Rota small_trace in
+             Tracer.uninstall ();
+             ignore r));
+      Test.make ~name:"engine-run-watchdog-on"
+        (Staged.stage (fun () ->
+             let w = Watchdog.create () in
+             Tracer.install (Sink.tee Sink.null (Watchdog.sink w));
+             let r = Engine.run ~policy:Admission.Rota small_trace in
+             Tracer.uninstall ();
+             ignore r));
+    ]
+
 (* --- E8: extensions ------------------------------------------------------------- *)
 
 let bench_stn =
@@ -501,6 +530,7 @@ let suites =
     ("sim/fault-repair", bench_fault_repair);
     ("e7/scoping", bench_scoping);
     ("e7/obs-overhead", bench_obs_overhead);
+    ("obs/audit-overhead", bench_audit_overhead);
     ("ext/stn-consistency", bench_stn);
     ("ext/precedence-chain", bench_precedence);
     ("ext/session-compile", bench_session);
@@ -624,6 +654,19 @@ let () =
   List.iter
     (fun (name, ns, r2) -> Printf.printf "%-44s %16.1f %8.3f\n" name ns r2)
     rows;
+  (* A low r^2 means the OLS fit barely explains the samples — the
+     ns/run figure is noise-dominated and should not back a perf claim
+     without a longer quota or a quieter machine. *)
+  let low_confidence =
+    List.filter (fun (_, _, r2) -> Float.is_finite r2 && r2 < 0.5) rows
+  in
+  if low_confidence <> [] then begin
+    Printf.printf "\nwarning: %d benchmark(s) with r^2 < 0.5 (estimate unreliable):\n"
+      (List.length low_confidence);
+    List.iter
+      (fun (name, _, r2) -> Printf.printf "  %s (r^2 = %.3f)\n" name r2)
+      low_confidence
+  end;
   match json_out with
   | None -> ()
   | Some path ->

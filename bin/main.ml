@@ -74,23 +74,49 @@ let trace_buffer_arg =
   in
   Arg.(value & opt int 1 & info [ "trace-buffer" ] ~docv:"N" ~doc)
 
+let watchdog_arg =
+  let doc =
+    "Run the live audit watchdog next to the run: every decision \
+     certificate is re-verified through the independent validator as it \
+     is emitted, divergences are written back into the trace as \
+     audit-divergence events, and a summary line is printed at exit.  \
+     $(docv) is $(b,warn) (default: report and keep going) or \
+     $(b,fail-fast) (abort at the first divergence with a nonzero exit \
+     naming the decision)."
+  in
+  Arg.(
+    value
+    & opt
+        ~vopt:(Some Rota_audit.Watchdog.Warn)
+        (some
+           (enum
+              [
+                ("warn", Rota_audit.Watchdog.Warn);
+                ("fail-fast", Rota_audit.Watchdog.Fail_fast);
+              ]))
+        None
+    & info [ "watchdog" ] ~docv:"MODE" ~doc)
+
 type obs_opts = {
   trace : string option;
   metrics : bool;
   sample_every : int;
   trace_buffer : int;
+  watchdog : Rota_audit.Watchdog.mode option;
 }
 
 let obs_args =
   Term.(
-    const (fun trace metrics sample_every trace_buffer ->
-        { trace; metrics; sample_every; trace_buffer })
-    $ trace_arg $ metrics_arg $ sample_every_arg $ trace_buffer_arg)
+    const (fun trace metrics sample_every trace_buffer watchdog ->
+        { trace; metrics; sample_every; trace_buffer; watchdog })
+    $ trace_arg $ metrics_arg $ sample_every_arg $ trace_buffer_arg
+    $ watchdog_arg)
 
 (* Install the requested sinks/registry around [f], and tear them down
    (flushing files, printing the metrics tables) afterwards — also on
    exceptions, so a failed run still leaves a valid JSONL prefix. *)
-let with_obs ?(console = false) { trace; metrics; sample_every; trace_buffer } f =
+let with_obs ?(console = false)
+    { trace; metrics; sample_every; trace_buffer; watchdog } f =
   match
     Option.map
       (fun path ->
@@ -103,18 +129,23 @@ let with_obs ?(console = false) { trace; metrics; sample_every; trace_buffer } f
       Printf.eprintf "rota: cannot open trace file: %s\n" msg;
       1
   | (None | Some (Ok _)) as file_sink ->
+  let wd = Option.map (fun mode -> Rota_audit.Watchdog.create ~mode ()) watchdog in
   let sinks =
     List.filter_map Fun.id
       [
         (match file_sink with Some (Ok s) -> Some s | _ -> None);
         (if console then Some (Rota_obs.Sink.console Format.std_formatter)
          else None);
+        (* The watchdog tees last, so the trace file already holds the
+           decision line the verdict is about when it is re-verified. *)
+        Option.map Rota_audit.Watchdog.sink wd;
       ]
   in
   (match sinks with
   | [] -> ()
   | first :: rest ->
       Rota_obs.Tracer.install (List.fold_left Rota_obs.Sink.tee first rest));
+  Option.iter Rota_audit.Watchdog.install wd;
   Rota_obs.Tracer.set_sample_period (if trace = None then 0 else sample_every);
   (* Sampling reads the registry, so a traced run with sampling on
      records metrics even without --metrics (which only controls the
@@ -123,14 +154,26 @@ let with_obs ?(console = false) { trace; metrics; sample_every; trace_buffer } f
   if record_metrics then Rota_obs.Metrics.set_enabled true;
   let finally () =
     Rota_obs.Tracer.uninstall ();
+    Rota_audit.Watchdog.uninstall ();
     Rota_obs.Tracer.set_sample_period 0;
     if record_metrics then Rota_obs.Metrics.set_enabled false;
+    Option.iter
+      (fun w ->
+        Format.printf "%a@." Rota_audit.Watchdog.pp_stats
+          (Rota_audit.Watchdog.stats w))
+      wd;
     if metrics then begin
       print_newline ();
       Rota_experiments.Metrics_report.print ()
     end
   in
-  Fun.protect ~finally f
+  Fun.protect ~finally @@ fun () ->
+  try f ()
+  with Rota_audit.Watchdog.Trip { seq; id; message } ->
+    Format.eprintf
+      "rota: watchdog tripped (fail-fast) at seq %d on decision %s: %s@." seq
+      id message;
+    1
 
 (* --- rota experiment --------------------------------------------------- *)
 
@@ -489,7 +532,14 @@ let trace_pos ?(idx = 0) ~docv () =
    the first malformed line on stderr. *)
 let with_trace_events path k =
   match Trace_reader.read_file path with
-  | Ok events -> k events
+  | Ok (events, tail) ->
+      (match tail with
+      | Trace_reader.Complete -> ()
+      | Trace_reader.Truncated _ ->
+          Format.eprintf "rota trace: %s: warning: %a (crash-interrupted \
+                          write); using everything before the cut@."
+            path Trace_reader.pp_tail tail);
+      k events
   | Error e ->
       Format.eprintf "rota trace: %s: %a@." path Trace_reader.pp_error e;
       1
@@ -615,28 +665,105 @@ let trace_cmd =
 
 (* --- rota audit / rota explain --------------------------------------------- *)
 
+(* Tail a growing trace with the same incremental core the offline
+   audit drives: poll for completed lines, step the auditor, print each
+   verdict's complaints as they land.  A partial last line is buffered
+   by the cursor, never parsed, so racing the writer is safe. *)
+let follow_audit ~idle_exit file =
+  match Trace_reader.Follow.open_file file with
+  | Error e ->
+      Format.eprintf "rota audit: %s: %a@." file Trace_reader.pp_error e;
+      1
+  | Ok cursor ->
+      Fun.protect ~finally:(fun () -> Trace_reader.Follow.close cursor)
+      @@ fun () ->
+      let module Live = Rota_audit.Audit.Live in
+      let live = Live.create () in
+      let divergences = ref 0 in
+      let on_outcome (o : Live.outcome) =
+        match o.Live.verdict with
+        | Live.Verified | Live.Skipped _ -> ()
+        | Live.Diverged msgs ->
+            divergences := !divergences + List.length msgs;
+            List.iter
+              (fun m ->
+                Format.printf "seq %d (run %d, %s %s): DIVERGENCE: %s@."
+                  o.Live.seq o.Live.run o.Live.action o.Live.id m)
+              msgs
+      in
+      let finish () =
+        Format.printf
+          "%d events across %d runs: %d decisions, %d verified, %d skipped, \
+           %d divergent@."
+          (Live.events live) (Live.runs live) (Live.decisions live)
+          (Live.verified live) (Live.skipped live) !divergences;
+        if !divergences > 0 then 1 else 0
+      in
+      let tick = 0.2 in
+      let rec loop idle =
+        match Trace_reader.Follow.poll cursor with
+        | Error e ->
+            Format.eprintf "rota audit: %s: %a@." file Trace_reader.pp_error e;
+            1
+        | Ok [] ->
+            if idle_exit > 0. && idle >= idle_exit then finish ()
+            else begin
+              Unix.sleepf tick;
+              loop (idle +. tick)
+            end
+        | Ok events ->
+            List.iter
+              (fun e ->
+                match Live.step live e with
+                | Some o -> on_outcome o
+                | None -> ())
+              events;
+            loop 0.
+      in
+      loop 0.
+
 let audit_cmd =
   let max_div_arg =
     Arg.(value & opt int 100 & info [ "max-divergences" ] ~docv:"N"
            ~doc:"How many divergences to report before summarizing the rest.")
   in
-  let run file max_divergences =
-    match Rota_audit.Audit.audit_file ~max_divergences file with
-    | Error e ->
-        Format.eprintf "rota audit: %s: %a@." file Trace_reader.pp_error e;
-        1
-    | Ok report ->
-        Format.printf "%a@." Rota_audit.Audit.pp_report report;
-        if Rota_audit.Audit.ok report then 0 else 1
+  let follow_arg =
+    Arg.(value & flag
+         & info [ "follow" ]
+             ~doc:
+               "Tail a trace that is still being written: audit events as \
+                their lines complete, printing divergences as they happen, \
+                until interrupted (or idle past $(b,--idle-exit)).  A \
+                crash-cut partial last line is waited on, not an error.")
+  in
+  let idle_exit_arg =
+    Arg.(value & opt float 0. & info [ "idle-exit" ] ~docv:"SECS"
+           ~doc:
+             "With $(b,--follow): exit (with the audit summary and verdict) \
+              after $(docv) seconds without new events.  0 follows forever.")
+  in
+  let run file max_divergences follow idle_exit =
+    if follow then follow_audit ~idle_exit file
+    else
+      match Rota_audit.Audit.audit_file ~max_divergences file with
+      | Error e ->
+          Format.eprintf "rota audit: %s: %a@." file Trace_reader.pp_error e;
+          1
+      | Ok report ->
+          Format.printf "%a@." Rota_audit.Audit.pp_report report;
+          if Rota_audit.Audit.ok report then 0 else 1
   in
   let doc =
     "Independently re-verify every decision certificate in a trace: replay \
      the trace, reconstruct capacity and the commitment ledger from prior \
      events alone, and re-check each certificate through the validator \
-     (never the decision procedure).  Exits non-zero on any divergence."
+     (never the decision procedure).  Exits non-zero on any divergence.  \
+     With $(b,--follow), tails a growing trace live."
   in
   Cmd.v (Cmd.info "audit" ~doc)
-    Term.(const run $ trace_pos ~docv:"TRACE" () $ max_div_arg)
+    Term.(
+      const run $ trace_pos ~docv:"TRACE" () $ max_div_arg $ follow_arg
+      $ idle_exit_arg)
 
 let explain_cmd =
   let id_arg =

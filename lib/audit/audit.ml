@@ -1,4 +1,5 @@
 open Import
+module Live = Live
 
 type divergence = { seq : int; run : int; id : string; message : string }
 
@@ -10,329 +11,58 @@ type report = {
   skipped : int;
   divergences : divergence list;
   suppressed : int;
+  truncated : bool;
 }
 
 let ok r = r.divergences = [] && r.suppressed = 0
 
-(* --- the reconstructed ledger --------------------------------------------- *)
+(* --- the thin driver ------------------------------------------------------- *)
 
-(* Everything the auditor knows comes from the trace: capacity is the
-   union of capacity-joined slice terms minus fault slice terms, the
-   commitment map is driven by decision records and lifecycle events
-   (completed/killed/preempted/revoked release their reservations), and
-   the baselines' demand ledger is rebuilt from their own certificates.
-   Reservations are kept untruncated — truncation commutes pointwise, so
-   it is applied at check time instead of replaying every tick. *)
-type ledger = {
-  mutable policy : string;
-  mutable capacity : Resource_set.t;
-  mutable capacity_known : bool;
-      (** Cleared when a join or revocation carries no slice terms (a
-          trace from an older binary): from then on the residual cannot
-          be reconstructed and residual-dependent checks are skipped. *)
-  entries : (string, Resource_set.t) Hashtbl.t;
-  demands : (string, Interval.t * (Located_type.t * int) list) Hashtbl.t;
-}
-
-let fresh_ledger () =
-  {
-    policy = "";
-    capacity = Resource_set.empty;
-    capacity_known = true;
-    entries = Hashtbl.create 64;
-    demands = Hashtbl.create 64;
-  }
-
-let reset led ~policy =
-  led.policy <- policy;
-  led.capacity <- Resource_set.empty;
-  led.capacity_known <- true;
-  Hashtbl.reset led.entries;
-  Hashtbl.reset led.demands
-
-let committed led ~now =
-  Hashtbl.fold
-    (fun _ r acc -> Resource_set.union acc (Resource_set.truncate_before r now))
-    led.entries Resource_set.empty
-
-let residual led ~now =
+(* Everything file-shaped goes through here: one [Live] auditor stepped
+   over the trace in file order.  [audit_file] and [explain_file] are
+   folds over the decision outcomes — the live watchdog runs the exact
+   same [Live.step], so offline and in-engine verdicts cannot drift. *)
+let fold_decisions ?strict path ~init ~f =
+  let live = Live.create () in
   match
-    Resource_set.diff
-      (Resource_set.truncate_before led.capacity now)
-      (committed led ~now)
-  with
-  | Ok r -> Ok r
-  | Error d ->
-      Error
-        (Format.asprintf
-           "reconstructed commitments exceed reconstructed capacity (%a)"
-           Resource_set.pp_deficit d)
-
-(* Is the id admitted-and-active, as [Admission.already_admitted] would
-   see it?  Calendar entries live until explicitly released; demand
-   records expire with their windows (the controller prunes them on
-   advance). *)
-let live led ~now id =
-  Hashtbl.mem led.entries id
-  ||
-  match Hashtbl.find_opt led.demands id with
-  | Some (w, _) -> Interval.stop w > now
-  | None -> false
-
-let release led id =
-  Hashtbl.remove led.entries id;
-  Hashtbl.remove led.demands id
-
-(* Recompute the aggregate baseline's feasibility table from the replayed
-   ledger and compare it row by row with what the decider recorded. *)
-let recheck_rows led ~now ~window rows =
-  let cap = Resource_set.truncate_before led.capacity now in
-  List.concat_map
-    (fun (r : Certificate.row) ->
-      let capacity = Resource_set.integrate cap r.Certificate.row_type window in
-      let committed =
-        Hashtbl.fold
-          (fun _ (w, totals) acc ->
-            if Interval.stop w > now && Interval.overlaps w window then
-              acc
-              + List.fold_left
-                  (fun acc (xi, q) ->
-                    if Located_type.equal xi r.Certificate.row_type then acc + q
-                    else acc)
-                  0 totals
-            else acc)
-          led.demands 0
-      in
-      (if capacity = r.Certificate.capacity then []
-       else
-         [
-           Format.asprintf
-             "row %a: capacity %d recorded, %d reconstructed" Located_type.pp
-             r.Certificate.row_type r.Certificate.capacity capacity;
-         ])
-      @
-      if committed = r.Certificate.committed then []
-      else
-        [
-          Format.asprintf "row %a: committed %d recorded, %d reconstructed"
-            Located_type.pp r.Certificate.row_type r.Certificate.committed
-            committed;
-        ])
-    rows
-
-(* --- per-decision verification -------------------------------------------- *)
-
-type verdict = Verified | Skipped of string | Diverged of string list
-
-let audit_decision led ~now ~id ~action (cert : Certificate.t) =
-  let errors = ref [] in
-  let skip = ref None in
-  let err fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
-  let check_residual k =
-    if not led.capacity_known then (
-      if !skip = None then
-        skip := Some "capacity terms missing: residual cannot be reconstructed")
-    else match residual led ~now with Error m -> err "%s" m | Ok r -> k r
-  in
-  let commit () =
-    Hashtbl.replace led.entries id (Certificate.reservation cert)
-  in
-  (match (action, cert.Certificate.evidence) with
-  | "admit", Certificate.Schedules _ ->
-      if live led ~now id then err "admitted an id that is already live";
-      check_residual (fun r ->
-          match Certificate.verify ~residual:r cert with
-          | Ok () -> ()
-          | Error m -> err "%s" m);
-      (* Track the reservation even on divergence, so one bad decision
-         does not cascade into digest mismatches on every later one. *)
-      commit ()
-  | "admit", Certificate.Aggregate_fit { window; rows; fits } ->
-      if live led ~now id then err "admitted an id that is already live";
-      if not fits then
-        err "admit recorded, but the certificate's own table does not fit";
-      check_residual (fun r ->
-          (match Certificate.verify ~residual:r cert with
-          | Ok () -> ()
-          | Error m -> err "%s" m);
-          List.iter (fun m -> err "%s" m) (recheck_rows led ~now ~window rows));
-      Hashtbl.replace led.demands id
-        ( window,
-          List.map
-            (fun (row : Certificate.row) ->
-              (row.Certificate.row_type, row.Certificate.demand))
-            rows )
-  | "admit", Certificate.Optimistic_fit { window; totals } ->
-      if live led ~now id then err "admitted an id that is already live";
-      if now >= Interval.stop window then
-        err "optimistic admit at t%d, at or past the deadline t%d" now
-          (Interval.stop window);
-      Hashtbl.replace led.demands id (window, totals)
-  | "admit", (Certificate.Infeasible | Certificate.Stale _ | Certificate.Duplicate)
-    ->
-      err "admit decision carries reject evidence"
-  | "reject", Certificate.Infeasible ->
-      check_residual (fun r ->
-          match Certificate.verify ~residual:r cert with
-          | Ok () -> ()
-          | Error m -> err "%s" m)
-  | "reject", Certificate.Aggregate_fit { window; rows; fits } ->
-      if fits then err "reject recorded, but the certificate's own table fits";
-      check_residual (fun r ->
-          (match Certificate.verify ~residual:r cert with
-          | Ok () -> ()
-          | Error m -> err "%s" m);
-          List.iter (fun m -> err "%s" m) (recheck_rows led ~now ~window rows))
-  | "reject", Certificate.Stale { deadline } ->
-      if now < deadline then
-        err "stale reject at t%d, before the deadline t%d" now deadline
-  | "reject", Certificate.Duplicate ->
-      if not (live led ~now id) then
-        err "duplicate reject, but the id is not live in the reconstructed ledger"
-  | "reject", (Certificate.Schedules _ | Certificate.Optimistic_fit _) ->
-      err "reject decision carries admit evidence"
-  | "evict", Certificate.Schedules _ ->
-      (* The reservation was just revoked, so the residual does not cover
-         it — dominance is meaningless here.  Structure and digest (the
-         post-revocation residual the engine saw) are still checked. *)
-      (match Certificate.well_formed cert with
-      | Ok () -> ()
-      | Error m -> err "%s" m);
-      if cert.Certificate.digest <> "" then
-        check_residual (fun r ->
-            let d = Certificate.digest r in
-            if not (String.equal d cert.Certificate.digest) then
-              err "residual digest mismatch: certificate %s, reconstructed %s"
-                cert.Certificate.digest d)
-  | "evict", _ -> err "evict decision without schedule evidence"
-  | "repair", Certificate.Schedules _ ->
-      (* The victim's old reservation was released before the ladder ran
-         (eviction or degradation), so the rescue verifies like a fresh
-         Theorem-3 admission and re-enters the ledger. *)
-      check_residual (fun r ->
-          match Certificate.verify ~residual:r cert with
-          | Ok () -> ()
-          | Error m -> err "%s" m);
-      commit ()
-  | "repair", _ -> err "repair decision without schedule evidence"
-  | a, _ -> err "unknown decision action %S" a);
-  match (List.rev !errors, !skip) with
-  | [], None -> Verified
-  | [], Some reason -> Skipped reason
-  | errs, _ -> Diverged errs
-
-(* --- the streaming replay -------------------------------------------------- *)
-
-type scan = {
-  led : ledger;
-  mutable now : int;
-  mutable runs : int;
-  mutable decisions : int;
-  mutable verified : int;
-  mutable skipped : int;
-}
-
-let fresh_scan () =
-  {
-    led = fresh_ledger ();
-    now = 0;
-    runs = 0;
-    decisions = 0;
-    verified = 0;
-    skipped = 0;
-  }
-
-let apply_terms led terms ~f =
-  match terms with
-  | Json.Null -> led.capacity_known <- false
-  | terms -> (
-      match Certificate.rects_of_json terms with
-      | Ok rects -> led.capacity <- f led.capacity (Certificate.set_of_rects rects)
-      | Error _ -> led.capacity_known <- false)
-
-let step scan ~on_decision (e : Events.t) =
-  (match e.Events.sim with Some t -> scan.now <- t | None -> ());
-  let now = scan.now in
-  let led = scan.led in
-  match e.Events.payload with
-  | Events.Run_started { label } ->
-      scan.runs <- scan.runs + 1;
-      reset led
-        ~policy:(Option.value (Summary.label_field "policy" label) ~default:"")
-  | Events.Capacity_joined { terms; _ } ->
-      apply_terms led terms ~f:Resource_set.union
-  | Events.Fault_injected { fault = "revocation" | "blackout"; quantity; terms }
-    ->
-      if terms = Json.Null && quantity = 0 then
-        (* An older binary would omit terms even for a no-op fault; a
-           no-op cannot desynchronize the capacity either way. *)
-        ()
-      else apply_terms led terms ~f:Resource_set.diff_clamped
-  | Events.Fault_injected _ ->
-      (* Slowdowns touch demand, not capacity; a rejoin's capacity
-         arrives in the Capacity_joined record that follows it. *)
-      ()
-  | Events.Commitment_revoked { id; _ } -> Hashtbl.remove led.entries id
-  | Events.Commitment_degraded { id; released; _ } ->
-      if released then Hashtbl.remove led.entries id
-  | Events.Completed { id } | Events.Killed { id; _ } | Events.Preempted { id; _ }
-    ->
-      release led id
-  | Events.Decision { id; action; certificate; _ } ->
-      scan.decisions <- scan.decisions + 1;
-      let verdict =
-        match certificate with
-        | Json.Null -> Skipped "no certificate recorded"
-        | cj -> (
-            match Certificate.of_json cj with
-            | Error m -> Diverged [ "unparseable certificate: " ^ m ]
-            | Ok cert -> audit_decision led ~now ~id ~action cert)
-      in
-      (match verdict with
-      | Verified -> scan.verified <- scan.verified + 1
-      | Skipped _ -> scan.skipped <- scan.skipped + 1
-      | Diverged _ -> ());
-      on_decision e ~id ~action verdict
-  | Events.Admitted _ | Events.Rejected _ | Events.Repaired _
-  | Events.Anomaly _ | Events.Span _ | Events.Metric_sample _
-  | Events.Unknown _ ->
-      ()
-
-(* --- entry points ---------------------------------------------------------- *)
-
-let audit_file ?(max_divergences = 100) path =
-  let scan = fresh_scan () in
-  let events = ref 0 in
-  let divs = ref [] and kept = ref 0 and suppressed = ref 0 in
-  let on_decision (e : Events.t) ~id ~action:_ = function
-    | Verified | Skipped _ -> ()
-    | Diverged msgs ->
-        List.iter
-          (fun message ->
-            if !kept < max_divergences then begin
-              incr kept;
-              divs :=
-                { seq = e.Events.seq; run = e.Events.run; id; message } :: !divs
-            end
-            else incr suppressed)
-          msgs
-  in
-  match
-    Trace_reader.fold_file path ~init:() ~f:(fun () e ->
-        incr events;
-        step scan ~on_decision e)
+    Trace_reader.fold_file ?strict path ~init ~f:(fun acc e ->
+        match Live.step live e with Some o -> f acc o | None -> acc)
   with
   | Error e -> Error e
-  | Ok () ->
+  | Ok (acc, tail) -> Ok (acc, live, tail)
+
+let truncated = function
+  | Trace_reader.Complete -> false
+  | Trace_reader.Truncated _ -> true
+
+let audit_file ?(max_divergences = 100) path =
+  let on_outcome (kept, divs, suppressed) (o : Live.outcome) =
+    match o.Live.verdict with
+    | Live.Verified | Live.Skipped _ -> (kept, divs, suppressed)
+    | Live.Diverged msgs ->
+        List.fold_left
+          (fun (kept, divs, suppressed) message ->
+            if kept < max_divergences then
+              ( kept + 1,
+                { seq = o.Live.seq; run = o.Live.run; id = o.Live.id; message }
+                :: divs,
+                suppressed )
+            else (kept, divs, suppressed + 1))
+          (kept, divs, suppressed) msgs
+  in
+  match fold_decisions path ~init:(0, [], 0) ~f:on_outcome with
+  | Error e -> Error e
+  | Ok ((_, divs, suppressed), live, tail) ->
       Ok
         {
-          events = !events;
-          runs = scan.runs;
-          decisions = scan.decisions;
-          verified = scan.verified;
-          skipped = scan.skipped;
-          divergences = List.rev !divs;
-          suppressed = !suppressed;
+          events = Live.events live;
+          runs = Live.runs live;
+          decisions = Live.decisions live;
+          verified = Live.verified live;
+          skipped = Live.skipped live;
+          divergences = List.rev divs;
+          suppressed;
+          truncated = truncated tail;
         }
 
 let pp_report ppf r =
@@ -352,46 +82,41 @@ let pp_report ppf r =
     r.divergences;
   if r.suppressed > 0 then
     Format.fprintf ppf "@ ... and %d more divergences" r.suppressed;
+  if r.truncated then
+    Format.fprintf ppf
+      "@ note: trace ends mid-line (crash-interrupted write); audited up to \
+       the cut";
   Format.fprintf ppf "@]"
 
+let explain_outcome (o : Live.outcome) =
+  let b = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer b in
+  Format.fprintf ppf "@[<v>run %d seq %d t%s: %s %s [%s]@ " o.Live.run
+    o.Live.seq
+    (match o.Live.sim with Some t -> string_of_int t | None -> "-")
+    o.Live.action o.Live.id o.Live.slug;
+  (match o.Live.certificate with
+  | Json.Null -> Format.fprintf ppf "no certificate recorded"
+  | cj -> (
+      match Certificate.of_json cj with
+      | Ok cert -> Certificate.pp ppf cert
+      | Error m -> Format.fprintf ppf "unparseable certificate: %s" m));
+  (match o.Live.verdict with
+  | Live.Verified ->
+      Format.fprintf ppf "@ auditor: verified against the reconstructed ledger"
+  | Live.Skipped reason -> Format.fprintf ppf "@ auditor: skipped (%s)" reason
+  | Live.Diverged msgs ->
+      List.iter
+        (fun m -> Format.fprintf ppf "@ auditor: DIVERGENCE: %s" m)
+        msgs);
+  Format.fprintf ppf "@]@?";
+  Buffer.contents b
+
 let explain_file path ~id:target =
-  let scan = fresh_scan () in
-  let blocks = ref [] in
-  let on_decision (e : Events.t) ~id ~action verdict =
-    if String.equal id target then begin
-      let slug, cert_json =
-        match e.Events.payload with
-        | Events.Decision { slug; certificate; _ } -> (slug, certificate)
-        | _ -> ("", Json.Null)
-      in
-      let b = Buffer.create 256 in
-      let ppf = Format.formatter_of_buffer b in
-      Format.fprintf ppf "@[<v>run %d seq %d t%s: %s %s [%s]@ " e.Events.run
-        e.Events.seq
-        (match e.Events.sim with Some t -> string_of_int t | None -> "-")
-        action id slug;
-      (match cert_json with
-      | Json.Null -> Format.fprintf ppf "no certificate recorded"
-      | cj -> (
-          match Certificate.of_json cj with
-          | Ok cert -> Certificate.pp ppf cert
-          | Error m -> Format.fprintf ppf "unparseable certificate: %s" m));
-      (match verdict with
-      | Verified ->
-          Format.fprintf ppf
-            "@ auditor: verified against the reconstructed ledger"
-      | Skipped reason -> Format.fprintf ppf "@ auditor: skipped (%s)" reason
-      | Diverged msgs ->
-          List.iter
-            (fun m -> Format.fprintf ppf "@ auditor: DIVERGENCE: %s" m)
-            msgs);
-      Format.fprintf ppf "@]@?";
-      blocks := Buffer.contents b :: !blocks
-    end
-  in
   match
-    Trace_reader.fold_file path ~init:() ~f:(fun () e ->
-        step scan ~on_decision e)
+    fold_decisions path ~init:[] ~f:(fun blocks (o : Live.outcome) ->
+        if String.equal o.Live.id target then explain_outcome o :: blocks
+        else blocks)
   with
   | Error e -> Error e
-  | Ok () -> Ok (List.rev !blocks)
+  | Ok (blocks, _, _) -> Ok (List.rev blocks)

@@ -14,8 +14,15 @@ open Import
     tampered with after the fact, surfaces as a {e divergence} naming
     the offending decision.
 
-    The replay is streaming (one event at a time, via
-    {!Trace_reader.fold_file}), so trace size is bounded only by disk. *)
+    All the verification lives in {!Live}, the incremental core the
+    in-engine {!Watchdog} also runs; this module is the thin
+    file-shaped driver over it, so offline and live verdicts cannot
+    drift.  The replay is streaming (one event at a time, via
+    {!Trace_reader.fold_file}), so trace size is bounded only by
+    disk. *)
+
+module Live = Live
+(** The incremental core, re-exported so [Audit.Live] names it. *)
 
 type divergence = {
   seq : int;  (** The offending event's sequence number. *)
@@ -35,15 +42,31 @@ type report = {
           missing (traces from older binaries). *)
   divergences : divergence list;  (** In file order. *)
   suppressed : int;  (** Divergences beyond the reporting cap. *)
+  truncated : bool;
+      (** The trace ends in a crash-cut partial line; everything before
+          it was still audited. *)
 }
 
 val ok : report -> bool
 (** No divergences (skipped decisions do not fail an audit — they are
-    reported as a coverage gap instead). *)
+    reported as a coverage gap instead; a truncated tail is a note, not
+    a failure). *)
 
 val pp_report : Format.formatter -> report -> unit
 
-val audit_file : ?max_divergences:int -> string -> (report, Trace_reader.error) result
+val fold_decisions :
+  ?strict:bool ->
+  string ->
+  init:'a ->
+  f:('a -> Live.outcome -> 'a) ->
+  ('a * Live.t * Trace_reader.tail, Trace_reader.error) result
+(** The shared driver: step one fresh {!Live} auditor over the whole
+    file and fold [f] over each decision's outcome, in file order.
+    Returns the fold result together with the auditor (for its
+    counters) and how the file ended. *)
+
+val audit_file :
+  ?max_divergences:int -> string -> (report, Trace_reader.error) result
 (** Replay and re-verify the whole trace.  [max_divergences] (default
     100) bounds the divergence list; the remainder is counted in
     {!report.suppressed}.  [Error] means the file itself could not be

@@ -8,3 +8,6 @@ module Json = Rota_obs.Json
 module Events = Rota_obs.Events
 module Trace_reader = Rota_obs.Trace_reader
 module Summary = Rota_obs.Summary
+module Sink = Rota_obs.Sink
+module Tracer = Rota_obs.Tracer
+module Metrics = Rota_obs.Metrics

@@ -1,0 +1,339 @@
+open Import
+
+(* --- the reconstructed ledger --------------------------------------------- *)
+
+(* Everything the auditor knows comes from the event stream: capacity is
+   the union of capacity-joined slice terms minus fault slice terms, the
+   commitment map is driven by decision records and lifecycle events
+   (completed/killed/preempted/revoked release their reservations), and
+   the baselines' demand ledger is rebuilt from their own certificates.
+   Reservations are kept untruncated — truncation commutes pointwise, so
+   it is applied at check time instead of replaying every tick.
+
+   The state is bounded by the number of *live* commitments, not by the
+   length of the stream: every table entry is created by an admission
+   and removed by the matching lifecycle event, so a watchdog riding an
+   arbitrarily long trace holds only the commitments currently in
+   flight. *)
+type ledger = {
+  mutable policy : string;
+  mutable capacity : Resource_set.t;
+  mutable capacity_known : bool;
+      (* Cleared when a join or revocation carries no slice terms (a
+         trace from an older binary): from then on the residual cannot
+         be reconstructed and residual-dependent checks are skipped. *)
+  entries : (string, Resource_set.t) Hashtbl.t;
+  demands : (string, Interval.t * (Located_type.t * int) list) Hashtbl.t;
+}
+
+let fresh_ledger () =
+  {
+    policy = "";
+    capacity = Resource_set.empty;
+    capacity_known = true;
+    entries = Hashtbl.create 64;
+    demands = Hashtbl.create 64;
+  }
+
+let reset_ledger led ~policy =
+  led.policy <- policy;
+  led.capacity <- Resource_set.empty;
+  led.capacity_known <- true;
+  Hashtbl.reset led.entries;
+  Hashtbl.reset led.demands
+
+let committed led ~now =
+  Hashtbl.fold
+    (fun _ r acc -> Resource_set.union acc (Resource_set.truncate_before r now))
+    led.entries Resource_set.empty
+
+let residual led ~now =
+  match
+    Resource_set.diff
+      (Resource_set.truncate_before led.capacity now)
+      (committed led ~now)
+  with
+  | Ok r -> Ok r
+  | Error d ->
+      Error
+        (Format.asprintf
+           "reconstructed commitments exceed reconstructed capacity (%a)"
+           Resource_set.pp_deficit d)
+
+(* Is the id admitted-and-active, as [Admission.already_admitted] would
+   see it?  Calendar entries live until explicitly released; demand
+   records expire with their windows (the controller prunes them on
+   advance). *)
+let is_live led ~now id =
+  Hashtbl.mem led.entries id
+  ||
+  match Hashtbl.find_opt led.demands id with
+  | Some (w, _) -> Interval.stop w > now
+  | None -> false
+
+let release led id =
+  Hashtbl.remove led.entries id;
+  Hashtbl.remove led.demands id
+
+(* Recompute the aggregate baseline's feasibility table from the replayed
+   ledger and compare it row by row with what the decider recorded. *)
+let recheck_rows led ~now ~window rows =
+  let cap = Resource_set.truncate_before led.capacity now in
+  List.concat_map
+    (fun (r : Certificate.row) ->
+      let capacity = Resource_set.integrate cap r.Certificate.row_type window in
+      let committed =
+        Hashtbl.fold
+          (fun _ (w, totals) acc ->
+            if Interval.stop w > now && Interval.overlaps w window then
+              acc
+              + List.fold_left
+                  (fun acc (xi, q) ->
+                    if Located_type.equal xi r.Certificate.row_type then acc + q
+                    else acc)
+                  0 totals
+            else acc)
+          led.demands 0
+      in
+      (if capacity = r.Certificate.capacity then []
+       else
+         [
+           Format.asprintf
+             "row %a: capacity %d recorded, %d reconstructed" Located_type.pp
+             r.Certificate.row_type r.Certificate.capacity capacity;
+         ])
+      @
+      if committed = r.Certificate.committed then []
+      else
+        [
+          Format.asprintf "row %a: committed %d recorded, %d reconstructed"
+            Located_type.pp r.Certificate.row_type r.Certificate.committed
+            committed;
+        ])
+    rows
+
+(* --- per-decision verification -------------------------------------------- *)
+
+type verdict = Verified | Skipped of string | Diverged of string list
+
+let audit_decision led ~now ~id ~action (cert : Certificate.t) =
+  let errors = ref [] in
+  let skip = ref None in
+  let err fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  let check_residual k =
+    if not led.capacity_known then (
+      if !skip = None then
+        skip := Some "capacity terms missing: residual cannot be reconstructed")
+    else match residual led ~now with Error m -> err "%s" m | Ok r -> k r
+  in
+  let commit () =
+    Hashtbl.replace led.entries id (Certificate.reservation cert)
+  in
+  (match (action, cert.Certificate.evidence) with
+  | "admit", Certificate.Schedules _ ->
+      if is_live led ~now id then err "admitted an id that is already live";
+      check_residual (fun r ->
+          match Certificate.verify ~residual:r cert with
+          | Ok () -> ()
+          | Error m -> err "%s" m);
+      (* Track the reservation even on divergence, so one bad decision
+         does not cascade into digest mismatches on every later one. *)
+      commit ()
+  | "admit", Certificate.Aggregate_fit { window; rows; fits } ->
+      if is_live led ~now id then err "admitted an id that is already live";
+      if not fits then
+        err "admit recorded, but the certificate's own table does not fit";
+      check_residual (fun r ->
+          (match Certificate.verify ~residual:r cert with
+          | Ok () -> ()
+          | Error m -> err "%s" m);
+          List.iter (fun m -> err "%s" m) (recheck_rows led ~now ~window rows));
+      Hashtbl.replace led.demands id
+        ( window,
+          List.map
+            (fun (row : Certificate.row) ->
+              (row.Certificate.row_type, row.Certificate.demand))
+            rows )
+  | "admit", Certificate.Optimistic_fit { window; totals } ->
+      if is_live led ~now id then err "admitted an id that is already live";
+      if now >= Interval.stop window then
+        err "optimistic admit at t%d, at or past the deadline t%d" now
+          (Interval.stop window);
+      Hashtbl.replace led.demands id (window, totals)
+  | "admit", (Certificate.Infeasible | Certificate.Stale _ | Certificate.Duplicate)
+    ->
+      err "admit decision carries reject evidence"
+  | "reject", Certificate.Infeasible ->
+      check_residual (fun r ->
+          match Certificate.verify ~residual:r cert with
+          | Ok () -> ()
+          | Error m -> err "%s" m)
+  | "reject", Certificate.Aggregate_fit { window; rows; fits } ->
+      if fits then err "reject recorded, but the certificate's own table fits";
+      check_residual (fun r ->
+          (match Certificate.verify ~residual:r cert with
+          | Ok () -> ()
+          | Error m -> err "%s" m);
+          List.iter (fun m -> err "%s" m) (recheck_rows led ~now ~window rows))
+  | "reject", Certificate.Stale { deadline } ->
+      if now < deadline then
+        err "stale reject at t%d, before the deadline t%d" now deadline
+  | "reject", Certificate.Duplicate ->
+      if not (is_live led ~now id) then
+        err "duplicate reject, but the id is not live in the reconstructed ledger"
+  | "reject", (Certificate.Schedules _ | Certificate.Optimistic_fit _) ->
+      err "reject decision carries admit evidence"
+  | "evict", Certificate.Schedules _ ->
+      (* The reservation was just revoked, so the residual does not cover
+         it — dominance is meaningless here.  Structure and digest (the
+         post-revocation residual the engine saw) are still checked. *)
+      (match Certificate.well_formed cert with
+      | Ok () -> ()
+      | Error m -> err "%s" m);
+      if cert.Certificate.digest <> "" then
+        check_residual (fun r ->
+            let d = Certificate.digest r in
+            if not (String.equal d cert.Certificate.digest) then
+              err "residual digest mismatch: certificate %s, reconstructed %s"
+                cert.Certificate.digest d)
+  | "evict", _ -> err "evict decision without schedule evidence"
+  | "repair", Certificate.Schedules _ ->
+      (* The victim's old reservation was released before the ladder ran
+         (eviction or degradation), so the rescue verifies like a fresh
+         Theorem-3 admission and re-enters the ledger. *)
+      check_residual (fun r ->
+          match Certificate.verify ~residual:r cert with
+          | Ok () -> ()
+          | Error m -> err "%s" m);
+      commit ()
+  | "repair", _ -> err "repair decision without schedule evidence"
+  | a, _ -> err "unknown decision action %S" a);
+  match (List.rev !errors, !skip) with
+  | [], None -> Verified
+  | [], Some reason -> Skipped reason
+  | errs, _ -> Diverged errs
+
+(* --- the incremental auditor ----------------------------------------------- *)
+
+type outcome = {
+  seq : int;
+  run : int;
+  sim : int option;
+  id : string;
+  action : string;
+  slug : string;
+  certificate : Json.t;
+  verdict : verdict;
+}
+
+type t = {
+  led : ledger;
+  mutable now : int;
+  mutable events : int;
+  mutable runs : int;
+  mutable decisions : int;
+  mutable verified : int;
+  mutable skipped : int;
+  mutable diverged : int;
+}
+
+let create () =
+  {
+    led = fresh_ledger ();
+    now = 0;
+    events = 0;
+    runs = 0;
+    decisions = 0;
+    verified = 0;
+    skipped = 0;
+    diverged = 0;
+  }
+
+let events t = t.events
+let runs t = t.runs
+let decisions t = t.decisions
+let verified t = t.verified
+let skipped t = t.skipped
+let diverged t = t.diverged
+
+let live_commitments t =
+  Hashtbl.length t.led.entries + Hashtbl.length t.led.demands
+
+let apply_terms led terms ~f =
+  match terms with
+  | Json.Null -> led.capacity_known <- false
+  | terms -> (
+      match Certificate.rects_of_json terms with
+      | Ok rects -> led.capacity <- f led.capacity (Certificate.set_of_rects rects)
+      | Error _ -> led.capacity_known <- false)
+
+let step t (e : Events.t) =
+  t.events <- t.events + 1;
+  (match e.Events.sim with Some tm -> t.now <- tm | None -> ());
+  let now = t.now in
+  let led = t.led in
+  match e.Events.payload with
+  | Events.Run_started { label } ->
+      t.runs <- t.runs + 1;
+      reset_ledger led
+        ~policy:(Option.value (Summary.label_field "policy" label) ~default:"");
+      None
+  | Events.Capacity_joined { terms; _ } ->
+      apply_terms led terms ~f:Resource_set.union;
+      None
+  | Events.Fault_injected { fault = "revocation" | "blackout"; quantity; terms }
+    ->
+      if terms = Json.Null && quantity = 0 then
+        (* An older binary would omit terms even for a no-op fault; a
+           no-op cannot desynchronize the capacity either way. *)
+        ()
+      else apply_terms led terms ~f:Resource_set.diff_clamped;
+      None
+  | Events.Fault_injected _ ->
+      (* Slowdowns touch demand, not capacity; a rejoin's capacity
+         arrives in the Capacity_joined record that follows it. *)
+      None
+  | Events.Commitment_revoked { id; _ } ->
+      Hashtbl.remove led.entries id;
+      None
+  | Events.Commitment_degraded { id; released; _ } ->
+      if released then Hashtbl.remove led.entries id;
+      None
+  | Events.Completed { id } | Events.Killed { id; _ } | Events.Preempted { id; _ }
+    ->
+      release led id;
+      None
+  | Events.Decision { id; action; slug; certificate; _ } ->
+      t.decisions <- t.decisions + 1;
+      let verdict =
+        match certificate with
+        | Json.Null -> Skipped "no certificate recorded"
+        | cj -> (
+            match Certificate.of_json cj with
+            | Error m -> Diverged [ "unparseable certificate: " ^ m ]
+            | Ok cert -> audit_decision led ~now ~id ~action cert)
+      in
+      (match verdict with
+      | Verified -> t.verified <- t.verified + 1
+      | Skipped _ -> t.skipped <- t.skipped + 1
+      | Diverged _ -> t.diverged <- t.diverged + 1);
+      Some
+        {
+          seq = e.Events.seq;
+          run = e.Events.run;
+          sim = e.Events.sim;
+          id;
+          action;
+          slug;
+          certificate;
+          verdict;
+        }
+  (* The watchdog's own divergence reports are inert to the auditor:
+     re-auditing a watchdogged trace must reproduce the original
+     verdicts, and a watchdog observing its own emission must not
+     recurse. *)
+  | Events.Audit_divergence _
+  | Events.Admitted _ | Events.Rejected _ | Events.Repaired _
+  | Events.Anomaly _ | Events.Span _ | Events.Metric_sample _
+  | Events.Unknown _ ->
+      None

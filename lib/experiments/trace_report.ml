@@ -53,6 +53,31 @@ let slowest_table (s : Summary.t) =
          ])
        s.Summary.slowest)
 
+(* One row per run that recorded decision provenance: how many decisions
+   carry a re-verifiable certificate, and how many audit-divergence
+   events a live watchdog left in the trace. *)
+let coverage_table (s : Summary.t) =
+  Table.make
+    ~header:
+      [
+        "run"; "policy"; "decisions"; "with-certificate"; "skipped";
+        "divergences";
+      ]
+    (List.filter_map
+       (fun (r : Summary.run) ->
+         if r.Summary.decisions = 0 && r.Summary.divergences = 0 then None
+         else
+           Some
+             [
+               Table.cell_int r.Summary.run_id;
+               (if r.Summary.policy = "" then "?" else r.Summary.policy);
+               Table.cell_int r.Summary.decisions;
+               Table.cell_int r.Summary.certified;
+               Table.cell_int (r.Summary.decisions - r.Summary.certified);
+               Table.cell_int r.Summary.divergences;
+             ])
+       s.Summary.runs)
+
 let reject_reasons_table (s : Summary.t) =
   let rows =
     List.concat_map
@@ -94,6 +119,14 @@ let print_summary (s : Summary.t) =
   if s.Summary.runs <> [] then begin
     print_endline "-- runs --";
     Table.print (runs_table s)
+  end;
+  if List.exists
+       (fun (r : Summary.run) ->
+         r.Summary.decisions > 0 || r.Summary.divergences > 0)
+       s.Summary.runs
+  then begin
+    print_endline "-- certificate coverage --";
+    Table.print (coverage_table s)
   end;
   if List.exists (fun (r : Summary.run) -> r.Summary.reject_reasons <> [])
        s.Summary.runs

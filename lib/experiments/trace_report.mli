@@ -3,9 +3,10 @@
     sharing {!Table} with the experiment reports. *)
 
 val print_summary : Rota_obs.Summary.t -> unit
-(** Event/run counts, the per-run admission table, span self/total
-    rollups, the top-N slowest spans, and metric time-series extents.
-    Sections with no data are omitted. *)
+(** Event/run counts, the per-run admission table, certificate coverage
+    (decisions / with-certificate / skipped / watchdog divergences),
+    span self/total rollups, the top-N slowest spans, and metric
+    time-series extents.  Sections with no data are omitted. *)
 
 val print_diff :
   label_a:string -> label_b:string -> Rota_obs.Summary.t -> Rota_obs.Summary.t -> unit

@@ -132,7 +132,8 @@ let export events =
         | Events.Commitment_degraded { id; _ }
         | Events.Repaired { id; _ }
         | Events.Preempted { id; _ }
-        | Events.Anomaly { id; _ } ) as p ->
+        | Events.Anomaly { id; _ }
+        | Events.Audit_divergence { id; _ } ) as p ->
           instant e
             (Printf.sprintf "%s %s" (Events.kind p) id)
             (List.remove_assoc "id" (Events.payload_fields p))

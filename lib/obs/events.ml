@@ -27,6 +27,12 @@ type payload =
       duration_s : float;
     }
   | Metric_sample of { name : string; value : float }
+  | Audit_divergence of {
+      id : string;
+      action : string;
+      of_seq : int;
+      message : string;
+    }
   | Unknown of { kind : string; fields : (string * Json.t) list }
 
 type t = {
@@ -53,6 +59,7 @@ let kind = function
   | Anomaly _ -> "anomaly"
   | Span _ -> "span"
   | Metric_sample _ -> "metric-sample"
+  | Audit_divergence _ -> "audit-divergence"
   | Unknown { kind; _ } -> kind
 
 (* Optional payload fields (the decision-provenance additions) are
@@ -109,6 +116,13 @@ let payload_fields = function
       ]
   | Metric_sample { name; value } ->
       [ ("name", Json.String name); ("value", Json.Float value) ]
+  | Audit_divergence { id; action; of_seq; message } ->
+      [
+        ("id", Json.String id);
+        ("action", Json.String action);
+        ("of_seq", Json.Int of_seq);
+        ("message", Json.String message);
+      ]
   | Unknown { kind = _; fields } -> fields
 
 let to_json e =
@@ -232,6 +246,12 @@ let payload_of_json ~strict ~wall_s json =
       let* name = field "name" Json.to_str json in
       let* value = field "value" Json.to_float json in
       Ok (Metric_sample { name; value })
+  | "audit-divergence" ->
+      let* id = field "id" Json.to_str json in
+      let* action = field "action" Json.to_str json in
+      let* of_seq = field "of_seq" Json.to_int json in
+      let* message = field "message" Json.to_str json in
+      Ok (Audit_divergence { id; action; of_seq; message })
   | k ->
       if strict then Error (Printf.sprintf "unknown event kind %S" k)
       else
@@ -305,6 +325,9 @@ let pp_payload ~sim ppf payload =
         name duration_s
   | Metric_sample { name; value } ->
       Format.fprintf ppf "%a sample %s=%g" pp_sim sim name value
+  | Audit_divergence { id; action; of_seq; message } ->
+      Format.fprintf ppf "%a AUDIT DIVERGENCE %s %s (seq %d): %s" pp_sim sim
+        action id of_seq message
   | Unknown { kind; _ } -> Format.fprintf ppf "%a ? %s" pp_sim sim kind
 
 let pp ppf e = pp_payload ~sim:e.sim ppf e.payload

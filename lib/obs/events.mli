@@ -90,6 +90,17 @@ type payload =
       (** Point-in-time value of one counter or gauge, emitted by the
           engine's periodic sampler so registry series become time
           series inside the trace. *)
+  | Audit_divergence of {
+      id : string;
+      action : string;  (** The offending decision's action. *)
+      of_seq : int;  (** [seq] of the decision event that diverged. *)
+      message : string;  (** One auditor complaint, human-readable. *)
+    }
+      (** The live audit watchdog re-verified a decision certificate and
+          disagreed with the decider.  Emitted back into the same trace,
+          one event per complaint, right after the offending decision;
+          the auditor itself ignores this kind, so re-auditing a
+          watchdogged trace reproduces the original verdicts. *)
   | Unknown of { kind : string; fields : (string * Json.t) list }
       (** A kind this binary does not know (lenient mode only).
           [fields] holds every non-envelope field verbatim, so the

@@ -9,6 +9,9 @@ type run = {
   completed : int;
   killed : int;
   owed : int;
+  decisions : int;
+  certified : int;
+  divergences : int;
   latencies : int array;
   reject_reasons : (string * int) list;
 }
@@ -68,6 +71,9 @@ type racc = {
   mutable a_completed : int;
   mutable a_killed : int;
   mutable a_owed : int;
+  mutable a_decisions : int;
+  mutable a_certified : int;
+  mutable a_divergences : int;
   mutable a_latencies : int list;
   a_reject_reasons : (string, int) Hashtbl.t;
 }
@@ -111,6 +117,9 @@ let of_events ?(top = 10) events =
             a_completed = 0;
             a_killed = 0;
             a_owed = 0;
+            a_decisions = 0;
+            a_certified = 0;
+            a_divergences = 0;
             a_latencies = [];
             a_reject_reasons = Hashtbl.create 8;
           }
@@ -177,10 +186,17 @@ let of_events ?(top = 10) events =
                 c
           in
           cell := (e.Events.sim, value) :: !cell
+      (* Certificate coverage: a trace from an older binary carries
+         decisions without certificates (or none at all) — the summary
+         makes that gap visible without running a full audit. *)
+      | Events.Decision { certificate; _ } ->
+          a.a_decisions <- a.a_decisions + 1;
+          if certificate <> Json.Null then a.a_certified <- a.a_certified + 1
+      | Events.Audit_divergence _ -> a.a_divergences <- a.a_divergences + 1
       (* Fault/repair lifecycle events don't change admission or
          completion counts; the repair counters reach the summary as
          metric samples instead. *)
-      | Events.Decision _ | Events.Fault_injected _
+      | Events.Fault_injected _
       | Events.Commitment_revoked _ | Events.Commitment_degraded _
       | Events.Repaired _ | Events.Preempted _ | Events.Anomaly _
       | Events.Unknown _ -> ())
@@ -203,6 +219,9 @@ let of_events ?(top = 10) events =
           completed = a.a_completed;
           killed = a.a_killed;
           owed = a.a_owed;
+          decisions = a.a_decisions;
+          certified = a.a_certified;
+          divergences = a.a_divergences;
           latencies;
           reject_reasons = sorted_reasons a.a_reject_reasons;
         })

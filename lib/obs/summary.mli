@@ -18,6 +18,14 @@ type run = {
   completed : int;
   killed : int;  (** Deadline kills = deadline misses among admitted. *)
   owed : int;  (** Total quantity still unfinished at kill time. *)
+  decisions : int;  (** Decision-provenance records in the run. *)
+  certified : int;
+      (** Decisions carrying a certificate; [decisions - certified] is
+          the coverage gap a full audit would have to skip (traces from
+          older binaries, or uncertified policies). *)
+  divergences : int;
+      (** [audit-divergence] records the live watchdog emitted into the
+          run — nonzero means the decider and checker disagreed. *)
   latencies : int array;
       (** Admission-to-completion times in simulated ticks, sorted
           ascending, one per completed computation. *)

@@ -4,33 +4,137 @@ let pp_error ppf e =
   if e.line = 0 then Format.pp_print_string ppf e.message
   else Format.fprintf ppf "line %d: %s" e.line e.message
 
-let fold_lines path ~init ~f =
-  match open_in path with
+type tail = Complete | Truncated of { line : int; bytes : int }
+
+let pp_tail ppf = function
+  | Complete -> Format.pp_print_string ppf "complete"
+  | Truncated { line; bytes } ->
+      Format.fprintf ppf "truncated final line %d (%d bytes)" line bytes
+
+(* --- raw line scanning --------------------------------------------------- *)
+
+(* Split [len] fresh bytes of [buf] into lines, feeding each complete
+   (newline-terminated) line — with [pending] as its accumulated prefix
+   from earlier chunks — to [f]; the unterminated remainder stays in
+   [pending] for the next chunk (or the caller's truncation verdict). *)
+let feed ~pending ~buf ~len ~f acc line =
+  let rec go acc line start =
+    if start >= len then Ok (acc, line)
+    else
+      match Bytes.index_from_opt buf start '\n' with
+      | Some i when i < len ->
+          Buffer.add_subbytes pending buf start (i - start);
+          let l = Buffer.contents pending in
+          Buffer.clear pending;
+          (match f acc line l with
+          | Ok acc -> go acc (line + 1) (i + 1)
+          | Error _ as e -> e)
+      | _ ->
+          Buffer.add_subbytes pending buf start (len - start);
+          Ok (acc, line)
+  in
+  go acc line 0
+
+(* Fold [f] over every newline-terminated line; returns the final
+   unterminated line, if any, with its 1-based line number.  [input_line]
+   cannot tell a terminated final line from a crash-cut one, so the file
+   is scanned in binary chunks instead. *)
+let fold_raw path ~init ~f =
+  match open_in_bin path with
   | exception Sys_error msg -> Error { line = 0; message = msg }
   | ic ->
       Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
-      let rec loop acc n =
-        match input_line ic with
-        | exception End_of_file -> Ok acc
-        | line -> (
-            match f acc n line with
-            | Ok acc -> loop acc (n + 1)
+      let buf = Bytes.create 65536 in
+      let pending = Buffer.create 256 in
+      let rec loop acc line =
+        match input ic buf 0 (Bytes.length buf) with
+        | 0 ->
+            let rest = Buffer.contents pending in
+            Ok (acc, if rest = "" then None else Some (line, rest))
+        | len -> (
+            match feed ~pending ~buf ~len ~f acc line with
+            | Ok (acc, line) -> loop acc line
             | Error _ as e -> e)
       in
       loop init 1
 
+let parse_line ?strict ~f acc n line =
+  (* Tolerate blank lines (text editors add trailing ones). *)
+  if String.trim line = "" then Ok acc
+  else
+    match Events.of_line ?strict line with
+    | Ok e -> Ok (f acc e)
+    | Error message -> Error { line = n; message }
+
 let fold_file ?strict path ~init ~f =
-  fold_lines path ~init ~f:(fun acc n line ->
-      (* Tolerate a trailing blank line (text editors add them). *)
-      if String.trim line = "" then Ok acc
+  match fold_raw path ~init ~f:(parse_line ?strict ~f) with
+  | Error _ as e -> e
+  | Ok (acc, None) -> Ok (acc, Complete)
+  | Ok (acc, Some (n, rest)) -> (
+      (* The final line lacks its newline: a crash-interrupted write.
+         If the fragment happens to parse it lost nothing; otherwise
+         report the cut as data, not as a malformed trace — everything
+         up to it is still good.  A *terminated* malformed line, final
+         or not, stays an error (the writer finished it that way). *)
+      if String.trim rest = "" then Ok (acc, Complete)
       else
-        match Events.of_line ?strict line with
-        | Ok e -> Ok (f acc e)
-        | Error message -> Error { line = n; message })
+        match Events.of_line ?strict rest with
+        | Ok e -> Ok (f acc e, Complete)
+        | Error _ ->
+            Ok (acc, Truncated { line = n; bytes = String.length rest }))
 
 let read_file ?strict path =
-  Result.map List.rev
+  Result.map
+    (fun (acc, tail) -> (List.rev acc, tail))
     (fold_file ?strict path ~init:[] ~f:(fun acc e -> e :: acc))
+
+(* --- following a growing file ------------------------------------------- *)
+
+module Follow = struct
+  type cursor = {
+    ic : in_channel;
+    buf : Bytes.t;
+    pending : Buffer.t;  (* unterminated tail seen so far *)
+    mutable line : int;  (* 1-based number of the line being assembled *)
+    strict : bool option;
+  }
+
+  let open_file ?strict path =
+    match open_in_bin path with
+    | exception Sys_error msg -> Error { line = 0; message = msg }
+    | ic ->
+        Ok
+          {
+            ic;
+            buf = Bytes.create 65536;
+            pending = Buffer.create 256;
+            line = 1;
+            strict;
+          }
+
+  let close c = close_in_noerr c.ic
+
+  (* Reading a regular file at EOF returns 0 bytes but leaves the
+     position; once the writer appends more, the next [poll] picks up
+     exactly where this one stopped.  A line cut mid-write stays in
+     [pending] — it is never parsed until its newline arrives, so a
+     poll racing the writer cannot misread a fragment as an event. *)
+  let poll c =
+    let f acc n line = parse_line ?strict:c.strict ~f:(fun acc e -> e :: acc) acc n line in
+    let rec loop acc =
+      match input c.ic c.buf 0 (Bytes.length c.buf) with
+      | 0 -> Ok (List.rev acc)
+      | len -> (
+          match feed ~pending:c.pending ~buf:c.buf ~len ~f acc c.line with
+          | Ok (acc, line) ->
+              c.line <- line;
+              loop acc
+          | Error _ as e -> e)
+    in
+    loop []
+
+  let pending_bytes c = Buffer.length c.pending
+end
 
 (* --- validation --------------------------------------------------------- *)
 
@@ -105,15 +209,24 @@ let validate_file ?(max_errors = 20) path =
             | Some _ | None -> ());
             Hashtbl.replace st.last_sim e.Events.run t)
   in
-  (match
-     fold_lines path ~init:() ~f:(fun () n line ->
-         (if String.trim line <> "" then
-            match Events.of_line ~strict:true line with
-            | Ok e -> check_event n e
-            | Error msg -> report n "%s" msg);
-         Ok ())
-   with
-  | Ok () -> ()
+  let check acc n line =
+    (if String.trim line <> "" then
+       match Events.of_line ~strict:true line with
+       | Ok e -> check_event n e
+       | Error msg -> report n "%s" msg);
+    Ok acc
+  in
+  (match fold_raw path ~init:() ~f:check with
+  | Ok ((), None) -> ()
+  | Ok ((), Some (n, rest)) ->
+      (* Validation is a contract check: a crash-cut final line keeps
+         the prefix valid but is still flagged, mirroring {!fold_file}'s
+         parseable-fragment tolerance. *)
+      if String.trim rest <> "" then (
+        match Events.of_line ~strict:true rest with
+        | Ok e -> check_event n e
+        | Error _ ->
+            report n "truncated final line (%d bytes)" (String.length rest))
   | Error e -> report e.line "%s" e.message);
   (* Parent spans are emitted after their children, so resolution runs
      once the whole file has been seen. *)

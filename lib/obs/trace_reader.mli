@@ -3,21 +3,69 @@
 
     Traces are read a line at a time, so a multi-gigabyte trace never
     has to fit in memory ({!fold_file}); {!read_file} is the convenience
-    wrapper for workloads that do fit.  Blank lines are tolerated. *)
+    wrapper for workloads that do fit.  Blank lines are tolerated, and a
+    crash-interrupted trace (final line cut mid-write, no trailing
+    newline) yields everything up to the cut plus a structured
+    {!Truncated} note rather than a parse error.  {!Follow} tails a
+    trace that is still being written. *)
 
 type error = { line : int; message : string }
 (** [line] is 1-based; 0 means the file itself could not be opened. *)
 
 val pp_error : Format.formatter -> error -> unit
 
+(** How the file ended.  [Truncated] means the final line lacked its
+    newline and did not parse — a write cut short by a crash; [bytes]
+    is the length of the dangling fragment.  Every complete line before
+    it was still delivered.  A {e terminated} malformed line (final or
+    not) is an {!error}, not a truncation: its writer finished it that
+    way. *)
+type tail = Complete | Truncated of { line : int; bytes : int }
+
+val pp_tail : Format.formatter -> tail -> unit
+
 val fold_file :
-  ?strict:bool -> string -> init:'a -> f:('a -> Events.t -> 'a) -> ('a, error) result
+  ?strict:bool ->
+  string ->
+  init:'a ->
+  f:('a -> Events.t -> 'a) ->
+  ('a * tail, error) result
 (** Fold [f] over every event in the file, in file order, stopping at
     the first malformed line.  [strict] is {!Events.of_line}'s flag
-    (default lenient: unknown kinds become {!Events.Unknown}). *)
+    (default lenient: unknown kinds become {!Events.Unknown}).  An
+    unterminated final line is parsed if possible (losing nothing) and
+    otherwise reported as the [tail]. *)
 
-val read_file : ?strict:bool -> string -> (Events.t list, error) result
+val read_file :
+  ?strict:bool -> string -> (Events.t list * tail, error) result
 (** All events, in file order. *)
+
+(** {1 Following a growing trace}
+
+    The primitive behind [rota audit --follow]: an incremental cursor
+    over a file another process is appending to. *)
+
+module Follow : sig
+  type cursor
+
+  val open_file : ?strict:bool -> string -> (cursor, error) result
+  (** Open [path] for tailing, positioned at the start.  [strict] as in
+      {!fold_file}. *)
+
+  val poll : cursor -> (Events.t list, error) result
+  (** Every event whose line has been {e completed} (newline written)
+      since the last poll, in file order; [[]] when nothing new arrived.
+      A partial final line is buffered, never parsed — it resumes when
+      its remaining bytes (and newline) land, so polling mid-write
+      cannot misread a fragment.  A malformed complete line is an error
+      and the cursor should be abandoned. *)
+
+  val pending_bytes : cursor -> int
+  (** Bytes of unterminated final line currently buffered — nonzero
+      while the writer is mid-line (or crashed there). *)
+
+  val close : cursor -> unit
+end
 
 (** {1 Validation}
 
@@ -26,7 +74,9 @@ val read_file : ?strict:bool -> string -> (Events.t list, error) result
     through the codec; [seq] is strictly increasing across the file;
     within each run the non-span simulated times are nondecreasing;
     nonzero span ids are unique and every span's [parent] id resolves
-    to a span in the file. *)
+    to a span in the file.  A truncated final line is reported as a
+    violation (the trace is crash-cut, even though {!fold_file} can
+    still use it). *)
 
 type validation = {
   events : int;  (** Events successfully parsed. *)

@@ -63,6 +63,7 @@ type report = {
   outcomes : outcome list;
   faults : fault_stats;
   anomalies : (Time.t * string) list;
+  watchdog : Rota_audit.Watchdog.stats option;
 }
 
 let utilization r =
@@ -179,6 +180,12 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
           | Auto -> "auto")
           horizon));
   Rota_obs.Metrics.incr m_runs;
+  (* Snapshot the installed watchdog (if any) so the report can state
+     the verification delta this run contributed — the watchdog itself
+     spans commands, not runs. *)
+  let watchdog_before =
+    Option.map Rota_audit.Watchdog.stats (Rota_audit.Watchdog.installed ())
+  in
   Rota_obs.Tracer.with_span ~sim:0 "engine/run" @@ fun () ->
   Rota_obs.Metrics.time m_run_s @@ fun () ->
   let events = Event_queue.of_list (Trace.events trace) in
@@ -994,6 +1001,12 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
     outcomes = outcomes_list;
     faults = { !fs with work_saved };
     anomalies = List.rev !anomalies;
+    watchdog =
+      (match (Rota_audit.Watchdog.installed (), watchdog_before) with
+      | Some w, Some before ->
+          Some (Rota_audit.Watchdog.diff_stats (Rota_audit.Watchdog.stats w) before)
+      | Some w, None -> Some (Rota_audit.Watchdog.stats w)
+      | None, _ -> None);
   }
 
 let pp_report ppf r =
@@ -1012,7 +1025,15 @@ let pp_report ppf r =
     Format.fprintf ppf " faults=%d revoked=%d repaired=%d preempted=%d saved=%d"
       r.faults.injected r.faults.commitments_revoked
       (r.faults.reaccommodated + r.faults.migrated)
-      r.faults.preempted r.faults.work_saved
+      r.faults.preempted r.faults.work_saved;
+  (* Same discipline as the fault segment: nothing appended unless a
+     watchdog was actually riding the run. *)
+  match r.watchdog with
+  | None -> ()
+  | Some w ->
+      Format.fprintf ppf " audited=%d/%d divergent=%d"
+        w.Rota_audit.Watchdog.verified w.Rota_audit.Watchdog.decisions
+        w.Rota_audit.Watchdog.divergences
 
 let pp_type_stats ppf r =
   List.iter

@@ -125,6 +125,10 @@ type report = {
       (** Internal inconsistencies the engine survived by degrading
           (each also emitted as an [anomaly] telemetry event); empty on
           a healthy run. *)
+  watchdog : Rota_audit.Watchdog.stats option;
+      (** What the live audit watchdog verified {e during this run} —
+          the stats delta of the installed {!Rota_audit.Watchdog}, or
+          [None] when no watchdog was riding the run. *)
 }
 
 val utilization : report -> float

@@ -10,6 +10,8 @@ module Events = Rota_obs.Events
 module Sink = Rota_obs.Sink
 module Tracer = Rota_obs.Tracer
 module Audit = Rota_audit.Audit
+module Live = Audit.Live
+module Watchdog = Rota_audit.Watchdog
 
 let () = Calendar.set_self_check true
 
@@ -106,6 +108,95 @@ let prop_audit_verifies_everything =
           (List.length r.Audit.divergences);
       true)
 
+(* --- live watchdog ≡ offline audit --------------------------------------- *)
+
+let verdict_key = function
+  | Live.Verified -> "verified"
+  | Live.Skipped m -> "skipped: " ^ m
+  | Live.Diverged ms -> "diverged: " ^ String.concat "; " ms
+
+(* QCheck: the watchdog riding the emitting engine and [audit_file]
+   replaying the finished trace are two drivers over the same
+   [Live.step], so their verdict sequences must be identical — same
+   decisions, same order, same verdicts — on any workload and fault
+   plan the generators produce. *)
+let prop_watchdog_matches_offline =
+  QCheck.Test.make ~count:15
+    ~name:"watchdog: live verdict sequence equals the offline audit"
+    QCheck.(pair (int_bound 1000) (int_bound 100))
+    (fun (seed, fault_seed) ->
+      let p = params ~seed in
+      let trace = Scenario.trace p in
+      let faults = Scenario.fault_plan ~fault_seed ~intensity:1.5 p in
+      let seen = ref [] in
+      let wd =
+        Watchdog.create
+          ~on_outcome:(fun (o : Live.outcome) ->
+            seen := (o.Live.id, o.Live.action, verdict_key o.Live.verdict) :: !seen)
+          ()
+      in
+      Tracer.reset ();
+      let path = Filename.temp_file "rota-wd-equiv" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () ->
+          Tracer.reset ();
+          Sys.remove path)
+      @@ fun () ->
+      Tracer.install (Sink.tee (Sink.jsonl_file path) (Watchdog.sink wd));
+      ignore (Engine.run ~faults ~repair:true ~policy:Admission.Rota trace);
+      Tracer.uninstall ();
+      let live = List.rev !seen in
+      let offline =
+        match
+          Audit.fold_decisions path ~init:[] ~f:(fun acc (o : Live.outcome) ->
+              (o.Live.id, o.Live.action, verdict_key o.Live.verdict) :: acc)
+        with
+        | Ok (acc, _, _) -> List.rev acc
+        | Error e ->
+            QCheck.Test.fail_reportf "offline audit failed: %s"
+              (Format.asprintf "%a" Rota_obs.Trace_reader.pp_error e)
+      in
+      if live = [] then QCheck.Test.fail_report "watchdog saw no decisions";
+      if live <> offline then
+        QCheck.Test.fail_reportf
+          "live (%d outcomes) and offline (%d outcomes) verdict sequences differ"
+          (List.length live) (List.length offline);
+      true)
+
+(* The engine snapshots the installed watchdog around each run, so every
+   report carries exactly the stats delta its own run contributed. *)
+let test_engine_reports_watchdog_delta () =
+  let p = params ~seed:42 in
+  let trace = Scenario.trace p in
+  Tracer.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Watchdog.uninstall ();
+      Tracer.reset ())
+  @@ fun () ->
+  let wd = Watchdog.create () in
+  Tracer.install (Watchdog.sink wd);
+  Watchdog.install wd;
+  let r1 = Engine.run ~policy:Admission.Rota trace in
+  let r2 = Engine.run ~policy:Admission.Aggregate trace in
+  let total = Watchdog.stats wd in
+  let get = function
+    | Some s -> s
+    | None -> Alcotest.fail "report lacks watchdog stats"
+  in
+  let s1 = get r1.Engine.watchdog and s2 = get r2.Engine.watchdog in
+  Alcotest.(check bool) "run 1 saw decisions" true (s1.Watchdog.decisions > 0);
+  Alcotest.(check int) "run 1 re-verified everything" s1.Watchdog.decisions
+    s1.Watchdog.verified;
+  Alcotest.(check int) "run 1 clean" 0 s1.Watchdog.divergences;
+  Alcotest.(check int) "per-run deltas sum to the watchdog total"
+    total.Watchdog.decisions
+    (s1.Watchdog.decisions + s2.Watchdog.decisions);
+  Watchdog.uninstall ();
+  let r3 = Engine.run ~policy:Admission.Rota trace in
+  Alcotest.(check bool) "no watchdog, no stats block" true
+    (r3.Engine.watchdog = None)
+
 (* --- tampering is caught ------------------------------------------------- *)
 
 let contains ~sub s =
@@ -179,6 +270,46 @@ let test_audit_catches_tampering () =
       Alcotest.(check bool) "message mentions the digest" true
         (contains ~sub:"digest" d.Audit.message)
 
+(* A fail-fast watchdog re-observing the tampered stream must trip
+   mid-stream — at the flipped decision, before the trailing events —
+   naming the offending decision (the CLI maps {!Watchdog.Trip} to a
+   nonzero exit carrying the same seq/id/message). *)
+let test_watchdog_trips_on_tampering () =
+  let p = params ~seed:42 in
+  let trace = Scenario.trace p in
+  with_traced (fun () -> ignore (Engine.run ~policy:Admission.Rota trace))
+  @@ fun path ->
+  let bad = Filename.temp_file "rota-wd-bad" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove bad) @@ fun () ->
+  let victim = corrupt_first_digest ~src:path ~dst:bad in
+  let events =
+    match Rota_obs.Trace_reader.read_file bad with
+    | Ok (es, _) -> es
+    | Error _ -> Alcotest.fail "tampered trace unreadable"
+  in
+  let wd = Watchdog.create ~mode:Watchdog.Fail_fast () in
+  let consumed = ref 0 in
+  let tripped =
+    try
+      List.iter
+        (fun e ->
+          incr consumed;
+          Watchdog.observe wd e)
+        events;
+      None
+    with Watchdog.Trip { id; message; _ } -> Some (id, message)
+  in
+  match tripped with
+  | None -> Alcotest.fail "fail-fast watchdog did not trip"
+  | Some (id, message) ->
+      Alcotest.(check string) "trip names the tampered decision" victim id;
+      Alcotest.(check bool) "trip message mentions the digest" true
+        (contains ~sub:"digest" message);
+      Alcotest.(check bool) "tripped mid-stream, not at the end" true
+        (!consumed < List.length events);
+      let s = Watchdog.stats wd in
+      Alcotest.(check bool) "divergence counted" true (s.Watchdog.divergences > 0)
+
 (* rota explain: the decision's story renders with the auditor verdict. *)
 let test_explain_renders_decision () =
   let p = params ~seed:42 in
@@ -188,7 +319,7 @@ let test_explain_renders_decision () =
   (* Pick any decided id off the trace. *)
   let events =
     match Rota_obs.Trace_reader.read_file path with
-    | Ok es -> es
+    | Ok (es, _) -> es
     | Error _ -> Alcotest.fail "trace unreadable"
   in
   let id =
@@ -227,10 +358,18 @@ let () =
             test_audit_faulted_run;
           QCheck_alcotest.to_alcotest prop_audit_verifies_everything;
         ] );
+      ( "watchdog",
+        [
+          QCheck_alcotest.to_alcotest prop_watchdog_matches_offline;
+          Alcotest.test_case "engine reports per-run stats delta" `Quick
+            test_engine_reports_watchdog_delta;
+        ] );
       ( "tampering",
         [
           Alcotest.test_case "flipped digest is caught" `Quick
             test_audit_catches_tampering;
+          Alcotest.test_case "fail-fast watchdog trips mid-stream" `Quick
+            test_watchdog_trips_on_tampering;
         ] );
       ( "explain",
         [

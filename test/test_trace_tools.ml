@@ -75,7 +75,8 @@ let contains ~sub s =
 
 let read_events path =
   match Trace_reader.read_file path with
-  | Ok events -> events
+  | Ok (events, Trace_reader.Complete) -> events
+  | Ok (_, Trace_reader.Truncated _) -> Alcotest.fail "unexpected truncated trace"
   | Error e ->
       Alcotest.failf "read_file: %s" (Format.asprintf "%a" Trace_reader.pp_error e)
 
@@ -307,6 +308,99 @@ let test_e2e_chrome_export () =
         spans
   | _ -> Alcotest.fail "export is not a JSON array"
 
+(* --- crash-cut traces -------------------------------------------------------- *)
+
+(* A trace whose final line was cut mid-write (no newline, unparseable
+   fragment) must yield every complete line plus a structured
+   [Truncated] tail — not a parse error — while the validator flags the
+   cut as a contract violation.  Dropping only the newline keeps the
+   line parseable, so nothing is lost and the tail stays [Complete]. *)
+let test_truncated_final_line () =
+  with_smoke_jsonl @@ fun path _ ->
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let complete = read_events path in
+  let n = List.length complete in
+  let cut = Filename.temp_file "rota-truncated" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove cut) @@ fun () ->
+  let write_prefix len =
+    Out_channel.with_open_bin cut (fun oc ->
+        Out_channel.output_string oc (String.sub full 0 len))
+  in
+  (* Chop the newline and the line's closing bytes: a crash mid-write. *)
+  write_prefix (String.length full - 10);
+  (match Trace_reader.read_file cut with
+  | Ok (events, Trace_reader.Truncated { line; bytes }) ->
+      Alcotest.(check int) "every complete line delivered" (n - 1)
+        (List.length events);
+      Alcotest.(check int) "fragment is the final line" n line;
+      Alcotest.(check bool) "fragment length reported" true (bytes > 0)
+  | Ok (_, Trace_reader.Complete) -> Alcotest.fail "cut line not detected"
+  | Error e ->
+      Alcotest.failf "crash-cut trace must still read: %s"
+        (Format.asprintf "%a" Trace_reader.pp_error e));
+  let v = Trace_reader.validate_file cut in
+  Alcotest.(check bool) "validate flags the cut" true
+    (List.exists (contains ~sub:"truncated final line") v.Trace_reader.errors);
+  (* Missing newline alone loses nothing: the line still parses. *)
+  write_prefix (String.length full - 1);
+  match Trace_reader.read_file cut with
+  | Ok (events, Trace_reader.Complete) ->
+      Alcotest.(check int) "unterminated final line still parsed" n
+        (List.length events)
+  | Ok (_, Trace_reader.Truncated _) ->
+      Alcotest.fail "parseable final line must not count as truncated"
+  | Error e ->
+      Alcotest.failf "read_file: %s" (Format.asprintf "%a" Trace_reader.pp_error e)
+
+(* The follow cursor only ever parses completed lines: a partial final
+   line stays buffered across polls and is delivered once its remaining
+   bytes (and newline) land. *)
+let test_follow_partial_lines () =
+  let path = Filename.temp_file "rota-follow" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  let line i =
+    Printf.sprintf
+      "{\"seq\":%d,\"run\":1,\"sim\":%d,\"wall_s\":1.0,\"kind\":\"completed\",\"id\":\"c%d\"}"
+      i i i
+  in
+  let cursor =
+    match Trace_reader.Follow.open_file path with
+    | Ok c -> c
+    | Error e ->
+        Alcotest.failf "open_file: %s"
+          (Format.asprintf "%a" Trace_reader.pp_error e)
+  in
+  Fun.protect ~finally:(fun () -> Trace_reader.Follow.close cursor)
+  @@ fun () ->
+  let poll () =
+    match Trace_reader.Follow.poll cursor with
+    | Ok events -> List.map (fun (e : Events.t) -> e.Events.seq) events
+    | Error e ->
+        Alcotest.failf "poll: %s" (Format.asprintf "%a" Trace_reader.pp_error e)
+  in
+  Alcotest.(check (list int)) "empty file, nothing yet" [] (poll ());
+  (* One complete line plus the first half of the next. *)
+  output_string oc (line 1);
+  output_char oc '\n';
+  let l2 = line 2 in
+  output_string oc (String.sub l2 0 12);
+  flush oc;
+  Alcotest.(check (list int)) "only the completed line" [ 1 ] (poll ());
+  Alcotest.(check bool) "partial line buffered" true
+    (Trace_reader.Follow.pending_bytes cursor > 0);
+  Alcotest.(check (list int)) "re-poll mid-write yields nothing" [] (poll ());
+  (* The writer finishes the line: it is delivered exactly once. *)
+  output_string oc (String.sub l2 12 (String.length l2 - 12));
+  output_char oc '\n';
+  output_string oc (line 3);
+  output_char oc '\n';
+  flush oc;
+  Alcotest.(check (list int)) "resumed line and its successor" [ 2; 3 ] (poll ());
+  Alcotest.(check int) "no pending bytes after the newline" 0
+    (Trace_reader.Follow.pending_bytes cursor)
+
 (* --- buffered file sink ----------------------------------------------------- *)
 
 let test_buffered_sink () =
@@ -349,6 +443,13 @@ let () =
             test_e2e_timeline;
           Alcotest.test_case "chrome export: valid, linked" `Quick
             test_e2e_chrome_export;
+        ] );
+      ( "crash-cut",
+        [
+          Alcotest.test_case "truncated final line tolerated, flagged" `Quick
+            test_truncated_final_line;
+          Alcotest.test_case "follow never parses a partial line" `Quick
+            test_follow_partial_lines;
         ] );
       ( "sink",
         [ Alcotest.test_case "buffered flush" `Quick test_buffered_sink ] );
