@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke trace-smoke faults-smoke audit-smoke watchdog-smoke check fmt clean
+.PHONY: all build test bench bench-smoke trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke check fmt clean
 
 all: build
 
@@ -83,9 +83,36 @@ watchdog-smoke: build
 	dune exec bench/main.exe -- obs/audit-overhead >/dev/null && \
 	echo "watchdog-smoke: OK"
 
+# Live-telemetry smoke, end to end: run a watchdogged, sampled E11 with
+# the periodic OpenMetrics snapshot writer, then require (a) the scrape
+# file to pass the format linter and to name the latency histograms and
+# runtime-sampler series the engine is supposed to record, (b) the same
+# series to be reconstructable from the trace alone via `metrics
+# export`, and (c) `rota top --once` to render a dashboard frame —
+# lifecycle tallies, latency quantiles, audit counters — from the trace
+# file with no engine in sight.
+telemetry-smoke: build
+	@tmp=$$(mktemp /tmp/rota-telemetry-smoke.XXXXXX.jsonl); \
+	prom=$$(mktemp /tmp/rota-telemetry-smoke.XXXXXX.prom); \
+	trap 'rm -f "$$tmp" "$$prom" "$$prom.tmp"' EXIT; \
+	dune exec bin/main.exe -- e11 --trace "$$tmp" --sample-every 10 \
+	  --watchdog --metrics-out "$$prom" >/dev/null && \
+	dune exec bin/main.exe -- metrics lint "$$prom" && \
+	grep -q "^admission_decision_s_bucket" "$$prom" && \
+	grep -q "^repair_attempt_s_bucket" "$$prom" && \
+	grep -q "^accommodation_check_s_bucket" "$$prom" && \
+	grep -q "^runtime_minor_words_total" "$$prom" && \
+	dune exec bin/main.exe -- metrics export "$$tmp" \
+	  | grep -q "^admission_decision_s" && \
+	out=$$(dune exec bin/main.exe -- top --once "$$tmp") && \
+	echo "$$out" | grep -q "admitted" && \
+	echo "$$out" | grep -q "admission/decision_s" && \
+	echo "$$out" | grep -q "audit verified" && \
+	echo "telemetry-smoke: OK"
+
 # What CI runs.  `dune fmt` is included only when ocamlformat is
 # installed — the pinned toolchain image ships without it.
-check: build test trace-smoke faults-smoke audit-smoke watchdog-smoke
+check: build test trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt; \
 	else \

@@ -379,6 +379,43 @@ let bench_audit_overhead =
              ignore r));
     ]
 
+(* --- obs: OpenMetrics export overhead -------------------------------------------- *)
+
+(* What --metrics-out adds to a sampled run: both benchmarks pay for
+   metrics recording and the periodic sampler (sample period 16); the
+   [-on] one also tees the snapshot sink, which renders and atomically
+   rewrites the scrape file every [every] observed events.  The pair
+   prices the render+write, not the sampling. *)
+let bench_export_overhead =
+  let module Metrics = Rota_obs.Metrics in
+  let module Tracer = Rota_obs.Tracer in
+  let module Sink = Rota_obs.Sink in
+  let scrape = Filename.temp_file "rota-bench-scrape" ".prom" in
+  let sampled_run extra_sink =
+    Metrics.set_enabled true;
+    Tracer.set_sample_period 16;
+    let sink =
+      match extra_sink with
+      | None -> Sink.null
+      | Some s -> Sink.tee Sink.null s
+    in
+    Tracer.install sink;
+    let r = Engine.run ~policy:Admission.Rota small_trace in
+    Tracer.uninstall ();
+    Tracer.set_sample_period 0;
+    Metrics.set_enabled false;
+    ignore r
+  in
+  Test.make_grouped ~name:"obs/export-overhead"
+    [
+      Test.make ~name:"sampled-run-export-off"
+        (Staged.stage (fun () -> sampled_run None));
+      Test.make ~name:"sampled-run-export-on"
+        (Staged.stage (fun () ->
+             sampled_run
+               (Some (Rota_obs.Openmetrics.snapshot_sink ~every:64 scrape))));
+    ]
+
 (* --- E8: extensions ------------------------------------------------------------- *)
 
 let bench_stn =
@@ -531,6 +568,7 @@ let suites =
     ("e7/scoping", bench_scoping);
     ("e7/obs-overhead", bench_obs_overhead);
     ("obs/audit-overhead", bench_audit_overhead);
+    ("obs/export-overhead", bench_export_overhead);
     ("ext/stn-consistency", bench_stn);
     ("ext/precedence-chain", bench_precedence);
     ("ext/session-compile", bench_session);

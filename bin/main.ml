@@ -97,26 +97,65 @@ let watchdog_arg =
         None
     & info [ "watchdog" ] ~docv:"MODE" ~doc)
 
+let metrics_out_arg =
+  let doc =
+    "Write an OpenMetrics/Prometheus text snapshot of the metrics registry \
+     to $(docv) (atomically, write-then-rename): refreshed during the run \
+     every $(b,--metrics-every) telemetry events, and once more at exit.  \
+     Implies metrics recording.  This file is the scrape surface a \
+     monitoring agent (or the future serve daemon) reads."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let metrics_every_arg =
+  let doc =
+    "With $(b,--metrics-out): rewrite the snapshot after every $(docv) \
+     telemetry events observed (clamped to >= 1)."
+  in
+  Arg.(value & opt int 1000 & info [ "metrics-every" ] ~docv:"N" ~doc)
+
 type obs_opts = {
   trace : string option;
   metrics : bool;
   sample_every : int;
   trace_buffer : int;
   watchdog : Rota_audit.Watchdog.mode option;
+  metrics_out : string option;
+  metrics_every : int;
 }
 
 let obs_args =
   Term.(
-    const (fun trace metrics sample_every trace_buffer watchdog ->
-        { trace; metrics; sample_every; trace_buffer; watchdog })
+    const (fun trace metrics sample_every trace_buffer watchdog metrics_out
+              metrics_every ->
+        {
+          trace;
+          metrics;
+          sample_every;
+          trace_buffer;
+          watchdog;
+          metrics_out;
+          metrics_every;
+        })
     $ trace_arg $ metrics_arg $ sample_every_arg $ trace_buffer_arg
-    $ watchdog_arg)
+    $ watchdog_arg $ metrics_out_arg $ metrics_every_arg)
 
 (* Install the requested sinks/registry around [f], and tear them down
    (flushing files, printing the metrics tables) afterwards — also on
    exceptions, so a failed run still leaves a valid JSONL prefix. *)
 let with_obs ?(console = false)
-    { trace; metrics; sample_every; trace_buffer; watchdog } f =
+    {
+      trace;
+      metrics;
+      sample_every;
+      trace_buffer;
+      watchdog;
+      metrics_out;
+      metrics_every;
+    } f =
   match
     Option.map
       (fun path ->
@@ -136,6 +175,12 @@ let with_obs ?(console = false)
         (match file_sink with Some (Ok s) -> Some s | _ -> None);
         (if console then Some (Rota_obs.Sink.console Format.std_formatter)
          else None);
+        (* The snapshot writer only counts events (and rewrites the
+           OpenMetrics file at its cadence plus once on close). *)
+        Option.map
+          (fun path ->
+            Rota_obs.Openmetrics.snapshot_sink ~every:metrics_every path)
+          metrics_out;
         (* The watchdog tees last, so the trace file already holds the
            decision line the verdict is about when it is re-verified. *)
         Option.map Rota_audit.Watchdog.sink wd;
@@ -147,10 +192,13 @@ let with_obs ?(console = false)
       Rota_obs.Tracer.install (List.fold_left Rota_obs.Sink.tee first rest));
   Option.iter Rota_audit.Watchdog.install wd;
   Rota_obs.Tracer.set_sample_period (if trace = None then 0 else sample_every);
-  (* Sampling reads the registry, so a traced run with sampling on
-     records metrics even without --metrics (which only controls the
-     printed report). *)
-  let record_metrics = metrics || (trace <> None && sample_every > 0) in
+  (* Sampling and the snapshot writer read the registry, so a traced
+     run with sampling on — or any run with --metrics-out — records
+     metrics even without --metrics (which only controls the printed
+     report). *)
+  let record_metrics =
+    metrics || metrics_out <> None || (trace <> None && sample_every > 0)
+  in
   if record_metrics then Rota_obs.Metrics.set_enabled true;
   let finally () =
     Rota_obs.Tracer.uninstall ();
@@ -570,17 +618,19 @@ let trace_validate_cmd =
 let trace_summarize_cmd =
   let top_arg =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
-           ~doc:"How many individual slowest spans to list.")
+           ~doc:"How many individual slowest spans — and sampled \
+                 latency-series rows — to list.")
   in
   let run file top =
     with_trace_events file @@ fun events ->
-    Rota_experiments.Trace_report.print_summary
+    Rota_experiments.Trace_report.print_summary ~top
       (Trace_summary.of_events ~top events);
     0
   in
   let doc =
     "Per-run admit/reject/kill breakdown by policy, span self/total time \
-     rollups, the slowest spans, and metric time-series extents."
+     rollups, the slowest spans, metric time-series extents, and sampled \
+     latency series."
   in
   Cmd.v (Cmd.info "summarize" ~doc)
     Term.(const run $ trace_pos ~docv:"TRACE" () $ top_arg)
@@ -662,6 +712,170 @@ let trace_cmd =
       trace_validate_cmd; trace_summarize_cmd; trace_timeline_cmd;
       trace_diff_cmd; trace_export_cmd;
     ]
+
+(* --- rota metrics ---------------------------------------------------------- *)
+
+let metrics_export_cmd =
+  let out_arg =
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Where to write the exposition; - is stdout.")
+  in
+  let run file out =
+    with_trace_events file @@ fun events ->
+    let payload = Rota_obs.Openmetrics.render_events events in
+    match out with
+    | "-" ->
+        print_string payload;
+        0
+    | path -> (
+        try
+          Rota_obs.Openmetrics.write_file path payload;
+          0
+        with Sys_error msg ->
+          Printf.eprintf "rota metrics export: %s\n" msg;
+          1)
+  in
+  let doc =
+    "Render a finished trace's sampled series in OpenMetrics/Prometheus \
+     text format: the last metric-sample per counter/gauge and the last \
+     hist-sample per histogram (as a quantile summary — the trace carries \
+     no bucket boundaries).  For bucketed histograms of a live registry, \
+     use $(b,--metrics-out) on the run itself."
+  in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ trace_pos ~docv:"TRACE" () $ out_arg)
+
+let metrics_lint_cmd =
+  let file_pos =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"An OpenMetrics text file (e.g. written by --metrics-out).")
+  in
+  let run file =
+    match Rota_obs.Openmetrics.lint (read_file file) with
+    | Ok () ->
+        Printf.printf "ok: %s\n" file;
+        0
+    | Error e ->
+        Printf.eprintf "rota metrics lint: %s: %s\n" file e;
+        1
+    | exception Sys_error msg ->
+        Printf.eprintf "rota metrics lint: %s\n" msg;
+        1
+  in
+  let doc =
+    "Validate an OpenMetrics text file: line grammar, one TYPE per family, \
+     the EOF terminator, cumulative bucket monotonicity, and +Inf == _count."
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ file_pos)
+
+let metrics_cmd =
+  let doc =
+    "Work with OpenMetrics expositions: export a finished trace's series, \
+     lint a snapshot file."
+  in
+  Cmd.group (Cmd.info "metrics" ~doc) [ metrics_export_cmd; metrics_lint_cmd ]
+
+(* --- rota top --------------------------------------------------------------- *)
+
+let top_cmd =
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:
+               "Read the whole trace, print a single dashboard frame (plain \
+                text, no redraw), and exit.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 0.5 & info [ "interval" ] ~docv:"SECS"
+           ~doc:"Seconds between polls/redraws when following.")
+  in
+  let idle_exit_arg =
+    Arg.(value & opt float 0. & info [ "idle-exit" ] ~docv:"SECS"
+           ~doc:
+             "Exit after $(docv) seconds without new events.  0 follows \
+              forever (quit with q+Enter or Ctrl-C).")
+  in
+  let width_arg =
+    Arg.(value & opt int 80 & info [ "width" ] ~docv:"COLS"
+           ~doc:"Frame width (bounds the throughput sparkline).")
+  in
+  let run file once interval idle_exit width =
+    if once then
+      with_trace_events file @@ fun events ->
+      let st = Rota_obs.Top.create ~source:file () in
+      List.iter (Rota_obs.Top.step st) events;
+      print_string (Rota_obs.Top.render ~width st);
+      0
+    else
+      match Trace_reader.Follow.open_file file with
+      | Error e ->
+          Format.eprintf "rota top: %s: %a@." file Trace_reader.pp_error e;
+          1
+      | Ok cursor ->
+          Fun.protect ~finally:(fun () -> Trace_reader.Follow.close cursor)
+          @@ fun () ->
+          let st = Rota_obs.Top.create ~source:file () in
+          let interval = Float.max 0.05 interval in
+          let redraw () =
+            (* Home + clear: each frame fully repaints the screen. *)
+            print_string "\027[H\027[2J";
+            print_string (Rota_obs.Top.render ~width ~following:true st);
+            print_string "\n[q+Enter or Ctrl-C to quit]\n";
+            flush stdout
+          in
+          (* Line-buffered key handling — no raw terminal mode, so the
+             dashboard is safe to pipe and cannot wedge the tty. *)
+          let quit_requested () =
+            match Unix.select [ Unix.stdin ] [] [] 0. with
+            | [ _ ], _, _ -> (
+                let buf = Bytes.create 64 in
+                match Unix.read Unix.stdin buf 0 64 with
+                | 0 -> true (* EOF: non-interactive stdin drained *)
+                | n ->
+                    Bytes.exists
+                      (fun c -> c = 'q' || c = 'Q')
+                      (Bytes.sub buf 0 n)
+                | exception Unix.Unix_error _ -> false)
+            | _ -> false
+          in
+          redraw ();
+          let rec loop idle =
+            if quit_requested () then 0
+            else
+              match Trace_reader.Follow.poll cursor with
+              | Error e ->
+                  Format.eprintf "rota top: %s: %a@." file
+                    Trace_reader.pp_error e;
+                  1
+              | Ok [] ->
+                  if idle_exit > 0. && idle >= idle_exit then begin
+                    redraw ();
+                    0
+                  end
+                  else begin
+                    Unix.sleepf interval;
+                    loop (idle +. interval)
+                  end
+              | Ok events ->
+                  List.iter (Rota_obs.Top.step st) events;
+                  redraw ();
+                  Unix.sleepf interval;
+                  loop 0.
+          in
+          loop 0.
+  in
+  let doc =
+    "Live terminal dashboard over a (possibly still growing) trace: \
+     lifecycle counters, audit watchdog verified/divergent tallies, \
+     sampled latency quantiles (p50/p95/p99), counter/gauge last values, \
+     and a completions-per-tick sparkline.  Tails the file like \
+     $(b,rota audit --follow); with $(b,--once) renders a single frame \
+     from a finished trace."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const run $ trace_pos ~docv:"TRACE" () $ once_arg $ interval_arg
+      $ idle_exit_arg $ width_arg)
 
 (* --- rota audit / rota explain --------------------------------------------- *)
 
@@ -805,7 +1019,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "rota" ~version:"1.0.0" ~doc)
     ([ experiment_cmd; simulate_cmd; check_cmd; plan_cmd; calibrate_cmd;
-       trace_cmd; audit_cmd; explain_cmd ]
+       trace_cmd; metrics_cmd; top_cmd; audit_cmd; explain_cmd ]
     @ experiment_alias_cmds)
 
 let () = exit (Cmd.eval' main_cmd)

@@ -335,5 +335,5 @@ let step t (e : Events.t) =
   | Events.Audit_divergence _
   | Events.Admitted _ | Events.Rejected _ | Events.Repaired _
   | Events.Anomaly _ | Events.Span _ | Events.Metric_sample _
-  | Events.Unknown _ ->
+  | Events.Hist_sample _ | Events.Unknown _ ->
       None

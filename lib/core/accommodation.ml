@@ -132,7 +132,10 @@ let sequential_feasible_exhaustive theta (c : Requirement.complex) =
   in
   search (Interval.start c.Requirement.window) c.Requirement.steps
 
-let check_schedule theta (c : Requirement.complex) schedule =
+let m_check = Rota_obs.Metrics.counter "accommodation/check"
+let m_check_s = Rota_obs.Metrics.histogram "accommodation/check_s"
+
+let check_schedule_uninstrumented theta (c : Requirement.complex) schedule =
   let fail fmt = Format.kasprintf (fun m -> Error m) fmt in
   let rec check_steps u expected_index steps
       (spec_steps : Requirement.step list) =
@@ -192,6 +195,16 @@ let check_schedule theta (c : Requirement.complex) schedule =
         in
         if Resource_set.equal rebuilt schedule.reservation then Ok ()
         else fail "reservation differs from the union of step allocations"
+
+(* The checker is the audit watchdog's hot path: every certified
+   decision re-runs it live, so its latency decides the watchdog's lag. *)
+let check_schedule theta c schedule =
+  if Rota_obs.Metrics.enabled () then begin
+    Rota_obs.Metrics.incr m_check;
+    Rota_obs.Metrics.time m_check_s (fun () ->
+        check_schedule_uninstrumented theta c schedule)
+  end
+  else check_schedule_uninstrumented theta c schedule
 
 module Order = struct
   type t = Given | Most_work_first | Least_work_first

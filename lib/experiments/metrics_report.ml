@@ -40,12 +40,15 @@ let tables (v : Metrics.view) =
           to_cell h.Metrics.mean;
           to_cell h.Metrics.p50;
           to_cell h.Metrics.p90;
+          to_cell h.Metrics.p95;
           to_cell h.Metrics.p99;
           to_cell h.Metrics.max_v;
         ])
       hs
   in
-  let hist_header = [ "histogram"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ] in
+  let hist_header =
+    [ "histogram"; "count"; "mean"; "p50"; "p90"; "p95"; "p99"; "max" ]
+  in
   if latency <> [] then
     section "latency histograms (us)"
       (Table.make ~header:hist_header (hist_rows us latency));

@@ -5,6 +5,10 @@
     admission counters, engine tallies, and solver hot-path latency
     quantiles. *)
 
+val is_latency : string -> bool
+(** Whether a series name denotes seconds: the name before any [.label]
+    suffix ends in [_s] (e.g. ["admission/decision_s.rota"]). *)
+
 val tables : Rota_obs.Metrics.view -> (string * Table.t) list
 (** [(section title, table)] pairs; sections with nothing recorded are
     omitted.  Latency histograms (series named [*_s], recorded in

@@ -113,7 +113,50 @@ let series_table (s : Summary.t) =
          ])
        s.Summary.series)
 
-let print_summary (s : Summary.t) =
+(* Sampled histogram snapshots: latency over time.  One row per
+   histogram, showing the sampling extent and the final quantiles —
+   [_s]-named series render in microseconds, like the metrics report. *)
+let latency_series_table ?top (s : Summary.t) =
+  let rows =
+    List.filter_map
+      (fun (h : Summary.hist_series) ->
+        match List.rev h.Summary.points with
+        | [] -> None
+        | last :: _ ->
+            let q v =
+              if Metrics_report.is_latency h.Summary.hist_name then
+                Table.cell_float ~decimals:2 (v *. 1e6)
+              else Table.cell_float ~decimals:2 v
+            in
+            Some
+              ( last.Summary.hp_count,
+                [
+                  h.Summary.hist_name;
+                  Table.cell_int (List.length h.Summary.points);
+                  Table.cell_int last.Summary.hp_count;
+                  q last.Summary.hp_p50;
+                  q last.Summary.hp_p95;
+                  q last.Summary.hp_p99;
+                  q last.Summary.hp_max;
+                ] ))
+      s.Summary.hist_series
+    (* Busiest histograms first, so --top keeps the hot paths. *)
+    |> List.sort (fun (c1, _) (c2, _) -> compare c2 c1)
+    |> List.map snd
+  in
+  let rows =
+    match top with
+    | Some n -> List.filteri (fun i _ -> i < n) rows
+    | None -> rows
+  in
+  Table.make
+    ~header:
+      [
+        "latency series (us)"; "samples"; "count"; "p50"; "p95"; "p99"; "max";
+      ]
+    rows
+
+let print_summary ?top (s : Summary.t) =
   Printf.printf "%d events, %d runs\n\n" s.Summary.total_events
     (List.length s.Summary.runs);
   if s.Summary.runs <> [] then begin
@@ -145,6 +188,10 @@ let print_summary (s : Summary.t) =
   if s.Summary.series <> [] then begin
     print_endline "-- metric time series --";
     Table.print (series_table s)
+  end;
+  if s.Summary.hist_series <> [] then begin
+    print_endline "-- latency series (last sample) --";
+    Table.print (latency_series_table ?top s)
   end
 
 (* --- diff ---------------------------------------------------------------- *)

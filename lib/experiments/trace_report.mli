@@ -2,11 +2,15 @@
     output side of [rota trace summarize] and [rota trace diff],
     sharing {!Table} with the experiment reports. *)
 
-val print_summary : Rota_obs.Summary.t -> unit
+val print_summary : ?top:int -> Rota_obs.Summary.t -> unit
 (** Event/run counts, the per-run admission table, certificate coverage
     (decisions / with-certificate / skipped / watchdog divergences),
-    span self/total rollups, the top-N slowest spans, and metric
-    time-series extents.  Sections with no data are omitted. *)
+    span self/total rollups, the top-N slowest spans, metric
+    time-series extents, and sampled latency series (last quantile
+    snapshot per histogram).  [top] bounds the latency-series rows
+    (busiest histograms first); the slowest-spans list is bounded by
+    the [top] passed to {!Rota_obs.Summary.of_events}.  Sections with
+    no data are omitted. *)
 
 val print_diff :
   label_a:string -> label_b:string -> Rota_obs.Summary.t -> Rota_obs.Summary.t -> unit

@@ -93,7 +93,7 @@ let export events =
                        ("depth", Json.Int depth);
                      ] );
                ])
-      | Events.Metric_sample { name; value } ->
+      | Events.Metric_sample { name; value; family = _ } ->
           push
             (Json.Obj
                [
@@ -102,6 +102,24 @@ let export events =
                  ("pid", Json.Int run);
                  ("ts", us e.Events.wall_s);
                  ("args", Json.Obj [ ("value", Json.Float value) ]);
+               ])
+      (* Quantile snapshots export as counter tracks too — one series
+         per quantile keeps them overlayable in the viewer. *)
+      | Events.Hist_sample { name; p50; p95; p99; _ } ->
+          push
+            (Json.Obj
+               [
+                 ("name", Json.String name);
+                 ("ph", Json.String "C");
+                 ("pid", Json.Int run);
+                 ("ts", us e.Events.wall_s);
+                 ( "args",
+                   Json.Obj
+                     [
+                       ("p50", Json.Float p50);
+                       ("p95", Json.Float p95);
+                       ("p99", Json.Float p99);
+                     ] );
                ])
       | Events.Capacity_joined { quantity; terms = _ } ->
           instant e "capacity-joined" [ ("quantity", Json.Int quantity) ]

@@ -26,7 +26,17 @@ type payload =
       begin_s : float;
       duration_s : float;
     }
-  | Metric_sample of { name : string; value : float }
+  | Metric_sample of { name : string; value : float; family : string option }
+  | Hist_sample of {
+      name : string;
+      count : int;
+      sum : float;
+      min_v : float;
+      max_v : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
   | Audit_divergence of {
       id : string;
       action : string;
@@ -59,6 +69,7 @@ let kind = function
   | Anomaly _ -> "anomaly"
   | Span _ -> "span"
   | Metric_sample _ -> "metric-sample"
+  | Hist_sample _ -> "hist-sample"
   | Audit_divergence _ -> "audit-divergence"
   | Unknown { kind; _ } -> kind
 
@@ -114,8 +125,23 @@ let payload_fields = function
         ("begin_s", Json.Float begin_s);
         ("duration_s", Json.Float duration_s);
       ]
-  | Metric_sample { name; value } ->
-      [ ("name", Json.String name); ("value", Json.Float value) ]
+  | Metric_sample { name; value; family } ->
+      ("name", Json.String name)
+      :: ("value", Json.Float value)
+      :: opt_json "family"
+           (match family with Some f -> Json.String f | None -> Json.Null)
+           []
+  | Hist_sample { name; count; sum; min_v; max_v; p50; p95; p99 } ->
+      [
+        ("name", Json.String name);
+        ("count", Json.Int count);
+        ("sum", Json.Float sum);
+        ("min", Json.Float min_v);
+        ("max", Json.Float max_v);
+        ("p50", Json.Float p50);
+        ("p95", Json.Float p95);
+        ("p99", Json.Float p99);
+      ]
   | Audit_divergence { id; action; of_seq; message } ->
       [
         ("id", Json.String id);
@@ -245,7 +271,24 @@ let payload_of_json ~strict ~wall_s json =
   | "metric-sample" ->
       let* name = field "name" Json.to_str json in
       let* value = field "value" Json.to_float json in
-      Ok (Metric_sample { name; value })
+      (* The family tag (counter vs gauge) arrived with the OpenMetrics
+         exporter; traces written by older binaries omit it. *)
+      let* family =
+        match Json.member "family" json with
+        | None | Some Json.Null -> Ok None
+        | Some v -> Result.map Option.some (Json.to_str v)
+      in
+      Ok (Metric_sample { name; value; family })
+  | "hist-sample" ->
+      let* name = field "name" Json.to_str json in
+      let* count = field "count" Json.to_int json in
+      let* sum = field "sum" Json.to_float json in
+      let* min_v = field "min" Json.to_float json in
+      let* max_v = field "max" Json.to_float json in
+      let* p50 = field "p50" Json.to_float json in
+      let* p95 = field "p95" Json.to_float json in
+      let* p99 = field "p99" Json.to_float json in
+      Ok (Hist_sample { name; count; sum; min_v; max_v; p50; p95; p99 })
   | "audit-divergence" ->
       let* id = field "id" Json.to_str json in
       let* action = field "action" Json.to_str json in
@@ -323,8 +366,11 @@ let pp_payload ~sim ppf payload =
       Format.fprintf ppf "%a span %s%s %.6fs" pp_sim sim
         (String.make (2 * depth) ' ')
         name duration_s
-  | Metric_sample { name; value } ->
+  | Metric_sample { name; value; family = _ } ->
       Format.fprintf ppf "%a sample %s=%g" pp_sim sim name value
+  | Hist_sample { name; count; p50; p95; p99; _ } ->
+      Format.fprintf ppf "%a hist %s n=%d p50=%g p95=%g p99=%g" pp_sim sim
+        name count p50 p95 p99
   | Audit_divergence { id; action; of_seq; message } ->
       Format.fprintf ppf "%a AUDIT DIVERGENCE %s %s (seq %d): %s" pp_sim sim
         action id of_seq message

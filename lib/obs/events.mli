@@ -86,10 +86,27 @@ type payload =
           span's record follows its children's; the [id]/[parent]
           linkage (and [begin_s]) lets readers rebuild the tree and
           attribute self vs total time regardless of emission order. *)
-  | Metric_sample of { name : string; value : float }
+  | Metric_sample of { name : string; value : float; family : string option }
       (** Point-in-time value of one counter or gauge, emitted by the
           engine's periodic sampler so registry series become time
-          series inside the trace. *)
+          series inside the trace.  [family] tags the series kind
+          (["counter"] or ["gauge"]) so exporters can reconstruct a
+          typed snapshot from the trace alone; [None] in traces from
+          older binaries (and omitted on the wire when absent). *)
+  | Hist_sample of {
+      name : string;
+      count : int;  (** Observations so far (cumulative). *)
+      sum : float;  (** Sum of observations so far. *)
+      min_v : float;
+      max_v : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
+      (** Point-in-time snapshot of one histogram (count, sum, observed
+          range, and estimated quantiles), emitted by the periodic
+          sampler alongside {!Metric_sample} so latency series can be
+          plotted over time.  Empty histograms are skipped. *)
   | Audit_divergence of {
       id : string;
       action : string;  (** The offending decision's action. *)

@@ -160,8 +160,22 @@ type histogram_view = {
   max_v : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
+  bucket_counts : (float * int) list;
 }
+
+let cumulative_buckets h =
+  (* Cumulative counts per declared upper bound, exporter-style: the
+     overflow cell is not listed — it is implied by [total] (the +Inf
+     bucket). *)
+  let cum = ref 0 in
+  Array.to_list
+    (Array.mapi
+       (fun i ub ->
+         cum := !cum + h.cells.(i);
+         (ub, !cum))
+       h.buckets)
 
 type view = {
   counters : (string * int) list;
@@ -195,7 +209,9 @@ let snapshot () =
             max_v = (if h.total = 0 then 0. else h.max_seen);
             p50 = quantile h 0.5;
             p90 = quantile h 0.9;
+            p95 = quantile h 0.95;
             p99 = quantile h 0.99;
+            bucket_counts = cumulative_buckets h;
           } )
         :: acc)
       histograms []

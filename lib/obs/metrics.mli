@@ -86,7 +86,12 @@ type histogram_view = {
   max_v : float;  (** 0 when empty *)
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
+  bucket_counts : (float * int) list;
+      (** Cumulative count per declared upper bound, ascending.  The
+          implicit +Inf bucket is [count]; the overflow cell is the
+          difference with the last listed entry. *)
 }
 
 type view = {

@@ -1,0 +1,485 @@
+(* OpenMetrics / Prometheus text exposition of a metrics snapshot.
+
+   Registry names keep the repo's own taxonomy ("admission/decision_s
+   .rota"): the trailing ".slug" becomes a {slug="..."} label (the same
+   per-policy / per-reason labels the Slug module mints) and the
+   remaining characters are mapped into the OpenMetrics name alphabet
+   [a-zA-Z0-9_:], so the whole registry renders without the caller
+   renaming anything. *)
+
+(* --- names, labels, values ---------------------------------------------- *)
+
+let valid_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let sanitize_name s =
+  if s = "" then "_"
+  else begin
+    let b = Bytes.create (String.length s) in
+    String.iteri
+      (fun i c -> Bytes.set b i (if valid_name_char c then c else '_'))
+      s;
+    let s = Bytes.to_string b in
+    match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+  end
+
+(* "admission/decision_s.rota" -> ("admission/decision_s", Some "rota").
+   A dot at either end is not a label split — the name stays whole. *)
+let split_slug name =
+  match String.rindex_opt name '.' with
+  | Some i when i > 0 && i < String.length name - 1 ->
+      ( String.sub name 0 i,
+        Some (String.sub name (i + 1) (String.length name - i - 1)) )
+  | _ -> (name, None)
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* Shortest decimal that round-trips, so golden files stay readable;
+   non-finite values use the spec's spellings. *)
+let float_str v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else
+    let short = Printf.sprintf "%.12g" v in
+    if float_of_string short = v then short else Printf.sprintf "%.17g" v
+
+let labels_str = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+(* --- family assembly ----------------------------------------------------- *)
+
+type data =
+  | Counter of float
+  | Gauge of float
+  | Histogram of { buckets : (float * int) list; count : int; sum : float }
+  | Summary of { quantiles : (float * float) list; count : int; sum : float }
+
+let type_str = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+  | Summary _ -> "summary"
+
+type group = {
+  fam : string;
+  ftype : string;
+  mutable samples : ((string * string) list * data) list;  (* reversed *)
+}
+
+(* Group (raw_name, data) entries into families in first-appearance
+   order.  Distinct registry names can collapse onto one family name
+   (that is the point: per-slug series share a family); if they collapse
+   across metric *types* the later family is renamed with its type as a
+   suffix so the output never declares one family twice. *)
+let group_entries entries =
+  let by_fam : (string, group) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (raw, data) ->
+      let base, slug = split_slug raw in
+      let labels = match slug with None -> [] | Some s -> [ ("slug", s) ] in
+      let ftype = type_str data in
+      let rec place fam =
+        match Hashtbl.find_opt by_fam fam with
+        | Some g when g.ftype = ftype -> g.samples <- (labels, data) :: g.samples
+        | Some _ -> place (fam ^ "_" ^ ftype)
+        | None ->
+            let g = { fam; ftype; samples = [ (labels, data) ] } in
+            Hashtbl.replace by_fam fam g;
+            order := g :: !order
+      in
+      place (sanitize_name base))
+    entries;
+  List.rev !order
+
+let render_group buf g =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" g.fam g.ftype);
+  let line name labels v =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s\n" name (labels_str labels) v)
+  in
+  List.iter
+    (fun (labels, data) ->
+      match data with
+      | Counter v -> line (g.fam ^ "_total") labels (float_str v)
+      | Gauge v -> line g.fam labels (float_str v)
+      | Histogram { buckets; count; sum } ->
+          List.iter
+            (fun (ub, cum) ->
+              line (g.fam ^ "_bucket")
+                (labels @ [ ("le", float_str ub) ])
+                (string_of_int cum))
+            buckets;
+          line (g.fam ^ "_bucket")
+            (labels @ [ ("le", "+Inf") ])
+            (string_of_int count);
+          line (g.fam ^ "_sum") labels (float_str sum);
+          line (g.fam ^ "_count") labels (string_of_int count)
+      | Summary { quantiles; count; sum } ->
+          List.iter
+            (fun (q, v) ->
+              line g.fam
+                (labels @ [ ("quantile", float_str q) ])
+                (float_str v))
+            quantiles;
+          line (g.fam ^ "_sum") labels (float_str sum);
+          line (g.fam ^ "_count") labels (string_of_int count))
+    (List.rev g.samples)
+
+let render_entries entries =
+  let buf = Buffer.create 4096 in
+  List.iter (render_group buf) (group_entries entries);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let render (view : Metrics.view) =
+  render_entries
+    (List.map (fun (n, v) -> (n, Counter (float_of_int v))) view.counters
+    @ List.map (fun (n, v) -> (n, Gauge (float_of_int v))) view.gauges
+    @ List.map
+        (fun (h : Metrics.histogram_view) ->
+          ( h.hname,
+            Histogram { buckets = h.bucket_counts; count = h.count; sum = h.sum }
+          ))
+        view.histograms)
+
+(* --- trace reconstruction ------------------------------------------------ *)
+
+(* From a finished trace only the sampled series survive: the last
+   metric-sample per name gives a typed point (the family tag arrived
+   with this exporter; untagged samples from older traces render as
+   gauges), and the last hist-sample per name gives a quantile summary —
+   the trace does not carry bucket boundaries, so histograms come back
+   as OpenMetrics summaries rather than bucketed histograms. *)
+let render_events events =
+  let scalars : (string, data) Hashtbl.t = Hashtbl.create 32 in
+  let hists : (string, data) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Events.t) ->
+      match e.Events.payload with
+      | Events.Metric_sample { name; value; family } ->
+          let data =
+            match family with
+            | Some "counter" -> Counter value
+            | Some _ | None -> Gauge value
+          in
+          Hashtbl.replace scalars name data
+      | Events.Hist_sample { name; count; sum; p50; p95; p99; _ } ->
+          Hashtbl.replace hists name
+            (Summary
+               {
+                 quantiles = [ (0.5, p50); (0.95, p95); (0.99, p99) ];
+                 count;
+                 sum;
+               })
+      | _ -> ())
+    events;
+  let sorted tbl =
+    Hashtbl.fold (fun n d acc -> (n, d) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  render_entries (sorted scalars @ sorted hists)
+
+(* --- atomic snapshot writer ---------------------------------------------- *)
+
+let write_file path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+let write_snapshot path = write_file path (render (Metrics.snapshot ()))
+
+let snapshot_sink ?(every = 1000) path =
+  let every = max 1 every in
+  let n = ref 0 in
+  Sink.
+    {
+      emit =
+        (fun _ ->
+          incr n;
+          if !n >= every then begin
+            n := 0;
+            write_snapshot path
+          end);
+      close = (fun () -> write_snapshot path);
+    }
+
+(* --- lint ----------------------------------------------------------------- *)
+
+(* A small validating parser for the text format: enough grammar to
+   catch a malformed render (bad name, broken label escaping, missing
+   EOF) and the histogram laws a scraper relies on — cumulative buckets
+   never decrease and the +Inf bucket equals _count. *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+let parse_value tok =
+  match tok with
+  | "+Inf" | "Inf" -> Ok infinity
+  | "-Inf" -> Ok neg_infinity
+  | "NaN" -> Ok nan
+  | _ -> (
+      match float_of_string_opt tok with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "invalid value %S" tok))
+
+let valid_metric_name s =
+  s <> ""
+  && (match s.[0] with '0' .. '9' -> false | _ -> true)
+  && String.for_all valid_name_char s
+
+(* name{k="v",...} value — returns the sample or an error. *)
+let parse_sample line =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let name_end =
+    match String.index_opt line '{' with
+    | Some i -> i
+    | None -> ( match String.index_opt line ' ' with
+               | Some i -> i
+               | None -> String.length line)
+  in
+  let name = String.sub line 0 name_end in
+  let* () =
+    if valid_metric_name name then Ok () else err "invalid metric name %S" name
+  in
+  let* labels, rest_start =
+    if name_end >= String.length line || line.[name_end] <> '{' then
+      Ok ([], name_end)
+    else begin
+      (* Scan the label block byte-by-byte, honouring escaped quotes. *)
+      let labels = ref [] in
+      let i = ref (name_end + 1) in
+      let n = String.length line in
+      let result = ref None in
+      (try
+         while !result = None do
+           if !i >= n then result := Some (err "unterminated label block")
+           else if line.[!i] = '}' then begin
+             incr i;
+             result := Some (Ok ())
+           end
+           else begin
+             let eq =
+               match String.index_from_opt line !i '=' with
+               | Some e -> e
+               | None -> raise Exit
+             in
+             let key = String.sub line !i (eq - !i) in
+             if not (valid_metric_name key) then begin
+               result := Some (err "invalid label name %S" key);
+               raise Exit
+             end;
+             if eq + 1 >= n || line.[eq + 1] <> '"' then raise Exit;
+             let buf = Buffer.create 16 in
+             let j = ref (eq + 2) in
+             let closed = ref false in
+             while (not !closed) && !j < n do
+               (match line.[!j] with
+               | '\\' when !j + 1 < n ->
+                   (match line.[!j + 1] with
+                   | 'n' -> Buffer.add_char buf '\n'
+                   | '\\' -> Buffer.add_char buf '\\'
+                   | '"' -> Buffer.add_char buf '"'
+                   | c -> Buffer.add_char buf c);
+                   incr j
+               | '"' -> closed := true
+               | c -> Buffer.add_char buf c);
+               incr j
+             done;
+             if not !closed then raise Exit;
+             labels := (key, Buffer.contents buf) :: !labels;
+             i := !j;
+             if !i < n && line.[!i] = ',' then incr i
+           end
+         done
+       with Exit -> result := Some (err "malformed label block"));
+      match !result with
+      | Some (Ok ()) -> Ok (List.rev !labels, !i)
+      | Some (Error e) -> Error e
+      | None -> err "malformed label block"
+    end
+  in
+  let rest = String.sub line rest_start (String.length line - rest_start) in
+  let* () =
+    if rest = "" then err "missing value"
+    else if rest.[0] <> ' ' then err "expected space before value"
+    else Ok ()
+  in
+  let tok = String.trim rest in
+  (* A timestamp after the value is legal in the format; take the first
+     token as the value. *)
+  let tok =
+    match String.index_opt tok ' ' with
+    | Some i -> String.sub tok 0 i
+    | None -> tok
+  in
+  let* v = parse_value tok in
+  Ok { s_name = name; s_labels = labels; s_value = v }
+
+let known_types =
+  [ "counter"; "gauge"; "histogram"; "summary"; "untyped"; "info"; "stateset" ]
+
+let lint text =
+  let ( let* ) = Result.bind in
+  let err line_no fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" line_no m)) fmt
+  in
+  let lines = String.split_on_char '\n' text in
+  (* A trailing newline leaves one empty final chunk; anything else
+     empty is a malformed file. *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let families : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  (* histogram family -> (label-set minus le -> (buckets in order, count)) *)
+  let hist_buckets :
+      (string * (string * string) list, (float * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let hist_counts : (string * (string * string) list, float) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let rec check line_no seen_eof = function
+    | [] ->
+        if seen_eof then Ok ()
+        else Error "missing # EOF terminator on the last line"
+    | line :: rest ->
+        let* () =
+          if seen_eof then err line_no "content after # EOF" else Ok ()
+        in
+        let* () =
+          if line = "" then err line_no "blank line"
+          else if line = "# EOF" then Ok ()
+          else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+            match
+              String.split_on_char ' '
+                (String.sub line 7 (String.length line - 7))
+            with
+            | [ fam; ty ] ->
+                if not (valid_metric_name fam) then
+                  err line_no "invalid family name %S" fam
+                else if not (List.mem ty known_types) then
+                  err line_no "unknown metric type %S" ty
+                else if Hashtbl.mem families fam then
+                  err line_no "family %S declared twice" fam
+                else begin
+                  Hashtbl.replace families fam ty;
+                  Ok ()
+                end
+            | _ -> err line_no "malformed # TYPE line"
+          end
+          else if String.length line > 1 && line.[0] = '#' then Ok ()
+            (* # HELP / # UNIT: tolerated, not checked *)
+          else begin
+            match parse_sample line with
+            | Error e -> err line_no "%s" e
+            | Ok s ->
+                (* Attribute histogram samples to their family for the
+                   bucket laws below. *)
+                let strip suffix name =
+                  let ls = String.length suffix and ln = String.length name in
+                  if ln > ls && String.sub name (ln - ls) ls = suffix then
+                    Some (String.sub name 0 (ln - ls))
+                  else None
+                in
+                (match strip "_bucket" s.s_name with
+                | Some fam when Hashtbl.find_opt families fam = Some "histogram"
+                  -> (
+                    let le =
+                      List.assoc_opt "le" s.s_labels
+                      |> Option.map (fun v ->
+                             match parse_value v with
+                             | Ok f -> f
+                             | Error _ -> nan)
+                    in
+                    let base =
+                      List.filter (fun (k, _) -> k <> "le") s.s_labels
+                    in
+                    match le with
+                    | None -> ()
+                    | Some le ->
+                        let key = (fam, base) in
+                        let cell =
+                          match Hashtbl.find_opt hist_buckets key with
+                          | Some c -> c
+                          | None ->
+                              let c = ref [] in
+                              Hashtbl.replace hist_buckets key c;
+                              c
+                        in
+                        cell := (le, s.s_value) :: !cell)
+                | _ -> ());
+                (match strip "_count" s.s_name with
+                | Some fam when Hashtbl.find_opt families fam = Some "histogram"
+                  ->
+                    Hashtbl.replace hist_counts (fam, s.s_labels) s.s_value
+                | _ -> ());
+                Ok ()
+          end
+        in
+        check (line_no + 1) (seen_eof || line = "# EOF") rest
+  in
+  let* () = check 1 false lines in
+  (* Histogram laws per label-set. *)
+  Hashtbl.fold
+    (fun (fam, base) cell acc ->
+      let* () = acc in
+      let buckets = List.rev !cell in
+      let* () =
+        let rec mono = function
+          | (le1, v1) :: ((le2, v2) :: _ as rest) ->
+              if le2 < le1 then
+                Error
+                  (Printf.sprintf "%s: bucket bounds not ascending" fam)
+              else if v2 < v1 then
+                Error
+                  (Printf.sprintf
+                     "%s: cumulative bucket counts decrease at le=%s" fam
+                     (float_str le2))
+              else mono rest
+          | _ -> Ok ()
+        in
+        mono buckets
+      in
+      let* inf_count =
+        match List.find_opt (fun (le, _) -> le = infinity) buckets with
+        | Some (_, v) -> Ok v
+        | None -> Error (Printf.sprintf "%s: missing le=\"+Inf\" bucket" fam)
+      in
+      match Hashtbl.find_opt hist_counts (fam, base) with
+      | Some c when c = inf_count -> Ok ()
+      | Some c ->
+          Error
+            (Printf.sprintf "%s: +Inf bucket (%s) <> _count (%s)" fam
+               (float_str inf_count) (float_str c))
+      | None -> Error (Printf.sprintf "%s: missing _count sample" fam))
+    hist_buckets (Ok ())

@@ -56,7 +56,7 @@ let console ppf =
     emit =
       (fun e ->
         match e.Events.payload with
-        | Events.Span _ | Events.Metric_sample _ -> ()
+        | Events.Span _ | Events.Metric_sample _ | Events.Hist_sample _ -> ()
         | _ -> Format.fprintf ppf "%a@." Events.pp e);
     close = (fun () -> Format.pp_print_flush ppf ());
   }

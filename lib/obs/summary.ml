@@ -27,12 +27,25 @@ type span_stat = {
 type slow_span = { slow_name : string; slow_run : int; slow_s : float }
 type series = { series_name : string; samples : (int option * float) list }
 
+type hist_point = {
+  hp_sim : int option;
+  hp_count : int;
+  hp_sum : float;
+  hp_p50 : float;
+  hp_p95 : float;
+  hp_p99 : float;
+  hp_max : float;
+}
+
+type hist_series = { hist_name : string; points : hist_point list }
+
 type t = {
   total_events : int;
   runs : run list;
   span_stats : span_stat list;
   slowest : slow_span list;
   series : series list;
+  hist_series : hist_series list;
 }
 
 let offered r = r.admitted + r.rejected
@@ -133,6 +146,7 @@ let of_events ?(top = 10) events =
   let series_tbl : (string, (int option * float) list ref) Hashtbl.t =
     Hashtbl.create 16
   in
+  let hist_tbl : (string, hist_point list ref) Hashtbl.t = Hashtbl.create 16 in
   let total_events = ref 0 in
   List.iter
     (fun (e : Events.t) ->
@@ -176,7 +190,7 @@ let of_events ?(top = 10) events =
               sp_dur = duration_s;
             }
             :: !spans
-      | Events.Metric_sample { name; value } ->
+      | Events.Metric_sample { name; value; family = _ } ->
           let cell =
             match Hashtbl.find_opt series_tbl name with
             | Some c -> c
@@ -186,6 +200,27 @@ let of_events ?(top = 10) events =
                 c
           in
           cell := (e.Events.sim, value) :: !cell
+      | Events.Hist_sample { name; count; sum; min_v = _; max_v; p50; p95; p99 }
+        ->
+          let cell =
+            match Hashtbl.find_opt hist_tbl name with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.replace hist_tbl name c;
+                c
+          in
+          cell :=
+            {
+              hp_sim = e.Events.sim;
+              hp_count = count;
+              hp_sum = sum;
+              hp_p50 = p50;
+              hp_p95 = p95;
+              hp_p99 = p99;
+              hp_max = max_v;
+            }
+            :: !cell
       (* Certificate coverage: a trace from an older binary carries
          decisions without certificates (or none at all) — the summary
          makes that gap visible without running a full audit. *)
@@ -290,7 +325,13 @@ let of_events ?(top = 10) events =
       series_tbl []
     |> List.sort (fun a b -> String.compare a.series_name b.series_name)
   in
-  { total_events = !total_events; runs; span_stats; slowest; series }
+  let hist_series =
+    Hashtbl.fold
+      (fun name cell acc -> { hist_name = name; points = List.rev !cell } :: acc)
+      hist_tbl []
+    |> List.sort (fun a b -> String.compare a.hist_name b.hist_name)
+  in
+  { total_events = !total_events; runs; span_stats; slowest; series; hist_series }
 
 (* --- per-policy aggregation (for diff) ----------------------------------- *)
 

@@ -58,12 +58,27 @@ type span_stat = {
 type slow_span = { slow_name : string; slow_run : int; slow_s : float }
 type series = { series_name : string; samples : (int option * float) list }
 
+type hist_point = {
+  hp_sim : int option;
+  hp_count : int;  (** Cumulative observation count at sample time. *)
+  hp_sum : float;
+  hp_p50 : float;
+  hp_p95 : float;
+  hp_p99 : float;
+  hp_max : float;
+}
+
+type hist_series = { hist_name : string; points : hist_point list }
+(** One histogram's sampled snapshots ([hist-sample] events) in stream
+    order — latency over time for the instrumented hot paths. *)
+
 type t = {
   total_events : int;
   runs : run list;  (** In run-id order. *)
   span_stats : span_stat list;  (** Sorted by total time, descending. *)
   slowest : slow_span list;  (** Top-N individual spans by duration. *)
   series : series list;  (** Metric-sample series, sorted by name. *)
+  hist_series : hist_series list;  (** Hist-sample series, sorted by name. *)
 }
 
 val of_events : ?top:int -> Events.t list -> t

@@ -72,8 +72,8 @@ let render ?(width = 60) events =
       | Events.Decision _ | Events.Fault_injected _
       | Events.Commitment_revoked _ | Events.Commitment_degraded _
       | Events.Repaired _ | Events.Anomaly _ | Events.Span _
-      | Events.Metric_sample _ | Events.Audit_divergence _
-      | Events.Unknown _ -> ())
+      | Events.Metric_sample _ | Events.Hist_sample _
+      | Events.Audit_divergence _ | Events.Unknown _ -> ())
     events;
   let buf = Buffer.create 1024 in
   let run_ids = List.rev !order in

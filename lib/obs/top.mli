@@ -1,0 +1,27 @@
+(** Dashboard state behind [rota top]: an incremental fold over the
+    event stream plus a frame renderer.
+
+    The CLI owns the terminal loop (tail the trace through
+    {!Trace_reader.Follow}, redraw, handle keys); this module only
+    accumulates and renders, so one [--once] pass and a live tail
+    produce identical frames from identical events. *)
+
+type t
+
+val create : source:string -> unit -> t
+(** Fresh state; [source] is the trace path shown in the header. *)
+
+val step : t -> Events.t -> unit
+(** Fold one event: lifecycle tallies (admitted / rejected / completed /
+    killed / preempted, faults, repairs, audit divergences), last value
+    per sampled counter and gauge, last snapshot per sampled histogram,
+    and completions-per-tick for the throughput sparkline. *)
+
+val render : ?width:int -> ?following:bool -> t -> string
+(** One frame: header (source, mode, event/run/sim/wall progress),
+    lifecycle counts, audit verified/skipped/divergent/lag, a
+    completions-per-tick sparkline over the whole run so far, latency
+    quantiles (p50/p95/p99/max per sampled histogram), and the sampled
+    counter/gauge values.  [width] (default 80) bounds the sparkline;
+    [following] only changes the mode tag in the header.  Plain text —
+    no ANSI escapes — so frames are scrollback- and file-friendly. *)

@@ -76,10 +76,29 @@ let sample_period () = !period
 let sample_metrics ?sim () =
   if active () && Metrics.enabled () then begin
     let view = Metrics.snapshot () in
+    let sample family (name, v) =
+      emit ?sim
+        (Events.Metric_sample
+           { name; value = float_of_int v; family = Some family })
+    in
+    List.iter (sample "counter") view.Metrics.counters;
+    List.iter (sample "gauge") view.Metrics.gauges;
     List.iter
-      (fun (name, v) ->
-        emit ?sim (Events.Metric_sample { name; value = float_of_int v }))
-      (view.Metrics.counters @ view.Metrics.gauges)
+      (fun (h : Metrics.histogram_view) ->
+        if h.count > 0 then
+          emit ?sim
+            (Events.Hist_sample
+               {
+                 name = h.hname;
+                 count = h.count;
+                 sum = h.sum;
+                 min_v = h.min_v;
+                 max_v = h.max_v;
+                 p50 = h.p50;
+                 p95 = h.p95;
+                 p99 = h.p99;
+               }))
+      view.Metrics.histograms
   end
 
 let reset () =

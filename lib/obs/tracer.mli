@@ -36,15 +36,17 @@ val with_span : ?sim:int -> string -> (unit -> 'a) -> 'a
 
 val set_sample_period : int -> unit
 (** Cadence, in simulated ticks, at which the engine emits
-    {!Events.Metric_sample} events for every registered counter and
-    gauge.  0 (the default) disables sampling.  Negative values clamp
-    to 0. *)
+    {!Events.Metric_sample} / {!Events.Hist_sample} events for every
+    registered series.  0 (the default) disables sampling.  Negative
+    values clamp to 0. *)
 
 val sample_period : unit -> int
 
 val sample_metrics : ?sim:int -> unit -> unit
-(** Emit one {!Events.Metric_sample} per registered counter and gauge,
-    at their current values.  A no-op unless a sink is installed {e and}
+(** Emit one {!Events.Metric_sample} per registered counter and gauge
+    (tagged with its family) at their current values, then one
+    {!Events.Hist_sample} per non-empty histogram (count, sum, observed
+    range, p50/p95/p99).  A no-op unless a sink is installed {e and}
     the metrics registry is enabled (disabled metrics would sample
     frozen zeros). *)
 

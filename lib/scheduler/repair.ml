@@ -184,7 +184,8 @@ let try_migrate controller ~now (v : victim) =
           ~window:v.window parts ~rung:(Migrate site))
       candidates
 
-let attempt ?(backoff = default_backoff) ?(attempt = 0) controller ~now (v : victim) =
+let attempt_ladder ?(backoff = default_backoff) ?(attempt = 0) controller ~now
+    (v : victim) =
   let deadline = Interval.stop v.window in
   if now >= deadline then Preempted { reason = "deadline already passed" }
   else
@@ -200,6 +201,36 @@ let attempt ?(backoff = default_backoff) ?(attempt = 0) controller ~now (v : vic
             else if next >= deadline then
               Preempted { reason = "no retry window left before the deadline" }
             else Retry { at = next; attempt = attempt + 1 })
+
+(* Per-policy repair latency and outcome counters, labelled like the
+   admission series (same [.slug] convention).  Handles are interned by
+   name on each call: the fault path is rare, and lazy interning keeps
+   processes that never repair free of repair/* rows. *)
+module Obs = struct
+  module Metrics = Rota_obs.Metrics
+
+  let outcome_label = function
+    | Repaired r -> rung_name r.rung
+    | Retry _ -> "retry"
+    | Preempted _ -> "preempted"
+end
+
+let attempt ?backoff ?attempt controller ~now v =
+  let module Metrics = Rota_obs.Metrics in
+  if not (Metrics.enabled ()) then
+    attempt_ladder ?backoff ?attempt controller ~now v
+  else begin
+    let n = Admission.policy_name (Admission.policy controller) in
+    Metrics.incr (Metrics.counter ("repair/attempts." ^ n));
+    let outcome =
+      Metrics.time
+        (Metrics.histogram ("repair/attempt_s." ^ n))
+        (fun () -> attempt_ladder ?backoff ?attempt controller ~now v)
+    in
+    Metrics.incr
+      (Metrics.counter ("repair/outcome." ^ Obs.outcome_label outcome));
+    outcome
+  end
 
 let pp_rung ppf r = Format.pp_print_string ppf (rung_name r)
 

@@ -87,7 +87,13 @@ val attempt :
 (** Walk the ladder once for one victim.  The victim's previous
     calendar entry must already be released/evicted; on [Repaired] the
     returned controller carries the new commitment under the same
-    computation id. *)
+    computation id.
+
+    When the metrics registry is enabled each call records
+    [repair/attempts.<policy>], a [repair/attempt_s.<policy>] latency
+    observation, and a [repair/outcome.<label>] counter
+    ([reaccommodate], [migrate], [retry], or [preempted]) — the same
+    per-policy label convention as the admission series. *)
 
 val pp_rung : Format.formatter -> rung -> unit
 

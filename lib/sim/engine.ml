@@ -846,14 +846,18 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
       snapshot.State.available ()
   in
 
-  (* Metric sampling: at the configured cadence, snapshot every counter
-     and gauge into the trace so registry series become time series
-     (Tracer.sample_metrics is a no-op without a sink + enabled
-     registry). *)
+  (* Metric sampling: at the configured cadence, fold the engine's own
+     GC/allocation footprint into the registry (Runtime_sampler) and
+     snapshot every series into the trace so registry series become
+     time series (Tracer.sample_metrics is a no-op without a sink +
+     enabled registry). *)
   let sample_every = Rota_obs.Tracer.sample_period () in
+  if sample_every > 0 then Rota_obs.Runtime_sampler.reset ();
   for t = 0 to horizon - 1 do
-    if sample_every > 0 && t mod sample_every = 0 then
-      Rota_obs.Tracer.sample_metrics ~sim:t ();
+    if sample_every > 0 && t mod sample_every = 0 then begin
+      Rota_obs.Runtime_sampler.update ~sim:t ();
+      Rota_obs.Tracer.sample_metrics ~sim:t ()
+    end;
     Rota_obs.Metrics.incr m_ticks;
     if Rota_obs.Metrics.enabled () then begin
       let depth = List.length !state.State.pending in

@@ -254,7 +254,20 @@ let all_payloads =
         begin_s = 1754499999.5;
         duration_s = 0.001953125;
       };
-    Events.Metric_sample { name = "engine/ticks"; value = 160. };
+    Events.Metric_sample { name = "engine/ticks"; value = 160.; family = None };
+    Events.Metric_sample
+      { name = "engine/runs"; value = 1.; family = Some "counter" };
+    Events.Hist_sample
+      {
+        name = "admission/decision_s.rota";
+        count = 42;
+        sum = 0.001953125;
+        min_v = 6.103515625e-05;
+        max_v = 0.000244140625;
+        p50 = 0.0001220703125;
+        p95 = 0.000244140625;
+        p99 = 0.000244140625;
+      };
   ]
 
 let test_jsonl_roundtrip () =
