@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke check fmt clean
+.PHONY: all build test bench bench-smoke bench-gate trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke check fmt clean
 
 all: build
 
@@ -21,6 +21,46 @@ bench:
 # (schema rota-bench-1); the committed copy is the repo's perf baseline.
 bench-smoke:
 	dune exec bench/main.exe -- scheduler/admission-scale --json BENCH_0.json
+
+# Perf-regression gate: re-measure the admission-scale group with the
+# committed baseline's quota (1.5 s per row — enough samples for the
+# OLS fit to be trustworthy, r^2 >= 0.9 on a quiet machine) and diff
+# every row against BENCH_1.json.  A trustworthy baseline row (r^2 >=
+# 0.5, not tagged unstable) that slowed by more than 20% fails the
+# build; unstable rows are listed as SKIP, never silently trusted.
+# Two defences against shared-runner noise: fresh rows are rescaled by
+# the ratio of the snapshots' spin-loop anchors (metadata
+# spin_ns_per_iter), so a runner that is uniformly slower today does
+# not fail every row; and the group is measured twice with the per-row
+# best (stable preferred, then minimum) gating — contention only adds
+# time, so the minimum estimates the code's true cost.
+# After a deliberate perf change, refresh the baseline in the same
+# commit with the same estimator:
+#   for i in 1 2 3; do dune exec bench/main.exe -- \
+#     scheduler/admission-scale --quota 1.5 --json /tmp/b$$i.json; done
+#   dune exec bench/gate.exe -- --merge /tmp/b1.json /tmp/b2.json \
+#     /tmp/b3.json > BENCH_1.json
+# A failing first verdict gets one escalation — two more runs, gate on
+# the best of all four — before the build fails: the minimum over four
+# runs is inside the noise floor unless the code really regressed.
+bench-gate: build
+	@t1=$$(mktemp /tmp/rota-bench-gate.XXXXXX.json); \
+	t2=$$(mktemp /tmp/rota-bench-gate.XXXXXX.json); \
+	t3=$$(mktemp /tmp/rota-bench-gate.XXXXXX.json); \
+	t4=$$(mktemp /tmp/rota-bench-gate.XXXXXX.json); \
+	trap 'rm -f "$$t1" "$$t2" "$$t3" "$$t4"' EXIT; \
+	dune exec bench/main.exe -- scheduler/admission-scale --quota 1.5 \
+	  --json "$$t1" >/dev/null && \
+	dune exec bench/main.exe -- scheduler/admission-scale --quota 1.5 \
+	  --json "$$t2" >/dev/null || exit 1; \
+	if dune exec bench/gate.exe -- BENCH_1.json "$$t1" "$$t2"; then :; else \
+	  echo "bench-gate: verdict FAIL on two runs; escalating to four"; \
+	  dune exec bench/main.exe -- scheduler/admission-scale --quota 1.5 \
+	    --json "$$t3" >/dev/null && \
+	  dune exec bench/main.exe -- scheduler/admission-scale --quota 1.5 \
+	    --json "$$t4" >/dev/null || exit 1; \
+	  dune exec bench/gate.exe -- BENCH_1.json "$$t1" "$$t2" "$$t3" "$$t4"; \
+	fi
 
 # Trace contract, end to end on a real experiment: the E6 trace the
 # binary emits must satisfy its own validator, and the analysis tools
@@ -112,7 +152,7 @@ telemetry-smoke: build
 
 # What CI runs.  `dune fmt` is included only when ocamlformat is
 # installed — the pinned toolchain image ships without it.
-check: build test trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke
+check: build test trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke bench-gate
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt; \
 	else \

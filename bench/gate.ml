@@ -1,0 +1,347 @@
+(* Perf-regression gate: diff fresh `bench --json` snapshots against the
+   committed baseline and fail on a real slowdown.
+
+   Rules (see the benchmark-harness note in EXPERIMENTS.md):
+   - Only rows whose *baseline* estimate is trustworthy (r^2 >= 0.5 and
+     not tagged "unstable") can gate; the rest are listed as SKIP so a
+     noisy baseline is visible rather than silently trusted.
+   - A gating row must exist in the fresh run — a vanished row fails the
+     gate (a renamed bench must refresh the baseline in the same commit).
+   - A fresh measurement that is itself unstable is a SKIP too: a noisy
+     number can neither prove nor disprove a regression, and hiding the
+     skip is exactly the failure mode this gate exists to kill.
+   - Otherwise the row fails if ns/run grew by more than the threshold
+     (default 20%, --threshold to override).
+
+   Two defences against shared-machine noise:
+
+   1. Every snapshot carries a machine-speed anchor (metadata
+      "spin_ns_per_iter": a fixed integer spin loop priced at snapshot
+      time, minimum of several trials).  Fresh rows are rescaled by the
+      ratio of their anchor to the baseline's before the threshold
+      applies, so a VM that is uniformly 2x slower today does not fail
+      every row — the spin loop touches no rota code, so a real
+      regression cannot hide behind the rescaling.  Snapshots without
+      the anchor compare raw, and the gate says which it did.
+
+   2. Several FRESH files may be given (the Makefile measures twice):
+      each is rescaled by its own anchor and the gate takes the per-row
+      minimum across runs, preferring stable measurements.  Contention
+      only ever adds time, so the minimum over repeated runs estimates
+      the code's true cost — one bursty neighbour during one run no
+      longer fails the build.  `--merge` builds the committed baseline
+      with the same estimator (see the Makefile's refresh recipe), so
+      both sides of the comparison estimate the same floor. *)
+
+module Json = Rota_obs.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+type row = { ns : float option; r2 : float option; unstable : bool }
+
+let float_member name json =
+  match Json.member name json with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+type snapshot = {
+  calibration : float option;
+  metadata : Json.t;
+  (* (group, test name, row), file order. *)
+  rows : (string * string * row) list;
+}
+
+let snapshot_of_file path =
+  match Json.parse (read_file path) with
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok json -> (
+      match Json.member "schema" json with
+      | Some (Json.String "rota-bench-1") -> (
+          match Json.member "groups" json with
+          | Some (Json.Obj groups) ->
+              Ok
+                {
+                  calibration =
+                    Option.bind (Json.member "metadata" json)
+                      (float_member "spin_ns_per_iter");
+                  metadata =
+                    Option.value
+                      (Json.member "metadata" json)
+                      ~default:(Json.Obj []);
+                  rows =
+                    List.concat_map
+                      (fun (group, tests) ->
+                        match tests with
+                        | Json.Obj tests ->
+                            List.map
+                              (fun (name, entry) ->
+                                ( group,
+                                  name,
+                                  {
+                                    ns = float_member "ns_per_run" entry;
+                                    r2 = float_member "r_square" entry;
+                                    unstable =
+                                      Json.member "unstable" entry
+                                      = Some (Json.Bool true);
+                                  } ))
+                              tests
+                        | _ -> [])
+                      groups;
+                }
+          | _ -> Error (path ^ ": no \"groups\" object"))
+      | Some (Json.String s) ->
+          Error (Printf.sprintf "%s: unsupported schema %S" path s)
+      | _ -> Error (path ^ ": not a rota-bench-1 snapshot"))
+
+(* Is [r] a better estimate of a row's cost than [prev]?  Stable beats
+   unstable; among equals, smaller ns wins (contention only adds time). *)
+let better (prev : row) (r : row) =
+  match ((prev.unstable, prev.ns), (r.unstable, r.ns)) with
+  | (_, None), (_, Some _) -> true
+  | (true, Some _), (false, Some _) -> true
+  | (false, _), (true, _) | (_, Some _), (_, None) -> false
+  | (pu, Some p), (ru, Some n) when pu = ru -> n < p
+  | _ -> false
+
+(* Per-row best across runs, first-run order preserved. *)
+let merge_rows runs =
+  List.fold_left
+    (fun acc run ->
+      List.fold_left
+        (fun acc (group, name, (r : row)) ->
+          match
+            List.find_opt (fun (_, n2, _) -> n2 = name) acc
+          with
+          | None -> acc @ [ (group, name, r) ]
+          | Some (_, _, prev) ->
+              if better prev r then
+                List.map
+                  (fun ((g2, n2, _) as kept) ->
+                    if n2 = name then (g2, n2, r) else kept)
+                  acc
+              else acc)
+        acc run)
+    [] runs
+
+let json_of_row (r : row) =
+  let field name = function Some f -> [ (name, Json.Float f) ] | None -> [] in
+  Json.Obj
+    (field "ns_per_run" r.ns @ field "r_square" r.r2
+    @ if r.unstable then [ ("unstable", Json.Bool true) ] else [])
+
+let usage () =
+  prerr_endline
+    "usage: gate [--threshold PCT] BASELINE.json FRESH.json [FRESH.json ...]\n\
+    \       gate --merge RUN.json [RUN.json ...]\n\
+     The gate form fails when any trustworthy baseline row regressed by \n\
+     more than PCT percent; with several fresh runs, each row's best \n\
+     measurement (stable preferred, then minimum) is what gates.  The \n\
+     --merge form prints a snapshot built from the per-row best across \n\
+     the given runs — how the committed baseline is refreshed.";
+  exit 2
+
+let load path =
+  match snapshot_of_file path with
+  | Ok s -> s
+  | Error m ->
+      prerr_endline ("bench-gate: " ^ m);
+      exit 2
+
+(* --- merge mode ------------------------------------------------------------- *)
+
+let run_merge paths =
+  let snaps = List.map load paths in
+  let calibration =
+    List.filter_map (fun s -> s.calibration) snaps
+    |> function [] -> None | cals -> Some (List.fold_left Float.min infinity cals)
+  in
+  (* Express every run at the merged (fastest-observed) machine speed
+     before taking minima — the same anchor-ratio rescaling the gate
+     applies at compare time, so the merged floor is self-consistent. *)
+  let rescaled =
+    List.map
+      (fun s ->
+        match (calibration, s.calibration) with
+        | Some m, Some c when c > 0. && m > 0. && c <> m ->
+            List.map
+              (fun (g, n, (r : row)) ->
+                (g, n, { r with ns = Option.map (fun ns -> ns *. m /. c) r.ns }))
+              s.rows
+        | _ -> s.rows)
+      snaps
+  in
+  let rows = merge_rows rescaled in
+  let metadata =
+    (* First run's metadata, with the anchor replaced by the fastest
+       observed one — consistent with taking per-row minima. *)
+    match ((List.hd snaps).metadata, calibration) with
+    | Json.Obj fields, Some cal ->
+        Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "spin_ns_per_iter" then (k, Json.Float cal) else (k, v))
+             fields)
+    | m, _ -> m
+  in
+  let groups =
+    List.fold_left
+      (fun acc (group, name, r) ->
+        let entry = (name, json_of_row r) in
+        match List.assoc_opt group acc with
+        | Some tests -> (group, tests @ [ entry ]) :: List.remove_assoc group acc
+        | None -> acc @ [ (group, [ entry ]) ])
+      [] rows
+    |> List.map (fun (g, tests) -> (g, Json.Obj tests))
+  in
+  print_endline
+    (Json.to_string
+       (Json.Obj
+          [
+            ("schema", Json.String "rota-bench-1");
+            ("metadata", metadata);
+            ("groups", Json.Obj groups);
+          ]))
+
+(* --- gate mode -------------------------------------------------------------- *)
+
+let run_gate ~threshold base_path fresh_paths =
+  let base_snap = load base_path in
+  let base = List.map (fun (_, n, r) -> (n, r)) base_snap.rows in
+  Printf.printf "bench-gate: %s vs %s (threshold +%.0f%%)\n" base_path
+    (String.concat ", " fresh_paths)
+    threshold;
+  (* Each fresh run, rescaled by the machine-speed ratio of its anchor
+     to the baseline's when both are present. *)
+  let fresh_runs =
+    List.map
+      (fun path ->
+        let snap = load path in
+        match (base_snap.calibration, snap.calibration) with
+        | Some b, Some f when b > 0. && f > 0. ->
+            Printf.printf
+              "calibration: %s at %.3f ns/iter vs baseline %.3f — machine \
+               %.2fx %s; rescaling by %.3f\n"
+              path f b
+              (if f >= b then f /. b else b /. f)
+              (if f >= b then "slower" else "faster")
+              (b /. f);
+            List.map
+              (fun (g, name, (r : row)) ->
+                (g, name, { r with ns = Option.map (fun ns -> ns *. b /. f) r.ns }))
+              snap.rows
+        | _ ->
+            Printf.printf
+              "calibration: no spin_ns_per_iter for %s; comparing raw ns\n"
+              path;
+            snap.rows)
+      fresh_paths
+  in
+  let fresh = List.map (fun (_, n, r) -> (n, r)) (merge_rows fresh_runs) in
+  Printf.printf "%-46s %12s %12s %8s  %s\n" "row" "base ns" "fresh ns" "delta"
+    "verdict";
+  Printf.printf "%s\n" (String.make 92 '-');
+  let failures = ref 0 and skips = ref 0 and gated = ref 0 in
+  let pp_ns = function Some ns -> Printf.sprintf "%.1f" ns | None -> "-" in
+  List.iter
+    (fun (name, (b : row)) ->
+      let fresh_row = List.assoc_opt name fresh in
+      let fresh_ns = Option.bind fresh_row (fun r -> r.ns) in
+      let verdict =
+        match (b.ns, b.r2) with
+        | None, _ ->
+            incr skips;
+            "SKIP (no baseline estimate)"
+        | Some _, _ when b.unstable ->
+            incr skips;
+            Printf.sprintf "SKIP (unstable baseline, r^2=%s)"
+              (match b.r2 with
+              | Some r2 -> Printf.sprintf "%.3f" r2
+              | None -> "nan")
+        | Some _, Some r2 when r2 < 0.5 ->
+            incr skips;
+            Printf.sprintf "SKIP (baseline r^2=%.3f < 0.5)" r2
+        | Some _, None ->
+            incr skips;
+            "SKIP (baseline r^2 unknown)"
+        | Some base_ns, Some _ -> (
+            match fresh_row with
+            | None ->
+                incr failures;
+                "FAIL (row missing from fresh run)"
+            | Some f when f.unstable ->
+                incr skips;
+                Printf.sprintf "SKIP (unstable fresh measurement, r^2=%s)"
+                  (match f.r2 with
+                  | Some r2 -> Printf.sprintf "%.3f" r2
+                  | None -> "nan")
+            | Some { ns = None; _ } ->
+                incr failures;
+                "FAIL (fresh run has no estimate)"
+            | Some { ns = Some fresh_ns; _ } ->
+                incr gated;
+                let delta = (fresh_ns -. base_ns) /. base_ns *. 100. in
+                if delta > threshold then begin
+                  incr failures;
+                  Printf.sprintf "FAIL (+%.1f%% > +%.0f%%)" delta threshold
+                end
+                else "ok")
+      in
+      let delta =
+        match (b.ns, fresh_ns) with
+        | Some b_ns, Some f_ns when b_ns > 0. ->
+            Printf.sprintf "%+.1f%%" ((f_ns -. b_ns) /. b_ns *. 100.)
+        | _ -> "-"
+      in
+      Printf.printf "%-46s %12s %12s %8s  %s\n" name (pp_ns b.ns)
+        (pp_ns fresh_ns) delta verdict)
+    base;
+  (* Rows the fresh run has but the baseline does not are fine (new
+     benches land before their baseline refresh) — but say so, so a
+     stale baseline is visible. *)
+  List.iter
+    (fun (name, _) ->
+      if List.assoc_opt name base = None then
+        Printf.printf "note: %s not in baseline (refresh it to gate this row)\n"
+          name)
+    fresh;
+  Printf.printf "%s\n" (String.make 92 '-');
+  Printf.printf "bench-gate: %d gated, %d skipped, %d failed\n" !gated !skips
+    !failures;
+  if !failures > 0 then exit 1
+
+let () =
+  let threshold = ref 20.0 in
+  let merge = ref false in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--merge" :: rest ->
+        merge := true;
+        parse rest
+    | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t > 0. ->
+            threshold := t;
+            parse rest
+        | _ -> usage ())
+    | arg :: rest
+      when String.length arg >= 12 && String.sub arg 0 12 = "--threshold=" -> (
+        match float_of_string_opt (String.sub arg 12 (String.length arg - 12)) with
+        | Some t when t > 0. ->
+            threshold := t;
+            parse rest
+        | _ -> usage ())
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | arg :: rest ->
+        positional := arg :: !positional;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match (!merge, List.rev !positional) with
+  | true, (_ :: _ as paths) -> run_merge paths
+  | false, base :: (_ :: _ as fresh) -> run_gate ~threshold:!threshold base fresh
+  | _ -> usage ()

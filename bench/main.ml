@@ -595,7 +595,33 @@ module Json = Rota_obs.Json
    has no NaN literal, so encode it (and infinities) as null. *)
 let json_float x = if Float.is_finite x then Json.Float x else Json.Null
 
-let json_results ~filters ~chosen rows =
+(* Machine-speed anchor: ns per iteration of a fixed integer spin loop,
+   minimum over several trials (the minimum is robust to preemption on
+   a shared machine).  Two snapshots' anchors give the perf gate a
+   machine-speed ratio to rescale by before applying its threshold —
+   the loop touches no rota code, so a real regression cannot hide
+   behind the rescaling, while a VM that is simply running 2x slower
+   today no longer fails every row. *)
+let spin_iters = 2_000_000
+
+let spin () =
+  let x = ref 0 in
+  for i = 1 to spin_iters do
+    x := !x lxor i
+  done;
+  Sys.opaque_identity !x
+
+let spin_ns_per_iter () =
+  let best = ref infinity in
+  for _ = 1 to 7 do
+    let t0 = Unix.gettimeofday () in
+    ignore (spin ());
+    let dt = Unix.gettimeofday () -. t0 in
+    best := Float.min !best (dt *. 1e9 /. float_of_int spin_iters)
+  done;
+  !best
+
+let json_results ~filters ~chosen ~quota_s ~limit rows =
   (* Attribute each measured row back to its registry suite: row names
      are "rota/<suite...>", so the longest suite name that is a
      substring wins (suite names never overlap in practice, but indexed
@@ -616,7 +642,16 @@ let json_results ~filters ~chosen rows =
       (fun acc (name, ns, r2) ->
         let g = group_of name in
         let entry =
-          Json.Obj [ ("ns_per_run", json_float ns); ("r_square", json_float r2) ]
+          (* A row whose OLS fit explains less than half the variance is
+             tagged so downstream consumers (the perf gate) skip it
+             loudly instead of trusting a noise-dominated estimate. *)
+          let unstable =
+            if Float.is_finite r2 && r2 >= 0.5 then []
+            else [ ("unstable", Json.Bool true) ]
+          in
+          Json.Obj
+            ([ ("ns_per_run", json_float ns); ("r_square", json_float r2) ]
+            @ unstable)
         in
         match List.assoc_opt g acc with
         | Some tests -> (g, (name, entry) :: tests) :: List.remove_assoc g acc
@@ -632,8 +667,9 @@ let json_results ~filters ~chosen rows =
           [
             ("ocaml", Json.String Sys.ocaml_version);
             ("word_size", Json.Int Sys.word_size);
-            ("quota_s", Json.Float 0.25);
-            ("limit", Json.Int 1000);
+            ("quota_s", Json.Float quota_s);
+            ("limit", Json.Int limit);
+            ("spin_ns_per_iter", json_float (spin_ns_per_iter ()));
             ("filters", Json.List (List.map (fun f -> Json.String f) filters));
           ] );
       ("groups", Json.Obj groups);
@@ -641,19 +677,56 @@ let json_results ~filters ~chosen rows =
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
-  (* --json PATH (or --json=PATH) is the harness's own flag; everything
-     else is a suite-name filter. *)
-  let json_out, requested =
+  (* --json PATH, --quota SECS, and --limit N (with --flag=value forms)
+     are the harness's own flags; everything else is a suite-name
+     filter.  The default quota is fine for the broad sweep, but a
+     baseline worth gating on needs enough samples per row for the OLS
+     fit to be trustworthy — bump --quota until r^2 stops complaining. *)
+  let json_out = ref None
+  and quota_s = ref 0.25
+  and limit = ref 1000 in
+  let requested =
+    let split_eq arg =
+      match String.index_opt arg '=' with
+      | Some i when String.length arg > 2 && arg.[0] = '-' ->
+          Some
+            ( String.sub arg 0 i,
+              String.sub arg (i + 1) (String.length arg - i - 1) )
+      | _ -> None
+    in
+    let set flag value =
+      match flag with
+      | "--json" -> json_out := Some value
+      | "--quota" -> (
+          match float_of_string_opt value with
+          | Some q when q > 0. -> quota_s := q
+          | _ -> failwith (flag ^ ": expected a positive number of seconds"))
+      | "--limit" -> (
+          match int_of_string_opt value with
+          | Some n when n > 0 -> limit := n
+          | _ -> failwith (flag ^ ": expected a positive sample count"))
+      | _ -> failwith ("unknown flag " ^ flag)
+    in
     let rec go acc = function
-      | [] -> (None, List.rev acc)
-      | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
-      | arg :: rest
-        when String.length arg > 7 && String.sub arg 0 7 = "--json=" ->
-          (Some (String.sub arg 7 (String.length arg - 7)), List.rev_append acc rest)
-      | arg :: rest -> go (arg :: acc) rest
+      | [] -> List.rev acc
+      | ("--json" | "--quota" | "--limit") :: ([] as rest) ->
+          ignore rest;
+          failwith "flag needs a value"
+      | (("--json" | "--quota" | "--limit") as flag) :: value :: rest ->
+          set flag value;
+          go acc rest
+      | arg :: rest -> (
+          match split_eq arg with
+          | Some (flag, value) ->
+              set flag value;
+              go acc rest
+          | None -> go (arg :: acc) rest)
     in
     go [] requested
   in
+  let json_out = !json_out
+  and quota_s = !quota_s
+  and limit = !limit in
   let chosen =
     if requested = [] then suites
     else
@@ -668,7 +741,7 @@ let () =
     exit 1
   end;
   let tests = Test.make_grouped ~name:"rota" (List.map snd chosen) in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota_s) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -713,6 +786,7 @@ let () =
         ~finally:(fun () -> close_out oc)
         (fun () ->
           output_string oc
-            (Json.to_string (json_results ~filters:requested ~chosen rows));
+            (Json.to_string
+               (json_results ~filters:requested ~chosen ~quota_s ~limit rows));
           output_char oc '\n');
       Printf.printf "json written to %s\n" path

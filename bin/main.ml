@@ -74,6 +74,20 @@ let trace_buffer_arg =
   in
   Arg.(value & opt int 1 & info [ "trace-buffer" ] ~docv:"N" ~doc)
 
+let trace_format_arg =
+  let doc =
+    "With $(b,--trace): wire format to write — $(b,jsonl) (one JSON object \
+     per line, the default) or $(b,binary) (the compact length-prefixed \
+     ROTB format, roughly a third the bytes; record layout in \
+     doc/observability.md).  Every $(b,rota trace) tool auto-detects the \
+     format on read; $(b,rota trace convert) rewrites a binary trace as \
+     JSONL for line-oriented tooling."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("binary", `Binary) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+
 let watchdog_arg =
   let doc =
     "Run the live audit watchdog next to the run: every decision \
@@ -122,6 +136,7 @@ type obs_opts = {
   metrics : bool;
   sample_every : int;
   trace_buffer : int;
+  trace_format : [ `Jsonl | `Binary ];
   watchdog : Rota_audit.Watchdog.mode option;
   metrics_out : string option;
   metrics_every : int;
@@ -129,19 +144,20 @@ type obs_opts = {
 
 let obs_args =
   Term.(
-    const (fun trace metrics sample_every trace_buffer watchdog metrics_out
-              metrics_every ->
+    const (fun trace metrics sample_every trace_buffer trace_format watchdog
+              metrics_out metrics_every ->
         {
           trace;
           metrics;
           sample_every;
           trace_buffer;
+          trace_format;
           watchdog;
           metrics_out;
           metrics_every;
         })
     $ trace_arg $ metrics_arg $ sample_every_arg $ trace_buffer_arg
-    $ watchdog_arg $ metrics_out_arg $ metrics_every_arg)
+    $ trace_format_arg $ watchdog_arg $ metrics_out_arg $ metrics_every_arg)
 
 (* Install the requested sinks/registry around [f], and tear them down
    (flushing files, printing the metrics tables) afterwards — also on
@@ -152,15 +168,20 @@ let with_obs ?(console = false)
       metrics;
       sample_every;
       trace_buffer;
+      trace_format;
       watchdog;
       metrics_out;
       metrics_every;
     } f =
+  let file_sink_for =
+    match trace_format with
+    | `Jsonl -> Rota_obs.Sink.jsonl_file
+    | `Binary -> Rota_obs.Sink.binary_file
+  in
   match
     Option.map
       (fun path ->
-        try
-          Ok (Rota_obs.Sink.jsonl_file ~flush_every:(max 1 trace_buffer) path)
+        try Ok (file_sink_for ~flush_every:(max 1 trace_buffer) path)
         with Sys_error msg -> Error msg)
       trace
   with
@@ -574,7 +595,8 @@ module Trace_summary = Rota_obs.Summary
 
 let trace_pos ?(idx = 0) ~docv () =
   Arg.(required & pos idx (some file) None & info [] ~docv
-         ~doc:"A JSONL telemetry trace written with --trace.")
+         ~doc:"A telemetry trace written with --trace (JSONL or binary; \
+               the format is auto-detected).")
 
 (* Load a whole trace leniently (unknown kinds pass through), reporting
    the first malformed line on stderr. *)
@@ -702,15 +724,52 @@ let trace_export_cmd =
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run $ trace_pos ~docv:"TRACE" () $ format_arg $ out_arg)
 
+let trace_convert_cmd =
+  let out_arg =
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Where to write the JSONL; - is stdout.")
+  in
+  let run file out =
+    with_trace_events file @@ fun events ->
+    let write oc =
+      List.iter
+        (fun e ->
+          output_string oc (Rota_obs.Events.to_line e);
+          output_char oc '\n')
+        events
+    in
+    match out with
+    | "-" ->
+        write stdout;
+        flush stdout;
+        0
+    | path -> (
+        try
+          let oc = open_out_bin path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc);
+          0
+        with Sys_error msg ->
+          Printf.eprintf "rota trace convert: %s\n" msg;
+          1)
+  in
+  let doc =
+    "Rewrite a trace as JSONL — the escape hatch from \
+     $(b,--trace-format=binary) back to line-oriented tooling (grep, jq, \
+     $(b,rota audit --follow)).  JSONL input passes through re-serialized, \
+     so the command also normalizes a trace to the current schema."
+  in
+  Cmd.v (Cmd.info "convert" ~doc)
+    Term.(const run $ trace_pos ~docv:"TRACE" () $ out_arg)
+
 let trace_cmd =
   let doc =
-    "Analyse JSONL telemetry traces: validate, summarize, timeline, diff, \
-     export."
+    "Analyse telemetry traces (JSONL or binary): validate, summarize, \
+     timeline, diff, convert, export."
   in
   Cmd.group (Cmd.info "trace" ~doc)
     [
       trace_validate_cmd; trace_summarize_cmd; trace_timeline_cmd;
-      trace_diff_cmd; trace_export_cmd;
+      trace_diff_cmd; trace_convert_cmd; trace_export_cmd;
     ]
 
 (* --- rota metrics ---------------------------------------------------------- *)

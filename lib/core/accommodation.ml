@@ -44,9 +44,7 @@ let step_allocation theta ~index ~subwindow step =
           Profile.consume profile ~window:subwindow ~quantity:a.Requirement.quantity
         with
         | Some (_, got) ->
-            Resource_set.union acc
-              (Resource_set.of_terms
-                 (Profile.to_terms ~ltype:a.Requirement.ltype got))
+            Resource_set.add_profile a.Requirement.ltype got acc
         | None ->
             (* [subwindow] extends past this amount's completion time, so
                consumption cannot fail. *)
@@ -154,11 +152,7 @@ let check_schedule_uninstrumented theta (c : Requirement.complex) schedule =
         else if
           not (Interval.subset alloc.subwindow c.Requirement.window)
         then fail "subwindow of step %d escapes the window" expected_index
-        else if
-          not
-            (Resource_set.equal
-               (Resource_set.restrict alloc.allocation alloc.subwindow)
-               alloc.allocation)
+        else if not (Resource_set.within alloc.allocation alloc.subwindow)
         then fail "allocation of step %d spills outside its subwindow" expected_index
         else
           let covered =
@@ -235,19 +229,31 @@ let order_parts order parts =
 
 let schedule_concurrent_uninstrumented ?(order = Order.Most_work_first) theta
     (conc : Requirement.concurrent) =
+  match conc.Requirement.parts with
+  | [ part ] -> (
+      (* One part — the dominant shape on the admission path (a
+         computation with a single program) — needs no ordering pass,
+         no residual threading, and no re-sort. *)
+      match schedule_sequential theta part with
+      | None -> None
+      | Some schedule -> Some [ schedule ])
+  | parts ->
   let rec place residual acc = function
     | [] -> Some acc
     | (i, part) :: rest -> (
         match schedule_sequential residual part with
         | None -> None
-        | Some schedule -> (
-            match Resource_set.diff residual schedule.reservation with
-            | Error _ ->
-                (* The reservation was carved out of [residual]. *)
-                assert false
-            | Ok residual -> place residual ((i, schedule) :: acc) rest))
+        | Some schedule ->
+            if rest = [] then Some ((i, schedule) :: acc)
+            else (
+              (* Later parts schedule on what this one left over. *)
+              match Resource_set.diff residual schedule.reservation with
+              | Error _ ->
+                  (* The reservation was carved out of [residual]. *)
+                  assert false
+              | Ok residual -> place residual ((i, schedule) :: acc) rest))
   in
-  match place theta [] (order_parts order conc.Requirement.parts) with
+  match place theta [] (order_parts order parts) with
   | None -> None
   | Some indexed ->
       (* Restore original part order. *)

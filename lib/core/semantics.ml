@@ -121,9 +121,14 @@ let forall_paths ?horizon ?budget state psi =
 
 module State_set = Set.Make (State)
 
+type completion =
+  | Completed of Path.t
+  | Impossible
+  | Budget_exhausted of { budget : int }
+
 let completion_path ?(budget = 200_000) (state : State.t) ~computation =
   match State.pending_of state ~computation with
-  | [] -> Some (Path.init state)
+  | [] -> Completed (Path.init state)
   | pendings ->
       let deadline =
         List.fold_left
@@ -144,8 +149,7 @@ let completion_path ?(budget = 200_000) (state : State.t) ~computation =
           let result =
             List.find_map
               (fun label ->
-                if !remaining <= 0 then
-                  failwith "Semantics.completion_path: budget exhausted";
+                if !remaining <= 0 then raise Out_of_budget;
                 decr remaining;
                 dfs (Path.extend path label))
               (Transition.labels tip)
@@ -153,7 +157,19 @@ let completion_path ?(budget = 200_000) (state : State.t) ~computation =
           if result = None then failed := State_set.add tip !failed;
           result
       in
-      dfs (Path.init state)
+      (* An exhausted budget is an inconclusive search, not a crash: the
+         caller decides whether "don't know" counts as infeasible. *)
+      (match dfs (Path.init state) with
+      | Some path -> Completed path
+      | None -> Impossible
+      | exception Out_of_budget -> Budget_exhausted { budget })
+
+let pp_completion ppf = function
+  | Completed path ->
+      Format.fprintf ppf "completed at %a" Time.pp (Path.tip path).State.now
+  | Impossible -> Format.pp_print_string ppf "impossible"
+  | Budget_exhausted { budget } ->
+      Format.fprintf ppf "budget exhausted after %d transitions" budget
 
 let pp_verdict ppf = function
   | Holds -> Format.pp_print_string ppf "holds"

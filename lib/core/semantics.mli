@@ -60,12 +60,23 @@ val witness :
     concrete system evolution backing a [Holds] verdict.  [None] covers
     both [Fails] and a blown budget; use {!exists_path} to distinguish. *)
 
+type completion =
+  | Completed of Path.t
+      (** A path along which the computation's pending requirements
+          drain before its deadline. *)
+  | Impossible  (** The exhaustive search proved no such path exists. *)
+  | Budget_exhausted of { budget : int }
+      (** The search hit its transition budget before reaching either
+          verdict — inconclusive, not a crash. *)
+
 val completion_path :
-  ?budget:int -> State.t -> computation:string -> Path.t option
+  ?budget:int -> State.t -> computation:string -> completion
 (** Theorem 3's witness on the transition tree: a path along which the
     named computation's pending requirements drain before its deadline.
-    Memoized on visited states; [None] when no such path exists within
-    the budget (the search is exact when the budget is not hit — it
-    raises [Failure] if it is). *)
+    Memoized on visited states; [Impossible] is exact (the budget was
+    not hit), [Budget_exhausted] reports an inconclusive search as a
+    structured outcome instead of raising. *)
+
+val pp_completion : Format.formatter -> completion -> unit
 
 val pp_verdict : Format.formatter -> verdict -> unit

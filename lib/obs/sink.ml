@@ -31,9 +31,15 @@ let jsonl ?(flush_every = 1) oc =
     close = (fun () -> unflushed := 0; flush oc);
   }
 
-let jsonl_file ?flush_every path =
-  let oc = open_out path in
-  let inner = jsonl ?flush_every oc in
+(* Crash safety for buffered sinks: if the process unwinds without
+   anyone calling [close] — an observer raised out of the engine, a
+   fatal error path, plain [exit] — the buffered tail would vanish
+   and leave a torn trace.  Flush (and close, releasing the fd) from
+   [at_exit]; the [closed] guard makes the handler a no-op after a
+   normal close, so the channel is never double-closed. *)
+let owning_file ~make path =
+  let oc = open_out_bin path in
+  let inner = make oc in
   let closed = ref false in
   let close () =
     if not !closed then begin
@@ -42,14 +48,35 @@ let jsonl_file ?flush_every path =
       close_out oc
     end
   in
-  (* Crash safety for buffered sinks: if the process unwinds without
-     anyone calling [close] — an observer raised out of the engine, a
-     fatal error path, plain [exit] — the buffered tail would vanish
-     and leave a torn trace.  Flush (and close, releasing the fd) from
-     [at_exit]; the [closed] guard makes the handler a no-op after a
-     normal close, so the channel is never double-closed. *)
   at_exit close;
   { inner with close }
+
+let jsonl_file ?flush_every path = owning_file ~make:(jsonl ?flush_every) path
+
+let binary ?(flush_every = 1) oc =
+  if flush_every < 1 then invalid_arg "Sink.binary: flush_every must be >= 1";
+  (* The header goes out (and is flushed) immediately, so the file
+     identifies itself as binary from the first write — a reader
+     sniffing the magic never sees a headerless prefix. *)
+  output_string oc Binary.header;
+  flush oc;
+  let unflushed = ref 0 in
+  let buf = Buffer.create 192 in
+  {
+    emit =
+      (fun e ->
+        Buffer.clear buf;
+        Binary.encode buf e;
+        Buffer.output_buffer oc buf;
+        incr unflushed;
+        if !unflushed >= flush_every then begin
+          unflushed := 0;
+          flush oc
+        end);
+    close = (fun () -> unflushed := 0; flush oc);
+  }
+
+let binary_file ?flush_every path = owning_file ~make:(binary ?flush_every) path
 
 let console ppf =
   {

@@ -32,6 +32,18 @@ val jsonl_file : ?flush_every:int -> string -> t
     raising out of a run, a fatal exit) the buffered tail reaches disk
     and the trace stays [rota trace validate]-clean. *)
 
+val binary : ?flush_every:int -> out_channel -> t
+(** The compact binary format ({!Binary}): writes the 5-byte header
+    immediately, then one length-prefixed record per event.  Flushing
+    and ownership semantics are exactly {!jsonl}'s.  Note that unlike
+    JSONL, a crash can cut a {e record} (not just a line): the readers
+    report the dangling tail as truncation and keep every record before
+    it. *)
+
+val binary_file : ?flush_every:int -> string -> t
+(** {!binary} over a file it opens (truncating) and owns, with the same
+    idempotent-[close]-plus-[at_exit] crash safety as {!jsonl_file}. *)
+
 val console : Format.formatter -> t
 (** Human-readable, one event per line via {!Events.pp}.  Span and
     metric-sample events are skipped — on a console they interleave

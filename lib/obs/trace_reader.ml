@@ -66,7 +66,43 @@ let parse_line ?strict ~f acc n line =
     | Ok e -> Ok (f acc e)
     | Error message -> Error { line = n; message }
 
+(* --- binary traces -------------------------------------------------------- *)
+
+(* The binary reader mirrors {!fold_file}'s contract with records in
+   place of lines: "line" numbers are 1-based record ordinals, a
+   crash-cut final record becomes the {!Truncated} tail (everything
+   before it still delivered), and a {e complete} record that fails to
+   decode is an error.  [strict] keeps its JSONL meaning — reject
+   unknown event kinds — which in the binary format arrive pre-parsed
+   as {!Events.Unknown} records rather than unrecognized kind strings. *)
+let fold_binary ?(strict = false) path ~init ~f =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error { line = 0; message = msg }
+  | ic -> (
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      match Binary.read_header ic with
+      | Error message -> Error { line = 0; message }
+      | Ok () ->
+          let rec loop acc n =
+            match Binary.read_item ic with
+            | Binary.Eof -> Ok (acc, Complete)
+            | Binary.Cut bytes -> Ok (acc, Truncated { line = n; bytes })
+            | Binary.Malformed message -> Error { line = n; message }
+            | Binary.Event e -> (
+                match e.Events.payload with
+                | Events.Unknown { kind; _ } when strict ->
+                    Error
+                      {
+                        line = n;
+                        message = Printf.sprintf "unknown event kind %S" kind;
+                      }
+                | _ -> loop (f acc e) (n + 1))
+          in
+          loop init 1)
+
 let fold_file ?strict path ~init ~f =
+  if Binary.file_is_binary path then fold_binary ?strict path ~init ~f
+  else
   match fold_raw path ~init ~f:(parse_line ?strict ~f) with
   | Error _ as e -> e
   | Ok (acc, None) -> Ok (acc, Complete)
@@ -100,17 +136,29 @@ module Follow = struct
   }
 
   let open_file ?strict path =
-    match open_in_bin path with
-    | exception Sys_error msg -> Error { line = 0; message = msg }
-    | ic ->
-        Ok
-          {
-            ic;
-            buf = Bytes.create 65536;
-            pending = Buffer.create 256;
-            line = 1;
-            strict;
-          }
+    (* Tailing splits on newlines, which a binary trace scatters
+       arbitrarily inside records — refuse up front with a pointer at
+       the converter rather than stream garbage. *)
+    if Binary.file_is_binary path then
+      Error
+        {
+          line = 0;
+          message =
+            "binary trace (ROTB magic): following is only supported for \
+             JSONL traces; convert with `rota trace convert`";
+        }
+    else
+      match open_in_bin path with
+      | exception Sys_error msg -> Error { line = 0; message = msg }
+      | ic ->
+          Ok
+            {
+              ic;
+              buf = Bytes.create 65536;
+              pending = Buffer.create 256;
+              line = 1;
+              strict;
+            }
 
   let close c = close_in_noerr c.ic
 
@@ -176,11 +224,17 @@ let validate_file ?(max_errors = 20) path =
             :: st.messages)
       fmt
   in
+  let is_binary = Binary.file_is_binary path in
+  (* Round-trip through whichever codec the file uses: re-serializing
+     and re-parsing must reproduce the event exactly (the codec's
+     contract). *)
+  let roundtrip =
+    if is_binary then Binary.roundtrip
+    else fun e -> Events.of_line ~strict:true (Events.to_line e)
+  in
   let check_event n (e : Events.t) =
     st.n_events <- st.n_events + 1;
-    (* Round-trip: re-serializing and re-parsing must reproduce the
-       event exactly (the codec's contract). *)
-    (match Events.of_line ~strict:true (Events.to_line e) with
+    (match roundtrip e with
     | Ok e' when e' = e -> ()
     | Ok _ -> report n "event does not round-trip through the codec"
     | Error msg -> report n "re-serialized event fails to parse: %s" msg);
@@ -216,18 +270,47 @@ let validate_file ?(max_errors = 20) path =
        | Error msg -> report n "%s" msg);
     Ok acc
   in
-  (match fold_raw path ~init:() ~f:check with
-  | Ok ((), None) -> ()
-  | Ok ((), Some (n, rest)) ->
-      (* Validation is a contract check: a crash-cut final line keeps
-         the prefix valid but is still flagged, mirroring {!fold_file}'s
-         parseable-fragment tolerance. *)
-      if String.trim rest <> "" then (
-        match Events.of_line ~strict:true rest with
-        | Ok e -> check_event n e
-        | Error _ ->
-            report n "truncated final line (%d bytes)" (String.length rest))
-  | Error e -> report e.line "%s" e.message);
+  (if is_binary then (
+     (* Unknown kinds surface as pre-parsed {!Events.Unknown} records
+        (the tag survives re-encoding, so they round-trip); they are
+        flagged like an unknown kind string in strict JSONL parsing.
+        A malformed complete record is corruption — record framing past
+        it cannot be trusted, so scanning stops there. *)
+     match open_in_bin path with
+     | exception Sys_error msg -> report 0 "%s" msg
+     | ic ->
+         Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+         (match Binary.read_header ic with
+         | Error msg -> report 0 "%s" msg
+         | Ok () ->
+             let rec loop n =
+               match Binary.read_item ic with
+               | Binary.Eof -> ()
+               | Binary.Cut bytes ->
+                   report n "truncated final record (%d bytes)" bytes
+               | Binary.Malformed msg -> report n "%s" msg
+               | Binary.Event e ->
+                   (match e.Events.payload with
+                   | Events.Unknown { kind; _ } ->
+                       report n "unknown event kind %S" kind
+                   | _ -> ());
+                   check_event n e;
+                   loop (n + 1)
+             in
+             loop 1))
+   else
+     match fold_raw path ~init:() ~f:check with
+     | Ok ((), None) -> ()
+     | Ok ((), Some (n, rest)) ->
+         (* Validation is a contract check: a crash-cut final line keeps
+            the prefix valid but is still flagged, mirroring
+            {!fold_file}'s parseable-fragment tolerance. *)
+         if String.trim rest <> "" then (
+           match Events.of_line ~strict:true rest with
+           | Ok e -> check_event n e
+           | Error _ ->
+               report n "truncated final line (%d bytes)" (String.length rest))
+     | Error e -> report e.line "%s" e.message);
   (* Parent spans are emitted after their children, so resolution runs
      once the whole file has been seen. *)
   List.iter

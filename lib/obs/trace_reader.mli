@@ -1,4 +1,4 @@
-(** Streaming JSONL trace reader and validator — the consume side of the
+(** Streaming trace reader and validator — the consume side of the
     telemetry layer.
 
     Traces are read a line at a time, so a multi-gigabyte trace never
@@ -7,7 +7,15 @@
     crash-interrupted trace (final line cut mid-write, no trailing
     newline) yields everything up to the cut plus a structured
     {!Truncated} note rather than a parse error.  {!Follow} tails a
-    trace that is still being written. *)
+    trace that is still being written.
+
+    Both wire formats are accepted transparently: a file starting with
+    the {!Binary.magic} bytes is read through the binary codec, with
+    1-based {e record} ordinals standing in for line numbers and a
+    crash-cut final record reported as the {!Truncated} tail, exactly
+    like a JSONL line missing its newline.  Only {!Follow} is
+    JSONL-only (tailing splits on newlines); it refuses binary files
+    with a pointer at [rota trace convert]. *)
 
 type error = { line : int; message : string }
 (** [line] is 1-based; 0 means the file itself could not be opened. *)
@@ -50,7 +58,8 @@ module Follow : sig
 
   val open_file : ?strict:bool -> string -> (cursor, error) result
   (** Open [path] for tailing, positioned at the start.  [strict] as in
-      {!fold_file}. *)
+      {!fold_file}.  A binary trace is refused cleanly (an [error]
+      naming the format), never streamed as garbage. *)
 
   val poll : cursor -> (Events.t list, error) result
   (** Every event whose line has been {e completed} (newline written)
@@ -71,7 +80,9 @@ end
 
     The trace contract, checked by [rota trace validate]:
     every line parses strictly (no unknown kinds) and round-trips
-    through the codec; [seq] is strictly increasing across the file;
+    through the codec — the {e same} codec the file was written with,
+    so a binary trace is checked against the binary round-trip; [seq]
+    is strictly increasing across the file;
     within each run the non-span simulated times are nondecreasing;
     nonzero span ids are unique and every span's [parent] id resolves
     to a span in the file.  A truncated final line is reported as a

@@ -2,298 +2,435 @@ open Import
 
 type segment = { interval : Interval.t; rate : int }
 
-(* Invariant: segments sorted by start, pairwise disjoint, rates >= 1, and
-   no segment meets the next with the same rate (canonical form). *)
-type t = segment list
+(* Flat slab representation: a profile is one int array of
+   (start, stop, rate) triples, sorted by start, pairwise disjoint,
+   rates >= 1, and no segment meeting the next with the same rate
+   (canonical form).  The slab layout keeps the decide/residual hot
+   path walking contiguous memory instead of chasing list cells, and
+   every binary operation is a single left-to-right merge — no
+   boundary lists, no closures, no sort. *)
+type t = int array
 
 type deficit = { at : Time.t; available : int; required : int }
 
-let empty = []
-let is_empty p = p = []
-let segments p = p
+let empty = [||]
+let is_empty p = Array.length p = 0
 
-(* Rebuild canonical form from a list of (boundary-disjoint) rate
-   rectangles: merge consecutive segments that meet with equal rates and
-   drop zero rates. *)
-let coalesce pieces =
-  let step acc piece =
-    match acc with
-    | prev :: rest
-      when prev.rate = piece.rate
-           && Interval.stop prev.interval = Interval.start piece.interval ->
-        { prev with interval = Interval.hull prev.interval piece.interval }
-        :: rest
-    | _ -> piece :: acc
+let nseg p = Array.length p / 3
+let seg_start (p : t) i = Array.unsafe_get p (3 * i)
+let seg_stop (p : t) i = Array.unsafe_get p ((3 * i) + 1)
+let seg_rate (p : t) i = Array.unsafe_get p ((3 * i) + 2)
+
+let segments p =
+  List.init (nseg p) (fun i ->
+      {
+        interval = Interval.of_pair (seg_start p i) (seg_stop p i);
+        rate = seg_rate p i;
+      })
+
+(* --- scratch arena -------------------------------------------------------- *)
+
+(* Merges build their result here and copy the exact-size slab out at
+   the end, so the transient worst-case-sized buffer is allocated once
+   and reused across every operation instead of churning the minor heap
+   on each decide.  Nothing recursive runs while the arena is being
+   written: an operation finishes (copies out) before any other profile
+   operation can start. *)
+let scratch = ref (Array.make 192 0)
+
+let scratch_ensure n =
+  if Array.length !scratch < n then
+    scratch := Array.make (max n (2 * Array.length !scratch)) 0;
+  !scratch
+
+let scratch_copy out k = if k = 0 then empty else Array.sub out 0 k
+
+(* --- canonical construction ---------------------------------------------- *)
+
+exception Deficit_exn of deficit
+
+(* Walk the merged boundaries of [p] and [q] left to right, applying
+   [op slice_start rate_p rate_q] on every elementary slice and
+   coalescing equal-rate neighbours as they are emitted.  [op] must
+   send (0, 0) to 0 and may raise to abort (dominance and deficit
+   checks pay no allocation at all that way). *)
+let sweep2 op (p : t) (q : t) =
+  let np = nseg p and nq = nseg q in
+  let out = scratch_ensure (6 * (np + nq)) in
+  let k = ref 0 in
+  let run_start = ref 0 and run_rate = ref 0 in
+  let ip = ref 0 and inside_p = ref false in
+  let iq = ref 0 and inside_q = ref false in
+  let next_p () =
+    if !ip >= np then max_int
+    else if !inside_p then seg_stop p !ip
+    else seg_start p !ip
+  and next_q () =
+    if !iq >= nq then max_int
+    else if !inside_q then seg_stop q !iq
+    else seg_start q !iq
   in
-  List.rev (List.fold_left step [] pieces)
+  let rec go () =
+    let t = min (next_p ()) (next_q ()) in
+    if t <> max_int then begin
+      (* A boundary can close one segment and open the next in the same
+         tick (canonical profiles may meet with different rates). *)
+      if !ip < np then begin
+        if !inside_p && seg_stop p !ip = t then begin
+          inside_p := false;
+          incr ip
+        end;
+        if (not !inside_p) && !ip < np && seg_start p !ip = t then
+          inside_p := true
+      end;
+      if !iq < nq then begin
+        if !inside_q && seg_stop q !iq = t then begin
+          inside_q := false;
+          incr iq
+        end;
+        if (not !inside_q) && !iq < nq && seg_start q !iq = t then
+          inside_q := true
+      end;
+      let rp = if !inside_p then seg_rate p !ip else 0
+      and rq = if !inside_q then seg_rate q !iq else 0 in
+      let r = op t rp rq in
+      if r <> !run_rate then begin
+        if !run_rate > 0 then begin
+          out.(!k) <- !run_start;
+          out.(!k + 1) <- t;
+          out.(!k + 2) <- !run_rate;
+          k := !k + 3
+        end;
+        run_start := t;
+        run_rate := r
+      end;
+      go ()
+    end
+  in
+  go ();
+  scratch_copy out !k
 
-(* Evaluate the pointwise sum of arbitrary rectangles by slicing time at
-   every rectangle boundary and summing rates on each elementary slice. *)
+(* Sum arbitrary (possibly overlapping) rate rectangles by sweeping
+   their edges in time order and emitting a segment whenever the
+   accumulated rate changes. *)
 let of_rectangles rects =
   List.iter
     (fun (_, r) ->
       if r < 0 then invalid_arg "Profile: negative rate rectangle")
     rects;
-  let rects = List.filter (fun (_, r) -> r > 0) rects in
-  let boundaries =
-    List.concat_map (fun (i, _) -> [ Interval.start i; Interval.stop i ]) rects
-    |> List.sort_uniq Time.compare
-  in
-  let rec slices = function
-    | a :: (b :: _ as rest) -> Interval.of_pair a b :: slices rest
-    | [ _ ] | [] -> []
-  in
-  let rate_on slice =
-    List.fold_left
-      (fun acc (i, r) -> if Interval.subset slice i then acc + r else acc)
-      0 rects
-  in
-  slices boundaries
-  |> List.filter_map (fun slice ->
-         let rate = rate_on slice in
-         if rate > 0 then Some { interval = slice; rate } else None)
-  |> coalesce
+  match List.filter (fun (_, r) -> r > 0) rects with
+  | [] -> empty
+  | [ (i, r) ] -> [| Interval.start i; Interval.stop i; r |]
+  | rects ->
+      let n = List.length rects in
+      let times = Array.make (2 * n) 0 and deltas = Array.make (2 * n) 0 in
+      List.iteri
+        (fun j (i, r) ->
+          times.(2 * j) <- Interval.start i;
+          deltas.(2 * j) <- r;
+          times.((2 * j) + 1) <- Interval.stop i;
+          deltas.((2 * j) + 1) <- -r)
+        rects;
+      let order = Array.init (2 * n) Fun.id in
+      Array.sort (fun a b -> Int.compare times.(a) times.(b)) order;
+      let out = scratch_ensure (6 * n) in
+      let k = ref 0 in
+      let run_start = ref 0 and run_rate = ref 0 in
+      let cur = ref 0 in
+      let m = 2 * n in
+      let j = ref 0 in
+      while !j < m do
+        let t = times.(order.(!j)) in
+        while !j < m && times.(order.(!j)) = t do
+          cur := !cur + deltas.(order.(!j));
+          incr j
+        done;
+        if !cur <> !run_rate then begin
+          if !run_rate > 0 then begin
+            out.(!k) <- !run_start;
+            out.(!k + 1) <- t;
+            out.(!k + 2) <- !run_rate;
+            k := !k + 3
+          end;
+          run_start := t;
+          run_rate := !cur
+        end
+      done;
+      scratch_copy out !k
 
 let constant i r =
   if r < 0 then invalid_arg "Profile.constant: negative rate"
   else if r = 0 then empty
-  else [ { interval = i; rate = r } ]
+  else [| Interval.start i; Interval.stop i; r |]
 
 let of_segments l = of_rectangles l
 
 let rate_at p t =
-  let covering s = Interval.mem t s.interval in
-  match List.find_opt covering p with Some s -> s.rate | None -> 0
-
-let to_rectangles p = List.map (fun s -> (s.interval, s.rate)) p
+  (* Binary search for the last segment starting at or before [t]. *)
+  let n = nseg p in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if seg_start p mid <= t then lo := mid + 1 else hi := mid
+  done;
+  let i = !lo - 1 in
+  if i >= 0 && t < seg_stop p i then seg_rate p i else 0
 
 let m_add = Rota_obs.Metrics.counter "profile/add"
 let m_add_s = Rota_obs.Metrics.histogram "profile/add_s"
 
+let add_raw p q =
+  if is_empty p then q
+  else if is_empty q then p
+  else sweep2 (fun _ rp rq -> rp + rq) p q
+
 let add p q =
   if Rota_obs.Metrics.enabled () then begin
     Rota_obs.Metrics.incr m_add;
-    Rota_obs.Metrics.time m_add_s (fun () ->
-        of_rectangles (to_rectangles p @ to_rectangles q))
+    Rota_obs.Metrics.time m_add_s (fun () -> add_raw p q)
   end
-  else of_rectangles (to_rectangles p @ to_rectangles q)
+  else add_raw p q
 
-(* Pointwise difference via boundary slicing; fails on the earliest tick
-   where q exceeds p. *)
+(* Pointwise difference; fails on the earliest tick where q exceeds p. *)
 let sub p q =
-  let boundaries =
-    List.concat_map
-      (fun s -> [ Interval.start s.interval; Interval.stop s.interval ])
-      (p @ q)
-    |> List.sort_uniq Time.compare
-  in
-  let rec slices = function
-    | a :: (b :: _ as rest) -> Interval.of_pair a b :: slices rest
-    | [ _ ] | [] -> []
-  in
-  let exception Deficit of deficit in
-  let piece slice =
-    let t = Interval.start slice in
-    let have = rate_at p t and need = rate_at q t in
-    if have < need then
-      raise (Deficit { at = t; available = have; required = need })
-    else if have > need then
-      Some { interval = slice; rate = have - need }
-    else None
-  in
-  match List.filter_map piece (slices boundaries) with
-  | pieces -> Ok (coalesce pieces)
-  | exception Deficit d -> Error d
+  if is_empty q then Ok p
+  else
+    match
+      sweep2
+        (fun t rp rq ->
+          if rp < rq then
+            raise (Deficit_exn { at = t; available = rp; required = rq })
+          else rp - rq)
+        p q
+    with
+    | r -> Ok r
+    | exception Deficit_exn d -> Error d
 
-let dominates p q = Result.is_ok (sub p q)
+let dominates p q =
+  is_empty q
+  ||
+  match
+    sweep2 (fun _ rp rq -> if rp < rq then raise Exit else 0) p q
+  with
+  | _ -> true
+  | exception Exit -> false
 
 (* Pointwise max(p - q, 0): the part of [p] that survives losing [q].
-   Same boundary slicing as [sub], but a deficit clamps to zero instead
-   of failing — the caller is modelling capacity being ripped away, not
-   checking a reservation. *)
+   A deficit clamps to zero instead of failing — the caller is
+   modelling capacity being ripped away, not checking a reservation. *)
 let sub_clamped p q =
-  let boundaries =
-    List.concat_map
-      (fun s -> [ Interval.start s.interval; Interval.stop s.interval ])
-      (p @ q)
-    |> List.sort_uniq Time.compare
-  in
-  let rec slices = function
-    | a :: (b :: _ as rest) -> Interval.of_pair a b :: slices rest
-    | [ _ ] | [] -> []
-  in
-  let piece slice =
-    let t = Interval.start slice in
-    let rate = rate_at p t - rate_at q t in
-    if rate > 0 then Some { interval = slice; rate } else None
-  in
-  coalesce (List.filter_map piece (slices boundaries))
+  if is_empty q then p
+  else sweep2 (fun _ rp rq -> if rp > rq then rp - rq else 0) p q
 
 (* Pointwise min — the part of [p] that [q] also covers. *)
 let meet p q =
-  let boundaries =
-    List.concat_map
-      (fun s -> [ Interval.start s.interval; Interval.stop s.interval ])
-      (p @ q)
-    |> List.sort_uniq Time.compare
-  in
-  let rec slices = function
-    | a :: (b :: _ as rest) -> Interval.of_pair a b :: slices rest
-    | [ _ ] | [] -> []
-  in
-  let piece slice =
-    let t = Interval.start slice in
-    let rate = min (rate_at p t) (rate_at q t) in
-    if rate > 0 then Some { interval = slice; rate } else None
-  in
-  coalesce (List.filter_map piece (slices boundaries))
+  if is_empty p || is_empty q then empty
+  else sweep2 (fun _ rp rq -> if rp < rq then rp else rq) p q
 
 let integrate p w =
-  let contribution s =
-    match Interval.inter s.interval w with
-    | Some overlap -> s.rate * Interval.duration overlap
-    | None -> 0
-  in
-  List.fold_left (fun acc s -> acc + contribution s) 0 p
+  let ws = Interval.start w and we = Interval.stop w in
+  let n = nseg p in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let lo = max ws (seg_start p i) and hi = min we (seg_stop p i) in
+    if hi > lo then acc := !acc + (seg_rate p i * (hi - lo))
+  done;
+  !acc
 
 let total p =
-  List.fold_left (fun acc s -> acc + (s.rate * Interval.duration s.interval)) 0 p
+  let n = nseg p in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + (seg_rate p i * (seg_stop p i - seg_start p i))
+  done;
+  !acc
 
 let min_rate p w =
   (* The window must be fully covered, otherwise some tick has rate 0. *)
-  let covered =
-    Interval_set.subset
-      (Interval_set.of_interval w)
-      (Interval_set.of_list (List.map (fun s -> s.interval) p))
+  let we = Interval.stop w in
+  let n = nseg p in
+  let rec go i t m =
+    if t >= we then m
+    else if i >= n then 0
+    else
+      let s = seg_start p i and e = seg_stop p i in
+      if e <= t then go (i + 1) t m
+      else if s > t then 0
+      else go (i + 1) e (min m (seg_rate p i))
   in
-  if not covered then 0
-  else
-    List.fold_left
-      (fun acc s ->
-        if Interval.overlaps s.interval w then min acc s.rate else acc)
-      max_int p
+  go 0 (Interval.start w) max_int
 
-let max_rate p = List.fold_left (fun acc s -> max acc s.rate) 0 p
-let support p = Interval_set.of_list (List.map (fun s -> s.interval) p)
+let max_rate p =
+  let n = nseg p in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if seg_rate p i > !acc then acc := seg_rate p i
+  done;
+  !acc
+
+let support p =
+  Interval_set.of_list
+    (List.init (nseg p) (fun i ->
+         Interval.of_pair (seg_start p i) (seg_stop p i)))
 
 let restrict p w =
-  List.filter_map
-    (fun s ->
-      match Interval.inter s.interval w with
-      | Some i -> Some { s with interval = i }
-      | None -> None)
-    p
+  let ws = Interval.start w and we = Interval.stop w in
+  let n = nseg p in
+  let out = scratch_ensure (3 * n) in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    let lo = max ws (seg_start p i) and hi = min we (seg_stop p i) in
+    if hi > lo then begin
+      out.(!k) <- lo;
+      out.(!k + 1) <- hi;
+      out.(!k + 2) <- seg_rate p i;
+      k := !k + 3
+    end
+  done;
+  scratch_copy out !k
 
 let truncate_before p t =
-  List.filter_map
-    (fun s ->
-      match Interval.make ~start:(Time.max t (Interval.start s.interval))
-              ~stop:(Interval.stop s.interval)
-      with
-      | Some i -> Some { s with interval = i }
-      | None -> None)
-    p
+  let n = nseg p in
+  let out = scratch_ensure (3 * n) in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    let lo = max t (seg_start p i) and hi = seg_stop p i in
+    if hi > lo then begin
+      out.(!k) <- lo;
+      out.(!k + 1) <- hi;
+      out.(!k + 2) <- seg_rate p i;
+      k := !k + 3
+    end
+  done;
+  (* The common advance case expires nothing: hand back the same slab. *)
+  if !k = Array.length p && (n = 0 || out.(0) = seg_start p 0) then p
+  else scratch_copy out !k
 
-let shift p d = List.map (fun s -> { s with interval = Interval.shift s.interval d }) p
+let within p w =
+  is_empty p
+  || (seg_start p 0 >= Interval.start w
+     && seg_stop p (nseg p - 1) <= Interval.stop w)
 
-let first = function [] -> None | s :: _ -> Some (Interval.start s.interval)
+let shift p d =
+  Array.init (Array.length p) (fun idx ->
+      if idx mod 3 = 2 then p.(idx) else p.(idx) + d)
+
+let first p = if is_empty p then None else Some (seg_start p 0)
 
 let last p =
-  match List.rev p with
-  | [] -> None
-  | s :: _ -> Some (Time.pred (Interval.stop s.interval))
+  if is_empty p then None else Some (Time.pred (seg_stop p (nseg p - 1)))
 
-let horizon p =
-  match List.rev p with [] -> None | s :: _ -> Some (Interval.stop s.interval)
+let horizon p = if is_empty p then None else Some (seg_stop p (nseg p - 1))
 
 let completion_time p ~window ~quantity =
   if quantity <= 0 then Some (Interval.start window)
   else
-    let rec scan todo = function
-      | [] -> None
-      | s :: rest -> (
-          match Interval.inter s.interval window with
-          | None -> scan todo rest
-          | Some overlap ->
-              let supply = s.rate * Interval.duration overlap in
-              if supply >= todo then
-                (* Finishes inside [overlap]: ceil(todo / rate) ticks in. *)
-                let ticks = (todo + s.rate - 1) / s.rate in
-                Some (Time.add (Interval.start overlap) ticks)
-              else scan (todo - supply) rest)
+    let ws = Interval.start window and we = Interval.stop window in
+    let n = nseg p in
+    let rec scan todo i =
+      if i >= n then None
+      else
+        let lo = max ws (seg_start p i) and hi = min we (seg_stop p i) in
+        if hi <= lo then scan todo (i + 1)
+        else
+          let r = seg_rate p i in
+          let supply = r * (hi - lo) in
+          if supply >= todo then
+            (* Finishes inside the overlap: ceil(todo / rate) ticks in. *)
+            Some (lo + ((todo + r - 1) / r))
+          else scan (todo - supply) (i + 1)
     in
-    scan quantity p
+    scan quantity 0
 
 let consume p ~window ~quantity =
   if quantity < 0 then invalid_arg "Profile.consume: negative quantity"
   else if quantity = 0 then Some (p, empty)
   else
-    (* Walk available capacity inside the window earliest-first, taking the
-       full rate of each tick until the last tick takes the remainder. *)
-    let rec take todo acc = function
-      | [] -> None
-      | s :: rest -> (
-          match Interval.inter s.interval window with
-          | None -> take todo acc rest
-          | Some overlap ->
-              let supply = s.rate * Interval.duration overlap in
-              if supply <= todo then
-                let acc = (overlap, s.rate) :: acc in
-                if supply = todo then Some acc else take (todo - supply) acc rest
-              else
-                let full_ticks = todo / s.rate and remainder = todo mod s.rate in
-                let start = Interval.start overlap in
-                let acc =
-                  if full_ticks > 0 then
-                    (Interval.of_pair start (Time.add start full_ticks), s.rate)
-                    :: acc
-                  else acc
-                in
-                let acc =
-                  if remainder > 0 then
-                    let t = Time.add start full_ticks in
-                    (Interval.of_pair t (Time.succ t), remainder) :: acc
-                  else acc
-                in
-                Some acc)
+    (* Walk available capacity inside the window earliest-first, taking
+       the full rate of each tick until the last tick takes the
+       remainder.  The pieces come out sorted, disjoint, and
+       rate-distinct where they meet, so the allocation slab is already
+       canonical. *)
+    let ws = Interval.start window and we = Interval.stop window in
+    let n = nseg p in
+    let out = scratch_ensure (3 * (n + 1)) in
+    let k = ref 0 in
+    let piece lo hi r =
+      (* A remainder piece can meet the previous full-rate piece with
+         the same rate (todo mod r' = r) — extend instead of appending
+         so the allocation slab stays canonical. *)
+      if !k > 0 && out.(!k - 2) = lo && out.(!k - 1) = r then
+        out.(!k - 2) <- hi
+      else begin
+        out.(!k) <- lo;
+        out.(!k + 1) <- hi;
+        out.(!k + 2) <- r;
+        k := !k + 3
+      end
     in
-    match take quantity [] p with
-    | None -> None
-    | Some rects ->
-        let allocation = of_rectangles rects in
-        let remaining =
-          match sub p allocation with
-          | Ok r -> r
-          | Error _ ->
-              (* The allocation was carved out of [p], so subtraction cannot
-                 fail. *)
-              assert false
-        in
-        Some (remaining, allocation)
+    let rec take todo i =
+      if i >= n then false
+      else
+        let lo = max ws (seg_start p i) and hi = min we (seg_stop p i) in
+        if hi <= lo then take todo (i + 1)
+        else
+          let r = seg_rate p i in
+          let supply = r * (hi - lo) in
+          if supply <= todo then begin
+            piece lo hi r;
+            supply = todo || take (todo - supply) (i + 1)
+          end
+          else begin
+            let full = todo / r and rem = todo mod r in
+            if full > 0 then piece lo (lo + full) r;
+            if rem > 0 then piece (lo + full) (lo + full + 1) rem;
+            true
+          end
+    in
+    if not (take quantity 0) then None
+    else
+      let allocation = scratch_copy out !k in
+      match sub p allocation with
+      | Ok remaining -> Some (remaining, allocation)
+      | Error _ ->
+          (* The allocation was carved out of [p], so subtraction cannot
+             fail. *)
+          assert false
 
 let of_terms terms =
   of_rectangles (List.map (fun t -> (Term.interval t, Term.rate t)) terms)
 
 let to_terms ~ltype p =
-  List.map (fun s -> Term.v s.rate s.interval ltype) p
+  List.init (nseg p) (fun i ->
+      Term.v (seg_rate p i)
+        (Interval.of_pair (seg_start p i) (seg_stop p i))
+        ltype)
 
-let compare_segment a b =
-  match Interval.compare a.interval b.interval with
-  | 0 -> Int.compare a.rate b.rate
-  | c -> c
+(* Triple order (start, stop, rate) in slab layout order is exactly the
+   old per-segment (interval, rate) lexicographic order, with a shorter
+   prefix ordering first. *)
+let compare (p : t) (q : t) =
+  let np = Array.length p and nq = Array.length q in
+  let rec go i =
+    if i >= np || i >= nq then Int.compare np nq
+    else
+      let c = Int.compare p.(i) q.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
 
-let compare p q = List.compare compare_segment p q
-let equal p q = compare p q = 0
+let equal p q = p == q || compare p q = 0
 
-let pp ppf = function
+let pp ppf p =
+  match segments p with
   | [] -> Format.pp_print_string ppf "0"
-  | p ->
+  | segs ->
       let pp_segment ppf s =
         Format.fprintf ppf "%d@%a" s.rate Interval.pp s.interval
       in
       Format.pp_print_list
         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
-        pp_segment ppf p
+        pp_segment ppf segs
 
 let pp_deficit ppf d =
   Format.fprintf ppf "deficit at %a: available %d, required %d" Time.pp d.at

@@ -7,8 +7,9 @@ open Import
     keeps the remaining sub-intervals separate.  Iterating that rule over
     any multiset of same-type terms yields a canonical {b step function}
     from time to availability rate, which is what this module represents: a
-    sorted list of disjoint segments, each an interval with a positive
-    rate, with no two adjacent segments of equal rate (those coalesce — the
+    sorted sequence of disjoint segments (stored flat, as an int-array
+    slab), each an interval with a positive rate, with no two adjacent
+    segments of equal rate (those coalesce — the
     paper's "resource terms can reduce in number if two identical located
     type resources with identical rates have time intervals that meet").
 
@@ -90,6 +91,10 @@ val support : t -> Interval_set.t
 
 val restrict : t -> Interval.t -> t
 (** Zeroes the profile outside the window. *)
+
+val within : t -> Interval.t -> bool
+(** [within p w] iff the profile's support lies inside [w] — equivalent
+    to [equal (restrict p w) p] without building the restriction. *)
 
 val truncate_before : t -> Time.t -> t
 (** [truncate_before p t] zeroes the profile strictly before tick [t] —

@@ -12,7 +12,7 @@ type complex = { steps : step list; window : Interval.t }
 type concurrent = { parts : complex list; window : Interval.t }
 
 (* Sum duplicate types, drop zeros, sort by type. *)
-let normalize_amounts amounts =
+let normalize_amounts_general amounts =
   let module M = Map.Make (Located_type) in
   let totals =
     List.fold_left
@@ -30,6 +30,18 @@ let normalize_amounts amounts =
       if quantity > 0 then { ltype; quantity } :: acc else acc)
     totals []
   |> List.rev
+
+let normalize_amounts amounts =
+  match amounts with
+  | [] -> []
+  | [ a ] ->
+      (* Most steps carry one amount (phi emits singletons for every
+         non-migrate action, and merging coalesces runs) — skip the
+         aggregation map. *)
+      if a.quantity < 0 then invalid_arg "Requirement: negative quantity"
+      else if a.quantity = 0 then []
+      else amounts
+  | _ -> normalize_amounts_general amounts
 
 let make_simple ~amounts ~window = { amounts = normalize_amounts amounts; window }
 

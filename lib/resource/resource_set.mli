@@ -27,6 +27,11 @@ val to_terms : t -> Term.t list
 
 val add_term : Term.t -> t -> t
 
+val add_profile : Located_type.t -> Profile.t -> t -> t
+(** [add_profile xi p set] adds [p] pointwise to the availability of
+    [xi] — the union of a single-type slice without going through an
+    intermediate term list. *)
+
 val singleton : Term.t -> t
 
 val union : t -> t -> t
@@ -70,6 +75,11 @@ val integrate : t -> Located_type.t -> Interval.t -> int
 
 val restrict : t -> Interval.t -> t
 (** Drops availability outside the window. *)
+
+val within : t -> Interval.t -> bool
+(** [within set w] iff every profile's support lies inside [w] —
+    equivalent to [equal (restrict set w) set] without building the
+    restriction. *)
 
 val truncate_before : t -> Time.t -> t
 (** Expires all availability strictly before the given tick: how [Theta]

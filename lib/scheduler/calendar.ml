@@ -82,32 +82,40 @@ let create capacity =
   }
 
 let capacity c = c.capacity
-let entries c = List.map snd (Id_map.bindings c.entries)
+let entries c = Id_map.fold (fun _ e acc -> e :: acc) c.entries [] |> List.rev
 let size c = Id_map.cardinal c.entries
 let committed c = c.committed
 let residual c = c.residual
 
 (* --- ledger operations ---------------------------------------------------- *)
 
+exception Already_committed
+
 let commit c entry =
-  if Id_map.mem entry.computation c.entries then
-    Error (Printf.sprintf "calendar: %s already committed" entry.computation)
-  else
-    match Resource_set.diff c.residual entry.reservation with
-    | Error _ ->
-        Error
-          (Printf.sprintf
-             "calendar: reservation for %s exceeds the residual capacity"
-             entry.computation)
-    | Ok residual ->
-        Ok
-          (debug_check
-             {
-               c with
-               entries = Id_map.add entry.computation entry c.entries;
-               committed = Resource_set.union c.committed entry.reservation;
-               residual;
-             })
+  match
+    (* One map traversal does both the duplicate check and the insert. *)
+    Id_map.update entry.computation
+      (function None -> Some entry | Some _ -> raise Already_committed)
+      c.entries
+  with
+  | exception Already_committed ->
+      Error (Printf.sprintf "calendar: %s already committed" entry.computation)
+  | entries -> (
+      match Resource_set.diff c.residual entry.reservation with
+      | Error _ ->
+          Error
+            (Printf.sprintf
+               "calendar: reservation for %s exceeds the residual capacity"
+               entry.computation)
+      | Ok residual ->
+          Ok
+            (debug_check
+               {
+                 c with
+                 entries;
+                 committed = Resource_set.union c.committed entry.reservation;
+                 residual;
+               }))
 
 let release c ~computation =
   match Id_map.find_opt computation c.entries with

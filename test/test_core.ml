@@ -604,8 +604,9 @@ let test_completion_path () =
          [ (a1, [ [ amount cpu1 4 ] ]) ])
   in
   (match Semantics.completion_path s ~computation:"c" with
-  | None -> Alcotest.fail "drainable in 10 ticks"
-  | Some path ->
+  | Semantics.Impossible | Semantics.Budget_exhausted _ ->
+      Alcotest.fail "drainable in 10 ticks"
+  | Semantics.Completed path ->
       Alcotest.(check bool) "tip drained" true
         (State.pending_of (Path.tip path) ~computation:"c" = []);
       Alcotest.(check bool) "within deadline" true
@@ -617,9 +618,24 @@ let test_completion_path () =
       (State.accommodate_parts s2 ~id:"c" ~window:(iv 0 3)
          [ (a1, [ [ amount cpu1 4 ] ]) ])
   in
-  match Semantics.completion_path s2 ~computation:"c" with
-  | None -> ()
-  | Some _ -> Alcotest.fail "4 units in 3 unit ticks cannot drain"
+  (match Semantics.completion_path s2 ~computation:"c" with
+  | Semantics.Impossible -> ()
+  | Semantics.Completed _ ->
+      Alcotest.fail "4 units in 3 unit ticks cannot drain"
+  | Semantics.Budget_exhausted _ ->
+      Alcotest.fail "tiny instance should not exhaust the default budget");
+  (* A starved budget must surface as a structured outcome, not raise. *)
+  let s3 = State.make ~available:(rset [ Term.v 1 (iv 0 10) cpu1 ]) ~now:0 in
+  let s3 =
+    Result.get_ok
+      (State.accommodate_parts s3 ~id:"c" ~window:(iv 0 10)
+         [ (a1, [ [ amount cpu1 4 ] ]) ])
+  in
+  match Semantics.completion_path ~budget:1 s3 ~computation:"c" with
+  | Semantics.Budget_exhausted { budget } ->
+      Alcotest.(check int) "reports the starved budget" 1 budget
+  | Semantics.Completed _ | Semantics.Impossible ->
+      Alcotest.fail "budget 1 cannot finish a 4-unit drain"
 
 (* Cross-validation of Theorem 3: the profile-based scheduler and the
    transition-tree search agree on unit-rate single-actor scenarios. *)
@@ -666,7 +682,9 @@ let prop_thm3_lts_agrees =
              [ (a1, steps) ])
       in
       let lts_says =
-        Option.is_some (Semantics.completion_path s0 ~computation:"c")
+        match Semantics.completion_path s0 ~computation:"c" with
+        | Semantics.Completed _ -> true
+        | Semantics.Impossible | Semantics.Budget_exhausted _ -> false
       in
       scheduler_says = lts_says)
 

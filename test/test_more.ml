@@ -165,10 +165,11 @@ let test_completion_path_multi_actor () =
          [ (a1, [ [ amount cpu1 3 ] ]); (a2, [ [ amount cpu2 3 ] ]) ])
   in
   match Semantics.completion_path s ~computation:"c" with
-  | Some path ->
+  | Semantics.Completed path ->
       Alcotest.(check bool) "drained" true
         (State.pending_of (Path.tip path) ~computation:"c" = [])
-  | None -> Alcotest.fail "drainable"
+  | Semantics.Impossible | Semantics.Budget_exhausted _ ->
+      Alcotest.fail "drainable"
 
 (* --- Engine dispatch ablations --------------------------------------------- *)
 
