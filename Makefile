@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-gate trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke check fmt clean
+.PHONY: all build test bench bench-smoke bench-gate trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke serve-smoke check fmt clean
 
 all: build
 
@@ -20,7 +20,7 @@ bench:
 # on every push.  The machine-readable snapshot lands in BENCH_0.json
 # (schema rota-bench-1); the committed copy is the repo's perf baseline.
 bench-smoke:
-	dune exec bench/main.exe -- scheduler/admission-scale --json BENCH_0.json
+	dune exec bench/main.exe -- scheduler/admission-scale server/decide-rtt --json BENCH_0.json
 
 # Perf-regression gate: re-measure the admission-scale group with the
 # committed baseline's quota (1.5 s per row — enough samples for the
@@ -37,27 +37,29 @@ bench-smoke:
 # After a deliberate perf change, refresh the baseline in the same
 # commit with the same estimator:
 #   for i in 1 2 3; do dune exec bench/main.exe -- \
-#     scheduler/admission-scale --quota 1.5 --json /tmp/b$$i.json; done
+#     scheduler/admission-scale server/decide-rtt --quota 1.5 \
+#     --json /tmp/b$$i.json; done
 #   dune exec bench/gate.exe -- --merge /tmp/b1.json /tmp/b2.json \
 #     /tmp/b3.json > BENCH_1.json
 # A failing first verdict gets one escalation — two more runs, gate on
 # the best of all four — before the build fails: the minimum over four
 # runs is inside the noise floor unless the code really regressed.
+BENCH_GATE_GROUPS = scheduler/admission-scale server/decide-rtt
 bench-gate: build
 	@t1=$$(mktemp /tmp/rota-bench-gate.XXXXXX.json); \
 	t2=$$(mktemp /tmp/rota-bench-gate.XXXXXX.json); \
 	t3=$$(mktemp /tmp/rota-bench-gate.XXXXXX.json); \
 	t4=$$(mktemp /tmp/rota-bench-gate.XXXXXX.json); \
 	trap 'rm -f "$$t1" "$$t2" "$$t3" "$$t4"' EXIT; \
-	dune exec bench/main.exe -- scheduler/admission-scale --quota 1.5 \
+	dune exec bench/main.exe -- $(BENCH_GATE_GROUPS) --quota 1.5 \
 	  --json "$$t1" >/dev/null && \
-	dune exec bench/main.exe -- scheduler/admission-scale --quota 1.5 \
+	dune exec bench/main.exe -- $(BENCH_GATE_GROUPS) --quota 1.5 \
 	  --json "$$t2" >/dev/null || exit 1; \
 	if dune exec bench/gate.exe -- BENCH_1.json "$$t1" "$$t2"; then :; else \
 	  echo "bench-gate: verdict FAIL on two runs; escalating to four"; \
-	  dune exec bench/main.exe -- scheduler/admission-scale --quota 1.5 \
+	  dune exec bench/main.exe -- $(BENCH_GATE_GROUPS) --quota 1.5 \
 	    --json "$$t3" >/dev/null && \
-	  dune exec bench/main.exe -- scheduler/admission-scale --quota 1.5 \
+	  dune exec bench/main.exe -- $(BENCH_GATE_GROUPS) --quota 1.5 \
 	    --json "$$t4" >/dev/null || exit 1; \
 	  dune exec bench/gate.exe -- BENCH_1.json "$$t1" "$$t2" "$$t3" "$$t4"; \
 	fi
@@ -150,9 +152,68 @@ telemetry-smoke: build
 	echo "$$out" | grep -q "audit verified" && \
 	echo "telemetry-smoke: OK"
 
+# Crash-fault + overload smoke for the serve daemon, end to end.
+# Durability leg: start the daemon (slowed so the kill lands mid-stream),
+# drive a generated workload at it, SIGKILL it, restart on the same
+# state directory and require the recovery line to re-verify every
+# logged decision with zero divergence; then push more load across the
+# crash boundary, drain gracefully (SIGTERM must exit 0 via "drained"),
+# and make the offline auditor re-verify the whole WAL — pre-crash and
+# post-crash decisions in one stream, 0 divergent.  Overload leg: a
+# slowed daemon under a closed-loop push far past its decision rate
+# must answer with structured sheds (never unbounded queueing, never
+# failed requests) and still be alive to drain.
+serve-smoke: build
+	@dir=$$(mktemp -d /tmp/rota-serve-smoke.XXXXXX); \
+	bin=./_build/default/bin/main.exe; \
+	pid=; \
+	trap 'kill -9 $$pid 2>/dev/null; rm -rf "$$dir"' EXIT; \
+	"$$bin" serve --dir "$$dir/state" --socket "$$dir/sock" \
+	  --decide-delay-ms 10 --budget-ms 100000 >"$$dir/serve1.log" 2>&1 & pid=$$!; \
+	i=0; until grep -q "rota serve: listening" "$$dir/serve1.log" 2>/dev/null; do \
+	  i=$$((i+1)); test $$i -lt 100 || { cat "$$dir/serve1.log"; exit 1; }; sleep 0.1; \
+	done; \
+	"$$bin" load --socket "$$dir/sock" --arrivals 150 --horizon 600 \
+	  --budget-ms 100000 >"$$dir/load1.log" 2>&1 & lpid=$$!; \
+	sleep 1; \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	wait $$lpid 2>/dev/null; \
+	"$$bin" serve --dir "$$dir/state" --socket "$$dir/sock" \
+	  >"$$dir/serve2.log" 2>&1 & pid=$$!; \
+	i=0; until grep -q "rota serve: listening" "$$dir/serve2.log" 2>/dev/null; do \
+	  i=$$((i+1)); test $$i -lt 100 || { cat "$$dir/serve2.log"; exit 1; }; sleep 0.1; \
+	done; \
+	grep -q "re-verified, 0 diverged" "$$dir/serve2.log" \
+	  || { echo "serve-smoke: recovery did not re-verify cleanly"; cat "$$dir/serve2.log"; exit 1; }; \
+	"$$bin" load --socket "$$dir/sock" --arrivals 60 --horizon 600 --seed 11 \
+	  >"$$dir/load2.log" 2>&1 || { cat "$$dir/load2.log"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { cat "$$dir/serve2.log"; exit 1; }; \
+	grep -q "rota serve: drained" "$$dir/serve2.log" \
+	  || { cat "$$dir/serve2.log"; exit 1; }; \
+	"$$bin" audit "$$dir/state/wal.rotb" >"$$dir/audit.log" \
+	  || { cat "$$dir/audit.log"; exit 1; }; \
+	grep -q ", 0 divergent" "$$dir/audit.log" \
+	  || { echo "serve-smoke: audit found divergence across the crash boundary"; cat "$$dir/audit.log"; exit 1; }; \
+	"$$bin" serve --dir "$$dir/state2" --socket "$$dir/sock2" \
+	  --decide-delay-ms 5 --budget-ms 40 >"$$dir/serve3.log" 2>&1 & pid=$$!; \
+	i=0; until grep -q "rota serve: listening" "$$dir/serve3.log" 2>/dev/null; do \
+	  i=$$((i+1)); test $$i -lt 100 || { cat "$$dir/serve3.log"; exit 1; }; sleep 0.1; \
+	done; \
+	"$$bin" load --socket "$$dir/sock2" --connections 4 --pipeline 32 \
+	  --budget-ms 40 --arrivals 100 >"$$dir/load3.log" 2>&1 \
+	  || { cat "$$dir/load3.log"; exit 1; }; \
+	shed=$$(sed -n 's/.*shed \([0-9][0-9]*\),.*/\1/p' "$$dir/load3.log"); \
+	failed=$$(sed -n 's/.*failed \([0-9][0-9]*\).*/\1/p' "$$dir/load3.log"); \
+	{ test -n "$$shed" && test "$$shed" -gt 0; } \
+	  || { echo "serve-smoke: expected sheds under overload"; cat "$$dir/load3.log"; exit 1; }; \
+	test "$$failed" = 0 \
+	  || { echo "serve-smoke: failed requests under overload"; cat "$$dir/load3.log"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { cat "$$dir/serve3.log"; exit 1; }; \
+	echo "serve-smoke: OK"
+
 # What CI runs.  `dune fmt` is included only when ocamlformat is
 # installed — the pinned toolchain image ships without it.
-check: build test trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke bench-gate
+check: build test trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke serve-smoke bench-gate
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt; \
 	else \

@@ -216,6 +216,86 @@ let bench_admission_scale =
               | Error e -> failwith e));
     ]
 
+(* --- server: the daemon's decide path ------------------------------------------ *)
+
+(* The serve daemon's per-request cost with the socket and the fsync
+   taken out: parse the wire line, decide through the replica, encode
+   the WAL records, frame the response.  The fsync is deliberately
+   excluded — group commit amortizes it across a batch, so the
+   per-request cost the daemon's RTT is built from is exactly this
+   path.  Each decide iteration admits and then releases the same
+   probe, so the warmed ledger returns to its starting size and every
+   iteration measures the identical transition. *)
+let bench_server_decide =
+  let module Wire = Rota_server.Wire in
+  let module Replica = Rota_server.Replica in
+  let module Events = Rota_obs.Events in
+  let module Binary = Rota_obs.Binary in
+  let module Certificate = Rota.Certificate in
+  let params =
+    { Scenario.default_params with seed = 31; arrivals = 24; horizon = 400;
+      locations = 2; slack = 3.0 }
+  in
+  let warmed () =
+    let r = Replica.create Admission.Rota in
+    ignore
+      (Replica.apply r
+         (Wire.Join
+            { now = 0;
+              terms = Certificate.rects_of_set (Scenario.capacity_of params) }));
+    List.iter
+      (fun c ->
+        ignore
+          (Replica.apply r (Wire.Admit { now = 0; computation = c; budget_ms = None })))
+      (Scenario.computations params);
+    r
+  in
+  let probe =
+    List.hd (Scenario.computations { params with seed = 77; arrivals = 1 })
+  in
+  let admit_op = Wire.Admit { now = 0; computation = probe; budget_ms = None } in
+  let release_op = Wire.Release { now = 0; id = probe.Computation.id } in
+  let admit_line =
+    Wire.request_to_line { Wire.tag = Rota_obs.Json.Null; op = admit_op }
+  in
+  let stamp payload =
+    { Events.seq = 1; run = 1; sim = Some 0; wall_s = 0.; payload }
+  in
+  Test.make_grouped ~name:"server/decide-rtt"
+    [
+      Test.make ~name:"parse"
+        (Staged.stage (fun () -> ignore (Wire.request_of_line admit_line)));
+      Test.make ~name:"decide"
+        (Staged.stage
+           (let r = warmed () in
+            fun () ->
+              ignore (Replica.apply r admit_op);
+              ignore (Replica.apply r release_op)));
+      Test.make ~name:"encode-wal"
+        (Staged.stage
+           (let r = warmed () in
+            let payloads, _ = Replica.apply r admit_op in
+            let events = List.map stamp payloads in
+            let buf = Buffer.create 1024 in
+            fun () ->
+              Buffer.clear buf;
+              List.iter (Binary.encode buf) events));
+      Test.make ~name:"full-path"
+        (Staged.stage
+           (let r = warmed () in
+            let buf = Buffer.create 1024 in
+            fun () ->
+              match Wire.request_of_line admit_line with
+              | Error e -> failwith e
+              | Ok { Wire.op; _ } ->
+                  let payloads, reply = Replica.apply r op in
+                  Buffer.clear buf;
+                  List.iter (fun p -> Binary.encode buf (stamp p)) payloads;
+                  ignore
+                    (Wire.response_to_line { Wire.tag = Rota_obs.Json.Null; reply });
+                  ignore (Replica.apply r release_op)));
+    ]
+
 (* --- E6: end-to-end engine --------------------------------------------------- *)
 
 let small_trace =
@@ -563,6 +643,7 @@ let suites =
     ("e4/schedule-sequential", bench_schedule_sequential);
     ("e5/admit-one-more", bench_admission);
     ("scheduler/admission-scale", bench_admission_scale);
+    ("server/decide-rtt", bench_server_decide);
     ("e6/engine", bench_engine);
     ("sim/fault-repair", bench_fault_repair);
     ("e7/scoping", bench_scoping);

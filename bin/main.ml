@@ -159,9 +159,14 @@ let obs_args =
     $ trace_arg $ metrics_arg $ sample_every_arg $ trace_buffer_arg
     $ trace_format_arg $ watchdog_arg $ metrics_out_arg $ metrics_every_arg)
 
+exception Interrupted of int
+(* Raised out of the SIGTERM/SIGINT handlers [with_obs] installs; the
+   payload is the conventional exit code (143/130). *)
+
 (* Install the requested sinks/registry around [f], and tear them down
    (flushing files, printing the metrics tables) afterwards — also on
-   exceptions, so a failed run still leaves a valid JSONL prefix. *)
+   exceptions and on SIGTERM/SIGINT, so a failed or interrupted run
+   still leaves a valid trace prefix. *)
 let with_obs ?(console = false)
     {
       trace;
@@ -236,13 +241,44 @@ let with_obs ?(console = false)
       Rota_experiments.Metrics_report.print ()
     end
   in
+  (* SIGTERM/SIGINT land as an exception at the next safe point, so the
+     [finally] above — sink teardown, trace flush, metrics snapshot —
+     runs on an interrupted run exactly as on a completed one; [at_exit]
+     alone would miss buffered tail events on some sinks.  Previous
+     handlers are restored so nested uses (e.g. the serve daemon, which
+     installs its own drain handlers) are unaffected. *)
+  let previous =
+    List.filter_map
+      (fun (signal, code) ->
+        match
+          Sys.signal signal
+            (Sys.Signal_handle (fun _ -> raise (Interrupted code)))
+        with
+        | old -> Some (signal, old)
+        | exception (Invalid_argument _ | Sys_error _) -> None)
+      [ (Sys.sigterm, 143); (Sys.sigint, 130) ]
+  in
+  let restore () =
+    List.iter
+      (fun (signal, old) ->
+        try Sys.set_signal signal old with Invalid_argument _ | Sys_error _ -> ())
+      previous
+  in
   Fun.protect ~finally @@ fun () ->
-  try f ()
-  with Rota_audit.Watchdog.Trip { seq; id; message } ->
-    Format.eprintf
-      "rota: watchdog tripped (fail-fast) at seq %d on decision %s: %s@." seq
-      id message;
-    1
+  match f () with
+  | code ->
+      restore ();
+      code
+  | exception Interrupted code ->
+      restore ();
+      Format.eprintf "rota: interrupted; telemetry flushed@.";
+      code
+  | exception Rota_audit.Watchdog.Trip { seq; id; message } ->
+      restore ();
+      Format.eprintf
+        "rota: watchdog tripped (fail-fast) at seq %d on decision %s: %s@." seq
+        id message;
+      1
 
 (* --- rota experiment --------------------------------------------------- *)
 
@@ -1068,6 +1104,200 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(const run $ trace_pos ~docv:"TRACE" () $ id_arg)
 
+(* --- rota serve / rota load ---------------------------------------------- *)
+
+let address_args =
+  let socket_arg =
+    let doc = "Listen on (or connect to) a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let tcp_arg =
+    let doc = "Listen on (or connect to) TCP $(docv) (HOST:PORT)." in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"ADDR" ~doc)
+  in
+  let combine socket tcp =
+    match (socket, tcp) with
+    | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+    | Some path, None -> Ok (Rota_server.Daemon.Unix_socket path)
+    | None, Some addr -> (
+        match String.rindex_opt addr ':' with
+        | None -> Error (Printf.sprintf "bad --tcp %S (expected HOST:PORT)" addr)
+        | Some i -> (
+            let host = String.sub addr 0 i
+            and port = String.sub addr (i + 1) (String.length addr - i - 1) in
+            match int_of_string_opt port with
+            | Some p when p > 0 && p < 65536 ->
+                Ok (Rota_server.Daemon.Tcp (host, p))
+            | _ -> Error (Printf.sprintf "bad --tcp port %S" port)))
+    | None, None -> Error "one of --socket or --tcp is required"
+  in
+  Term.(const combine $ socket_arg $ tcp_arg)
+
+let serve_cmd =
+  let dir_arg =
+    let doc = "State directory: the WAL ($(b,wal.rotb), a valid binary \
+               trace — every trace tool reads it) and snapshots live here." in
+    Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let policy_arg =
+    Arg.(value & opt policy_conv Admission.Rota
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"Admission policy.")
+  in
+  let max_queue_arg =
+    Arg.(value & opt int 512 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Bounded request queue size; beyond it the accept loop \
+                 backpressures and admits are shed.")
+  in
+  let budget_arg =
+    Arg.(value & opt float 250. & info [ "budget-ms" ] ~docv:"MS"
+           ~doc:"Default decision-latency budget for requests that carry \
+                 none; a request whose queue delay would exceed its budget \
+                 is rejected fast with the $(b,shed) slug.")
+  in
+  let snapshot_every_arg =
+    Arg.(value & opt int 512 & info [ "snapshot-every" ] ~docv:"N"
+           ~doc:"Snapshot admission state every $(docv) decided requests \
+                 (and on graceful shutdown).")
+  in
+  let decide_delay_arg =
+    Arg.(value & opt float 0. & info [ "decide-delay-ms" ] ~docv:"MS"
+           ~doc:"Testing: add artificial latency to every decision, to \
+                 provoke overload deterministically.")
+  in
+  let run address_r dir policy max_queue budget_ms snapshot_every
+      decide_delay_ms =
+    match address_r with
+    | Error m ->
+        prerr_endline ("rota serve: " ^ m);
+        2
+    | Ok address -> (
+        let cfg =
+          Rota_server.Daemon.config ~max_queue ~default_budget_ms:budget_ms
+            ~snapshot_every ~decide_delay_ms:decide_delay_ms ~dir ~address
+            policy
+        in
+        let on_ready (r : Rota_server.Wal.recovery) =
+          Printf.printf
+            "rota serve: listening (policy %s, wal seq %d%s%s)\n%!"
+            (Admission.policy_name policy)
+            r.Rota_server.Wal.scanned
+            (if r.Rota_server.Wal.from_snapshot then ", from snapshot" else "")
+            (if r.Rota_server.Wal.truncated > 0 then
+               Printf.sprintf ", %d dangling bytes truncated"
+                 r.Rota_server.Wal.truncated
+             else "");
+          if r.Rota_server.Wal.scanned > 0 then
+            Printf.printf
+              "rota serve: recovered %d records (%d replayed, %d decisions \
+               re-verified, %d diverged), residual digest %s\n%!"
+              r.Rota_server.Wal.scanned r.Rota_server.Wal.replayed
+              r.Rota_server.Wal.verified r.Rota_server.Wal.diverged
+              r.Rota_server.Wal.digest
+        in
+        match Rota_server.Daemon.run ~on_ready cfg with
+        | Ok () ->
+            print_endline "rota serve: drained";
+            0
+        | Error m ->
+            prerr_endline ("rota serve: " ^ m);
+            1)
+  in
+  let doc =
+    "Run the admission daemon: decide admit/release/revoke/query requests \
+     (JSONL over a socket) through the admission controller, write-ahead \
+     logging every decided request to a binary trace before replying, with \
+     digest-verified crash recovery and deadline-aware load shedding."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ address_args $ dir_arg $ policy_arg $ max_queue_arg
+      $ budget_arg $ snapshot_every_arg $ decide_delay_arg)
+
+let load_cmd =
+  let connections_arg =
+    Arg.(value & opt int 2 & info [ "connections" ] ~docv:"C"
+           ~doc:"Client connections.")
+  in
+  let pipeline_arg =
+    Arg.(value & opt int 8 & info [ "pipeline" ] ~docv:"P"
+           ~doc:"Outstanding requests per connection (closed loop).")
+  in
+  let budget_arg =
+    Arg.(value & opt (some float) None & info [ "budget-ms" ] ~docv:"MS"
+           ~doc:"Decision-latency budget attached to every admit request.")
+  in
+  let arrivals_arg =
+    Arg.(value & opt int 100 & info [ "arrivals" ] ~docv:"N"
+           ~doc:"Number of computations offered (generated workload).")
+  in
+  let horizon_arg =
+    Arg.(value & opt int 400 & info [ "horizon" ] ~docv:"T"
+           ~doc:"Workload horizon in ticks.")
+  in
+  let locations_arg =
+    Arg.(value & opt int 3 & info [ "locations" ] ~docv:"K"
+           ~doc:"Number of nodes in the generated workload.")
+  in
+  let slack_arg =
+    Arg.(value & opt float 2.0 & info [ "slack" ] ~docv:"S"
+           ~doc:"Deadline slack factor of the generated workload.")
+  in
+  let run address_r seed connections pipeline budget_ms arrivals horizon
+      locations slack file =
+    match address_r with
+    | Error m ->
+        prerr_endline ("rota load: " ^ m);
+        2
+    | Ok address -> (
+        let trace_r =
+          match file with
+          | Some path -> Result.map Document.to_trace (load_document path)
+          | None ->
+              Ok
+                (Scenario.trace
+                   {
+                     Scenario.default_params with
+                     seed;
+                     arrivals;
+                     horizon;
+                     locations;
+                     slack;
+                   })
+        in
+        match trace_r with
+        | Error m ->
+            prerr_endline ("rota load: " ^ m);
+            1
+        | Ok trace -> (
+            let cfg =
+              {
+                Rota_server.Loadgen.address;
+                connections;
+                pipeline;
+                budget_ms;
+                trace;
+              }
+            in
+            match Rota_server.Loadgen.run cfg with
+            | Ok report ->
+                Format.printf "%a@." Rota_server.Loadgen.pp_report report;
+                0
+            | Error m ->
+                prerr_endline ("rota load: " ^ m);
+                1))
+  in
+  let doc =
+    "Drive a running serve daemon with a scenario workload (closed loop): \
+     joins and arrivals replay as wire requests in event order, and the \
+     report quotes admit/reject/shed counts and round-trip latency \
+     percentiles."
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      const run $ address_args $ seed_arg $ connections_arg $ pipeline_arg
+      $ budget_arg $ arrivals_arg $ horizon_arg $ locations_arg $ slack_arg
+      $ file_arg)
+
 (* --- rota ----------------------------------------------------------------- *)
 
 let main_cmd =
@@ -1078,7 +1308,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "rota" ~version:"1.0.0" ~doc)
     ([ experiment_cmd; simulate_cmd; check_cmd; plan_cmd; calibrate_cmd;
-       trace_cmd; metrics_cmd; top_cmd; audit_cmd; explain_cmd ]
+       trace_cmd; metrics_cmd; top_cmd; audit_cmd; explain_cmd; serve_cmd;
+       load_cmd ]
     @ experiment_alias_cmds)
 
 let () = exit (Cmd.eval' main_cmd)

@@ -337,3 +337,14 @@ let step t (e : Events.t) =
   | Events.Anomaly _ | Events.Span _ | Events.Metric_sample _
   | Events.Hist_sample _ | Events.Unknown _ ->
       None
+
+(* Recovery verification hook: a recovered controller's own residual
+   must hash to exactly what this independent reconstruction derives
+   from the WAL — the daemon refuses to serve otherwise. *)
+let residual_digest t =
+  if not t.led.capacity_known then
+    Error "capacity terms missing: residual cannot be reconstructed"
+  else
+    match residual t.led ~now:t.now with
+    | Ok r -> Ok (Certificate.digest r)
+    | Error m -> Error m

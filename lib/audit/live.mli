@@ -67,3 +67,12 @@ val diverged : t -> int
 
 val live_commitments : t -> int
 (** Current ledger size — the quantity the memory bound is stated in. *)
+
+val residual_digest : t -> (string, string) result
+(** {!Certificate.digest} of the reconstructed residual as of the last
+    event's simulated time — the recovery check: after replaying a
+    write-ahead log, a restored controller's own residual must hash to
+    exactly this, or the recovered state diverges from what the stream
+    proves.  [Error] when capacity terms were missing from the stream
+    (the residual cannot be reconstructed) or the reconstruction itself
+    is inconsistent (commitments exceed capacity). *)

@@ -439,7 +439,9 @@ let reservation t =
   | Infeasible | Aggregate_fit _ | Optimistic_fit _ | Stale _ | Duplicate ->
       Resource_set.empty
 
-let check_part p =
+(* Rebuild the concrete schedule a part serialized — the inverse of
+   {!part_of_schedule} modulo the dropped requirement spec. *)
+let schedule_of_part p =
   let steps =
     List.map
       (fun s ->
@@ -456,14 +458,17 @@ let check_part p =
         Resource_set.union acc s.Accommodation.allocation)
       Resource_set.empty steps
   in
-  let schedule =
-    {
-      Accommodation.window = p.window;
-      breakpoints = p.breakpoints;
-      steps;
-      reservation;
-    }
-  in
+  { Accommodation.window = p.window; breakpoints = p.breakpoints; steps;
+    reservation }
+
+let schedules_of_parts t =
+  match t.evidence with
+  | Schedules parts ->
+      List.map (fun p -> (Actor_name.make p.actor, schedule_of_part p)) parts
+  | Infeasible | Aggregate_fit _ | Optimistic_fit _ | Stale _ | Duplicate -> []
+
+let check_part p =
+  let schedule = schedule_of_part p in
   let spec =
     Requirement.make_complex
       ~steps:
@@ -476,7 +481,10 @@ let check_part p =
      here, so check_schedule validates only the internal structure —
      tiling, containment, coverage.  Whether the reservation fit the
      residual is the *external* question, answered in [verify]. *)
-  match Accommodation.check_schedule reservation spec schedule with
+  match
+    Accommodation.check_schedule schedule.Accommodation.reservation spec
+      schedule
+  with
   | Ok () -> Ok ()
   | Error e -> Error (Printf.sprintf "part %s: %s" p.actor e)
 

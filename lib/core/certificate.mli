@@ -166,6 +166,20 @@ val rects_of_json : Rota_obs.Json.t -> (rect list, string) result
 (** Rectangle lists double as the wire form of resource slices outside
     certificates (capacity joins, fault terms). *)
 
+val ltype_to_json : Located_type.t -> Rota_obs.Json.t
+val ltype_of_json : Rota_obs.Json.t -> (Located_type.t, string) result
+val interval_to_json : Interval.t -> Rota_obs.Json.t
+val interval_of_json : Rota_obs.Json.t -> (Interval.t, string) result
+(** The primitive codecs under {!rects_of_json}, exposed on their own so
+    state snapshots (admission ledger, demand records) serialize located
+    types and windows in exactly the certificate wire form. *)
+
+val schedules_of_parts : t -> (Actor_name.t * Accommodation.schedule) list
+(** Rebuilds the per-actor schedules recorded in [Schedules] evidence
+    ([[]] for any other evidence) — the inverse of {!of_committed}'s
+    serialization, so a commitment can be re-installed into a ledger
+    from its own certificate alone (WAL replay, snapshot restore). *)
+
 val theorem_name : theorem -> string
 (** ["T1"] ... ["T4"], ["unchecked"]. *)
 

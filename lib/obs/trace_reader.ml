@@ -127,38 +127,82 @@ let read_file ?strict path =
 (* --- following a growing file ------------------------------------------- *)
 
 module Follow = struct
+  (* Which codec the growing file speaks.  [Undetected] covers a file
+     still shorter than the binary header: the bytes on disk so far are
+     a prefix of {!Binary.header} (or nothing at all), so the format is
+     decided on a later poll, once enough bytes land to tell a ROTB
+     header from a JSONL line. *)
+  type format_mode = Undetected | Jsonl | Binary_records
+
   type cursor = {
     ic : in_channel;
     buf : Bytes.t;
-    pending : Buffer.t;  (* unterminated tail seen so far *)
-    mutable line : int;  (* 1-based number of the line being assembled *)
+    pending : Buffer.t;  (* JSONL: unterminated tail seen so far *)
+    mutable line : int;  (* 1-based line / record ordinal being assembled *)
     strict : bool option;
+    mutable mode : format_mode;
+    mutable dangling : int;  (* binary: bytes of the cut record at EOF *)
   }
 
+  (* Decide the format from the bytes on disk so far.  JSONL events
+     always start with '{', so any first bytes that are not a prefix of
+     the binary header settle the question immediately; a genuine ROTB
+     header is consumed (the record loop starts right after it).  The
+     position is left at 0 in every other case. *)
+  let detect c =
+    let len = in_channel_length c.ic in
+    if len = 0 then Ok ()
+    else begin
+      let header_len = String.length Binary.header in
+      let n = min len header_len in
+      seek_in c.ic 0;
+      let first = really_input_string c.ic n in
+      if len >= header_len then
+        if String.sub first 0 (String.length Binary.magic) = Binary.magic
+        then begin
+          seek_in c.ic 0;
+          match Binary.read_header c.ic with
+          | Ok () ->
+              c.mode <- Binary_records;
+              Ok ()
+          | Error message -> Error { line = 0; message }
+        end
+        else begin
+          seek_in c.ic 0;
+          c.mode <- Jsonl;
+          Ok ()
+        end
+      else if String.equal first (String.sub Binary.header 0 n) then begin
+        seek_in c.ic 0;
+        Ok () (* still ambiguous: wait for the rest of the header *)
+      end
+      else begin
+        seek_in c.ic 0;
+        c.mode <- Jsonl;
+        Ok ()
+      end
+    end
+
   let open_file ?strict path =
-    (* Tailing splits on newlines, which a binary trace scatters
-       arbitrarily inside records — refuse up front with a pointer at
-       the converter rather than stream garbage. *)
-    if Binary.file_is_binary path then
-      Error
-        {
-          line = 0;
-          message =
-            "binary trace (ROTB magic): following is only supported for \
-             JSONL traces; convert with `rota trace convert`";
-        }
-    else
-      match open_in_bin path with
-      | exception Sys_error msg -> Error { line = 0; message = msg }
-      | ic ->
-          Ok
-            {
-              ic;
-              buf = Bytes.create 65536;
-              pending = Buffer.create 256;
-              line = 1;
-              strict;
-            }
+    match open_in_bin path with
+    | exception Sys_error msg -> Error { line = 0; message = msg }
+    | ic -> (
+        let c =
+          {
+            ic;
+            buf = Bytes.create 65536;
+            pending = Buffer.create 256;
+            line = 1;
+            strict;
+            mode = Undetected;
+            dangling = 0;
+          }
+        in
+        match detect c with
+        | Ok () -> Ok c
+        | Error e ->
+            close_in_noerr ic;
+            Error e)
 
   let close c = close_in_noerr c.ic
 
@@ -167,8 +211,10 @@ module Follow = struct
      exactly where this one stopped.  A line cut mid-write stays in
      [pending] — it is never parsed until its newline arrives, so a
      poll racing the writer cannot misread a fragment as an event. *)
-  let poll c =
-    let f acc n line = parse_line ?strict:c.strict ~f:(fun acc e -> e :: acc) acc n line in
+  let poll_jsonl c =
+    let f acc n line =
+      parse_line ?strict:c.strict ~f:(fun acc e -> e :: acc) acc n line
+    in
     let rec loop acc =
       match input c.ic c.buf 0 (Bytes.length c.buf) with
       | 0 -> Ok (List.rev acc)
@@ -181,7 +227,52 @@ module Follow = struct
     in
     loop []
 
-  let pending_bytes c = Buffer.length c.pending
+  (* The binary analogue of the pending-line buffer is a seek: a record
+     cut mid-write ({!Binary.Cut}) rewinds the channel to the record's
+     first byte, so the next poll re-reads it whole once the writer
+     finishes it.  Only complete records are ever delivered — the
+     length prefix makes "complete" unambiguous, so racing the writer
+     cannot misread a fragment. *)
+  let poll_binary c =
+    let rec loop acc =
+      let start = pos_in c.ic in
+      match Binary.read_item c.ic with
+      | Binary.Eof ->
+          c.dangling <- 0;
+          Ok (List.rev acc)
+      | Binary.Cut bytes ->
+          seek_in c.ic start;
+          c.dangling <- bytes;
+          Ok (List.rev acc)
+      | Binary.Malformed message -> Error { line = c.line; message }
+      | Binary.Event e -> (
+          match e.Events.payload with
+          | Events.Unknown { kind; _ } when c.strict = Some true ->
+              Error
+                {
+                  line = c.line;
+                  message = Printf.sprintf "unknown event kind %S" kind;
+                }
+          | _ ->
+              c.line <- c.line + 1;
+              loop (e :: acc))
+    in
+    loop []
+
+  let rec poll c =
+    match c.mode with
+    | Jsonl -> poll_jsonl c
+    | Binary_records -> poll_binary c
+    | Undetected -> (
+        match detect c with
+        | Error _ as e -> e
+        | Ok () -> if c.mode = Undetected then Ok [] else poll c)
+
+  let pending_bytes c =
+    match c.mode with
+    | Jsonl -> Buffer.length c.pending
+    | Binary_records -> c.dangling
+    | Undetected -> in_channel_length c.ic
 end
 
 (* --- validation --------------------------------------------------------- *)

@@ -13,9 +13,9 @@
     the {!Binary.magic} bytes is read through the binary codec, with
     1-based {e record} ordinals standing in for line numbers and a
     crash-cut final record reported as the {!Truncated} tail, exactly
-    like a JSONL line missing its newline.  Only {!Follow} is
-    JSONL-only (tailing splits on newlines); it refuses binary files
-    with a pointer at [rota trace convert]. *)
+    like a JSONL line missing its newline.  {!Follow} tails both
+    formats too: a binary cursor delivers each record as its last byte
+    lands, buffering (by seek) a record cut mid-write. *)
 
 type error = { line : int; message : string }
 (** [line] is 1-based; 0 means the file itself could not be opened. *)
@@ -58,20 +58,25 @@ module Follow : sig
 
   val open_file : ?strict:bool -> string -> (cursor, error) result
   (** Open [path] for tailing, positioned at the start.  [strict] as in
-      {!fold_file}.  A binary trace is refused cleanly (an [error]
-      naming the format), never streamed as garbage. *)
+      {!fold_file}.  Both wire formats are accepted: the ROTB magic
+      selects the binary record reader, anything else is tailed as
+      JSONL.  A file still shorter than the binary header (a writer
+      caught mid-open, or an empty file about to grow) stays
+      format-undetected until enough bytes land to tell. *)
 
   val poll : cursor -> (Events.t list, error) result
-  (** Every event whose line has been {e completed} (newline written)
-      since the last poll, in file order; [[]] when nothing new arrived.
-      A partial final line is buffered, never parsed — it resumes when
-      its remaining bytes (and newline) land, so polling mid-write
-      cannot misread a fragment.  A malformed complete line is an error
-      and the cursor should be abandoned. *)
+  (** Every event whose line (JSONL) or length-prefixed record (binary)
+      has been {e completed} since the last poll, in file order; [[]]
+      when nothing new arrived.  A partial final line or record is
+      buffered, never parsed — it resumes when its remaining bytes
+      land, so polling mid-write cannot misread a fragment.  A
+      malformed complete line or record is an error and the cursor
+      should be abandoned. *)
 
   val pending_bytes : cursor -> int
-  (** Bytes of unterminated final line currently buffered — nonzero
-      while the writer is mid-line (or crashed there). *)
+  (** Bytes of the unterminated final line (JSONL) or cut final record
+      (binary) currently buffered — nonzero while the writer is
+      mid-write (or crashed there). *)
 
   val close : cursor -> unit
 end

@@ -476,3 +476,114 @@ let advance c now =
 
 let pp_outcome ppf o =
   Format.fprintf ppf "%s (%s)" (if o.admitted then "admit" else "reject") o.reason
+
+(* --- state snapshots ------------------------------------------------------ *)
+
+module Json = Rota_obs.Json
+
+let ( let* ) = Result.bind
+
+let policy_of_name name =
+  List.find_opt (fun p -> String.equal (policy_name p) name) all_policies
+
+let remember_demand c ~computation ~window ~totals =
+  remember_demand c { computation; window; totals }
+
+let jfield name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "admission snapshot: missing field %S" name)
+
+let snapshot_format = "rota-admission-snapshot-1"
+
+let demand_to_json (d : demand) =
+  Json.Obj
+    [
+      ("computation", Json.String d.computation);
+      ("window", Certificate.interval_to_json d.window);
+      ( "totals",
+        Json.List
+          (List.map
+             (fun (xi, q) ->
+               Json.Obj
+                 [
+                   ("type", Certificate.ltype_to_json xi);
+                   ("quantity", Json.Int q);
+                 ])
+             d.totals) );
+    ]
+
+let demand_of_json json =
+  let* computation = Result.bind (jfield "computation" json) Json.to_str in
+  let* window =
+    Result.bind (jfield "window" json) Certificate.interval_of_json
+  in
+  let* totals =
+    match jfield "totals" json with
+    | Ok (Json.List items) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* xi = Result.bind (jfield "type" item) Certificate.ltype_of_json in
+            let* q = Result.bind (jfield "quantity" item) Json.to_int in
+            if q < 0 then Error "admission snapshot: negative demand quantity"
+            else Ok ((xi, q) :: acc))
+          (Ok []) items
+        |> Result.map List.rev
+    | Ok _ -> Error "admission snapshot: field \"totals\" is not a list"
+    | Error _ as e -> e
+  in
+  Ok { computation; window; totals }
+
+(* The digest stamp is the snapshot's integrity seal: restore rebuilds
+   capacity, every reservation and every demand record, recomputes the
+   residual, and refuses the snapshot unless its digest matches what the
+   running controller hashed at save time. *)
+let snapshot c =
+  Json.Obj
+    [
+      ("format", Json.String snapshot_format);
+      ("policy", Json.String (policy_name c.policy));
+      ("digest", Json.String (Certificate.digest (residual c)));
+      ("calendar", Calendar.snapshot c.calendar);
+      ( "demands",
+        Json.List
+          (List.map
+             (fun (_, d) -> demand_to_json d)
+             (Demand_map.bindings c.demands)) );
+    ]
+
+let restore ?(cost_model = Cost_model.default) json =
+  let* fmt = Result.bind (jfield "format" json) Json.to_str in
+  let* () =
+    if String.equal fmt snapshot_format then Ok ()
+    else Error (Printf.sprintf "admission snapshot: unknown format %S" fmt)
+  in
+  let* pname = Result.bind (jfield "policy" json) Json.to_str in
+  let* policy =
+    match policy_of_name pname with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "admission snapshot: unknown policy %S" pname)
+  in
+  let* recorded = Result.bind (jfield "digest" json) Json.to_str in
+  let* calendar = Result.bind (jfield "calendar" json) Calendar.restore in
+  let* demands =
+    match jfield "demands" json with
+    | Ok (Json.List items) ->
+        List.fold_left
+          (fun acc item ->
+            let* m = acc in
+            let* d = demand_of_json item in
+            Ok (Demand_map.add d.computation d m))
+          (Ok Demand_map.empty) items
+    | Ok _ -> Error "admission snapshot: field \"demands\" is not a list"
+    | Error _ as e -> e
+  in
+  let c = { policy; cost_model; calendar; demands } in
+  let rebuilt = Certificate.digest (residual c) in
+  if String.equal rebuilt recorded then Ok c
+  else
+    Error
+      (Printf.sprintf
+         "admission snapshot: residual digest mismatch: recorded %s, rebuilt %s"
+         recorded rebuilt)

@@ -37,6 +37,9 @@ type policy =
 
 val policy_name : policy -> string
 
+val policy_of_name : string -> policy option
+(** Inverse of {!policy_name}; [None] for unknown names. *)
+
 val all_policies : policy list
 
 type outcome = {
@@ -114,6 +117,17 @@ val adopt : t -> Calendar.entry -> (t, string) result
     used when a child encapsulation is assimilated and its commitments
     move to the parent.  Fails when the residual cannot cover it. *)
 
+val remember_demand :
+  t ->
+  computation:string ->
+  window:Interval.t ->
+  totals:(Located_type.t * int) list ->
+  t
+(** Re-installs a baseline (Aggregate/Optimistic) demand record without
+    re-deciding — {!adopt}'s counterpart for reservation-less
+    admissions, used when WAL replay reconstructs a controller from its
+    own decision certificates.  Overwrites any record with the same id. *)
+
 val advance : t -> Time.t -> t
 (** Move the controller's notion of "now" forward, expiring the past. *)
 
@@ -121,6 +135,23 @@ val admitted_demands : t -> (string * Interval.t * (Located_type.t * int) list) 
 (** For the Aggregate baseline's ledger (and diagnostics): each admitted,
     still-active computation with its window and per-type total demand,
     in computation-id order. *)
+
+(** {2 Snapshots}
+
+    The controller's durable form: policy, the calendar
+    ({!Calendar.snapshot}), and the baselines' demand ledger, stamped
+    with the {!Certificate.digest} of the residual at save time.
+    {!restore} rebuilds the state through the same validated paths as
+    live admission and fails unless the rebuilt residual hashes to the
+    recorded digest, so a corrupt or stale snapshot is refused instead
+    of silently voiding commitments. *)
+
+val snapshot : t -> Rota_obs.Json.t
+
+val restore : ?cost_model:Cost_model.t -> Rota_obs.Json.t -> (t, string) result
+(** Accepts exactly what {!snapshot} produces; the cost model is not
+    serialized (it prices future requests, not recorded state) and
+    defaults to {!Cost_model.default}. *)
 
 module Obs : sig
   val slug : string -> string

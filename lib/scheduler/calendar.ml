@@ -222,3 +222,89 @@ let with_caches_unchecked c ~committed ~residual = { c with committed; residual 
 let pp ppf c =
   Format.fprintf ppf "@[<v>calendar: capacity %a@ %d entries, residual %a@]"
     Resource_set.pp c.capacity (size c) Resource_set.pp c.residual
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+module Json = Rota_obs.Json
+
+let ( let* ) = Result.bind
+
+let jfield name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "calendar snapshot: missing field %S" name)
+
+(* An entry serializes as its window plus an eviction-style certificate
+   of its own schedules: the certificate codec already round-trips
+   schedules as rectangle lists and [Certificate.schedules_of_parts]
+   rebuilds them, so the ledger needs no second schedule codec.  The
+   certificate's digest field pins nothing here (an entry carries no
+   residual) and is written empty.  The reservation is serialized on its
+   own, NOT re-derived from the schedules on restore: [advance]
+   truncates reservations but leaves schedules whole, so after any
+   advance the two genuinely differ and only the reservation is the
+   committed state. *)
+let entry_to_json (e : entry) =
+  let cert =
+    Certificate.of_committed ~theorem:Certificate.Unchecked
+      ~residual:Resource_set.empty e.schedules
+  in
+  Json.Obj
+    [
+      ("computation", Json.String e.computation);
+      ("window", Certificate.interval_to_json e.window);
+      ( "reservation",
+        Certificate.rects_to_json (Certificate.rects_of_set e.reservation) );
+      ("certificate", Certificate.to_json { cert with Certificate.digest = "" });
+    ]
+
+let entry_of_json json =
+  let* computation = Result.bind (jfield "computation" json) Json.to_str in
+  let* window =
+    Result.bind (jfield "window" json) Certificate.interval_of_json
+  in
+  let* reservation =
+    Result.map Certificate.set_of_rects
+      (Result.bind (jfield "reservation" json) Certificate.rects_of_json)
+  in
+  let* cert = Result.bind (jfield "certificate" json) Certificate.of_json in
+  let* () = Certificate.well_formed cert in
+  Ok
+    {
+      computation;
+      window;
+      reservation;
+      schedules = Certificate.schedules_of_parts cert;
+    }
+
+let snapshot c =
+  Json.Obj
+    [
+      ( "capacity",
+        Certificate.rects_to_json (Certificate.rects_of_set c.capacity) );
+      ("entries", Json.List (List.map entry_to_json (entries c)));
+    ]
+
+(* Restoring replays every entry through [commit], so the usual
+   admission-time validation (residual coverage, duplicate ids) runs
+   again: a corrupted or hand-edited snapshot whose reservations do not
+   fit its own capacity is rejected here instead of poisoning later
+   decisions. *)
+let restore json =
+  let* capacity =
+    Result.map Certificate.set_of_rects
+      (Result.bind (jfield "capacity" json) Certificate.rects_of_json)
+  in
+  let* entry_jsons =
+    match jfield "entries" json with
+    | Ok (Json.List items) -> Ok items
+    | Ok _ -> Error "calendar snapshot: field \"entries\" is not a list"
+    | Error _ as e -> e
+  in
+  List.fold_left
+    (fun acc ej ->
+      let* c = acc in
+      let* e = entry_of_json ej in
+      commit c e)
+    (Ok (create capacity))
+    entry_jsons

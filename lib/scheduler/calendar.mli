@@ -97,6 +97,21 @@ val set_self_check : bool -> unit
 
 val pp : Format.formatter -> t -> unit
 
+(** {2 Snapshots}
+
+    The ledger's durable form: capacity and every live entry (window,
+    reservation and schedules, serialized through the certificate
+    codec's rectangle lists).  Used by the serve daemon's digest-stamped
+    state snapshots; the committed/residual caches are not stored — they
+    are rebuilt by re-committing each entry, so restoring re-runs the
+    same validation as admission and a corrupt snapshot is rejected
+    rather than trusted. *)
+
+val snapshot : t -> Rota_obs.Json.t
+
+val restore : Rota_obs.Json.t -> (t, string) result
+(** Accepts exactly what {!snapshot} produces. *)
+
 (**/**)
 
 val with_caches_unchecked :

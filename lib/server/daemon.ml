@@ -1,0 +1,404 @@
+open Import
+
+type address = Unix_socket of string | Tcp of string * int
+
+type config = {
+  dir : string;
+  address : address;
+  policy : Admission.policy;
+  cost_model : Cost_model.t option;
+  max_queue : int;
+  default_budget_ms : float;
+  snapshot_every : int;
+  decide_delay_ms : float;
+  max_connections : int;
+}
+
+let config ?(max_queue = 512) ?(default_budget_ms = 250.) ?(snapshot_every = 512)
+    ?(decide_delay_ms = 0.) ?(max_connections = 64) ?cost_model ~dir ~address
+    policy =
+  {
+    dir;
+    address;
+    policy;
+    cost_model;
+    max_queue;
+    default_budget_ms;
+    snapshot_every;
+    decide_delay_ms;
+    max_connections;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  outq : string Queue.t;
+  mutable out_off : int;  (* bytes of [Queue.peek outq] already written *)
+  mutable alive : bool;
+}
+
+type work = Decide of Wire.op | Ready of Wire.reply
+
+type item = {
+  conn : conn;
+  tag : Json.t;
+  work : work;
+  enqueued : float;
+  budget_ms : float option;
+}
+
+type stats = {
+  mutable decided : int;
+  mutable admitted : int;
+  mutable rejected : int;
+  mutable shed : int;
+  mutable failed : int;
+}
+
+let batch_size = 64
+
+let stop_requested = ref false
+
+let install_signals () =
+  let note _ = stop_requested := true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle note);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle note);
+  (* Peer hangups surface as write errors, not process death. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let listen_on address =
+  match address with
+  | Unix_socket path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      fd
+
+let push_response conn response =
+  if conn.alive then
+    Queue.add (Wire.response_to_line response ^ "\n") conn.outq
+
+(* One select round's worth of writing to a connection; partial writes
+   keep their offset into the head chunk. *)
+let write_some conn =
+  try
+    let progress = ref true in
+    while !progress && not (Queue.is_empty conn.outq) do
+      let chunk = Queue.peek conn.outq in
+      let len = String.length chunk - conn.out_off in
+      let n = Unix.write_substring conn.fd chunk conn.out_off len in
+      if n = len then begin
+        ignore (Queue.pop conn.outq);
+        conn.out_off <- 0
+      end
+      else begin
+        conn.out_off <- conn.out_off + n;
+        progress := false
+      end
+    done;
+    true
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      true
+  | Unix.Unix_error _ -> false
+
+let run ?(on_ready = fun (_ : Wal.recovery) -> ()) cfg =
+  if not (Sys.file_exists cfg.dir) then Unix.mkdir cfg.dir 0o755;
+  match
+    Wal.recover ?cost_model:cfg.cost_model ~dir:cfg.dir ~policy:cfg.policy ()
+  with
+  | Error m -> Error ("recovery: " ^ m)
+  | Ok recovery -> (
+      let replica = recovery.Wal.replica in
+      let writer = ref recovery.Wal.writer in
+      let shed =
+        Shed.create
+          ~default_budget_s:(cfg.default_budget_ms /. 1000.)
+          ~max_queue:cfg.max_queue ()
+      in
+      let stats = { decided = 0; admitted = 0; rejected = 0; shed = 0; failed = 0 } in
+      let queue : item Queue.t = Queue.create () in
+      let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+      let draining = ref false in
+      let since_snapshot = ref 0 in
+      install_signals ();
+      stop_requested := false;
+      match listen_on cfg.address with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "bind: %s" (Unix.error_message e))
+      | listener ->
+          on_ready recovery;
+          let close_conn conn =
+            if conn.alive then begin
+              conn.alive <- false;
+              Hashtbl.remove conns conn.fd;
+              try Unix.close conn.fd with Unix.Unix_error _ -> ()
+            end
+          in
+          let daemon_stat_fields () =
+            [
+              ("queue", Json.Int (Queue.length queue));
+              ("connections", Json.Int (Hashtbl.length conns));
+              ("decided", Json.Int stats.decided);
+              ("admitted", Json.Int stats.admitted);
+              ("rejected", Json.Int stats.rejected);
+              ("shed", Json.Int stats.shed);
+              ("failed", Json.Int stats.failed);
+              ("estimate_ms", Json.Float (Shed.estimate_s shed *. 1000.));
+              ("wal_seq", Json.Int (Wal.seq !writer));
+              ("wal_offset", Json.Int (Wal.offset !writer));
+            ]
+          in
+          let snapshot () =
+            match
+              Wal.save_snapshot
+                ~path:(Wal.snapshot_path ~dir:cfg.dir)
+                !writer replica
+            with
+            | Ok () -> since_snapshot := 0
+            | Error m -> Printf.eprintf "rota serve: snapshot failed: %s\n%!" m
+          in
+          (* Accept whatever parses; every line becomes exactly one queue
+             item — verdicts included — so responses leave in request
+             order no matter how they were produced. *)
+          let handle_line conn line =
+            let now = Unix.gettimeofday () in
+            match Wire.request_of_line line with
+            | Error m ->
+                stats.failed <- stats.failed + 1;
+                Queue.add
+                  { conn; tag = Json.Null; work = Ready (Wire.Failed m);
+                    enqueued = now; budget_ms = None }
+                  queue
+            | Ok { Wire.tag; op } -> (
+                match op with
+                | Wire.Admit { computation; budget_ms; _ } -> (
+                    match
+                      Shed.on_enqueue shed ~queue_len:(Queue.length queue)
+                        ~budget_ms
+                    with
+                    | Shed.Accept ->
+                        Queue.add
+                          { conn; tag; work = Decide op; enqueued = now;
+                            budget_ms }
+                          queue
+                    | Shed.Reject reason ->
+                        stats.shed <- stats.shed + 1;
+                        Queue.add
+                          { conn; tag;
+                            work =
+                              Ready
+                                (Wire.Shed
+                                   { id = computation.Computation.id; reason });
+                            enqueued = now; budget_ms }
+                          queue)
+                | _ ->
+                    Queue.add
+                      { conn; tag; work = Decide op; enqueued = now;
+                        budget_ms = None }
+                      queue)
+          in
+          let feed conn bytes n =
+            Buffer.add_subbytes conn.inbuf bytes 0 n;
+            let rec split () =
+              let s = Buffer.contents conn.inbuf in
+              match String.index_opt s '\n' with
+              | None -> ()
+              | Some i ->
+                  Buffer.clear conn.inbuf;
+                  Buffer.add_string conn.inbuf
+                    (String.sub s (i + 1) (String.length s - i - 1));
+                  let line = String.trim (String.sub s 0 i) in
+                  if line <> "" then handle_line conn line;
+                  split ()
+            in
+            split ()
+          in
+          let decide item =
+            match item.work with
+            | Ready reply -> (None, reply)
+            | Decide op -> (
+                let waited = Unix.gettimeofday () -. item.enqueued in
+                let sheddable =
+                  match op with Wire.Admit _ -> true | _ -> false
+                in
+                match
+                  if sheddable then
+                    Shed.on_dequeue shed ~waited_s:waited
+                      ~budget_ms:item.budget_ms
+                  else Shed.Accept
+                with
+                | Shed.Reject reason ->
+                    stats.shed <- stats.shed + 1;
+                    let id =
+                      match op with
+                      | Wire.Admit { computation; _ } ->
+                          computation.Computation.id
+                      | _ -> ""
+                    in
+                    (None, Wire.Shed { id; reason })
+                | Shed.Accept ->
+                    let t0 = Unix.gettimeofday () in
+                    if cfg.decide_delay_ms > 0. then
+                      Unix.sleepf (cfg.decide_delay_ms /. 1000.);
+                    let payloads, reply = Replica.apply replica op in
+                    Shed.observe shed (Unix.gettimeofday () -. t0);
+                    stats.decided <- stats.decided + 1;
+                    (match reply with
+                    | Wire.Decided { action = "admit"; _ } ->
+                        stats.admitted <- stats.admitted + 1
+                    | Wire.Decided _ -> stats.rejected <- stats.rejected + 1
+                    | _ -> ());
+                    let reply =
+                      match (op, reply) with
+                      | Wire.Query "stats", Wire.Info fields ->
+                          Wire.Info (fields @ daemon_stat_fields ())
+                      | _ -> reply
+                    in
+                    (match op with
+                    | Wire.Shutdown -> draining := true
+                    | _ -> ());
+                    (Some payloads, reply))
+          in
+          (* Group commit: decide a batch, append everything, fsync once,
+             only then let any of the batch's responses out. *)
+          let process_queue () =
+            let produced = ref [] in
+            let logged = ref false in
+            let rec go n =
+              if n > 0 && not (Queue.is_empty queue) then begin
+                let item = Queue.pop queue in
+                let payloads, reply = decide item in
+                (match payloads with
+                | Some (_ :: _ as ps) ->
+                    Wal.append !writer ~sim:(Replica.now replica) ps;
+                    logged := true;
+                    since_snapshot := !since_snapshot + 1
+                | _ -> ());
+                produced := (item, reply) :: !produced;
+                go (n - 1)
+              end
+            in
+            go batch_size;
+            if !logged then Wal.sync !writer;
+            List.iter
+              (fun (item, reply) ->
+                push_response item.conn { Wire.tag = item.tag; reply })
+              (List.rev !produced)
+          in
+          let rec loop () =
+            if !stop_requested then draining := true;
+            let accepting =
+              (not !draining)
+              && Hashtbl.length conns < cfg.max_connections
+              && Queue.length queue < cfg.max_queue
+            in
+            let reading =
+              (not !draining) && Queue.length queue < cfg.max_queue
+            in
+            let reads =
+              (if accepting then [ listener ] else [])
+              @
+              if reading then
+                Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+              else []
+            in
+            let writes =
+              Hashtbl.fold
+                (fun fd c acc ->
+                  if Queue.is_empty c.outq then acc else fd :: acc)
+                conns []
+            in
+            let timeout = if Queue.is_empty queue then 0.2 else 0. in
+            let readable, writable, _ =
+              try Unix.select reads writes [] timeout
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+            in
+            List.iter
+              (fun fd ->
+                if fd == listener then begin
+                  let rec accept_all () =
+                    match Unix.accept listener with
+                    | cfd, _ ->
+                        Unix.set_nonblock cfd;
+                        Hashtbl.replace conns cfd
+                          {
+                            fd = cfd;
+                            inbuf = Buffer.create 256;
+                            outq = Queue.create ();
+                            out_off = 0;
+                            alive = true;
+                          };
+                        accept_all ()
+                    | exception
+                        Unix.Unix_error
+                          ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                        ()
+                    | exception Unix.Unix_error _ -> ()
+                  in
+                  accept_all ()
+                end
+                else
+                  match Hashtbl.find_opt conns fd with
+                  | None -> ()
+                  | Some conn -> (
+                      let bytes = Bytes.create 8192 in
+                      match Unix.read fd bytes 0 8192 with
+                      | 0 -> close_conn conn
+                      | n -> feed conn bytes n
+                      | exception
+                          Unix.Unix_error
+                            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                        ->
+                          ()
+                      | exception Unix.Unix_error _ -> close_conn conn))
+              readable;
+            process_queue ();
+            List.iter
+              (fun fd ->
+                match Hashtbl.find_opt conns fd with
+                | None -> ()
+                | Some conn -> if not (write_some conn) then close_conn conn)
+              writable;
+            (* Whatever process_queue just produced should not wait for
+               the next select round on an idle socket. *)
+            Hashtbl.iter
+              (fun _ conn ->
+                if not (Queue.is_empty conn.outq) then
+                  if not (write_some conn) then close_conn conn)
+              (Hashtbl.copy conns);
+            if !since_snapshot >= cfg.snapshot_every then snapshot ();
+            let drained =
+              !draining && Queue.is_empty queue
+              && Hashtbl.fold
+                   (fun _ c acc -> acc && Queue.is_empty c.outq)
+                   conns true
+            in
+            if drained then begin
+              Wal.sync !writer;
+              snapshot ();
+              Wal.close !writer;
+              Hashtbl.iter (fun _ c -> close_conn c) (Hashtbl.copy conns);
+              (try Unix.close listener with Unix.Unix_error _ -> ());
+              (match cfg.address with
+              | Unix_socket path ->
+                  if Sys.file_exists path then Unix.unlink path
+              | Tcp _ -> ());
+              Ok ()
+            end
+            else loop ()
+          in
+          loop ())

@@ -1,0 +1,56 @@
+open Import
+
+(** The [rota serve] daemon: a single-threaded [select] loop serving the
+    {!Wire} protocol over a Unix or TCP socket, with {!Wal} durability
+    and {!Shed} overload protection.
+
+    Request lifecycle: bytes → {!Wire.request_of_line} → the bounded
+    FIFO (or an immediate shed verdict, which still travels {e through}
+    the FIFO so responses stay in per-connection request order) → decide
+    through {!Replica.apply} → append to the WAL → one [fsync] per batch
+    (group commit) → respond.  No response precedes its fsync, so every
+    acknowledged transition survives a crash.
+
+    Backpressure: when the queue is full the loop simply stops
+    [select]ing client descriptors readable (and the listener
+    acceptable), so overload is pushed back into kernel buffers and
+    client connect queues instead of process memory.
+
+    Shutdown: SIGTERM/SIGINT (or a {!Wire.Shutdown} request) drains —
+    stop accepting and reading, decide everything queued, flush
+    responses, fsync, snapshot, exit cleanly. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+type config = {
+  dir : string;  (** WAL + snapshot directory (created if missing). *)
+  address : address;
+  policy : Admission.policy;
+  cost_model : Cost_model.t option;
+  max_queue : int;
+  default_budget_ms : float;
+  snapshot_every : int;  (** Decided requests between snapshots. *)
+  decide_delay_ms : float;
+      (** Test hook: artificial latency added to every decision, so
+          overload (and therefore shedding) can be provoked
+          deterministically.  [0.] in production. *)
+  max_connections : int;
+}
+
+val config :
+  ?max_queue:int ->
+  ?default_budget_ms:float ->
+  ?snapshot_every:int ->
+  ?decide_delay_ms:float ->
+  ?max_connections:int ->
+  ?cost_model:Cost_model.t ->
+  dir:string ->
+  address:address ->
+  Admission.policy ->
+  config
+
+val run : ?on_ready:(Wal.recovery -> unit) -> config -> (unit, string) result
+(** Recover (or create) the WAL, bind, serve until drained.  [on_ready]
+    fires once the socket is listening, with the recovery summary —
+    the CLI prints its "listening" line from it, and smoke tests key on
+    that line to know the daemon is up. *)

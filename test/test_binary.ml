@@ -296,19 +296,60 @@ let test_intact_file_validates () =
   Alcotest.(check (list string)) "no violations" [] v.Trace_reader.errors;
   Alcotest.(check int) "events counted" 6 v.Trace_reader.events
 
-(* Tailing splits on newlines, which binary records may or may not
-   contain: Follow must refuse the format outright. *)
-let test_follow_refuses_binary () =
+(* Tailing a binary trace: complete records stream out as they are
+   appended, a record cut mid-write stays pending (with its dangling
+   byte count) until the rest of its bytes arrive. *)
+let test_follow_tails_binary () =
   let path = Filename.temp_file "rota-binary-follow" ".rotb" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   write_binary path (sample_events 3);
   match Trace_reader.Follow.open_file path with
-  | Ok c ->
-      Trace_reader.Follow.close c;
-      Alcotest.fail "binary trace must not open for tailing"
   | Error { Trace_reader.message; _ } ->
-      Alcotest.(check bool) "error points at trace convert" true
-        (contains ~sub:"trace convert" message)
+      Alcotest.failf "binary trace must open for tailing: %s" message
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Trace_reader.Follow.close c)
+      @@ fun () ->
+      (match Trace_reader.Follow.poll c with
+      | Ok events ->
+          Alcotest.(check int) "existing records delivered" 3
+            (List.length events)
+      | Error { Trace_reader.line; message } ->
+          Alcotest.failf "poll: record %d: %s" line message);
+      (* Append one whole record and the first half of another: only the
+         whole one may come out, the half must be reported pending. *)
+      let next = sample_events 5 |> List.filteri (fun i _ -> i >= 3) in
+      let buf = Buffer.create 256 in
+      List.iter (Binary.encode buf) next;
+      let tail = Buffer.contents buf in
+      let whole =
+        (* First record's length: re-encode it alone. *)
+        let b = Buffer.create 64 in
+        Binary.encode b (List.hd next);
+        Buffer.length b
+      in
+      let oc = Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path in
+      Out_channel.output_string oc (String.sub tail 0 (whole + 4));
+      Out_channel.close oc;
+      (match Trace_reader.Follow.poll c with
+      | Ok events ->
+          Alcotest.(check int) "only the complete record" 1
+            (List.length events);
+          Alcotest.(check int) "dangling bytes pending" 4
+            (Trace_reader.Follow.pending_bytes c)
+      | Error { Trace_reader.line; message } ->
+          Alcotest.failf "poll: record %d: %s" line message);
+      (* The rest of the cut record arrives: it completes. *)
+      let oc = Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path in
+      Out_channel.output_string oc
+        (String.sub tail (whole + 4) (String.length tail - whole - 4));
+      Out_channel.close oc;
+      (match Trace_reader.Follow.poll c with
+      | Ok events ->
+          Alcotest.(check int) "cut record completes" 1 (List.length events);
+          Alcotest.(check int) "nothing pending" 0
+            (Trace_reader.Follow.pending_bytes c)
+      | Error { Trace_reader.line; message } ->
+          Alcotest.failf "poll: record %d: %s" line message)
 
 (* --------------------------------------------------------------------------- *)
 
@@ -328,7 +369,7 @@ let () =
             `Quick test_truncated_final_record;
           Alcotest.test_case "intact binary trace validates" `Quick
             test_intact_file_validates;
-          Alcotest.test_case "follow refuses binary" `Quick
-            test_follow_refuses_binary;
+          Alcotest.test_case "follow tails binary" `Quick
+            test_follow_tails_binary;
         ] );
     ]

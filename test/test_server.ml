@@ -1,0 +1,423 @@
+(* The serve daemon's replicated core, tested without sockets: wire
+   codec round-trips, the shedding policy's bounded-delay arithmetic,
+   replica snapshots, and the central durability property — truncating
+   the WAL at ANY byte offset and recovering yields exactly the state
+   the surviving prefix proves (residual digest and ledger contents),
+   which is what makes an acknowledged decision crash-proof. *)
+
+module Interval = Rota_interval.Interval
+module Resource_set = Rota_resource.Resource_set
+module Computation = Rota_actor.Computation
+module Certificate = Rota.Certificate
+module Admission = Rota_scheduler.Admission
+module Calendar = Rota_scheduler.Calendar
+module Trace = Rota_sim.Trace
+module Scenario = Rota_workload.Scenario
+module Json = Rota_obs.Json
+module Binary = Rota_obs.Binary
+module Wire = Rota_server.Wire
+module Shed = Rota_server.Shed
+module Replica = Rota_server.Replica
+module Wal = Rota_server.Wal
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let params ~seed =
+  {
+    Scenario.default_params with
+    seed;
+    locations = 2;
+    horizon = 120;
+    arrivals = 14;
+    churn_joins = 4;
+  }
+
+(* A workload exercising every event kind the daemon logs: joins and
+   admits from the scenario trace, then a mid-horizon revocation of the
+   first joined slice (evictions, fault terms) and a couple of
+   releases. *)
+let ops_of ~seed =
+  let p = params ~seed in
+  let trace = Scenario.trace p in
+  let base =
+    List.filter_map
+      (fun (at, ev) ->
+        match ev with
+        | Trace.Join theta ->
+            Some (Wire.Join { now = at; terms = Certificate.rects_of_set theta })
+        | Trace.Arrive computation ->
+            Some (Wire.Admit { now = at; computation; budget_ms = None })
+        | Trace.Arrive_session _ -> None)
+      (Trace.events trace)
+  in
+  let horizon = Trace.horizon trace in
+  let revoke =
+    match Trace.joins trace with
+    | (_, theta) :: _ ->
+        [ Wire.Revoke
+            { now = horizon / 2; terms = Certificate.rects_of_set theta } ]
+    | [] -> []
+  in
+  let releases =
+    match Trace.arrivals trace with
+    | (_, c0) :: (_, c1) :: _ ->
+        [
+          Wire.Release { now = (horizon / 2) + 1; id = c0.Computation.id };
+          Wire.Release { now = (horizon / 2) + 2; id = c1.Computation.id };
+        ]
+    | _ -> []
+  in
+  base @ revoke @ releases
+
+(* Drive [ops] through a live replica exactly as the daemon does:
+   apply, append the payloads, sync.  Returns the replica with the WAL
+   on disk in [dir]. *)
+let build_wal ~dir ~policy ops =
+  match Wal.recover ~dir ~policy () with
+  | Error m -> failwith ("build_wal: " ^ m)
+  | Ok r ->
+      let replica = r.Wal.replica and w = r.Wal.writer in
+      List.iter
+        (fun op ->
+          let payloads, _reply = Replica.apply replica op in
+          if payloads <> [] then
+            Wal.append w ~sim:(Replica.now replica) payloads)
+        ops;
+      Wal.sync w;
+      Wal.close w;
+      replica
+
+(* The specification side of the truncation property: replay the
+   complete records of [path] into a fresh replica, by hand. *)
+let replay_prefix ~path ~policy =
+  let replica = Replica.create policy in
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  (match Binary.read_header ic with
+  | Ok () -> ()
+  | Error m -> failwith ("replay_prefix: " ^ m));
+  let rec loop n =
+    match Binary.read_item ic with
+    | Binary.Event e -> (
+        match Replica.replay replica e with
+        | Ok () -> loop (n + 1)
+        | Error m -> failwith (Printf.sprintf "replay_prefix: seq %d: %s" e.Rota_obs.Events.seq m))
+    | Binary.Eof | Binary.Cut _ -> n
+    | Binary.Malformed m -> failwith ("replay_prefix: malformed: " ^ m)
+  in
+  let n = loop 0 in
+  (replica, n)
+
+let entries_summary replica =
+  List.map
+    (fun (e : Calendar.entry) -> (e.Calendar.computation, e.Calendar.reservation))
+    (Calendar.entries (Admission.calendar (Replica.controller replica)))
+
+let demands_summary replica =
+  Admission.admitted_demands (Replica.controller replica)
+
+let same_state a b =
+  String.equal (Replica.residual_digest a) (Replica.residual_digest b)
+  && List.equal
+       (fun (ida, ra) (idb, rb) ->
+         String.equal ida idb && Resource_set.equal ra rb)
+       (entries_summary a) (entries_summary b)
+  && demands_summary a = demands_summary b
+
+(* --- the truncation property ------------------------------------------------ *)
+
+let prop_truncation_recovers =
+  QCheck.Test.make ~count:40
+    ~name:"wal: recovery after truncation at any byte = replay of the prefix"
+    QCheck.(pair (int_bound 1000) (int_bound 10_000))
+    (fun (seed, cut_raw) ->
+      let build = temp_dir "rota-wal-build" in
+      let crash = temp_dir "rota-wal-crash" in
+      Fun.protect ~finally:(fun () -> rm_rf build; rm_rf crash)
+      @@ fun () ->
+      let policy = Admission.Rota in
+      let _live = build_wal ~dir:build ~policy (ops_of ~seed) in
+      let full =
+        In_channel.with_open_bin (Wal.wal_path ~dir:build)
+          In_channel.input_all
+      in
+      let header = String.length Binary.header in
+      let len = String.length full in
+      (* Any offset from just-past-the-header to the full file. *)
+      let cut = header + (cut_raw mod (len - header + 1)) in
+      Out_channel.with_open_bin (Wal.wal_path ~dir:crash) (fun oc ->
+          Out_channel.output_string oc (String.sub full 0 cut));
+      match Wal.recover ~dir:crash ~policy () with
+      | Error m -> QCheck.Test.fail_reportf "recover at cut %d: %s" cut m
+      | Ok r ->
+          Wal.close r.Wal.writer;
+          (* Recovery must have truncated the dangling tail on disk. *)
+          let spec, complete_records =
+            replay_prefix ~path:(Wal.wal_path ~dir:crash) ~policy
+          in
+          if complete_records <> r.Wal.scanned then
+            QCheck.Test.fail_reportf
+              "cut %d: %d records on disk after recovery, %d scanned" cut
+              complete_records r.Wal.scanned;
+          if not (same_state r.Wal.replica spec) then
+            QCheck.Test.fail_reportf
+              "cut %d: recovered state differs from the prefix's (digest %s \
+               vs %s)"
+              cut
+              (Replica.residual_digest r.Wal.replica)
+              (Replica.residual_digest spec);
+          true)
+
+(* Snapshot-assisted recovery agrees with the from-scratch replay, and a
+   snapshot past the surviving prefix is abandoned for the WAL. *)
+let test_snapshot_recovery () =
+  let dir = temp_dir "rota-wal-snap" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let policy = Admission.Rota in
+  let ops = ops_of ~seed:42 in
+  let n = List.length ops in
+  let live =
+    match Wal.recover ~dir ~policy () with
+    | Error m -> Alcotest.failf "recover: %s" m
+    | Ok r ->
+        let replica = r.Wal.replica and w = r.Wal.writer in
+        List.iteri
+          (fun i op ->
+            let payloads, _ = Replica.apply replica op in
+            if payloads <> [] then
+              Wal.append w ~sim:(Replica.now replica) payloads;
+            if i = n / 2 then begin
+              Wal.sync w;
+              match Wal.save_snapshot ~path:(Wal.snapshot_path ~dir) w replica with
+              | Ok () -> ()
+              | Error m -> Alcotest.failf "save_snapshot: %s" m
+            end)
+          ops;
+        Wal.sync w;
+        Wal.close w;
+        replica
+  in
+  (match Wal.recover ~dir ~policy () with
+  | Error m -> Alcotest.failf "recover with snapshot: %s" m
+  | Ok r ->
+      Wal.close r.Wal.writer;
+      Alcotest.(check bool) "snapshot was used" true r.Wal.from_snapshot;
+      Alcotest.(check bool)
+        "tail shorter than stream" true
+        (r.Wal.replayed < r.Wal.scanned);
+      Alcotest.(check string) "digest agrees with the live state"
+        (Replica.residual_digest live)
+        r.Wal.digest;
+      Alcotest.(check bool) "ledger agrees" true (same_state live r.Wal.replica));
+  (* Cut the WAL back to before the snapshot point: recovery must fall
+     back to the from-scratch replay of the surviving prefix. *)
+  let full = In_channel.with_open_bin (Wal.wal_path ~dir) In_channel.input_all in
+  Out_channel.with_open_bin (Wal.wal_path ~dir) (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full / 4)));
+  match Wal.recover ~dir ~policy () with
+  | Error m -> Alcotest.failf "recover past-snapshot cut: %s" m
+  | Ok r ->
+      Wal.close r.Wal.writer;
+      Alcotest.(check bool) "snapshot abandoned" false r.Wal.from_snapshot;
+      let spec, _ = replay_prefix ~path:(Wal.wal_path ~dir) ~policy in
+      Alcotest.(check bool) "prefix state recovered" true
+        (same_state spec r.Wal.replica)
+
+(* --- the shedding policy ----------------------------------------------------- *)
+
+(* The two checkpoints enforce the invariant the daemon advertises: an
+   accepted request's queue delay never exceeds its budget, and the
+   queue cannot grow past the point where the predicted delay blows the
+   default budget. *)
+let test_shed_bounded_delay () =
+  let s = Shed.create ~default_budget_s:0.05 ~max_queue:10 () in
+  Shed.observe s 0.02;
+  Alcotest.(check (float 1e-9)) "first sample seeds the estimate" 0.02
+    (Shed.estimate_s s);
+  (match Shed.on_enqueue s ~queue_len:0 ~budget_ms:None with
+  | Shed.Accept -> ()
+  | Shed.Reject r -> Alcotest.failf "empty queue must accept: %s" r);
+  (match Shed.on_enqueue s ~queue_len:4 ~budget_ms:None with
+  | Shed.Reject _ -> ()
+  | Shed.Accept ->
+      Alcotest.fail "5 queued x 20ms estimate > 50ms budget must shed");
+  (match Shed.on_enqueue s ~queue_len:4 ~budget_ms:(Some 1000.) with
+  | Shed.Accept -> ()
+  | Shed.Reject r -> Alcotest.failf "generous budget must accept: %s" r);
+  (match Shed.on_enqueue s ~queue_len:10 ~budget_ms:(Some 1e9) with
+  | Shed.Reject _ -> ()
+  | Shed.Accept -> Alcotest.fail "full queue must shed regardless of budget");
+  (match Shed.on_dequeue s ~waited_s:0.06 ~budget_ms:None with
+  | Shed.Reject _ -> ()
+  | Shed.Accept -> Alcotest.fail "blown budget at dequeue must shed");
+  match Shed.on_dequeue s ~waited_s:0.01 ~budget_ms:None with
+  | Shed.Accept -> ()
+  | Shed.Reject r -> Alcotest.failf "in-budget wait must be decided: %s" r
+
+(* Whatever latency history, a request the dequeue checkpoint lets
+   through has waited at most its budget: the p99-bounding argument is
+   this inequality, not the estimator. *)
+let prop_dequeue_bounds_wait =
+  QCheck.Test.make ~count:200 ~name:"shed: accepted wait <= budget"
+    QCheck.(triple (list (QCheck.float_bound_inclusive 1.0))
+              (QCheck.float_bound_inclusive 1.0)
+              (QCheck.float_bound_inclusive 0.5))
+    (fun (samples, waited, budget) ->
+      QCheck.assume (budget > 0.);
+      let s = Shed.create ~default_budget_s:budget () in
+      List.iter (Shed.observe s) samples;
+      match Shed.on_dequeue s ~waited_s:waited ~budget_ms:None with
+      | Shed.Accept -> waited <= budget
+      | Shed.Reject _ -> waited > budget)
+
+(* --- wire codec -------------------------------------------------------------- *)
+
+let roundtrip_request r =
+  match Wire.request_of_line (Wire.request_to_line r) with
+  | Ok r' -> r' = r
+  | Error m -> Alcotest.failf "request did not parse back: %s" m
+
+let test_wire_roundtrip () =
+  let computations = Scenario.computations (params ~seed:9) in
+  Alcotest.(check bool) "some computations generated" true (computations <> []);
+  List.iter
+    (fun c ->
+      match Wire.computation_of_json (Wire.computation_to_json c) with
+      | Ok c' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "computation %s round-trips" c.Computation.id)
+            true (c' = c)
+      | Error m -> Alcotest.failf "computation codec: %s" m)
+    computations;
+  let slice = Scenario.capacity_of (params ~seed:9) in
+  let requests =
+    [
+      { Wire.tag = Json.Null;
+        op = Wire.Admit
+            { now = 3; computation = List.hd computations; budget_ms = Some 40. } };
+      { Wire.tag = Json.Int 7;
+        op = Wire.Join { now = 0; terms = Certificate.rects_of_set slice } };
+      { Wire.tag = Json.String "r1";
+        op = Wire.Revoke { now = 9; terms = Certificate.rects_of_set slice } };
+      { Wire.tag = Json.Null; op = Wire.Release { now = 4; id = "c01" } };
+      { Wire.tag = Json.Null; op = Wire.Query "residual-digest" };
+      { Wire.tag = Json.Null; op = Wire.Ping };
+      { Wire.tag = Json.Null; op = Wire.Shutdown };
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "request round-trips" true (roundtrip_request r))
+    requests;
+  let responses =
+    [
+      { Wire.tag = Json.Null;
+        reply =
+          Wire.Decided
+            { id = "c1"; action = "admit"; slug = "committed";
+              reason = "fits"; digest = "abc123" } };
+      { Wire.tag = Json.Int 7;
+        reply = Wire.Shed { id = "c2"; reason = "queue full" } };
+      { Wire.tag = Json.Null; reply = Wire.Released { id = "c3"; existed = true } };
+      { Wire.tag = Json.Null;
+        reply = Wire.Revoked { quantity = 12; evicted = [ "a"; "b" ] } };
+      { Wire.tag = Json.Null; reply = Wire.Joined { quantity = 5 } };
+      { Wire.tag = Json.Null;
+        reply = Wire.Info [ ("digest", Json.String "ff") ] };
+      { Wire.tag = Json.Null; reply = Wire.Pong };
+      { Wire.tag = Json.Null; reply = Wire.Draining };
+      { Wire.tag = Json.Null; reply = Wire.Failed "nope" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Wire.response_of_line (Wire.response_to_line r) with
+      | Ok r' ->
+          Alcotest.(check bool) "response round-trips" true (r' = r)
+      | Error m -> Alcotest.failf "response did not parse back: %s" m)
+    responses;
+  (* A shed response is, on the wire, a reject carrying the shed slug. *)
+  match
+    Json.parse
+      (Wire.response_to_line
+         { Wire.tag = Json.Null;
+           reply = Wire.Shed { id = "x"; reason = "late" } })
+  with
+  | Ok json ->
+      Alcotest.(check bool) "shed slug on the wire" true
+        (Json.member "slug" json = Some (Json.String Wire.shed_slug))
+  | Error m -> Alcotest.failf "shed response unparsable: %s" m
+
+(* --- replica snapshots -------------------------------------------------------- *)
+
+let test_replica_snapshot_roundtrip () =
+  let dir = temp_dir "rota-replica-snap" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let live = build_wal ~dir ~policy:Admission.Rota (ops_of ~seed:4) in
+  match Replica.restore (Replica.snapshot live) with
+  | Error m -> Alcotest.failf "restore: %s" m
+  | Ok back ->
+      Alcotest.(check bool) "snapshot round-trips the ledger" true
+        (same_state live back);
+      Alcotest.(check int) "clock preserved" (Replica.now live)
+        (Replica.now back)
+
+(* A tampered snapshot (one reservation quantity nudged) must be
+   refused by the digest check, not silently adopted. *)
+let test_snapshot_tamper_refused () =
+  let dir = temp_dir "rota-replica-tamper" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let live = build_wal ~dir ~policy:Admission.Rota (ops_of ~seed:4) in
+  let json = Replica.snapshot live in
+  let rec tamper json =
+    match json with
+    | Json.Obj fields ->
+        Json.Obj (List.map (fun (k, v) -> (k, tamper v)) fields)
+    | Json.List items -> Json.List (List.map tamper items)
+    | Json.String s when String.length s = 16 && s <> "" ->
+        (* Digest-shaped strings get one nibble flipped. *)
+        Json.String
+          (String.mapi (fun i c -> if i = 0 then (if c = '0' then '1' else '0') else c) s)
+    | other -> other
+  in
+  match Replica.restore (tamper json) with
+  | Ok _ -> Alcotest.fail "tampered snapshot must be refused"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wal",
+        QCheck_alcotest.to_alcotest prop_truncation_recovers
+        :: [
+             Alcotest.test_case "snapshot-assisted recovery" `Quick
+               test_snapshot_recovery;
+           ] );
+      ( "shed",
+        [
+          Alcotest.test_case "bounded queue delay" `Quick
+            test_shed_bounded_delay;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_dequeue_bounds_wait ] );
+      ( "wire",
+        [ Alcotest.test_case "codec round-trips" `Quick test_wire_roundtrip ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "replica snapshot round-trips" `Quick
+            test_replica_snapshot_roundtrip;
+          Alcotest.test_case "tampered snapshot refused" `Quick
+            test_snapshot_tamper_refused;
+        ] );
+    ]
