@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-gate trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke serve-smoke check fmt clean
+.PHONY: all build test bench bench-smoke bench-gate trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke serve-smoke serve-metrics-smoke check fmt clean
 
 all: build
 
@@ -20,7 +20,7 @@ bench:
 # on every push.  The machine-readable snapshot lands in BENCH_0.json
 # (schema rota-bench-1); the committed copy is the repo's perf baseline.
 bench-smoke:
-	dune exec bench/main.exe -- scheduler/admission-scale server/decide-rtt --json BENCH_0.json
+	dune exec bench/main.exe -- scheduler/admission-scale server/decide-rtt server/telemetry-overhead --json BENCH_0.json
 
 # Perf-regression gate: re-measure the admission-scale group with the
 # committed baseline's quota (1.5 s per row — enough samples for the
@@ -37,14 +37,14 @@ bench-smoke:
 # After a deliberate perf change, refresh the baseline in the same
 # commit with the same estimator:
 #   for i in 1 2 3; do dune exec bench/main.exe -- \
-#     scheduler/admission-scale server/decide-rtt --quota 1.5 \
-#     --json /tmp/b$$i.json; done
+#     scheduler/admission-scale server/decide-rtt \
+#     server/telemetry-overhead --quota 1.5 --json /tmp/b$$i.json; done
 #   dune exec bench/gate.exe -- --merge /tmp/b1.json /tmp/b2.json \
 #     /tmp/b3.json > BENCH_1.json
 # A failing first verdict gets one escalation — two more runs, gate on
 # the best of all four — before the build fails: the minimum over four
 # runs is inside the noise floor unless the code really regressed.
-BENCH_GATE_GROUPS = scheduler/admission-scale server/decide-rtt
+BENCH_GATE_GROUPS = scheduler/admission-scale server/decide-rtt server/telemetry-overhead
 bench-gate: build
 	@t1=$$(mktemp /tmp/rota-bench-gate.XXXXXX.json); \
 	t2=$$(mktemp /tmp/rota-bench-gate.XXXXXX.json); \
@@ -211,9 +211,58 @@ serve-smoke: build
 	kill -TERM $$pid; wait $$pid || { cat "$$dir/serve3.log"; exit 1; }; \
 	echo "serve-smoke: OK"
 
+# Serving-observability smoke: a daemon with the scrape endpoint on is
+# driven by a load run, scraped over the mini HTTP responder, and the
+# exposition must lint and carry the serve-side families (request RTT,
+# admission slack, SLO burn).  The live cockpit must render a frame
+# from the wire `metrics` verb.  Then SIGQUIT: the daemon must dump a
+# flight-recorder ring that `trace validate` accepts as a standalone
+# binary trace, and the periodic --metrics-out file must lint too.
+serve-metrics-smoke: build
+	@dir=$$(mktemp -d /tmp/rota-msmoke.XXXXXX); \
+	bin=./_build/default/bin/main.exe; \
+	pid=; \
+	trap 'kill -9 $$pid 2>/dev/null; rm -rf "$$dir"' EXIT; \
+	"$$bin" serve --dir "$$dir/state" --socket "$$dir/sock" \
+	  --metrics-listen "$$dir/msock" --metrics-out "$$dir/out.prom" \
+	  --metrics-every 16 >"$$dir/serve.log" 2>&1 & pid=$$!; \
+	i=0; until grep -q "rota serve: metrics on" "$$dir/serve.log" 2>/dev/null; do \
+	  i=$$((i+1)); test $$i -lt 100 || { cat "$$dir/serve.log"; exit 1; }; sleep 0.1; \
+	done; \
+	"$$bin" load --socket "$$dir/sock" --arrivals 60 --horizon 600 \
+	  --trace "$$dir/load.rotb" >"$$dir/load.log" 2>&1 \
+	  || { cat "$$dir/load.log"; exit 1; }; \
+	"$$bin" metrics scrape "$$dir/msock" -o "$$dir/scrape.prom" \
+	  || { echo "serve-metrics-smoke: scrape failed"; cat "$$dir/serve.log"; exit 1; }; \
+	"$$bin" metrics lint "$$dir/scrape.prom" >/dev/null \
+	  || { echo "serve-metrics-smoke: scrape does not lint"; exit 1; }; \
+	for fam in server_rtt_s server_admit_slack slo_burn_5m slo_burn_1h \
+	  server_requests_total server_queue_wait_s; do \
+	  grep -q "$$fam" "$$dir/scrape.prom" \
+	    || { echo "serve-metrics-smoke: family $$fam missing from scrape"; \
+	         cat "$$dir/scrape.prom"; exit 1; }; \
+	done; \
+	"$$bin" top --connect "$$dir/sock" --once >"$$dir/top.log" 2>&1 \
+	  || { echo "serve-metrics-smoke: live top failed"; cat "$$dir/top.log"; exit 1; }; \
+	"$$bin" trace validate "$$dir/load.rotb" >/dev/null \
+	  || { echo "serve-metrics-smoke: load trace invalid"; exit 1; }; \
+	kill -QUIT $$pid; \
+	wait $$pid || { cat "$$dir/serve.log"; exit 1; }; \
+	grep -q "flight recorder:" "$$dir/serve.log" \
+	  || { echo "serve-metrics-smoke: no flight dump on SIGQUIT"; \
+	       cat "$$dir/serve.log"; exit 1; }; \
+	flight=$$(ls "$$dir"/state/flight-*.rotb 2>/dev/null | head -n 1); \
+	test -n "$$flight" \
+	  || { echo "serve-metrics-smoke: flight file missing"; ls "$$dir/state"; exit 1; }; \
+	"$$bin" trace validate "$$flight" >/dev/null \
+	  || { echo "serve-metrics-smoke: flight dump does not validate"; exit 1; }; \
+	"$$bin" metrics lint "$$dir/out.prom" >/dev/null \
+	  || { echo "serve-metrics-smoke: --metrics-out file does not lint"; exit 1; }; \
+	echo "serve-metrics-smoke: OK"
+
 # What CI runs.  `dune fmt` is included only when ocamlformat is
 # installed — the pinned toolchain image ships without it.
-check: build test trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke serve-smoke bench-gate
+check: build test trace-smoke faults-smoke audit-smoke watchdog-smoke telemetry-smoke serve-smoke serve-metrics-smoke bench-gate
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt; \
 	else \

@@ -292,8 +292,84 @@ let bench_server_decide =
                   Buffer.clear buf;
                   List.iter (fun p -> Binary.encode buf (stamp p)) payloads;
                   ignore
-                    (Wire.response_to_line { Wire.tag = Rota_obs.Json.Null; reply });
+                    (Wire.response_to_line { Wire.tag = Rota_obs.Json.Null; cid = None; reply });
                   ignore (Replica.apply r release_op)));
+    ]
+
+(* --- server: telemetry overhead ------------------------------------------------ *)
+
+(* The cost of the observability plane on the daemon's per-request path:
+   the identical decide transition run with the metrics registry enabled
+   (counters, latency histograms, admit-slack observation — what `rota
+   serve` does by default) and disabled (`--no-telemetry`).  The gate
+   holds the instrumented run within 10% of bare: telemetry must stay a
+   rounding error next to the decision itself. *)
+let bench_telemetry_overhead =
+  let module Wire = Rota_server.Wire in
+  let module Replica = Rota_server.Replica in
+  let module Telemetry = Rota_server.Telemetry in
+  let module Metrics = Rota_obs.Metrics in
+  let module Events = Rota_obs.Events in
+  let module Binary = Rota_obs.Binary in
+  let module Certificate = Rota.Certificate in
+  let params =
+    { Scenario.default_params with seed = 31; arrivals = 24; horizon = 400;
+      locations = 2; slack = 3.0 }
+  in
+  let warmed () =
+    let r = Replica.create Admission.Rota in
+    ignore
+      (Replica.apply r
+         (Wire.Join
+            { now = 0;
+              terms = Certificate.rects_of_set (Scenario.capacity_of params) }));
+    List.iter
+      (fun c ->
+        ignore
+          (Replica.apply r (Wire.Admit { now = 0; computation = c; budget_ms = None })))
+      (Scenario.computations params);
+    r
+  in
+  let probe =
+    List.hd (Scenario.computations { params with seed = 77; arrivals = 1 })
+  in
+  let admit_op = Wire.Admit { now = 0; computation = probe; budget_ms = None } in
+  let release_op = Wire.Release { now = 0; id = probe.Computation.id } in
+  let stamp payload =
+    { Events.seq = 1; run = 1; sim = Some 0; wall_s = 0.; payload }
+  in
+  (* One request exactly as the daemon runs it; [enabled] is flipped
+     inside the measured closure so both arms pay the same flag cost. *)
+  let request_path enabled =
+    let r = warmed () in
+    let buf = Buffer.create 1024 in
+    fun () ->
+      Metrics.set_enabled enabled;
+      Telemetry.count_request "admit";
+      let t0 = Unix.gettimeofday () in
+      let payloads, _reply = Replica.apply ~cid:"bench-1" r admit_op in
+      let t1 = Unix.gettimeofday () in
+      Metrics.observe Telemetry.queue_wait 1e-4;
+      (match admit_op with
+      | Wire.Admit { computation; _ } ->
+          List.iter
+            (function
+              | Events.Decision { certificate; _ } ->
+                  Telemetry.observe_admit_slack
+                    ~deadline:computation.Computation.deadline certificate
+              | _ -> ())
+            payloads
+      | _ -> ());
+      Buffer.clear buf;
+      List.iter (fun p -> Binary.encode buf (stamp p)) payloads;
+      Metrics.observe Telemetry.rtt (t1 -. t0);
+      ignore (Replica.apply r release_op);
+      Metrics.set_enabled false
+  in
+  Test.make_grouped ~name:"server/telemetry-overhead"
+    [
+      Test.make ~name:"bare" (Staged.stage (request_path false));
+      Test.make ~name:"instrumented" (Staged.stage (request_path true));
     ]
 
 (* --- E6: end-to-end engine --------------------------------------------------- *)
@@ -644,6 +720,7 @@ let suites =
     ("e5/admit-one-more", bench_admission);
     ("scheduler/admission-scale", bench_admission_scale);
     ("server/decide-rtt", bench_server_decide);
+    ("server/telemetry-overhead", bench_telemetry_overhead);
     ("e6/engine", bench_engine);
     ("sim/fault-repair", bench_fault_repair);
     ("e7/scoping", bench_scoping);

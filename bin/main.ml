@@ -863,12 +863,132 @@ let metrics_lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ file_pos)
 
+(* An endpoint the user typed: HOST:PORT if the suffix parses as a
+   port, otherwise a Unix socket path.  (A path containing a colon can
+   always be written ./path:with:colon — the heuristic only misfires on
+   bare relative paths that end in :<digits>.) *)
+let parse_endpoint s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i
+      and port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+          Rota_server.Daemon.Tcp ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> Rota_server.Daemon.Unix_socket s)
+  | None -> Rota_server.Daemon.Unix_socket s
+
+let connect_endpoint address =
+  match address with
+  | Rota_server.Daemon.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Rota_server.Daemon.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+
+(* Minimal HTTP/1.0 GET against the daemon's --metrics-listen endpoint:
+   send the request, read to EOF, return the body. *)
+let http_scrape address =
+  match connect_endpoint address with
+  | exception Unix.Unix_error (e, _, s) ->
+      Error (Printf.sprintf "connect %s: %s" s (Unix.error_message e))
+  | fd -> (
+      Fun.protect ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let req = "GET /metrics HTTP/1.0\r\nHost: rota\r\n\r\n" in
+      let rec send pos =
+        if pos < String.length req then
+          send (pos + Unix.write_substring fd req pos (String.length req - pos))
+      in
+      send 0;
+      let buf = Buffer.create 4096 in
+      let bytes = Bytes.create 8192 in
+      let rec recv () =
+        match Unix.read fd bytes 0 8192 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf bytes 0 n;
+            recv ()
+      in
+      (try recv ()
+       with Unix.Unix_error (e, _, _) ->
+         if Buffer.length buf = 0 then raise (Sys_error (Unix.error_message e)));
+      let raw = Buffer.contents buf in
+      let find_substring sep =
+        let n = String.length sep and len = String.length raw in
+        let rec go i =
+          if i + n > len then None
+          else if String.sub raw i n = sep then Some i
+          else go (i + 1)
+        in
+        go 0
+      in
+      let body_at sep =
+        Option.map
+          (fun i -> String.sub raw (i + String.length sep)
+              (String.length raw - i - String.length sep))
+          (find_substring sep)
+      in
+      match body_at "\r\n\r\n" with
+      | Some body -> Ok body
+      | None -> (
+          match body_at "\n\n" with
+          | Some body -> Ok body
+          | None -> Error "malformed HTTP response (no header terminator)"))
+
+let metrics_scrape_cmd =
+  let addr_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ADDR"
+             ~doc:
+               "The daemon's $(b,--metrics-listen) endpoint: a Unix socket \
+                path or HOST:PORT.")
+  in
+  let out_arg =
+    Arg.(value & opt string "-" & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Write the exposition to $(docv) (atomically) instead of \
+                 stdout.")
+  in
+  let run addr out =
+    match http_scrape (parse_endpoint addr) with
+    | Error m | (exception Sys_error m) ->
+        Printf.eprintf "rota metrics scrape: %s\n" m;
+        1
+    | Ok body -> (
+        match out with
+        | "-" ->
+            print_string body;
+            0
+        | path -> (
+            try
+              Rota_obs.Openmetrics.write_file path body;
+              0
+            with Sys_error m ->
+              Printf.eprintf "rota metrics scrape: %s\n" m;
+              1))
+  in
+  let doc =
+    "Fetch one OpenMetrics exposition from a running daemon's \
+     $(b,--metrics-listen) endpoint (a curl-free HTTP GET), for piping \
+     into $(b,rota metrics lint) or a file-based collector."
+  in
+  Cmd.v (Cmd.info "scrape" ~doc) Term.(const run $ addr_pos $ out_arg)
+
 let metrics_cmd =
   let doc =
     "Work with OpenMetrics expositions: export a finished trace's series, \
-     lint a snapshot file."
+     scrape a live daemon, lint a snapshot file."
   in
-  Cmd.group (Cmd.info "metrics" ~doc) [ metrics_export_cmd; metrics_lint_cmd ]
+  Cmd.group (Cmd.info "metrics" ~doc)
+    [ metrics_export_cmd; metrics_scrape_cmd; metrics_lint_cmd ]
 
 (* --- rota top --------------------------------------------------------------- *)
 
@@ -894,7 +1014,110 @@ let top_cmd =
     Arg.(value & opt int 80 & info [ "width" ] ~docv:"COLS"
            ~doc:"Frame width (bounds the throughput sparkline).")
   in
-  let run file once interval idle_exit width =
+  let connect_arg =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR"
+           ~doc:
+             "Drive the dashboard from a running daemon instead of a trace \
+              file: poll the wire $(b,metrics) verb on $(docv) (the \
+              daemon's $(b,--socket)/$(b,--tcp) address) every \
+              $(b,--interval) seconds and render the returned samples.")
+  in
+  let run_connected ~addr ~once ~interval ~idle_exit:_ ~width ~quit_requested =
+    match connect_endpoint (parse_endpoint addr) with
+    | exception Unix.Unix_error (e, _, s) ->
+        Format.eprintf "rota top: connect %s: %s@." s (Unix.error_message e);
+        1
+    | fd ->
+        let ic = Unix.in_channel_of_descr fd in
+        Fun.protect ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+        @@ fun () ->
+        let st = Rota_obs.Top.create ~source:("live " ^ addr) () in
+        let line =
+          Rota_server.Wire.request_to_line
+            { Rota_server.Wire.tag = Rota_obs.Json.Null;
+              op = Rota_server.Wire.Metrics }
+          ^ "\n"
+        in
+        let scrape () =
+          let rec send pos =
+            if pos < String.length line then
+              send
+                (pos
+                + Unix.write_substring fd line pos (String.length line - pos))
+          in
+          send 0;
+          match Rota_server.Wire.response_of_line (input_line ic) with
+          | Error m -> Error ("bad response: " ^ m)
+          | Ok { Rota_server.Wire.reply = Rota_server.Wire.Metrics_snapshot
+                     { samples; _ }; _ } ->
+              List.iter
+                (fun j ->
+                  match Rota_obs.Events.of_json j with
+                  | Ok e -> Rota_obs.Top.step st e
+                  | Error _ -> ())
+                samples;
+              Ok ()
+          | Ok _ -> Error "daemon did not answer the metrics verb"
+        in
+        let redraw ~following =
+          if following then print_string "\027[H\027[2J";
+          print_string (Rota_obs.Top.render ~width ~following st);
+          if following then print_string "\n[q+Enter or Ctrl-C to quit]\n";
+          flush stdout
+        in
+        if once then (
+          match scrape () with
+          | Error m ->
+              Format.eprintf "rota top: %s@." m;
+              1
+          | Ok () ->
+              redraw ~following:false;
+              0)
+        else begin
+          let interval = Float.max 0.05 interval in
+          let rec loop () =
+            if quit_requested () then 0
+            else
+              match scrape () with
+              | Error m ->
+                  Format.eprintf "rota top: %s@." m;
+                  1
+              | exception End_of_file ->
+                  (* Daemon drained: leave the last frame standing. *)
+                  0
+              | Ok () ->
+                  redraw ~following:true;
+                  Unix.sleepf interval;
+                  loop ()
+          in
+          loop ()
+        end
+  in
+  let run file connect once interval idle_exit width =
+    match (connect, file) with
+    | Some _, Some _ ->
+        Format.eprintf "rota top: TRACE and --connect are mutually exclusive@.";
+        2
+    | None, None ->
+        Format.eprintf "rota top: a TRACE file or --connect is required@.";
+        2
+    | Some addr, None ->
+        let quit_requested () =
+          match Unix.select [ Unix.stdin ] [] [] 0. with
+          | [ _ ], _, _ -> (
+              let buf = Bytes.create 64 in
+              match Unix.read Unix.stdin buf 0 64 with
+              | 0 -> true
+              | n ->
+                  Bytes.exists
+                    (fun c -> c = 'q' || c = 'Q')
+                    (Bytes.sub buf 0 n)
+              | exception Unix.Unix_error _ -> false)
+          | _ -> false
+        in
+        run_connected ~addr ~once ~interval ~idle_exit ~width ~quit_requested
+    | None, Some file ->
     if once then
       with_trace_events file @@ fun events ->
       let st = Rota_obs.Top.create ~source:file () in
@@ -965,11 +1188,20 @@ let top_cmd =
      sampled latency quantiles (p50/p95/p99), counter/gauge last values, \
      and a completions-per-tick sparkline.  Tails the file like \
      $(b,rota audit --follow); with $(b,--once) renders a single frame \
-     from a finished trace."
+     from a finished trace.  With $(b,--connect) the same dashboard runs \
+     against a live daemon, fed by periodic wire-protocol metric scrapes \
+     instead of a trace file."
+  in
+  let trace_opt_pos =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:
+               "A telemetry trace written with --trace (JSONL or binary; \
+                the format is auto-detected).  Omit with $(b,--connect).")
   in
   Cmd.v (Cmd.info "top" ~doc)
     Term.(
-      const run $ trace_pos ~docv:"TRACE" () $ once_arg $ interval_arg
+      const run $ trace_opt_pos $ connect_arg $ once_arg $ interval_arg
       $ idle_exit_arg $ width_arg)
 
 (* --- rota audit / rota explain --------------------------------------------- *)
@@ -1164,17 +1396,67 @@ let serve_cmd =
            ~doc:"Testing: add artificial latency to every decision, to \
                  provoke overload deterministically.")
   in
+  let metrics_listen_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-listen" ] ~docv:"ADDR"
+             ~doc:
+               "Answer HTTP scrapes with the OpenMetrics exposition on \
+                $(docv) (a Unix socket path or HOST:PORT), served from the \
+                same select loop as the wire protocol.  Pair with \
+                $(b,rota metrics scrape) or any Prometheus-style agent.")
+  in
+  let serve_metrics_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:
+               "Atomically rewrite an OpenMetrics snapshot of the daemon's \
+                registry to $(docv) every $(b,--metrics-every) observed \
+                events, and once at drain.")
+  in
+  let serve_metrics_every_arg =
+    Arg.(value & opt int 256 & info [ "metrics-every" ] ~docv:"N"
+           ~doc:"With $(b,--metrics-out): events between rewrites.")
+  in
+  let no_telemetry_arg =
+    Arg.(value & flag
+         & info [ "no-telemetry" ]
+             ~doc:
+               "Switch the observability plane off entirely: no metric \
+                recording, no request spans, no live audit watchdog, no \
+                flight recorder.  The decide path is otherwise identical — \
+                the $(b,server/telemetry-overhead) bench pair measures \
+                exactly this flag.")
+  in
+  let slo_budget_arg =
+    Arg.(value & opt float 0.01 & info [ "slo-budget" ] ~docv:"FRACTION"
+           ~doc:
+             "Deadline-assurance error budget: the fraction of requests \
+              allowed to go bad (shed, or contradicted by the live audit) \
+              before the $(b,slo/burn_*) gauges exceed 1000 (= burning at \
+              exactly budget).")
+  in
+  let flight_capacity_arg =
+    Arg.(value & opt int 4096 & info [ "flight-capacity" ] ~docv:"N"
+           ~doc:
+             "Flight-recorder ring size: the last $(docv) events are kept \
+              in memory and dumped to $(b,DIR/flight-<pid>.rotb) — a valid \
+              binary trace — on SIGQUIT, the first audit divergence, a \
+              shed storm, or a fatal error.")
+  in
   let run address_r dir policy max_queue budget_ms snapshot_every
-      decide_delay_ms =
+      decide_delay_ms metrics_listen metrics_out metrics_every no_telemetry
+      slo_budget flight_capacity =
     match address_r with
     | Error m ->
         prerr_endline ("rota serve: " ^ m);
         2
     | Ok address -> (
+        let metrics_listen = Option.map parse_endpoint metrics_listen in
         let cfg =
           Rota_server.Daemon.config ~max_queue ~default_budget_ms:budget_ms
-            ~snapshot_every ~decide_delay_ms:decide_delay_ms ~dir ~address
-            policy
+            ~snapshot_every ~decide_delay_ms:decide_delay_ms
+            ~telemetry:(not no_telemetry) ?metrics_listen ?metrics_out
+            ~metrics_every ~slo_budget ~flight_capacity ~dir ~address policy
         in
         let on_ready (r : Rota_server.Wal.recovery) =
           Printf.printf
@@ -1192,7 +1474,13 @@ let serve_cmd =
                re-verified, %d diverged), residual digest %s\n%!"
               r.Rota_server.Wal.scanned r.Rota_server.Wal.replayed
               r.Rota_server.Wal.verified r.Rota_server.Wal.diverged
-              r.Rota_server.Wal.digest
+              r.Rota_server.Wal.digest;
+          match cfg.Rota_server.Daemon.metrics_listen with
+          | Some (Rota_server.Daemon.Unix_socket p) ->
+              Printf.printf "rota serve: metrics on %s\n%!" p
+          | Some (Rota_server.Daemon.Tcp (h, p)) ->
+              Printf.printf "rota serve: metrics on %s:%d\n%!" h p
+          | None -> ()
         in
         match Rota_server.Daemon.run ~on_ready cfg with
         | Ok () ->
@@ -1211,7 +1499,9 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ address_args $ dir_arg $ policy_arg $ max_queue_arg
-      $ budget_arg $ snapshot_every_arg $ decide_delay_arg)
+      $ budget_arg $ snapshot_every_arg $ decide_delay_arg
+      $ metrics_listen_arg $ serve_metrics_out_arg $ serve_metrics_every_arg
+      $ no_telemetry_arg $ slo_budget_arg $ flight_capacity_arg)
 
 let load_cmd =
   let connections_arg =
@@ -1242,8 +1532,18 @@ let load_cmd =
     Arg.(value & opt float 2.0 & info [ "slack" ] ~docv:"S"
            ~doc:"Deadline slack factor of the generated workload.")
   in
+  let load_trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:
+               "Record the load test's RTT histogram into $(docv) as \
+                periodic hist-sample events (binary ROTB if $(docv) ends \
+                in $(b,.rotb), JSONL otherwise), so $(b,rota trace \
+                summarize) and $(b,rota top) render client-side latency \
+                the same way they render engine latency.")
+  in
   let run address_r seed connections pipeline budget_ms arrivals horizon
-      locations slack file =
+      locations slack trace file =
     match address_r with
     | Error m ->
         prerr_endline ("rota load: " ^ m);
@@ -1268,23 +1568,43 @@ let load_cmd =
         | Error m ->
             prerr_endline ("rota load: " ^ m);
             1
-        | Ok trace -> (
-            let cfg =
-              {
-                Rota_server.Loadgen.address;
-                connections;
-                pipeline;
-                budget_ms;
-                trace;
-              }
+        | Ok workload -> (
+            let sink_r =
+              match trace with
+              | None -> Ok None
+              | Some path -> (
+                  let open_sink =
+                    if Filename.check_suffix path ".rotb" then
+                      Rota_obs.Sink.binary_file
+                    else Rota_obs.Sink.jsonl_file
+                  in
+                  try Ok (Some (open_sink ~flush_every:64 path))
+                  with Sys_error m -> Error m)
             in
-            match Rota_server.Loadgen.run cfg with
-            | Ok report ->
-                Format.printf "%a@." Rota_server.Loadgen.pp_report report;
-                0
+            match sink_r with
             | Error m ->
-                prerr_endline ("rota load: " ^ m);
-                1))
+                prerr_endline ("rota load: cannot open trace file: " ^ m);
+                1
+            | Ok sink -> (
+                Option.iter Rota_obs.Tracer.install sink;
+                let finally () = Rota_obs.Tracer.uninstall () in
+                Fun.protect ~finally @@ fun () ->
+                let cfg =
+                  {
+                    Rota_server.Loadgen.address;
+                    connections;
+                    pipeline;
+                    budget_ms;
+                    trace = workload;
+                  }
+                in
+                match Rota_server.Loadgen.run cfg with
+                | Ok report ->
+                    Format.printf "%a@." Rota_server.Loadgen.pp_report report;
+                    0
+                | Error m ->
+                    prerr_endline ("rota load: " ^ m);
+                    1)))
   in
   let doc =
     "Drive a running serve daemon with a scenario workload (closed loop): \
@@ -1296,7 +1616,7 @@ let load_cmd =
     Term.(
       const run $ address_args $ seed_arg $ connections_arg $ pipeline_arg
       $ budget_arg $ arrivals_arg $ horizon_arg $ locations_arg $ slack_arg
-      $ file_arg)
+      $ load_trace_arg $ file_arg)
 
 (* --- rota ----------------------------------------------------------------- *)
 

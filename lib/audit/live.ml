@@ -333,9 +333,9 @@ let step t (e : Events.t) =
      verdicts, and a watchdog observing its own emission must not
      recurse. *)
   | Events.Audit_divergence _
-  | Events.Admitted _ | Events.Rejected _ | Events.Repaired _
-  | Events.Anomaly _ | Events.Span _ | Events.Metric_sample _
-  | Events.Hist_sample _ | Events.Unknown _ ->
+  | Events.Admitted _ | Events.Rejected _ | Events.Shed _
+  | Events.Repaired _ | Events.Anomaly _ | Events.Span _
+  | Events.Metric_sample _ | Events.Hist_sample _ | Events.Unknown _ ->
       None
 
 (* Recovery verification hook: a recovered controller's own residual

@@ -84,13 +84,14 @@ let put_payload b (p : Events.payload) =
       put_string b id;
       put_string b policy;
       put_string b reason
-  | Events.Decision { id; policy; action; slug; certificate } ->
+  | Events.Decision { id; policy; action; slug; certificate; cid } ->
       tag 5;
       put_string b id;
       put_string b policy;
       put_string b action;
       put_string b slug;
-      put_json b certificate
+      put_json b certificate;
+      put_string_opt b cid
   | Events.Completed { id } ->
       tag 6;
       put_string b id
@@ -155,6 +156,11 @@ let put_payload b (p : Events.payload) =
       put_string b action;
       put_int b of_seq;
       put_string b message
+  | Events.Shed { id; slug; reason } ->
+      tag 18;
+      put_string b id;
+      put_string b slug;
+      put_string b reason
   | Events.Unknown { kind; fields } ->
       tag 0;
       put_string b kind;
@@ -287,7 +293,11 @@ let get_payload src : Events.payload =
       let action = get_string src in
       let slug = get_string src in
       let certificate = get_json src in
-      Decision { id; policy; action; slug; certificate }
+      (* The cid slot was appended after version 1 shipped; records
+         written before it simply end here, so its absence (not just a
+         None byte) decodes as None and old WALs keep reading. *)
+      let cid = if src.pos < src.limit then get_string_opt src else None in
+      Decision { id; policy; action; slug; certificate; cid }
   | 6 -> Completed { id = get_string src }
   | 7 ->
       let id = get_string src in
@@ -350,6 +360,11 @@ let get_payload src : Events.payload =
       let of_seq = get_int src in
       let message = get_string src in
       Audit_divergence { id; action; of_seq; message }
+  | 18 ->
+      let id = get_string src in
+      let slug = get_string src in
+      let reason = get_string src in
+      Shed { id; slug; reason }
   | 0 ->
       let kind = get_string src in
       let n = get_uvarint src in

@@ -123,7 +123,8 @@ let export events =
                ])
       | Events.Capacity_joined { quantity; terms = _ } ->
           instant e "capacity-joined" [ ("quantity", Json.Int quantity) ]
-      | Events.Decision { id; policy; action; slug; certificate = _ } ->
+      | Events.Decision { id; policy; action; slug; certificate = _; cid = _ }
+        ->
           (* The certificate is structured evidence for the auditor, not
              a mark annotation: exporting it verbatim would bloat the
              viewer args without rendering usefully. *)
@@ -138,6 +139,10 @@ let export events =
           instant e
             (Printf.sprintf "rejected %s" id)
             [ ("policy", Json.String policy); ("reason", Json.String reason) ]
+      | Events.Shed { id; slug; reason } ->
+          instant e
+            (Printf.sprintf "shed %s" id)
+            [ ("slug", Json.String slug); ("reason", Json.String reason) ]
       | Events.Completed { id } ->
           instant e (Printf.sprintf "completed %s" id) []
       | Events.Killed { id; owed } ->

@@ -9,7 +9,9 @@ type payload =
       action : string;
       slug : string;
       certificate : Json.t;
+      cid : string option;
     }
+  | Shed of { id : string; slug : string; reason : string }
   | Completed of { id : string }
   | Killed of { id : string; owed : int }
   | Fault_injected of { fault : string; quantity : int; terms : Json.t }
@@ -59,6 +61,7 @@ let kind = function
   | Admitted _ -> "admitted"
   | Rejected _ -> "rejected"
   | Decision _ -> "decision"
+  | Shed _ -> "shed"
   | Completed _ -> "completed"
   | Killed _ -> "killed"
   | Fault_injected _ -> "fault"
@@ -89,12 +92,21 @@ let payload_fields = function
         ("policy", Json.String policy);
         ("reason", Json.String reason);
       ]
-  | Decision { id; policy; action; slug; certificate } ->
+  | Decision { id; policy; action; slug; certificate; cid } ->
       ("id", Json.String id)
       :: ("policy", Json.String policy)
       :: ("action", Json.String action)
       :: ("slug", Json.String slug)
-      :: opt_json "certificate" certificate []
+      :: opt_json "certificate" certificate
+           (opt_json "cid"
+              (match cid with Some c -> Json.String c | None -> Json.Null)
+              [])
+  | Shed { id; slug; reason } ->
+      [
+        ("id", Json.String id);
+        ("slug", Json.String slug);
+        ("reason", Json.String reason);
+      ]
   | Completed { id } -> [ ("id", Json.String id) ]
   | Killed { id; owed } -> [ ("id", Json.String id); ("owed", Json.Int owed) ]
   | Fault_injected { fault; quantity; terms } ->
@@ -201,7 +213,19 @@ let payload_of_json ~strict ~wall_s json =
       let* action = field "action" Json.to_str json in
       let* slug = field "slug" Json.to_str json in
       let* certificate = opt_field "certificate" json in
-      Ok (Decision { id; policy; action; slug; certificate })
+      (* The serve daemon's correlation id arrived with the serving
+         telemetry plane; traces written by older binaries omit it. *)
+      let* cid =
+        match Json.member "cid" json with
+        | None | Some Json.Null -> Ok None
+        | Some v -> Result.map Option.some (Json.to_str v)
+      in
+      Ok (Decision { id; policy; action; slug; certificate; cid })
+  | "shed" ->
+      let* id = field "id" Json.to_str json in
+      let* slug = field "slug" Json.to_str json in
+      let* reason = field "reason" Json.to_str json in
+      Ok (Shed { id; slug; reason })
   | "admitted" | "rejected" ->
       let* id = field "id" Json.to_str json in
       let* policy = field "policy" Json.to_str json in
@@ -338,9 +362,11 @@ let pp_payload ~sim ppf payload =
       Format.fprintf ppf "%a admitted %s" pp_sim sim id
   | Rejected { id; policy = _; reason } ->
       Format.fprintf ppf "%a rejected %s (%s)" pp_sim sim id reason
-  | Decision { id; policy = _; action; slug; certificate } ->
+  | Decision { id; policy = _; action; slug; certificate; cid = _ } ->
       Format.fprintf ppf "%a decision %s %s [%s]%s" pp_sim sim action id slug
         (if certificate = Json.Null then "" else " certified")
+  | Shed { id; slug; reason } ->
+      Format.fprintf ppf "%a shed %s [%s]: %s" pp_sim sim id slug reason
   | Completed { id } -> Format.fprintf ppf "%a completed %s" pp_sim sim id
   | Killed { id; owed } ->
       Format.fprintf ppf "%a killed %s (owed %d)" pp_sim sim id owed

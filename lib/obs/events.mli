@@ -37,11 +37,25 @@ type payload =
           (** Serialized [Rota.Certificate.t] — the theorem evidence the
               decider actually checked — or [Null] when the decision
               carries no certificate. *)
+      cid : string option;
+          (** The serve daemon's correlation id for the request that
+              produced this decision — the same id echoed in the wire
+              reply, so a client complaint can be joined to its WAL
+              record.  [None] outside the daemon and in traces written
+              by older binaries (omitted on the wire when absent). *)
     }
       (** Decision provenance: every admission-control verdict (admit,
           reject, evict, repair) with its machine-checkable certificate.
           Emitted alongside the legacy {!Admitted}/{!Rejected} records,
           which remain the human-readable telling. *)
+  | Shed of { id : string; slug : string; reason : string }
+      (** The serve daemon refused this request {e without} deciding it —
+          load shedding, not admission control.  [slug] is the stable
+          overload taxonomy ({!Rota_server.Shed} mints it: ["queue-full"],
+          ["predicted-delay"], ["budget-spent"]).  Telemetry only: sheds
+          are never written to the WAL (nothing was decided, there is
+          nothing to replay), so the event rides the tracer stream and
+          the flight recorder instead. *)
   | Completed of { id : string }
   | Killed of { id : string; owed : int }
       (** Deadline kill; [owed] is the quantity still unfinished. *)

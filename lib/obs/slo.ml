@@ -1,0 +1,57 @@
+type t = {
+  budget : float;
+  horizon_s : int;
+  (* One bucket per second, keyed by [sec mod horizon_s]; [stamp] holds
+     the absolute second the bucket currently counts, so stale buckets
+     are recognized lazily instead of being swept by a timer. *)
+  stamp : int array;
+  good : int array;
+  bad : int array;
+}
+
+let create ?(budget = 0.01) ?(horizon_s = 3600) () =
+  if budget <= 0. then invalid_arg "Slo.create: budget";
+  if horizon_s < 1 then invalid_arg "Slo.create: horizon_s";
+  {
+    budget;
+    horizon_s;
+    stamp = Array.make horizon_s min_int;
+    good = Array.make horizon_s 0;
+    bad = Array.make horizon_s 0;
+  }
+
+let budget t = t.budget
+
+let slot t sec = ((sec mod t.horizon_s) + t.horizon_s) mod t.horizon_s
+
+let record t ~now ~good =
+  let sec = int_of_float (Float.floor now) in
+  let i = slot t sec in
+  if t.stamp.(i) <> sec then begin
+    (* A bucket a full horizon old would alias this second; refuse to
+       resurrect it for an observation older than every live bucket. *)
+    t.stamp.(i) <- sec;
+    t.good.(i) <- 0;
+    t.bad.(i) <- 0
+  end;
+  if good then t.good.(i) <- t.good.(i) + 1 else t.bad.(i) <- t.bad.(i) + 1
+
+let totals t ~now ~window_s =
+  let sec = int_of_float (Float.floor now) in
+  let window_s = max 1 (min window_s t.horizon_s) in
+  let lo = sec - window_s + 1 in
+  let g = ref 0 and b = ref 0 in
+  for s = lo to sec do
+    let i = slot t s in
+    if t.stamp.(i) = s then begin
+      g := !g + t.good.(i);
+      b := !b + t.bad.(i)
+    end
+  done;
+  (!g, !b)
+
+let burn t ~now ~window_s =
+  let g, b = totals t ~now ~window_s in
+  let total = g + b in
+  if total = 0 then 0.
+  else float_of_int b /. float_of_int total /. t.budget

@@ -1,0 +1,42 @@
+(** Multi-window error-budget burn rates over a live event stream.
+
+    The serving SLO treats the remaining miss budget as a diminishing
+    resource: every observed request is either {e good} (the assurance
+    held — decided, and the decision re-verified) or {e bad} (a shed or
+    an audit divergence: the promise was not kept).  The burn rate over
+    a window is
+
+    {v burn(w) = (bad / total over the last w seconds) / budget v}
+
+    where [budget] is the tolerated bad fraction — burn 1.0 means the
+    budget is being consumed exactly as fast as it accrues, burn 10
+    means ten times too fast.  Two windows (classically 5m and 1h) read
+    together distinguish a blip from a sustained burn.
+
+    The implementation is a ring of per-second good/bad buckets covering
+    the largest window: {!record} is O(1), {!burn} is one pass over the
+    ring, and time is an explicit argument throughout so the window
+    arithmetic is unit-testable without a clock. *)
+
+type t
+
+val create : ?budget:float -> ?horizon_s:int -> unit -> t
+(** [budget] is the tolerated bad fraction (default [0.01], i.e. 1% of
+    requests may miss); [horizon_s] bounds the largest queryable window
+    (default [3600]).  Raises [Invalid_argument] when [budget <= 0] or
+    [horizon_s < 1]. *)
+
+val budget : t -> float
+
+val record : t -> now:float -> good:bool -> unit
+(** Count one observation in the bucket for second [now].  Time moving
+    backwards is tolerated (the observation lands in its own second's
+    bucket if still inside the horizon, and is dropped otherwise). *)
+
+val totals : t -> now:float -> window_s:int -> int * int
+(** [(good, bad)] over the last [window_s] seconds ending at [now]
+    (clamped to the horizon). *)
+
+val burn : t -> now:float -> window_s:int -> float
+(** The burn rate over the window; [0.] while the window holds no
+    observations (no traffic burns no budget). *)

@@ -230,8 +230,10 @@ let of_events ?(top = 10) events =
       | Events.Audit_divergence _ -> a.a_divergences <- a.a_divergences + 1
       (* Fault/repair lifecycle events don't change admission or
          completion counts; the repair counters reach the summary as
-         metric samples instead. *)
-      | Events.Fault_injected _
+         metric samples instead.  Likewise sheds: nothing was offered to
+         the decider, so they stay out of the admission arithmetic and
+         arrive as server/shed.* samples. *)
+      | Events.Fault_injected _ | Events.Shed _
       | Events.Commitment_revoked _ | Events.Commitment_degraded _
       | Events.Repaired _ | Events.Preempted _ | Events.Anomaly _
       | Events.Unknown _ -> ())

@@ -69,7 +69,7 @@ let render ?(width = 60) events =
       (* A preemption ends the computation's lane like a kill, just
          earlier and by choice. *)
       | Events.Preempted { id; _ } -> (comp r id).c_end <- Some (sim, 'P')
-      | Events.Decision _ | Events.Fault_injected _
+      | Events.Decision _ | Events.Shed _ | Events.Fault_injected _
       | Events.Commitment_revoked _ | Events.Commitment_degraded _
       | Events.Repaired _ | Events.Anomaly _ | Events.Span _
       | Events.Metric_sample _ | Events.Hist_sample _

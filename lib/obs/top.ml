@@ -30,6 +30,7 @@ type t = {
   mutable repaired : int;
   mutable faults : int;
   mutable divergences : int;
+  mutable shed : int;
   counters : (string, float) Hashtbl.t;  (* last metric-sample, counters *)
   gauges : (string, float) Hashtbl.t;  (* last metric-sample, gauges *)
   hists : (string, hist_snap) Hashtbl.t;  (* last hist-sample *)
@@ -55,6 +56,7 @@ let create ~source () =
     repaired = 0;
     faults = 0;
     divergences = 0;
+    shed = 0;
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 16;
     hists = Hashtbl.create 16;
@@ -89,6 +91,7 @@ let step t (e : Events.t) =
   | Events.Preempted _ -> t.preempted <- t.preempted + 1
   | Events.Repaired _ -> t.repaired <- t.repaired + 1
   | Events.Fault_injected _ -> t.faults <- t.faults + 1
+  | Events.Shed _ -> t.shed <- t.shed + 1
   | Events.Audit_divergence _ -> t.divergences <- t.divergences + 1
   | Events.Metric_sample { name; value; family } ->
       let tbl =
@@ -196,6 +199,7 @@ let render ?(width = 80) ?(following = false) t =
   line "";
   line "admitted %d  rejected %d  completed %d  killed %d  preempted %d"
     t.admitted t.rejected t.completed t.killed t.preempted;
+  if t.shed > 0 then line "shed %d (load refused before deciding)" t.shed;
   if t.faults + t.repaired > 0 then
     line "faults %d  repaired %d" t.faults t.repaired;
   line "audit verified %s  skipped %s  divergent %d  lag %s"

@@ -70,36 +70,61 @@ let with_span ?sim name f =
       in
       Fun.protect ~finally f
 
+let alloc_span_id () =
+  incr next_span_id;
+  !next_span_id
+
+let emit_span ?sim ?parent ?id ~name ~begin_s () =
+  match !sink with
+  | None -> ()
+  | Some _ ->
+      let id = match id with Some i -> i | None -> alloc_span_id () in
+      let depth = match parent with None -> 0 | Some _ -> 1 in
+      emit ?sim
+        (Events.Span
+           {
+             name;
+             id;
+             parent;
+             depth;
+             begin_s;
+             duration_s = Clock.wall_s () -. begin_s;
+           })
+
 let set_sample_period n = period := max 0 n
 let sample_period () = !period
 
+let samples_of_view (view : Metrics.view) =
+  let scalar family (name, v) =
+    Events.Metric_sample
+      { name; value = float_of_int v; family = Some family }
+  in
+  List.concat
+    [
+      List.map (scalar "counter") view.Metrics.counters;
+      List.map (scalar "gauge") view.Metrics.gauges;
+      List.filter_map
+        (fun (h : Metrics.histogram_view) ->
+          if h.count = 0 then None
+          else
+            Some
+              (Events.Hist_sample
+                 {
+                   name = h.hname;
+                   count = h.count;
+                   sum = h.sum;
+                   min_v = h.min_v;
+                   max_v = h.max_v;
+                   p50 = h.p50;
+                   p95 = h.p95;
+                   p99 = h.p99;
+                 }))
+        view.Metrics.histograms;
+    ]
+
 let sample_metrics ?sim () =
-  if active () && Metrics.enabled () then begin
-    let view = Metrics.snapshot () in
-    let sample family (name, v) =
-      emit ?sim
-        (Events.Metric_sample
-           { name; value = float_of_int v; family = Some family })
-    in
-    List.iter (sample "counter") view.Metrics.counters;
-    List.iter (sample "gauge") view.Metrics.gauges;
-    List.iter
-      (fun (h : Metrics.histogram_view) ->
-        if h.count > 0 then
-          emit ?sim
-            (Events.Hist_sample
-               {
-                 name = h.hname;
-                 count = h.count;
-                 sum = h.sum;
-                 min_v = h.min_v;
-                 max_v = h.max_v;
-                 p50 = h.p50;
-                 p95 = h.p95;
-                 p99 = h.p99;
-               }))
-      view.Metrics.histograms
-  end
+  if active () && Metrics.enabled () then
+    List.iter (emit ?sim) (samples_of_view (Metrics.snapshot ()))
 
 let reset () =
   uninstall ();

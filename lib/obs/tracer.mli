@@ -34,6 +34,21 @@ val with_span : ?sim:int -> string -> (unit -> 'a) -> 'a
     nests inside, so the record carries its nesting depth {e and} the
     [id]/[parent] linkage plus the begin timestamp. *)
 
+val alloc_span_id : unit -> int
+(** Reserve a fresh process-wide span id without opening a span — for
+    callers that time a scope manually across asynchronous boundaries
+    (the serve daemon's per-request span) and emit it via {!emit_span}.
+    Advances even with no sink installed, like {!new_run}. *)
+
+val emit_span :
+  ?sim:int -> ?parent:int -> ?id:int -> name:string -> begin_s:float ->
+  unit -> unit
+(** Emit one {!Events.Span} record for a manually timed scope: duration
+    is measured from [begin_s] to now.  [id] defaults to a fresh
+    {!alloc_span_id}; [depth] is 0 without a [parent] and 1 with one
+    (manual spans nest one level, they do not use the thread's span
+    stack).  No-op without a sink. *)
+
 val set_sample_period : int -> unit
 (** Cadence, in simulated ticks, at which the engine emits
     {!Events.Metric_sample} / {!Events.Hist_sample} events for every
@@ -41,6 +56,13 @@ val set_sample_period : int -> unit
     values clamp to 0. *)
 
 val sample_period : unit -> int
+
+val samples_of_view : Metrics.view -> Events.payload list
+(** The sample payloads a registry snapshot expands to: one
+    {!Events.Metric_sample} per counter and gauge (tagged with its
+    family), then one {!Events.Hist_sample} per non-empty histogram.
+    Pure — {!sample_metrics} emits exactly this list, and the serve
+    daemon's [metrics] verb returns it over the wire. *)
 
 val sample_metrics : ?sim:int -> unit -> unit
 (** Emit one {!Events.Metric_sample} per registered counter and gauge

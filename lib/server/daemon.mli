@@ -16,9 +16,29 @@ open Import
     acceptable), so overload is pushed back into kernel buffers and
     client connect queues instead of process memory.
 
+    Observability (unless [telemetry = false]): every request carries a
+    correlation id (minted [r<pid>-<n>], echoed in the reply [cid] field
+    — and as the [tag] for untagged requests — and stamped into the WAL
+    decision record) and a [server/request] span with
+    parse/queue-wait/decide/encode children; the {!Telemetry} families
+    fill in as traffic flows; a {!Rota_audit.Watchdog} re-verifies every
+    WAL event and feeds the deadline-assurance {!Rota_obs.Slo} windows
+    behind the [slo/burn_*] gauges; and a {!Rota_obs.Flight} ring keeps
+    the last [flight_capacity] events in memory, dumped to
+    [<dir>/flight-<pid>.rotb] on SIGQUIT, the first audit divergence, a
+    shed storm, or a fatal exception.
+
+    Scraping: [metrics_listen] adds a second listener inside the same
+    [select] loop that answers any HTTP request with an OpenMetrics
+    exposition ([rota metrics scrape], curl, or a Prometheus scraper);
+    the wire verb {!Wire.Metrics} answers the same snapshot in-band;
+    [metrics_out] atomically rewrites an exposition file every
+    [metrics_every] observed events.
+
     Shutdown: SIGTERM/SIGINT (or a {!Wire.Shutdown} request) drains —
     stop accepting and reading, decide everything queued, flush
-    responses, fsync, snapshot, exit cleanly. *)
+    responses, fsync, snapshot, exit cleanly.  SIGQUIT dumps the flight
+    recorder first, then drains. *)
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -35,6 +55,23 @@ type config = {
           overload (and therefore shedding) can be provoked
           deterministically.  [0.] in production. *)
   max_connections : int;
+  telemetry : bool;
+      (** [false] switches the whole observability plane off: no metric
+          recording, no spans, no watchdog, no flight recorder.  The
+          bench's overhead pair flips exactly this. *)
+  metrics_listen : address option;
+      (** Scrape endpoint: a second listener answering HTTP with the
+          OpenMetrics exposition. *)
+  metrics_out : string option;
+      (** Atomically rewritten exposition file, for file-based
+          collectors. *)
+  metrics_every : int;
+      (** Observed events between [metrics_out] rewrites. *)
+  slo_budget : float;
+      (** Fraction of requests allowed to miss (shed, or decided then
+          contradicted by the live audit) before the burn rate exceeds
+          1.0. *)
+  flight_capacity : int;  (** Flight-recorder ring size, in events. *)
 }
 
 val config :
@@ -43,11 +80,20 @@ val config :
   ?snapshot_every:int ->
   ?decide_delay_ms:float ->
   ?max_connections:int ->
+  ?telemetry:bool ->
+  ?metrics_listen:address ->
+  ?metrics_out:string ->
+  ?metrics_every:int ->
+  ?slo_budget:float ->
+  ?flight_capacity:int ->
   ?cost_model:Cost_model.t ->
   dir:string ->
   address:address ->
   Admission.policy ->
   config
+(** Defaults: telemetry on, no scrape listener, no exposition file,
+    [metrics_every = 256], [slo_budget = 0.01] (99% of requests),
+    [flight_capacity = 4096]. *)
 
 val run : ?on_ready:(Wal.recovery -> unit) -> config -> (unit, string) result
 (** Recover (or create) the WAL, bind, serve until drained.  [on_ready]

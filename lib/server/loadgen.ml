@@ -98,6 +98,19 @@ let run cfg =
   and rejected = ref 0
   and shed = ref 0
   and failed = ref 0 in
+  (* With a tracer installed ([rota load --trace]), the RTT histogram
+     also lands in the trace as periodic hist-sample events, so [rota
+     trace summarize] and [rota top] can render load-test latency the
+     same way they render engine latency.  [sample_metrics] is a no-op
+     without a sink. *)
+  let since_sample = ref 0 in
+  let sample_tick () =
+    incr since_sample;
+    if !since_sample >= 256 then begin
+      since_sample := 0;
+      Tracer.sample_metrics ()
+    end
+  in
   match
     Array.init (max 1 cfg.connections) (fun _ ->
         {
@@ -115,8 +128,8 @@ let run cfg =
         | Wire.Decided { action = "admit"; _ } -> incr admitted
         | Wire.Decided _ -> incr rejected
         | Wire.Shed _ -> incr shed
-        | Wire.Joined _ | Wire.Info _ | Wire.Pong | Wire.Draining
-        | Wire.Released _ | Wire.Revoked _ ->
+        | Wire.Joined _ | Wire.Info _ | Wire.Metrics_snapshot _ | Wire.Pong
+        | Wire.Draining | Wire.Released _ | Wire.Revoked _ ->
             ()
         | Wire.Failed _ -> incr failed
       in
@@ -146,6 +159,7 @@ let run cfg =
                           ((Unix.gettimeofday () -. t0) *. 1000.)
                     | None -> ());
                     classify reply;
+                    sample_tick ();
                     Ok ()
               in
               (match r with Ok () -> go (i + 1) | Error _ as e -> e)
@@ -222,6 +236,7 @@ let run cfg =
             finally ();
             Error m
         | Ok () ->
+            Tracer.sample_metrics ();
             let duration_s = Unix.gettimeofday () -. started in
             (* One last round trip: the state the run left behind, for
                cross-checking against [rota audit] of the daemon's WAL. *)

@@ -32,7 +32,7 @@ let advance_to t at =
 
 let policy_label t = Admission.policy_name t.policy
 
-let decision_payloads t ~id ~action ~reason certificate =
+let decision_payloads ?cid t ~id ~action ~reason certificate =
   let legacy =
     if String.equal action "admit" then
       Events.Admitted { id; policy = policy_label t; reason }
@@ -47,6 +47,7 @@ let decision_payloads t ~id ~action ~reason certificate =
         action;
         slug = Slug.of_reason reason;
         certificate = Certificate.to_json certificate;
+        cid;
       };
   ]
 
@@ -56,7 +57,7 @@ let known t id =
        (fun (d, _, _) -> String.equal d id)
        (Admission.admitted_demands t.ctrl)
 
-let apply_admit t ~now ~computation =
+let apply_admit ?cid t ~now ~computation =
   let now = advance_to t now in
   let id = computation.Computation.id in
   let ctrl, outcome = Admission.request t.ctrl ~now computation in
@@ -64,7 +65,7 @@ let apply_admit t ~now ~computation =
   let action = if outcome.Admission.admitted then "admit" else "reject" in
   let reason = outcome.Admission.reason in
   let cert = Lazy.force outcome.Admission.certificate in
-  let payloads = decision_payloads t ~id ~action ~reason cert in
+  let payloads = decision_payloads ?cid t ~id ~action ~reason cert in
   let reply =
     Wire.Decided
       {
@@ -90,7 +91,7 @@ let apply_release t ~now ~id =
    actually still present from [now] on, announce the fault with the
    clipped slice as terms, then let the admission layer evict — and pin
    each eviction's certificate to the post-revocation residual. *)
-let apply_revoke t ~now ~terms =
+let apply_revoke ?cid t ~now ~terms =
   let now = advance_to t now in
   let slice = Certificate.set_of_rects terms in
   let actual =
@@ -137,6 +138,7 @@ let apply_revoke t ~now ~terms =
                 Certificate.to_json
                   (Certificate.of_committed ~theorem:Certificate.T4 ~residual
                      e.Calendar.schedules);
+              cid;
             })
         evicted
     in
@@ -175,14 +177,18 @@ let query t what =
         ]
   | w -> Wire.Failed (Printf.sprintf "unknown query %S" w)
 
-let apply t (op : Wire.op) =
+let apply ?cid t (op : Wire.op) =
   match op with
   | Wire.Admit { now; computation; budget_ms = _ } ->
-      apply_admit t ~now ~computation
+      apply_admit ?cid t ~now ~computation
   | Wire.Release { now; id } -> apply_release t ~now ~id
-  | Wire.Revoke { now; terms } -> apply_revoke t ~now ~terms
+  | Wire.Revoke { now; terms } -> apply_revoke ?cid t ~now ~terms
   | Wire.Join { now; terms } -> apply_join t ~now ~terms
   | Wire.Query what -> ([], query t what)
+  | Wire.Metrics ->
+      (* The daemon answers metrics from the serving loop; reaching the
+         replica means a non-daemon caller replayed a scrape op. *)
+      ([], Wire.Failed "metrics is answered by the serving loop")
   | Wire.Ping -> ([], Wire.Pong)
   | Wire.Shutdown -> ([], Wire.Draining)
 
@@ -277,7 +283,9 @@ let replay t (e : Events.t) =
       (* Implied by the preceding fault's replay. *)
       Ok ()
   | Events.Killed _ | Events.Commitment_degraded _ | Events.Repaired _
-  | Events.Preempted _ | Events.Anomaly _ ->
+  | Events.Preempted _ | Events.Anomaly _ | Events.Shed _ ->
+      (* Sheds in particular are telemetry-only by contract: nothing was
+         decided, so nothing may claim replayability. *)
       Error
         (Printf.sprintf "event kind %S is never written by the daemon"
            (Events.kind e.Events.payload))

@@ -36,11 +36,15 @@ val residual_digest : t -> string
 (** {!Certificate.digest} of the controller's current residual — the
     value recovery must reproduce. *)
 
-val apply : t -> Wire.op -> Events.payload list * Wire.reply
+val apply : ?cid:string -> t -> Wire.op -> Events.payload list * Wire.reply
 (** Decide one operation.  The returned payloads are in emission order
     and must be appended to the WAL {e before} the reply is sent
     (write-ahead).  Query/Ping/Shutdown return no payloads — they change
-    no state, so they are never logged. *)
+    no state, so they are never logged.  [cid] is the daemon's
+    correlation id for the request; it is stamped into every
+    {!Events.Decision} the operation produces (and echoed in the wire
+    reply by the daemon), joining the durable record to the client
+    conversation. *)
 
 val replay : t -> Events.t -> (unit, string) result
 (** Feed one WAL event, in stream order.  Events the daemon never

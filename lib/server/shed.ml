@@ -33,25 +33,37 @@ let budget_s t ~budget_ms =
   | Some ms when ms > 0. -> ms /. 1000.
   | Some _ | None -> t.default_budget_s
 
-type verdict = Accept | Reject of string
+type verdict = Accept | Reject of { slug : string; message : string }
 
 let on_enqueue t ~queue_len ~budget_ms =
   if queue_len >= t.max_queue then
-    Reject (Printf.sprintf "queue full (%d outstanding)" t.max_queue)
+    Reject
+      {
+        slug = "queue-full";
+        message = Printf.sprintf "queue full (%d outstanding)" t.max_queue;
+      }
   else
     let budget = budget_s t ~budget_ms in
     let predicted = float_of_int (queue_len + 1) *. t.estimate in
     if predicted > budget then
       Reject
-        (Printf.sprintf
-           "predicted queue delay %.1fms exceeds budget %.1fms"
-           (predicted *. 1000.) (budget *. 1000.))
+        {
+          slug = "predicted-delay";
+          message =
+            Printf.sprintf
+              "predicted queue delay %.1fms exceeds budget %.1fms"
+              (predicted *. 1000.) (budget *. 1000.);
+        }
     else Accept
 
 let on_dequeue t ~waited_s ~budget_ms =
   let budget = budget_s t ~budget_ms in
   if waited_s > budget then
     Reject
-      (Printf.sprintf "waited %.1fms, budget %.1fms already spent"
-         (waited_s *. 1000.) (budget *. 1000.))
+      {
+        slug = "budget-spent";
+        message =
+          Printf.sprintf "waited %.1fms, budget %.1fms already spent"
+            (waited_s *. 1000.) (budget *. 1000.);
+      }
   else Accept

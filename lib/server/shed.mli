@@ -44,9 +44,12 @@ val max_queue : t -> int
 val budget_s : t -> budget_ms:float option -> float
 (** The effective budget for one request, seconds. *)
 
-type verdict = Accept | Reject of string
-(** [Reject reason] carries the human-readable reason the wire response
-    reports alongside the ["shed"] slug. *)
+type verdict = Accept | Reject of { slug : string; message : string }
+(** [Reject] carries both tellings of the refusal: [message] is the
+    human-readable reason the wire response reports, [slug] the stable
+    overload taxonomy the [server/shed.<slug>] counters and the
+    {!Rota_obs.Events.Shed} telemetry event are keyed by —
+    ["queue-full"], ["predicted-delay"], or ["budget-spent"]. *)
 
 val on_enqueue : t -> queue_len:int -> budget_ms:float option -> verdict
 (** Called with the queue length {e before} insertion. *)

@@ -14,14 +14,18 @@ type writer = {
 
 let seq w = w.last_seq
 let offset w = w.durable
+let buffered w = Buffer.length w.buf
 
 let append w ~sim payloads =
   let wall_s = Unix.gettimeofday () in
-  List.iter
+  List.map
     (fun payload ->
       w.last_seq <- w.last_seq + 1;
-      Binary.encode w.buf
-        { Events.seq = w.last_seq; run = 1; sim = Some sim; wall_s; payload })
+      let e =
+        { Events.seq = w.last_seq; run = 1; sim = Some sim; wall_s; payload }
+      in
+      Binary.encode w.buf e;
+      e)
     payloads
 
 let write_all fd s =
@@ -50,7 +54,7 @@ let fresh_writer ~path ~label =
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   let w = { fd; buf = Buffer.create 4096; last_seq = 0; durable = 0 } in
   Buffer.add_string w.buf Binary.header;
-  append w ~sim:0 [ Events.Run_started { label } ];
+  ignore (append w ~sim:0 [ Events.Run_started { label } ]);
   sync w;
   w
 

@@ -31,9 +31,12 @@ val snapshot_path : dir:string -> string
 
 type writer
 
-val append : writer -> sim:Time.t -> Events.payload list -> unit
+val append : writer -> sim:Time.t -> Events.payload list -> Events.t list
 (** Stamp (monotonic [seq], [run = 1], the given simulated time) and
-    buffer the records.  Nothing is durable until {!sync}. *)
+    buffer the records, returning the stamped events in order — exactly
+    what the WAL will hold, so the daemon can tee the same records to
+    the live watchdog and the flight recorder without re-stamping.
+    Nothing is durable until {!sync}. *)
 
 val sync : writer -> unit
 (** Flush buffered records and [fsync].  Replies for the appended
@@ -41,6 +44,10 @@ val sync : writer -> unit
 
 val seq : writer -> int
 (** Sequence number of the last stamped record. *)
+
+val buffered : writer -> int
+(** Bytes appended but not yet {!sync}ed — the size of the next sync's
+    write, which is what the [server/wal_bytes] counter accumulates. *)
 
 val offset : writer -> int
 (** Durable file length, bytes — what the last {!sync} guaranteed. *)

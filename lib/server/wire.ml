@@ -10,6 +10,7 @@ type op =
   | Revoke of { now : Time.t; terms : Certificate.rect list }
   | Join of { now : Time.t; terms : Certificate.rect list }
   | Query of string
+  | Metrics
   | Ping
   | Shutdown
 
@@ -28,11 +29,12 @@ type reply =
   | Revoked of { quantity : int; evicted : string list }
   | Joined of { quantity : int }
   | Info of (string * Json.t) list
+  | Metrics_snapshot of { exposition : string; samples : Json.t list }
   | Pong
   | Draining
   | Failed of string
 
-type response = { tag : Json.t; reply : reply }
+type response = { tag : Json.t; cid : string option; reply : reply }
 
 let shed_slug = "shed"
 
@@ -187,6 +189,7 @@ let request_to_json { tag; op } =
         ]
     | Query what ->
         [ ("op", Json.String "query"); ("what", Json.String what) ]
+    | Metrics -> [ ("op", Json.String "metrics") ]
     | Ping -> [ ("op", Json.String "ping") ]
     | Shutdown -> [ ("op", Json.String "shutdown") ]
   in
@@ -219,6 +222,7 @@ let request_of_json json =
     | "query" ->
         let* what = str_field "what" json in
         Ok (Query what)
+    | "metrics" -> Ok Metrics
     | "ping" -> Ok Ping
     | "shutdown" -> Ok Shutdown
     | op -> Error (Printf.sprintf "wire: unknown op %S" op)
@@ -227,7 +231,12 @@ let request_of_json json =
 
 (* --- responses ------------------------------------------------------------ *)
 
-let response_to_json { tag; reply } =
+let response_to_json { tag; cid; reply } =
+  let with_cid fields =
+    match cid with
+    | None -> fields
+    | Some c -> fields @ [ ("cid", Json.String c) ]
+  in
   let fields =
     match reply with
     | Decided { id; action; slug; reason; digest } ->
@@ -263,14 +272,26 @@ let response_to_json { tag; reply } =
         [ ("ok", Json.Bool true); ("joined", Json.Int quantity) ]
     | Info fields ->
         [ ("ok", Json.Bool true); ("info", Json.Bool true) ] @ fields
+    | Metrics_snapshot { exposition; samples } ->
+        [
+          ("ok", Json.Bool true);
+          ("metrics", Json.Bool true);
+          ("exposition", Json.String exposition);
+          ("samples", Json.List samples);
+        ]
     | Pong -> [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]
     | Draining -> [ ("ok", Json.Bool true); ("draining", Json.Bool true) ]
     | Failed msg -> [ ("ok", Json.Bool false); ("error", Json.String msg) ]
   in
-  Json.Obj (with_tag tag fields)
+  Json.Obj (with_tag tag (with_cid fields))
 
 let response_of_json json =
   let tag = tag_of json in
+  let cid =
+    match Json.member "cid" json with
+    | Some (Json.String c) -> Some c
+    | Some _ | None -> None
+  in
   let has name = Json.member name json <> None in
   let* reply =
     if has "error" then
@@ -299,20 +320,30 @@ let response_of_json json =
     else if has "joined" then
       let* quantity = int_field "joined" json in
       Ok (Joined { quantity })
+    else if has "metrics" then
+      let* exposition = str_field "exposition" json in
+      let* samples =
+        match Json.member "samples" json with
+        | Some (Json.List items) -> Ok items
+        | Some _ -> Error "wire: field \"samples\" is not a list"
+        | None -> Ok []
+      in
+      Ok (Metrics_snapshot { exposition; samples })
     else if has "info" then
       match json with
       | Json.Obj fields ->
           Ok
             (Info
                (List.filter
-                  (fun (k, _) -> k <> "ok" && k <> "info" && k <> "tag")
+                  (fun (k, _) ->
+                    k <> "ok" && k <> "info" && k <> "tag" && k <> "cid")
                   fields))
       | _ -> Error "wire: response is not an object"
     else if has "pong" then Ok Pong
     else if has "draining" then Ok Draining
     else Error "wire: unrecognizable response shape"
   in
-  Ok { tag; reply }
+  Ok { tag; cid; reply }
 
 (* --- framing -------------------------------------------------------------- *)
 

@@ -30,6 +30,12 @@ type op =
   | Join of { now : Time.t; terms : Certificate.rect list }
       (** Resources joining the open system. *)
   | Query of string  (** ["residual-digest"], ["stats"] or ["now"]. *)
+  | Metrics
+      (** Scrape the daemon's live metrics registry.  Answered from the
+          serving loop without touching the replica (never logged); the
+          reply carries both the OpenMetrics exposition text and the
+          registry as sample events, so one verb serves scrapers and
+          [rota top --connect] alike. *)
   | Ping
   | Shutdown  (** Graceful drain, as if the daemon received SIGTERM. *)
 
@@ -53,11 +59,28 @@ type reply =
   | Revoked of { quantity : int; evicted : string list }
   | Joined of { quantity : int }
   | Info of (string * Json.t) list  (** Query answers, field by field. *)
+  | Metrics_snapshot of { exposition : string; samples : Json.t list }
+      (** Answer to {!Metrics}: [exposition] is the lint-clean
+          OpenMetrics text ({!Rota_obs.Openmetrics.render} of the live
+          registry), [samples] the same snapshot as serialized
+          {!Rota_obs.Events} metric/hist-sample records — parseable with
+          {!Rota_obs.Events.of_json} and foldable straight into
+          {!Rota_obs.Top}. *)
   | Pong
   | Draining  (** Acknowledges {!Shutdown}; the connection then closes. *)
   | Failed of string  (** Malformed or unserviceable request. *)
 
-type response = { tag : Json.t; reply : reply }
+type response = {
+  tag : Json.t;
+  cid : string option;
+      (** The daemon's correlation id for the request this answers —
+          minted per request, stamped into the WAL decision record, and
+          reported here (as a ["cid"] field, omitted when absent) so a
+          client can quote it when filing a complaint.  Untagged
+          requests additionally get the cid echoed {e as} their [tag],
+          so position-blind clients still correlate. *)
+  reply : reply;
+}
 
 val shed_slug : string
 (** ["shed"] — the reason slug every load-shedding reject carries. *)

@@ -228,6 +228,7 @@ let run ?(cost_model = Cost_model.default) ?true_cost_model
              action;
              slug = Rota_obs.Slug.of_reason reason;
              certificate = Certificate.to_json (Lazy.force certificate);
+             cid = None;
            })
   in
   (* Fault machinery.  All of it is inert when the plan is empty: the

@@ -93,7 +93,9 @@ let gen_payload =
       (let* id = s and* policy = s and* slug = s in
        let* action = oneofl [ "admit"; "reject"; "evict"; "repair" ] in
        let* certificate = gen_json in
-       return (Events.Decision { id; policy; action; slug; certificate }));
+       let* cid = opt s in
+       return (Events.Decision { id; policy; action; slug; certificate; cid }));
+      map3 (fun id slug reason -> Events.Shed { id; slug; reason }) s s s;
       map (fun id -> Events.Completed { id }) s;
       map2 (fun id owed -> Events.Killed { id; owed }) s small_nat;
       (let* fault = s and* quantity = small_signed_int and* terms = gen_json in
@@ -210,6 +212,96 @@ let prop_pipeline_roundtrip =
         QCheck.Test.fail_report "binary leg is not the identity";
       write_jsonl back from_binary;
       read_all back = events)
+
+(* --- the flight recorder ---------------------------------------------------- *)
+
+module Flight = Rota_obs.Flight
+
+(* Like the daemon's stream: span ids are allocator-unique, parents may
+   point anywhere (often at records the ring has since evicted), and no
+   [Unknown] carriers — the daemon only emits kinds it knows, and the
+   validator rejects unknown ones by design. *)
+let gen_flight_stream =
+  QCheck.Gen.(
+    let* raw = list_size (int_range 1 60) gen_event in
+    let _, rev =
+      List.fold_left
+        (fun (i, acc) ev ->
+          match ev.Events.payload with
+          | Events.Span s ->
+              ( i + 1,
+                { ev with
+                  Events.payload = Events.Span { s with id = 50_000 + i } }
+                :: acc )
+          | Events.Unknown _ ->
+              ( i,
+                { ev with
+                  Events.payload =
+                    Events.Anomaly { id = "gen"; reason = "stand-in" } }
+                :: acc )
+          | _ -> (i, ev :: acc))
+        (0, []) raw
+    in
+    return (List.rev rev))
+
+(* A dump taken after ANY event sequence is a standalone valid trace
+   holding exactly the last-[capacity] suffix — payloads verbatim except
+   the documented repairs (evicted span parents dropped, backward
+   simulated-time steps clamped forward). *)
+let prop_flight_dump =
+  QCheck.Test.make ~count:100
+    ~name:"flight recorder: dump = valid trace of the last-N suffix"
+    (QCheck.make
+       ~print:(fun es -> String.concat "\n" (List.map Events.to_line es))
+       gen_flight_stream)
+    (fun stream ->
+      let capacity = 16 in
+      let f = Flight.create ~capacity () in
+      List.iter (Flight.record f) stream;
+      let path = Filename.temp_file "rota-flight" ".rotb" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      @@ fun () ->
+      match Flight.dump f path with
+      | Error m -> QCheck.Test.fail_reportf "dump: %s" m
+      | Ok n ->
+          let len = List.length stream in
+          let expect = min capacity len in
+          if n <> expect then
+            QCheck.Test.fail_reportf "dumped %d events, want %d" n expect;
+          if Flight.recorded f <> expect then
+            QCheck.Test.fail_reportf "ring holds %d, want %d"
+              (Flight.recorded f) expect;
+          let v = Trace_reader.validate_file path in
+          if not (Trace_reader.valid v) then
+            QCheck.Test.fail_reportf "dump does not validate: %s"
+              (String.concat "; " v.Trace_reader.errors);
+          let dumped = read_all path in
+          let suffix = List.filteri (fun i _ -> i >= len - expect) stream in
+          List.iter2
+            (fun (d : Events.t) (s : Events.t) ->
+              if d.Events.run <> s.Events.run then
+                QCheck.Test.fail_report "run not preserved";
+              if d.Events.wall_s <> s.Events.wall_s then
+                QCheck.Test.fail_report "wall_s not preserved";
+              (match (d.Events.sim, s.Events.sim) with
+              | None, None -> ()
+              | Some d', Some s' when d' >= s' -> ()  (* clamp is forward *)
+              | _ -> QCheck.Test.fail_report "sim not preserved-or-clamped");
+              match (d.Events.payload, s.Events.payload) with
+              | Events.Span dsp, Events.Span ssp ->
+                  if
+                    dsp.name <> ssp.name || dsp.id <> ssp.id
+                    || dsp.depth <> ssp.depth
+                    || dsp.begin_s <> ssp.begin_s
+                    || dsp.duration_s <> ssp.duration_s
+                    || (dsp.parent <> ssp.parent && dsp.parent <> None)
+                  then QCheck.Test.fail_report "span changed beyond repair"
+              | dp, sp ->
+                  if dp <> sp then
+                    QCheck.Test.fail_report "payload not preserved verbatim")
+            dumped suffix;
+          true)
 
 (* --- non-finite floats ------------------------------------------------------ *)
 
@@ -358,7 +450,7 @@ let () =
     [
       ( "round-trip",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_binary_roundtrip; prop_pipeline_roundtrip ]
+          [ prop_binary_roundtrip; prop_pipeline_roundtrip; prop_flight_dump ]
         @ [
             Alcotest.test_case "non-finite floats keep their bits" `Quick
               test_nonfinite_floats;

@@ -226,6 +226,7 @@ let all_payloads =
         action = "reject";
         slug = "no-accommodating-schedule";
         certificate = cert_json;
+        cid = None;
       };
     Events.Decision
       {
@@ -234,6 +235,13 @@ let all_payloads =
         action = "admit";
         slug = "admitted-without-schedule-check";
         certificate = Json.Null;
+        cid = Some "s-42";
+      };
+    Events.Shed
+      {
+        id = "c010";
+        slug = "queue-full";
+        reason = "queue full (64 outstanding)";
       };
     Events.Completed { id = "c001" };
     Events.Killed { id = "c003"; owed = 7 };
@@ -482,11 +490,78 @@ let test_metrics_report_sections () =
       Alcotest.(check bool) (t ^ " section present") true (List.mem t titles))
     [ "counters"; "latency histograms (us)"; "value histograms" ]
 
+(* --- SLO burn-rate windows -------------------------------------------------- *)
+
+module Slo = Rota_obs.Slo
+
+(* The burn rate is (bad fraction in the trailing window) / budget:
+   burning at exactly 1.0 means the error budget is being consumed
+   precisely as fast as it accrues. *)
+let test_slo_burn_arithmetic () =
+  let s = Slo.create ~budget:0.1 () in
+  Alcotest.(check (float 1e-9)) "empty window burns nothing" 0.
+    (Slo.burn s ~now:1000. ~window_s:300);
+  for _ = 1 to 9 do
+    Slo.record s ~now:1000.2 ~good:true
+  done;
+  Slo.record s ~now:1000.7 ~good:false;
+  Alcotest.(check (float 1e-9)) "1 bad in 10 at 10% budget = burn 1.0" 1.0
+    (Slo.burn s ~now:1000.9 ~window_s:300);
+  Alcotest.(check (float 1e-9)) "half the bad fraction, half the burn" 0.5
+    (let s = Slo.create ~budget:0.1 () in
+     for _ = 1 to 19 do
+       Slo.record s ~now:50.0 ~good:true
+     done;
+     Slo.record s ~now:50.5 ~good:false;
+     Slo.burn s ~now:51. ~window_s:60)
+
+(* Multi-window semantics: a burst leaves the short window as time
+   passes but stays visible in the long one — the basis for paging on
+   (burn_5m high AND burn_1h high) style alerts. *)
+let test_slo_windows_slide () =
+  let s = Slo.create ~budget:0.5 () in
+  Slo.record s ~now:100.0 ~good:false;
+  Slo.record s ~now:100.0 ~good:true;
+  Alcotest.(check (float 1e-9)) "burst visible in the 10s window" 1.0
+    (Slo.burn s ~now:105. ~window_s:10);
+  Alcotest.(check (float 1e-9)) "burst aged out of a 3s window" 0.
+    (Slo.burn s ~now:105. ~window_s:3);
+  Alcotest.(check (float 1e-9)) "still visible one hour-window wide" 1.0
+    (Slo.burn s ~now:105. ~window_s:3600);
+  (* Sub-second timestamps share the floor second's bucket. *)
+  let g, b = Slo.totals s ~now:100.9 ~window_s:1 in
+  Alcotest.(check (pair int int)) "one-second bucket holds both" (1, 1) (g, b)
+
+(* Circular-slot aliasing: an observation landing a whole horizon later
+   reuses the same slot; the stale counts must not leak into the new
+   second's totals. *)
+let test_slo_slot_reuse () =
+  let s = Slo.create ~budget:0.01 ~horizon_s:60 () in
+  Slo.record s ~now:10. ~good:false;
+  Alcotest.(check (float 1e-9)) "bad burst burns" 100.
+    (Slo.burn s ~now:10. ~window_s:5);
+  (* 60 seconds later the same slot is written: old tallies reset. *)
+  Slo.record s ~now:70. ~good:true;
+  Alcotest.(check (float 1e-9)) "aliased slot was reset" 0.
+    (Slo.burn s ~now:70. ~window_s:5);
+  let g, b = Slo.totals s ~now:70. ~window_s:60 in
+  Alcotest.(check (pair int int)) "horizon-wide totals see only the fresh second"
+    (1, 0) (g, b);
+  (* Windows are clamped to the horizon. *)
+  let g', b' = Slo.totals s ~now:70. ~window_s:10_000 in
+  Alcotest.(check (pair int int)) "oversized window clamps" (g, b) (g', b')
+
 (* --------------------------------------------------------------------------- *)
 
 let () =
   Alcotest.run "obs"
     [
+      ( "slo",
+        [
+          Alcotest.test_case "burn arithmetic" `Quick test_slo_burn_arithmetic;
+          Alcotest.test_case "windows slide" `Quick test_slo_windows_slide;
+          Alcotest.test_case "slot reuse resets" `Quick test_slo_slot_reuse;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "counter semantics" `Quick test_counter_semantics;

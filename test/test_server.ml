@@ -92,7 +92,7 @@ let build_wal ~dir ~policy ops =
         (fun op ->
           let payloads, _reply = Replica.apply replica op in
           if payloads <> [] then
-            Wal.append w ~sim:(Replica.now replica) payloads)
+            ignore (Wal.append w ~sim:(Replica.now replica) payloads))
         ops;
       Wal.sync w;
       Wal.close w;
@@ -196,7 +196,7 @@ let test_snapshot_recovery () =
           (fun i op ->
             let payloads, _ = Replica.apply replica op in
             if payloads <> [] then
-              Wal.append w ~sim:(Replica.now replica) payloads;
+              ignore (Wal.append w ~sim:(Replica.now replica) payloads);
             if i = n / 2 then begin
               Wal.sync w;
               match Wal.save_snapshot ~path:(Wal.snapshot_path ~dir) w replica with
@@ -248,14 +248,16 @@ let test_shed_bounded_delay () =
     (Shed.estimate_s s);
   (match Shed.on_enqueue s ~queue_len:0 ~budget_ms:None with
   | Shed.Accept -> ()
-  | Shed.Reject r -> Alcotest.failf "empty queue must accept: %s" r);
+  | Shed.Reject { message; _ } ->
+      Alcotest.failf "empty queue must accept: %s" message);
   (match Shed.on_enqueue s ~queue_len:4 ~budget_ms:None with
   | Shed.Reject _ -> ()
   | Shed.Accept ->
       Alcotest.fail "5 queued x 20ms estimate > 50ms budget must shed");
   (match Shed.on_enqueue s ~queue_len:4 ~budget_ms:(Some 1000.) with
   | Shed.Accept -> ()
-  | Shed.Reject r -> Alcotest.failf "generous budget must accept: %s" r);
+  | Shed.Reject { message; _ } ->
+      Alcotest.failf "generous budget must accept: %s" message);
   (match Shed.on_enqueue s ~queue_len:10 ~budget_ms:(Some 1e9) with
   | Shed.Reject _ -> ()
   | Shed.Accept -> Alcotest.fail "full queue must shed regardless of budget");
@@ -264,7 +266,8 @@ let test_shed_bounded_delay () =
   | Shed.Accept -> Alcotest.fail "blown budget at dequeue must shed");
   match Shed.on_dequeue s ~waited_s:0.01 ~budget_ms:None with
   | Shed.Accept -> ()
-  | Shed.Reject r -> Alcotest.failf "in-budget wait must be decided: %s" r
+  | Shed.Reject { message; _ } ->
+      Alcotest.failf "in-budget wait must be decided: %s" message
 
 (* Whatever latency history, a request the dequeue checkpoint lets
    through has waited at most its budget: the p99-bounding argument is
@@ -324,21 +327,26 @@ let test_wire_roundtrip () =
   let responses =
     [
       { Wire.tag = Json.Null;
+        cid = None;
         reply =
           Wire.Decided
             { id = "c1"; action = "admit"; slug = "committed";
               reason = "fits"; digest = "abc123" } };
       { Wire.tag = Json.Int 7;
+        cid = None;
         reply = Wire.Shed { id = "c2"; reason = "queue full" } };
-      { Wire.tag = Json.Null; reply = Wire.Released { id = "c3"; existed = true } };
+      { Wire.tag = Json.Null; cid = None;
+        reply = Wire.Released { id = "c3"; existed = true } };
       { Wire.tag = Json.Null;
+        cid = None;
         reply = Wire.Revoked { quantity = 12; evicted = [ "a"; "b" ] } };
-      { Wire.tag = Json.Null; reply = Wire.Joined { quantity = 5 } };
+      { Wire.tag = Json.Null; cid = None; reply = Wire.Joined { quantity = 5 } };
       { Wire.tag = Json.Null;
+        cid = None;
         reply = Wire.Info [ ("digest", Json.String "ff") ] };
-      { Wire.tag = Json.Null; reply = Wire.Pong };
-      { Wire.tag = Json.Null; reply = Wire.Draining };
-      { Wire.tag = Json.Null; reply = Wire.Failed "nope" };
+      { Wire.tag = Json.Null; cid = None; reply = Wire.Pong };
+      { Wire.tag = Json.Null; cid = None; reply = Wire.Draining };
+      { Wire.tag = Json.Null; cid = None; reply = Wire.Failed "nope" };
     ]
   in
   List.iter
@@ -353,12 +361,147 @@ let test_wire_roundtrip () =
     Json.parse
       (Wire.response_to_line
          { Wire.tag = Json.Null;
+           cid = None;
            reply = Wire.Shed { id = "x"; reason = "late" } })
   with
   | Ok json ->
       Alcotest.(check bool) "shed slug on the wire" true
         (Json.member "slug" json = Some (Json.String Wire.shed_slug))
   | Error m -> Alcotest.failf "shed response unparsable: %s" m
+
+(* --- correlation ids ---------------------------------------------------------- *)
+
+(* The daemon's cid travels two ways: echoed in the reply envelope (and
+   as the tag for untagged requests) and stamped into the WAL decision
+   record — so a client log line, a scrape, and a WAL entry can be
+   joined on one key. *)
+let test_wire_cid_echo () =
+  let with_cid =
+    { Wire.tag = Json.Int 3; cid = Some "r42-7"; reply = Wire.Pong }
+  in
+  (match Wire.response_of_line (Wire.response_to_line with_cid) with
+  | Ok r -> Alcotest.(check bool) "cid round-trips" true (r = with_cid)
+  | Error m -> Alcotest.failf "cid response did not parse: %s" m);
+  (match Json.parse (Wire.response_to_line with_cid) with
+  | Ok json ->
+      Alcotest.(check bool) "cid on the wire" true
+        (Json.member "cid" json = Some (Json.String "r42-7"))
+  | Error m -> Alcotest.failf "cid response unparsable: %s" m);
+  let without =
+    { Wire.tag = Json.Null; cid = None; reply = Wire.Draining }
+  in
+  (match Wire.response_of_line (Wire.response_to_line without) with
+  | Ok r -> Alcotest.(check bool) "absent cid is None" true (r = without)
+  | Error m -> Alcotest.failf "cid-less response did not parse: %s" m);
+  let snapshot =
+    { Wire.tag = Json.Null;
+      cid = Some "r1-1";
+      reply =
+        Wire.Metrics_snapshot
+          { exposition = "# EOF\n";
+            samples =
+              [ Json.Obj [ ("kind", Json.String "metric-sample") ] ] } }
+  in
+  match Wire.response_of_line (Wire.response_to_line snapshot) with
+  | Ok r -> Alcotest.(check bool) "metrics snapshot round-trips" true (r = snapshot)
+  | Error m -> Alcotest.failf "metrics snapshot did not parse: %s" m
+
+let test_cid_stamped_in_decision () =
+  let replica = Replica.create Admission.Rota in
+  let computation = List.hd (Scenario.computations (params ~seed:9)) in
+  let payloads, _reply =
+    Replica.apply ~cid:"r9-1" replica
+      (Wire.Admit { now = 0; computation; budget_ms = None })
+  in
+  let cids =
+    List.filter_map
+      (function
+        | Rota_obs.Events.Decision { cid; _ } -> Some cid
+        | _ -> None)
+      payloads
+  in
+  Alcotest.(check bool) "decision carries the cid" true
+    (cids <> [] && List.for_all (( = ) (Some "r9-1")) cids)
+
+(* --- the scrape surface ------------------------------------------------------- *)
+
+module Telemetry = Rota_server.Telemetry
+module Metrics = Rota_obs.Metrics
+module Openmetrics = Rota_obs.Openmetrics
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* The exposition a live daemon serves: lint-clean, and the family set
+   is stable — every family the daemon can ever touch is present from
+   the first scrape, zero-valued or not. *)
+let test_scrape_families () =
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) @@ fun () ->
+  Telemetry.count_request "admit";
+  Telemetry.count_shed "queue-full";
+  Metrics.observe Telemetry.rtt 0.004;
+  Metrics.observe Telemetry.admit_slack 12.;
+  Telemetry.set_burn Telemetry.burn_5m 1.25;
+  let body = Openmetrics.render (Metrics.snapshot ()) in
+  (match Openmetrics.lint body with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "exposition does not lint: %s" e);
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (sub ^ " present") true (contains ~sub body))
+    [
+      "# TYPE server_rtt_s histogram";
+      "# TYPE server_queue_wait_s histogram";
+      "# TYPE server_fsync_s histogram";
+      "# TYPE server_admit_slack histogram";
+      "# TYPE server_queue_depth gauge";
+      "# TYPE server_connections gauge";
+      "# TYPE server_wal_bytes counter";
+      "server_requests_total{slug=\"admit\"} 1";
+      "server_requests_total{slug=\"ping\"} 0";
+      "server_shed_total{slug=\"queue-full\"} 1";
+      "server_shed_total{slug=\"predicted-delay\"} 0";
+      "slo_burn_5m 1250";
+      "slo_burn_1h 0";
+      "# EOF";
+    ]
+
+(* Deadline slack read off a constructive certificate: deadline minus
+   the latest schedule-step stop. *)
+let test_admit_slack_bound () =
+  let step stop =
+    { Certificate.index = 0;
+      need = [];
+      subwindow = Interval.of_pair 0 stop;
+      allocation = [] }
+  in
+  let part stops =
+    { Certificate.actor = "a";
+      window = Interval.of_pair 0 100;
+      breakpoints = [];
+      steps = List.map step stops }
+  in
+  let cert evidence = { Certificate.theorem = Certificate.T2; digest = ""; evidence } in
+  (match
+     Telemetry.completion_bound (cert (Certificate.Schedules [ part [ 4; 9 ] ]))
+   with
+  | Some 9 -> ()
+  | Some other -> Alcotest.failf "schedules bound %d, want 9" other
+  | None -> Alcotest.fail "schedules evidence must bound completion");
+  (match Telemetry.completion_bound (cert Certificate.Infeasible) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "reject evidence has no completion bound");
+  match
+    Telemetry.completion_bound
+      (cert
+         (Certificate.Aggregate_fit
+            { window = Interval.of_pair 2 17; rows = []; fits = true }))
+  with
+  | Some 17 -> ()
+  | _ -> Alcotest.fail "aggregate fit bounds at the window stop"
 
 (* --- replica snapshots -------------------------------------------------------- *)
 
@@ -412,7 +555,19 @@ let () =
         ]
         @ [ QCheck_alcotest.to_alcotest prop_dequeue_bounds_wait ] );
       ( "wire",
-        [ Alcotest.test_case "codec round-trips" `Quick test_wire_roundtrip ] );
+        [
+          Alcotest.test_case "codec round-trips" `Quick test_wire_roundtrip;
+          Alcotest.test_case "cid echo round-trips" `Quick test_wire_cid_echo;
+          Alcotest.test_case "cid stamped into decisions" `Quick
+            test_cid_stamped_in_decision;
+        ] );
+      ( "scrape",
+        [
+          Alcotest.test_case "stable lint-clean families" `Quick
+            test_scrape_families;
+          Alcotest.test_case "admit slack completion bound" `Quick
+            test_admit_slack_bound;
+        ] );
       ( "snapshot",
         [
           Alcotest.test_case "replica snapshot round-trips" `Quick

@@ -136,7 +136,7 @@ let test_e2e_decision_records () =
     List.fold_left
       (fun (ds, vs) (e : Events.t) ->
         match e.Events.payload with
-        | Events.Decision { id; policy; action; slug; certificate } ->
+        | Events.Decision { id; policy; action; slug; certificate; cid = _ } ->
             ((id, policy, action, slug, certificate) :: ds, vs)
         | Events.Admitted _ | Events.Rejected _ -> (ds, vs + 1)
         | _ -> (ds, vs))
